@@ -1,0 +1,67 @@
+//! Criterion micro benches of Step S1: g-function evaluation for every
+//! LSH family at paper-like parameters. The paper argues the hybrid
+//! overhead `O(mL)` is "often smaller than (or comparable to) the cost
+//! of Step S1" — these benches make both sides of that comparison
+//! measurable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlsh_families::sampling::rng_stream;
+use hlsh_families::{BitSampling, GFunction, LshFamily, MinHash, PStableL1, PStableL2, SimHash};
+
+fn bench_bitsampling(c: &mut Criterion) {
+    let family = BitSampling::new(64);
+    let g = family.sample(15, &mut rng_stream(1, 0));
+    let p = [0xDEAD_BEEF_CAFE_F00Du64];
+    c.bench_function("g_bitsampling_k15_d64", |b| {
+        b.iter(|| std::hint::black_box(g.bucket_key(std::hint::black_box(&p[..]))))
+    });
+}
+
+fn bench_simhash(c: &mut Criterion) {
+    // Webspam setting: d = 254, k ≈ 30.
+    let family = SimHash::new(254);
+    let g = family.sample(30, &mut rng_stream(2, 0));
+    let p: Vec<f32> = (0..254).map(|i| (i as f32 * 0.173).sin()).collect();
+    c.bench_function("g_simhash_k30_d254", |b| {
+        b.iter(|| std::hint::black_box(g.bucket_key(std::hint::black_box(&p))))
+    });
+}
+
+fn bench_pstable_l2(c: &mut Criterion) {
+    // Corel setting: d = 32, k = 7.
+    let family = PStableL2::new(32, 1.0);
+    let g = family.sample(7, &mut rng_stream(3, 0));
+    let p: Vec<f32> = (0..32).map(|i| (i as f32 * 0.39).cos()).collect();
+    c.bench_function("g_pstable_l2_k7_d32", |b| {
+        b.iter(|| std::hint::black_box(g.bucket_key(std::hint::black_box(&p))))
+    });
+}
+
+fn bench_pstable_l1(c: &mut Criterion) {
+    // CoverType setting: d = 54, k = 8.
+    let family = PStableL1::new(54, 4000.0);
+    let g = family.sample(8, &mut rng_stream(4, 0));
+    let p: Vec<f32> = (0..54).map(|i| 1000.0 + i as f32 * 17.0).collect();
+    c.bench_function("g_pstable_l1_k8_d54", |b| {
+        b.iter(|| std::hint::black_box(g.bucket_key(std::hint::black_box(&p))))
+    });
+}
+
+fn bench_minhash(c: &mut Criterion) {
+    let family = MinHash::new(256);
+    let g = family.sample(4, &mut rng_stream(5, 0));
+    let p = [0xF0F0_F0F0u64, 0x1234_5678, 0, 0xFFFF];
+    c.bench_function("g_minhash_k4_u256", |b| {
+        b.iter(|| std::hint::black_box(g.bucket_key(std::hint::black_box(&p[..]))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_bitsampling, bench_simhash, bench_pstable_l2, bench_pstable_l1, bench_minhash
+}
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion benches of whole queries: hybrid vs classic LSH vs linear
+//! on a small Webspam-like workload, split into an easy query (sparse
+//! region) and a hard query (near-duplicate mega-cluster) — the two
+//! regimes of Figure 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlsh_core::{CostModel, IndexBuilder, Strategy};
+use hlsh_datagen::webspam_like;
+use hlsh_families::{k_paper, LshFamily, SimHash};
+use hlsh_vec::dense::cosine_distance;
+use hlsh_vec::Cosine;
+
+struct Setup {
+    index: hlsh_core::HybridLshIndex<hlsh_vec::DenseDataset, SimHash, Cosine>,
+    easy: Vec<f32>,
+    hard: Vec<f32>,
+}
+
+fn setup() -> Setup {
+    let n = 8_000;
+    let r = 0.08;
+    let mut data = webspam_like(n, 77);
+    let family = SimHash::new(data.dim());
+    let k = k_paper(0.1, 50, family.collision_prob(r)).min(64);
+
+    // Pick a hard query (many 0.08-neighbors) and an easy one (few)
+    // from the data itself, then remove them from the indexed set.
+    let count_near = |data: &hlsh_vec::DenseDataset, q: &[f32]| {
+        data.rows().filter(|row| cosine_distance(row, q) <= r).count()
+    };
+    let mut hard_idx = 0;
+    let mut easy_idx = 0;
+    let (mut best_hard, mut best_easy) = (0usize, usize::MAX);
+    for i in 0..200 {
+        let c = count_near(&data, data.row(i * 17));
+        if c > best_hard {
+            best_hard = c;
+            hard_idx = i * 17;
+        }
+        if c < best_easy {
+            best_easy = c;
+            easy_idx = i * 17;
+        }
+    }
+    let mut split = [easy_idx, hard_idx];
+    split.sort_unstable();
+    let removed = data.split_off_rows(&split);
+    let (easy, hard) = if split[0] == easy_idx {
+        (removed.row(0).to_vec(), removed.row(1).to_vec())
+    } else {
+        (removed.row(1).to_vec(), removed.row(0).to_vec())
+    };
+
+    let index = IndexBuilder::new(family, Cosine)
+        .tables(50)
+        .hash_len(k)
+        .seed(7)
+        .cost_model(CostModel::from_ratio(10.0))
+        .build(data);
+    Setup { index, easy, hard }
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let s = setup();
+    let r = 0.08;
+    let mut group = c.benchmark_group("webspam8k_query");
+    for (qname, q) in [("easy", &s.easy), ("hard", &s.hard)] {
+        for strategy in [Strategy::Hybrid, Strategy::LshOnly, Strategy::LinearOnly] {
+            group.bench_function(format!("{qname}_{strategy}"), |b| {
+                b.iter(|| {
+                    let out = s.index.query_with_strategy(
+                        std::hint::black_box(&q[..]),
+                        r,
+                        strategy,
+                    );
+                    std::hint::black_box(out.ids.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_queries
+}
+criterion_main!(benches);

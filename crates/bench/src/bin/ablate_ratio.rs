@@ -1,0 +1,60 @@
+//! Ablation: sensitivity of the hybrid decision to the `β/α` ratio.
+//!
+//! §4.2 calibrates β/α per data set (10 for Webspam) and the decision
+//! quality depends on it: too small → hybrid scans too eagerly; too
+//! large → it degenerates to classic LSH. This sweep shows how far the
+//! ratio can drift before hybrid loses to the better of its two arms.
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin ablate_ratio [--scale F]
+//! ```
+
+use hlsh_bench::experiment::{measure_radius, ExperimentConfig};
+use hlsh_core::CostModel;
+use hlsh_bench::tablefmt::Table;
+use hlsh_bench::CommonArgs;
+use hlsh_datagen::DenseWorkload;
+use hlsh_families::{k_paper, LshFamily, PaperDataset, SimHash};
+use hlsh_vec::UnitCosine;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let base = ExperimentConfig::from_args(&args, PaperDataset::Webspam);
+    let w = DenseWorkload::paper(PaperDataset::Webspam, base.n, base.queries, base.seed);
+    let r = 0.08;
+    let family = SimHash::new(w.data.dim());
+    let k = k_paper(base.delta, base.l, family.collision_prob(r)).min(64);
+
+    let mut table = Table::new(
+        "Ablation: β/α ratio sensitivity (Webspam, r = 0.08; paper ratio = 10)",
+        &["β/α", "hybrid s", "LSH s", "Linear s", "LS calls %", "hybrid ≤ best arm?"],
+    );
+    for ratio in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0] {
+        let mut cfg = base;
+        cfg.ratio_override = Some(ratio);
+        let row = measure_radius(
+            w.data.clone(),
+            &w.queries,
+            family,
+            UnitCosine,
+            r,
+            k,
+            CostModel::from_ratio(ratio),
+            PaperDataset::Webspam,
+            &cfg,
+        );
+        let best_arm = row.lsh_secs.min(row.linear_secs);
+        table.row(vec![
+            format!("{ratio}"),
+            format!("{:.4}", row.hybrid_secs),
+            format!("{:.4}", row.lsh_secs),
+            format!("{:.4}", row.linear_secs),
+            format!("{:.1}", row.ls_call_frac * 100.0),
+            // 15% tolerance for the per-query decision overhead.
+            if row.hybrid_secs <= best_arm * 1.15 { "yes" } else { "no" }.to_string(),
+        ]);
+        eprintln!("[ablate_ratio] β/α = {ratio} done");
+    }
+    table.print();
+    println!("expected: LS-call share falls as the ratio grows; hybrid stays near the best arm for a wide ratio band");
+}

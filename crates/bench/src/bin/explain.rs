@@ -1,0 +1,84 @@
+//! Diagnostic: prints the Algorithm 2 cost breakdown for each query of
+//! the Webspam workload at one radius — collisions, estimated candSize,
+//! both costs, the decision, and the calibrated α/β.
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin explain [--scale F] [--queries N]
+//! ```
+
+// Queries and ground truth are parallel arrays; indexed loops are intentional.
+#![allow(clippy::needless_range_loop)]
+use hlsh_bench::{CommonArgs, ExperimentConfig, Table};
+use hlsh_core::IndexBuilder;
+use hlsh_datagen::{ground_truth, DenseWorkload};
+use hlsh_families::{k_paper, LshFamily, PaperDataset, SimHash};
+use hlsh_vec::{PointSet, UnitCosine};
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let cfg = ExperimentConfig::from_args(&args, PaperDataset::Webspam);
+    let w = DenseWorkload::paper(PaperDataset::Webspam, cfg.n, cfg.queries, cfg.seed);
+    let r = 0.08;
+    let family = SimHash::new(w.data.dim());
+    let k = k_paper(cfg.delta, cfg.l, family.collision_prob(r)).min(64);
+    let n = w.data.len();
+
+    let index = IndexBuilder::new(family, UnitCosine)
+        .tables(cfg.l)
+        .hash_len(k)
+        .seed(cfg.seed)
+        .build(w.data.clone());
+    let cm = index.cost_model();
+    println!(
+        "n = {n}, r = {r}, k = {k}, L = {}, calibrated α = {:.1} ns, β = {:.1} ns, β/α = {:.2}",
+        cfg.l,
+        cm.alpha(),
+        cm.beta(),
+        cm.ratio()
+    );
+
+    let truth = ground_truth(index.data(), &w.queries, &UnitCosine, r);
+    let mut table = Table::new(
+        "Per-query cost breakdown (Webspam, r = 0.08)",
+        &[
+            "query",
+            "output",
+            "coll/n",
+            "cand/n",
+            "pred LSH/Lin",
+            "meas LSH ms",
+            "meas Lin ms",
+            "meas LSH/Lin",
+            "decision",
+        ],
+    );
+    for qi in 0..w.queries.len() {
+        let q = w.queries.point(qi);
+        let est = index.explain(q);
+        // Measured arm times (best of 3).
+        let time_arm = |strategy| {
+            (0..3)
+                .map(|_| {
+                    let t = std::time::Instant::now();
+                    let out = index.query_with_strategy(q, r, strategy);
+                    std::hint::black_box(out.ids.len());
+                    t.elapsed().as_secs_f64() * 1e3
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let lsh_ms = time_arm(hlsh_core::Strategy::LshOnly);
+        let lin_ms = time_arm(hlsh_core::Strategy::LinearOnly);
+        table.row(vec![
+            qi.to_string(),
+            truth[qi].len().to_string(),
+            format!("{:.2}", est.collisions as f64 / n as f64),
+            format!("{:.2}", est.cand_size_estimate / n as f64),
+            format!("{:.3}", est.lsh_cost / est.linear_cost),
+            format!("{lsh_ms:.2}"),
+            format!("{lin_ms:.2}"),
+            format!("{:.3}", lsh_ms / lin_ms),
+            if est.prefers_lsh() { "LSH" } else { "LINEAR" }.to_string(),
+        ]);
+    }
+    table.print();
+}

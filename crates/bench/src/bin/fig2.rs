@@ -1,0 +1,54 @@
+//! Regenerates **Figure 2 (a–d)**: CPU time of the query set vs radius
+//! for hybrid search, classic LSH and linear search, on all four data
+//! sets (MNIST/Hamming, Webspam/cosine, CoverType/L1, Corel/L2).
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin fig2 [--dataset webspam] [--scale F|--full]
+//! ```
+//!
+//! The expected *shape* (paper §4.2): at small radii Hybrid ≈ LSH ≪
+//! Linear; as the radius grows Hybrid detaches from LSH and converges
+//! to Linear, with Webspam showing Hybrid strictly below both (hard
+//! queries exist even at r = 0.05).
+
+use hlsh_bench::experiment::{run_dataset, ExperimentConfig};
+use hlsh_bench::tablefmt::{secs, Table};
+use hlsh_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    for dataset in args.datasets() {
+        let cfg = ExperimentConfig::from_args(&args, dataset);
+        let rows = run_dataset(dataset, &cfg);
+        let mut table = Table::new(
+            &format!(
+                "Figure 2: {} ({}), n = {}, {} queries, mean of {} runs — CPU time (s)",
+                dataset.name(),
+                dataset.metric(),
+                cfg.n - cfg.queries,
+                cfg.queries,
+                cfg.runs
+            ),
+            &["radius", "k", "Hybrid", "LSH", "Linear", "winner"],
+        );
+        for row in &rows {
+            let winner = if row.hybrid_secs <= row.lsh_secs && row.hybrid_secs <= row.linear_secs
+            {
+                "Hybrid"
+            } else if row.lsh_secs <= row.linear_secs {
+                "LSH"
+            } else {
+                "Linear"
+            };
+            table.row(vec![
+                hlsh_bench::tablefmt::fmt_radius(row.radius),
+                row.k.to_string(),
+                secs(row.hybrid_secs),
+                secs(row.lsh_secs),
+                secs(row.linear_secs),
+                winner.to_string(),
+            ]);
+        }
+        table.print();
+    }
+}

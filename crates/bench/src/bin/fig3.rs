@@ -1,0 +1,53 @@
+//! Regenerates **Figure 3** (Webspam): left panel — average, maximum
+//! and minimum exact output size per radius; right panel — percentage
+//! of hybrid queries that fell back to linear search.
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin fig3 [--scale F|--full]
+//! ```
+//!
+//! Expected shape (paper §4.2): max output approaches n/2 while min
+//! stays near zero ("hard" and "easy" queries coexist), and the
+//! linear-search share climbs from ≈10% at r = 0.05 toward ≈50% at
+//! r = 0.10.
+
+use hlsh_bench::experiment::{run_dataset, ExperimentConfig};
+use hlsh_bench::tablefmt::Table;
+use hlsh_bench::CommonArgs;
+use hlsh_families::PaperDataset;
+
+fn main() {
+    let mut args = CommonArgs::from_env();
+    args.dataset = Some(PaperDataset::Webspam);
+    let cfg = ExperimentConfig::from_args(&args, PaperDataset::Webspam);
+    let rows = run_dataset(PaperDataset::Webspam, &cfg);
+    let n = cfg.n - cfg.queries;
+
+    let mut left = Table::new(
+        &format!("Figure 3 (left): Webspam output size, n = {n}"),
+        &["radius", "min", "avg", "max", "max/n"],
+    );
+    for row in &rows {
+        left.row(vec![
+            hlsh_bench::tablefmt::fmt_radius(row.radius),
+            row.out_min.to_string(),
+            format!("{:.1}", row.out_avg),
+            row.out_max.to_string(),
+            format!("{:.2}", row.out_max as f64 / n as f64),
+        ]);
+    }
+    left.print();
+
+    let mut right = Table::new(
+        "Figure 3 (right): percentage of linear-search calls in hybrid search",
+        &["radius", "% LS calls"],
+    );
+    for row in &rows {
+        right.row(vec![
+            hlsh_bench::tablefmt::fmt_radius(row.radius),
+            format!("{:.1}%", row.ls_call_frac * 100.0),
+        ]);
+    }
+    right.print();
+    println!("paper reference — max output > n/2; LS calls ≈ 10% at r=0.05 rising to ≈ 50% at r=0.10");
+}

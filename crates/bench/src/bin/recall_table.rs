@@ -1,0 +1,34 @@
+//! Regenerates the recall comparison §4.2 mentions but does not print
+//! ("hybrid search gives higher recall ratio than LSH-based search
+//! since it uses linear search for 'hard' queries. Due to the limit of
+//! space, we do not report it here.").
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin recall_table [--dataset ...]
+//! ```
+
+use hlsh_bench::experiment::{run_dataset, ExperimentConfig};
+use hlsh_bench::tablefmt::Table;
+use hlsh_bench::CommonArgs;
+
+fn main() {
+    let args = CommonArgs::from_env();
+    let mut table = Table::new(
+        "Recall of each strategy (target ≥ 0.90 = 1 − δ; Linear is exact by construction)",
+        &["Dataset", "radius", "Hybrid", "LSH", "Linear"],
+    );
+    for dataset in args.datasets() {
+        let cfg = ExperimentConfig::from_args(&args, dataset);
+        for row in run_dataset(dataset, &cfg) {
+            table.row(vec![
+                dataset.name().to_string(),
+                hlsh_bench::tablefmt::fmt_radius(row.radius),
+                format!("{:.4}", row.hybrid_recall),
+                format!("{:.4}", row.lsh_recall),
+                "1.0000".to_string(),
+            ]);
+        }
+        eprintln!("[recall] {} done", dataset.name());
+    }
+    table.print();
+}

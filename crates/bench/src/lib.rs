@@ -1,0 +1,31 @@
+//! Experiment harness regenerating every table and figure of the
+//! EDBT'17 evaluation (§4).
+//!
+//! One binary per artifact:
+//!
+//! | Paper artifact | Binary | What it prints |
+//! |---|---|---|
+//! | Table 1 | `table1` | relative HLL cost and candSize error per data set |
+//! | Figure 2a–d | `fig2` | CPU time vs radius for Hybrid/LSH/Linear |
+//! | Figure 3 left | `fig3` | avg/max/min output size vs radius (Webspam) |
+//! | Figure 3 right | `fig3` | % of linear-search calls vs radius (Webspam) |
+//! | §4.2 recall remark | `recall_table` | recall of all strategies per data set |
+//!
+//! Plus ablations (`ablate_m`, `ablate_lazy`, `ablate_ratio`,
+//! `ablate_k`, `ablate_multiprobe`) and Criterion micro benches
+//! (`cargo bench -p hlsh-bench`).
+//!
+//! All binaries accept `--scale <f>` (fraction of the paper's n,
+//! default 0.05), `--full` (paper-scale n), `--queries`, `--runs`,
+//! `--seed`, and print plain-text tables plus machine-readable CSV.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod experiment;
+pub mod tablefmt;
+
+pub use args::CommonArgs;
+pub use experiment::{measure_radius, run_dataset, ExperimentConfig, RadiusRow};
+pub use tablefmt::Table;

@@ -1,0 +1,165 @@
+//! Plain-text table formatting + CSV emission for experiment output.
+
+/// A simple column-aligned text table that can also serialise itself
+/// as CSV (printed after the human-readable block so results are easy
+/// to scrape into plots).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text block.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:>w$}", w = w));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows, comma-separated, quotes only when
+    /// needed).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints both representations to stdout (the CSV block prefixed
+    /// with `# csv:` lines for easy grepping).
+    pub fn print(&self) {
+        println!("{}", self.render());
+        for line in self.to_csv().lines() {
+            println!("# csv: {line}");
+        }
+        println!();
+    }
+}
+
+/// Formats a radius without float-noise: integers print bare, fractions
+/// with two decimals (`0.4` not `0.39999999999999997`).
+pub fn fmt_radius(r: f64) -> String {
+    if r.fract().abs() < 1e-9 {
+        format!("{}", r as i64)
+    } else {
+        format!("{r:.2}")
+    }
+}
+
+/// Formats seconds with 4 significant decimals (the paper's axes).
+pub fn secs(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "20000".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("long-header"));
+        let lines: Vec<&str> = r.lines().collect();
+        // header + separator + 2 rows + title
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["x,y".into(), "pla\"in".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"pla\"\"in\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(0.123456), "0.1235");
+        assert_eq!(pct(0.1754), "17.54%");
+        assert_eq!(fmt_radius(12.0), "12");
+        assert_eq!(fmt_radius(0.05), "0.05");
+        assert_eq!(fmt_radius(0.35 + 0.05), "0.40");
+    }
+}

@@ -1,0 +1,195 @@
+//! k-diverse near-neighbor reporting on top of rNNR.
+//!
+//! The paper's introduction motivates rNNR as the building block of
+//! *k-diverse near neighbor search* (Abbar, Amer-Yahia, Indyk,
+//! Mahabadi, WWW'13): report `k` points within radius `r` of the query
+//! that are maximally spread out — e.g. diverse related articles. The
+//! standard reduction is exactly what this module implements: answer
+//! the rNNR query (hybrid-accelerated), then run the greedy max-min
+//! (Gonzalez) selection over the reported set, which gives a
+//! 2-approximation to the optimal diversity.
+
+use hlsh_families::LshFamily;
+use hlsh_vec::{Distance, PointId, PointSet};
+
+use crate::index::HybridLshIndex;
+use crate::report::QueryReport;
+
+/// Result of a k-diverse query.
+#[derive(Clone, Debug)]
+pub struct DiverseOutput {
+    /// The selected ids, in greedy selection order (first = closest to
+    /// the query, each next = farthest from the already-selected set).
+    pub ids: Vec<PointId>,
+    /// The achieved diversity: the minimum pairwise distance among the
+    /// selected points (`f64::INFINITY` for fewer than 2 points).
+    pub min_pairwise_distance: f64,
+    /// Size of the underlying rNNR answer the selection drew from.
+    pub candidates: usize,
+    /// Instrumentation of the underlying rNNR query.
+    pub report: QueryReport,
+}
+
+impl<S, F, D> HybridLshIndex<S, F, D>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+{
+    /// Reports up to `k` points within distance `r` of `q`, selected
+    /// for maximal spread by the greedy max-min heuristic
+    /// (2-approximation of the optimal minimum pairwise distance).
+    ///
+    /// Runs one hybrid rNNR query and then `O(k·|answer|)` distance
+    /// evaluations.
+    pub fn query_diverse(&self, q: &S::Point, r: f64, k: usize) -> DiverseOutput {
+        let out = self.query(q, r);
+        let candidates = out.ids.len();
+        if k == 0 || out.ids.is_empty() {
+            return DiverseOutput {
+                ids: Vec::new(),
+                min_pairwise_distance: f64::INFINITY,
+                candidates,
+                report: out.report,
+            };
+        }
+
+        // Seed with the point closest to the query (the most relevant
+        // representative).
+        let seed_pos = (0..out.ids.len())
+            .min_by(|&a, &b| {
+                let da = self.distance().distance(self.data().point(out.ids[a] as usize), q);
+                let db = self.distance().distance(self.data().point(out.ids[b] as usize), q);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty answer");
+
+        let mut selected = Vec::with_capacity(k.min(out.ids.len()));
+        selected.push(out.ids[seed_pos]);
+        // dist_to_selected[i] = min distance from candidate i to the
+        // selected set; updated incrementally (classic Gonzalez).
+        let mut dist_to_selected: Vec<f64> = out
+            .ids
+            .iter()
+            .map(|&id| {
+                self.distance().distance(
+                    self.data().point(id as usize),
+                    self.data().point(out.ids[seed_pos] as usize),
+                )
+            })
+            .collect();
+
+        let mut min_pairwise = f64::INFINITY;
+        while selected.len() < k.min(out.ids.len()) {
+            // Farthest-from-selected candidate.
+            let (best_pos, &best_dist) = dist_to_selected
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("non-empty");
+            if best_dist <= 0.0 {
+                // Only exact duplicates of selected points remain.
+                break;
+            }
+            min_pairwise = min_pairwise.min(best_dist);
+            let chosen = out.ids[best_pos];
+            selected.push(chosen);
+            for (i, &id) in out.ids.iter().enumerate() {
+                let d = self
+                    .distance()
+                    .distance(self.data().point(id as usize), self.data().point(chosen as usize));
+                if d < dist_to_selected[i] {
+                    dist_to_selected[i] = d;
+                }
+            }
+        }
+
+        DiverseOutput {
+            ids: selected,
+            min_pairwise_distance: min_pairwise,
+            candidates,
+            report: out.report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::cost::CostModel;
+    use hlsh_families::PStableL2;
+    use hlsh_vec::{DenseDataset, L2};
+
+    /// Three tight blobs within the radius: the 3-diverse answer should
+    /// pick one point per blob.
+    fn blob_index() -> HybridLshIndex<DenseDataset, PStableL2, L2> {
+        let mut data = DenseDataset::new(2);
+        for (cx, cy) in [(0.0f32, 0.0), (5.0, 0.0), (0.0, 5.0)] {
+            for i in 0..20 {
+                data.push(&[cx + (i as f32) * 0.01, cy]);
+            }
+        }
+        IndexBuilder::new(PStableL2::new(2, 2.0), L2)
+            .tables(8)
+            .hash_len(2)
+            .seed(1)
+            .cost_model(CostModel::from_ratio(1.0))
+            .build(data)
+    }
+
+    #[test]
+    fn selects_one_point_per_blob() {
+        let index = blob_index();
+        let out = index.query_diverse(&[1.0f32, 1.0], 10.0, 3);
+        assert_eq!(out.ids.len(), 3);
+        assert_eq!(out.candidates, 60);
+        // One id per blob: ids 0..20, 20..40, 40..60.
+        let blobs: std::collections::HashSet<u32> =
+            out.ids.iter().map(|&id| id / 20).collect();
+        assert_eq!(blobs.len(), 3, "ids {:?}", out.ids);
+        assert!(out.min_pairwise_distance > 4.0);
+    }
+
+    #[test]
+    fn k_larger_than_answer_returns_everything_distinct() {
+        let index = blob_index();
+        // Radius that covers only blob 0.
+        let out = index.query_diverse(&[0.1f32, 0.0], 1.0, 100);
+        assert!(out.ids.len() <= 20);
+        assert!(!out.ids.is_empty());
+        // All selected ids are unique.
+        let set: std::collections::HashSet<u32> = out.ids.iter().copied().collect();
+        assert_eq!(set.len(), out.ids.len());
+    }
+
+    #[test]
+    fn k_zero_and_empty_answers() {
+        let index = blob_index();
+        let empty = index.query_diverse(&[100.0f32, 100.0], 0.5, 3);
+        assert!(empty.ids.is_empty());
+        assert_eq!(empty.candidates, 0);
+        let k0 = index.query_diverse(&[0.0f32, 0.0], 1.0, 0);
+        assert!(k0.ids.is_empty());
+        assert!(k0.candidates > 0);
+    }
+
+    #[test]
+    fn first_selected_is_nearest_neighbor() {
+        let index = blob_index();
+        let q = [5.05f32, 0.0];
+        let out = index.query_diverse(&q, 10.0, 2);
+        // Nearest point to (5.05, 0) lives in blob 1 (ids 20..40).
+        assert!((20..40).contains(&out.ids[0]), "first id {}", out.ids[0]);
+    }
+
+    #[test]
+    fn diversity_monotone_in_k() {
+        // The greedy max-min radius can only shrink as k grows.
+        let index = blob_index();
+        let q = [1.0f32, 1.0];
+        let d2 = index.query_diverse(&q, 10.0, 2).min_pairwise_distance;
+        let d5 = index.query_diverse(&q, 10.0, 5).min_pairwise_distance;
+        assert!(d5 <= d2 + 1e-9);
+    }
+}

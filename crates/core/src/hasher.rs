@@ -1,0 +1,105 @@
+//! A fast `u64`-key hasher for bucket maps.
+//!
+//! Bucket keys are already well-mixed 64-bit values (sign-bit
+//! concatenations or SplitMix64-combined atoms), so the default SipHash
+//! would burn cycles re-hashing them defensively. This multiply-fold
+//! hasher (the FxHash construction used throughout rustc) is one
+//! multiplication per word; HashDoS is not a concern because keys are
+//! not attacker-controlled strings but outputs of our own hash
+//! functions.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One-multiplication hasher for integer keys (FxHash construction).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_u64(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_u64(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_u64(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_u64(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by pre-mixed integers.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` of pre-mixed integers.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one(42u64), b.hash_one(42u64));
+        assert_ne!(b.hash_one(42u64), b.hash_one(43u64));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn byte_writes_cover_uneven_lengths() {
+        let mut h1 = FxHasher::default();
+        h1.write(&[1, 2, 3]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 2, 3, 0]);
+        // Different logical lengths may or may not collide, but the
+        // hasher must not panic and must be deterministic.
+        let mut h1b = FxHasher::default();
+        h1b.write(&[1, 2, 3]);
+        assert_eq!(h1.finish(), h1b.finish());
+        let _ = h2.finish();
+    }
+}

@@ -1,0 +1,397 @@
+//! The hybrid-LSH index: Algorithm 1 (construction) and Algorithm 2
+//! (hybrid query).
+
+use std::time::Instant;
+
+use hlsh_families::LshFamily;
+use hlsh_hll::{HllConfig, MergeAccumulator};
+use hlsh_vec::{Distance, PointId, PointSet};
+
+use crate::bucket::Bucket;
+use crate::cost::{CostEstimate, CostModel};
+use crate::hasher::FxHashSet;
+use crate::report::{QueryOutput, QueryReport};
+use crate::search::{ExecutedArm, Strategy};
+use crate::table::HashTable;
+
+/// An LSH index over a data set `S`, instrumented with per-bucket
+/// HyperLogLog sketches so that each query can choose between LSH-based
+/// search and a linear scan (the paper's hybrid strategy).
+///
+/// Generic over the point representation (`S::Point`), the LSH family
+/// `F` and the distance `D`, so the same machinery serves all four of
+/// the paper's experiments (Hamming/bit-sampling, cosine/SimHash,
+/// L1/Cauchy, L2/Gaussian).
+pub struct HybridLshIndex<S, F, D>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+{
+    data: S,
+    family: F,
+    distance: D,
+    tables: Vec<HashTable<F::GFn>>,
+    hll_config: HllConfig,
+    lazy_threshold: usize,
+    cost: CostModel,
+    k: usize,
+}
+
+impl<S, F, D> HybridLshIndex<S, F, D>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+{
+    /// Constructs the index (Algorithm 1). Called by
+    /// [`IndexBuilder::build`]; prefer that entry point.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn construct(
+        data: S,
+        family: F,
+        distance: D,
+        gfns: Vec<F::GFn>,
+        hll_config: HllConfig,
+        lazy_threshold: usize,
+        cost: CostModel,
+        k: usize,
+        parallel: bool,
+    ) -> Self
+    where
+        S: Sync,
+        F::GFn: Send,
+    {
+        let mut tables: Vec<HashTable<F::GFn>> =
+            gfns.into_iter().map(HashTable::new).collect();
+        let n = data.len();
+
+        // Algorithm 1: for each point, for each table, insert into the
+        // bucket g_i(x) and update its HLL. Tables are independent, so
+        // build shards over tables — no synchronisation on buckets.
+        let threads = if parallel {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            1
+        };
+        if threads > 1 && tables.len() > 1 {
+            let data_ref = &data;
+            let chunk_size = 1.max(tables.len().div_ceil(threads));
+            crossbeam::thread::scope(|scope| {
+                for chunk in tables.chunks_mut(chunk_size) {
+                    scope.spawn(move |_| {
+                        for table in chunk {
+                            for id in 0..n {
+                                table.insert(
+                                    id as PointId,
+                                    data_ref.point(id),
+                                    hll_config,
+                                    lazy_threshold,
+                                );
+                            }
+                        }
+                    });
+                }
+            })
+            .expect("index build thread panicked");
+        } else {
+            for table in &mut tables {
+                for id in 0..n {
+                    table.insert(id as PointId, data.point(id), hll_config, lazy_threshold);
+                }
+            }
+        }
+
+        Self { data, family, distance, tables, hll_config, lazy_threshold, cost, k }
+    }
+
+    /// The indexed data set.
+    pub fn data(&self) -> &S {
+        &self.data
+    }
+
+    /// Number of indexed points `n`.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the index holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of hash tables `L`.
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Concatenation width `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The LSH family.
+    pub fn family(&self) -> &F {
+        &self.family
+    }
+
+    /// The distance function.
+    pub fn distance(&self) -> &D {
+        &self.distance
+    }
+
+    /// The cost model in force.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// The shared HLL configuration.
+    pub fn hll_config(&self) -> HllConfig {
+        self.hll_config
+    }
+
+    /// Direct access to the underlying tables (for the multi-probe
+    /// extension crate).
+    pub fn raw_tables(&self) -> &[HashTable<F::GFn>] {
+        &self.tables
+    }
+
+    /// Appends a point to the index online (streaming ingestion),
+    /// returning its id.
+    ///
+    /// Runs the Algorithm 1 inner loop for the new point: one bucket
+    /// insert and one HLL update per table. Available when the data
+    /// set type supports appends. Deletion is intentionally absent —
+    /// a HyperLogLog sketch cannot retract an element (rebuild the
+    /// index to shrink it).
+    pub fn insert(&mut self, p: &S::Point) -> PointId
+    where
+        S: hlsh_vec::GrowablePointSet,
+    {
+        let id = self.data.len() as PointId;
+        self.data.push_point(p);
+        for table in &mut self.tables {
+            table.insert(id, p, self.hll_config, self.lazy_threshold);
+        }
+        id
+    }
+
+    /// Hybrid query (Algorithm 2): estimate costs, pick the cheaper
+    /// arm, report every indexed point within distance `r` of `q`.
+    pub fn query(&self, q: &S::Point, r: f64) -> QueryOutput {
+        self.query_with_strategy(q, r, Strategy::Hybrid)
+    }
+
+    /// Convenience wrapper returning only the ids.
+    pub fn query_radius(&self, q: &S::Point, r: f64) -> Vec<PointId> {
+        self.query(q, r).ids
+    }
+
+    /// Runs a query under an explicit strategy (the Figure 2 baselines:
+    /// `LshOnly`, `LinearOnly`, or the adaptive `Hybrid`).
+    pub fn query_with_strategy(&self, q: &S::Point, r: f64, strategy: Strategy) -> QueryOutput {
+        let t_start = Instant::now();
+        match strategy {
+            Strategy::LinearOnly => {
+                let ids = self.linear_arm(q, r);
+                let total = t_start.elapsed().as_nanos() as u64;
+                QueryOutput {
+                    report: QueryReport {
+                        executed: ExecutedArm::Linear,
+                        collisions: 0,
+                        cand_size_estimate: 0.0,
+                        cand_size_actual: None,
+                        output_size: ids.len(),
+                        hash_nanos: 0,
+                        hll_nanos: 0,
+                        total_nanos: total,
+                    },
+                    ids,
+                }
+            }
+            Strategy::LshOnly => {
+                let (buckets, collisions, hash_nanos) = self.probe(q);
+                let (ids, cand_actual) = self.lsh_arm(q, r, &buckets);
+                let total = t_start.elapsed().as_nanos() as u64;
+                QueryOutput {
+                    report: QueryReport {
+                        executed: ExecutedArm::Lsh,
+                        collisions,
+                        cand_size_estimate: cand_actual as f64,
+                        cand_size_actual: Some(cand_actual),
+                        output_size: ids.len(),
+                        hash_nanos,
+                        hll_nanos: 0,
+                        total_nanos: total,
+                    },
+                    ids,
+                }
+            }
+            Strategy::Hybrid => {
+                // Algorithm 2 line 1: bucket sizes → #collisions.
+                let (buckets, collisions, hash_nanos) = self.probe(q);
+                // Line 2: merge HLLs → candSize estimate.
+                let t_hll = Instant::now();
+                let cand_estimate = self.estimate_cand_size(&buckets);
+                let hll_nanos = t_hll.elapsed().as_nanos() as u64;
+                // Lines 3–4: compare costs, run the cheaper arm.
+                let prefer_lsh = self.cost.prefer_lsh(collisions, cand_estimate, self.len());
+                let (executed, ids, cand_actual) = if prefer_lsh {
+                    let (ids, cand) = self.lsh_arm(q, r, &buckets);
+                    (ExecutedArm::Lsh, ids, Some(cand))
+                } else {
+                    (ExecutedArm::Linear, self.linear_arm(q, r), None)
+                };
+                let total = t_start.elapsed().as_nanos() as u64;
+                QueryOutput {
+                    report: QueryReport {
+                        executed,
+                        collisions,
+                        cand_size_estimate: cand_estimate,
+                        cand_size_actual: cand_actual,
+                        output_size: ids.len(),
+                        hash_nanos,
+                        hll_nanos,
+                        total_nanos: total,
+                    },
+                    ids,
+                }
+            }
+        }
+    }
+
+    /// Returns the Algorithm 2 cost estimate for a query without
+    /// executing either arm — useful for inspection and for the
+    /// Figure 3 (right) accounting of linear-search decisions.
+    pub fn explain(&self, q: &S::Point) -> CostEstimate {
+        let (buckets, collisions, _) = self.probe(q);
+        let cand = self.estimate_cand_size(&buckets);
+        CostEstimate {
+            collisions,
+            cand_size_estimate: cand,
+            lsh_cost: self.cost.lsh_cost(collisions, cand),
+            linear_cost: self.cost.linear_cost(self.len()),
+        }
+    }
+
+    /// Exact distinct-candidate count for a query (merges the buckets
+    /// with a hash set). Used by Table 1 to measure the estimate error;
+    /// not part of the query path.
+    pub fn exact_cand_size(&self, q: &S::Point) -> usize {
+        let (buckets, _, _) = self.probe(q);
+        let mut set: FxHashSet<PointId> = FxHashSet::default();
+        for b in &buckets {
+            set.extend(b.members().iter().copied());
+        }
+        set.len()
+    }
+
+    /// Index statistics (for reports and the space-overhead ablation).
+    pub fn stats(&self) -> IndexStats {
+        let mut buckets = 0usize;
+        let mut sketched = 0usize;
+        let mut sketch_bytes = 0usize;
+        let mut member_slots = 0usize;
+        for t in &self.tables {
+            buckets += t.bucket_count();
+            for (_, b) in t.buckets() {
+                if b.has_sketch() {
+                    sketched += 1;
+                    sketch_bytes += self.hll_config.registers();
+                }
+                member_slots += b.len();
+            }
+        }
+        IndexStats {
+            points: self.len(),
+            tables: self.tables.len(),
+            k: self.k,
+            buckets,
+            sketched_buckets: sketched,
+            sketch_bytes,
+            member_slots,
+        }
+    }
+
+    /// Step S1 + bucket lookup: the `L` buckets matching `q`, the total
+    /// collision count, and the elapsed nanoseconds.
+    fn probe(&self, q: &S::Point) -> (Vec<&Bucket>, usize, u64) {
+        let t = Instant::now();
+        let mut buckets = Vec::with_capacity(self.tables.len());
+        let mut collisions = 0usize;
+        for table in &self.tables {
+            if let Some(b) = table.bucket(q) {
+                collisions += b.len();
+                buckets.push(b);
+            }
+        }
+        (buckets, collisions, t.elapsed().as_nanos() as u64)
+    }
+
+    /// Algorithm 2 line 2: merged-HLL candidate-size estimate (the
+    /// `O(mL)` overhead; small buckets contribute raw members, §3.2).
+    fn estimate_cand_size(&self, buckets: &[&Bucket]) -> f64 {
+        let mut acc = MergeAccumulator::new(self.hll_config);
+        for b in buckets {
+            b.contribute_to(&mut acc);
+        }
+        acc.estimate()
+    }
+
+    /// Step S2 + S3: dedup the colliding points, filter by distance.
+    /// Returns (reported ids, distinct candidate count).
+    fn lsh_arm(&self, q: &S::Point, r: f64, buckets: &[&Bucket]) -> (Vec<PointId>, usize) {
+        let mut seen: FxHashSet<PointId> = FxHashSet::default();
+        let mut out = Vec::new();
+        for b in buckets {
+            for &id in b.members() {
+                if seen.insert(id) && self.distance.distance(self.data.point(id as usize), q) <= r
+                {
+                    out.push(id);
+                }
+            }
+        }
+        (out, seen.len())
+    }
+
+    /// The brute-force arm: scan every point.
+    fn linear_arm(&self, q: &S::Point, r: f64) -> Vec<PointId> {
+        let mut out = Vec::new();
+        for id in 0..self.data.len() {
+            if self.distance.distance(self.data.point(id), q) <= r {
+                out.push(id as PointId);
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate statistics of a built index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Indexed points `n`.
+    pub points: usize,
+    /// Hash tables `L`.
+    pub tables: usize,
+    /// Concatenation width `k`.
+    pub k: usize,
+    /// Non-empty buckets across all tables.
+    pub buckets: usize,
+    /// Buckets whose HLL was materialised (`len ≥ lazy threshold`).
+    pub sketched_buckets: usize,
+    /// Bytes of HLL registers.
+    pub sketch_bytes: usize,
+    /// Total membership slots (= `n·L`).
+    pub member_slots: usize,
+}
+
+impl IndexStats {
+    /// Fraction of buckets that carry a materialised sketch.
+    pub fn sketched_fraction(&self) -> f64 {
+        if self.buckets == 0 {
+            0.0
+        } else {
+            self.sketched_buckets as f64 / self.buckets as f64
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The hybrid-LSH index — the primary contribution of Pham, "Hybrid LSH:
+//! Faster Near Neighbors Reporting in High-dimensional Space" (EDBT'17).
+//!
+//! # The idea
+//!
+//! Classic LSH answers an `r`-near-neighbor-reporting query by probing
+//! one bucket in each of `L` hash tables, deduplicating the colliding
+//! points and filtering them by distance. On "hard" queries — dense
+//! regions where the output is a large fraction of the data set — the
+//! deduplication step alone costs more than a brute-force scan.
+//!
+//! The hybrid index instruments every bucket with a HyperLogLog sketch
+//! at build time (Algorithm 1). A query then:
+//!
+//! 1. reads the `L` bucket sizes → `#collisions`,
+//! 2. merges the `L` bucket sketches → estimated distinct candidate
+//!    count `candSize`,
+//! 3. compares `LSHCost = α·#collisions + β·candSize` (Eq. 1) against
+//!    `LinearCost = β·n` (Eq. 2), and
+//! 4. runs whichever strategy is cheaper (Algorithm 2).
+//!
+//! The estimation overhead is `O(m·L)` — independent of the data — and
+//! the decision adapts per query, so sparse-region queries keep LSH's
+//! sublinear behaviour while dense-region queries fall back to the scan.
+//!
+//! # Example
+//!
+//! ```
+//! use hlsh_core::{CostModel, IndexBuilder};
+//! use hlsh_families::SimHash;
+//! use hlsh_vec::{Cosine, DenseDataset};
+//!
+//! // A toy data set on the unit circle.
+//! let mut data = DenseDataset::new(2);
+//! for i in 0..500 {
+//!     let t = i as f32 * 0.01;
+//!     data.push(&[t.cos(), t.sin()]);
+//! }
+//! let index = IndexBuilder::new(SimHash::new(2), Cosine)
+//!     .tables(10)
+//!     .hash_len(4)
+//!     .seed(7)
+//!     .cost_model(CostModel::from_ratio(10.0))
+//!     .build(data);
+//!
+//! let q = [1.0f32, 0.0];
+//! let out = index.query(&q, 0.01);
+//! assert!(!out.ids.is_empty());
+//! // Every reported point really is within the radius.
+//! assert!(out.ids.iter().all(|&id| {
+//!     hlsh_vec::dense::cosine_distance(index.data().row(id as usize), &q) <= 0.01
+//! }));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bucket;
+pub mod builder;
+pub mod cost;
+pub mod diverse;
+pub mod hasher;
+pub mod index;
+pub mod recall;
+pub mod report;
+pub mod search;
+pub mod table;
+
+pub use builder::IndexBuilder;
+pub use cost::{CostEstimate, CostModel};
+pub use diverse::DiverseOutput;
+pub use index::{HybridLshIndex, IndexStats};
+pub use recall::{evaluate_recall, RecallReport};
+pub use report::{QueryOutput, QueryReport};
+pub use search::Strategy;

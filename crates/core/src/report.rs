@@ -1,0 +1,99 @@
+//! Per-query instrumentation.
+//!
+//! Every query returns a [`QueryReport`] alongside its result ids. The
+//! report carries exactly the quantities the paper's evaluation needs:
+//! Table 1 reads `hll_nanos / total_nanos` (relative HLL cost) and
+//! `cand_size_estimate` vs `cand_size_actual` (relative error);
+//! Figure 3 (right) reads the executed arm.
+
+use crate::search::ExecutedArm;
+use hlsh_vec::PointId;
+
+/// Result ids plus instrumentation for one query.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Ids of reported points (distance ≤ r from the query).
+    pub ids: Vec<PointId>,
+    /// Instrumentation.
+    pub report: QueryReport,
+}
+
+/// Instrumentation of one query execution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryReport {
+    /// Which arm actually ran.
+    pub executed: ExecutedArm,
+    /// Total collisions over the `L` probed buckets (Step S2 volume).
+    pub collisions: usize,
+    /// HLL estimate of the distinct candidate count.
+    pub cand_size_estimate: f64,
+    /// Exact distinct candidate count, when the LSH arm ran
+    /// (`None` after a linear scan, which never forms a candidate set).
+    pub cand_size_actual: Option<usize>,
+    /// Number of reported near neighbors (output size).
+    pub output_size: usize,
+    /// Wall time of hash computation + bucket lookup (Step S1).
+    pub hash_nanos: u64,
+    /// Wall time of HLL merging + estimation (the hybrid overhead,
+    /// `O(mL)`).
+    pub hll_nanos: u64,
+    /// Total query wall time.
+    pub total_nanos: u64,
+}
+
+impl QueryReport {
+    /// Fraction of query time spent in the HLL machinery (Table 1's
+    /// "% Cost" row).
+    pub fn hll_cost_fraction(&self) -> f64 {
+        if self.total_nanos == 0 {
+            0.0
+        } else {
+            self.hll_nanos as f64 / self.total_nanos as f64
+        }
+    }
+
+    /// Relative error of the candidate-set-size estimate (Table 1's
+    /// "% Error" row); `None` when the exact size is unknown (linear
+    /// arm) or zero.
+    pub fn cand_size_relative_error(&self) -> Option<f64> {
+        let actual = self.cand_size_actual?;
+        if actual == 0 {
+            return None;
+        }
+        Some((self.cand_size_estimate - actual as f64).abs() / actual as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> QueryReport {
+        QueryReport {
+            executed: ExecutedArm::Lsh,
+            collisions: 500,
+            cand_size_estimate: 95.0,
+            cand_size_actual: Some(100),
+            output_size: 10,
+            hash_nanos: 1_000,
+            hll_nanos: 2_000,
+            total_nanos: 100_000,
+        }
+    }
+
+    #[test]
+    fn hll_fraction() {
+        assert!((base().hll_cost_fraction() - 0.02).abs() < 1e-12);
+        let zero = QueryReport { total_nanos: 0, ..base() };
+        assert_eq!(zero.hll_cost_fraction(), 0.0);
+    }
+
+    #[test]
+    fn relative_error() {
+        assert!((base().cand_size_relative_error().unwrap() - 0.05).abs() < 1e-12);
+        let linear = QueryReport { cand_size_actual: None, ..base() };
+        assert_eq!(linear.cand_size_relative_error(), None);
+        let empty = QueryReport { cand_size_actual: Some(0), ..base() };
+        assert_eq!(empty.cand_size_relative_error(), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Search strategies (Algorithm 2's two arms plus the adaptive choice).
+
+/// Which search strategy to run for a query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Algorithm 2: estimate costs per query and pick the cheaper arm.
+    #[default]
+    Hybrid,
+    /// Always LSH-based search (the classic baseline of Figure 2).
+    LshOnly,
+    /// Always linear scan (the brute-force baseline of Figure 2).
+    LinearOnly,
+}
+
+impl Strategy {
+    /// The strategies compared in Figure 2, in the paper's legend order.
+    pub const ALL: [Strategy; 3] = [Strategy::Hybrid, Strategy::LshOnly, Strategy::LinearOnly];
+
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Hybrid => "Hybrid",
+            Strategy::LshOnly => "LSH",
+            Strategy::LinearOnly => "Linear",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a query actually executed after the hybrid decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ExecutedArm {
+    /// Bucket probing + dedup + distance filter.
+    Lsh,
+    /// Full scan.
+    Linear,
+}
+
+impl ExecutedArm {
+    /// Label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutedArm::Lsh => "lsh",
+            ExecutedArm::Linear => "linear",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(Strategy::Hybrid.label(), "Hybrid");
+        assert_eq!(Strategy::LshOnly.label(), "LSH");
+        assert_eq!(Strategy::LinearOnly.label(), "Linear");
+        assert_eq!(Strategy::Hybrid.to_string(), "Hybrid");
+    }
+
+    #[test]
+    fn default_is_hybrid() {
+        assert_eq!(Strategy::default(), Strategy::Hybrid);
+    }
+
+    #[test]
+    fn executed_arm_labels() {
+        assert_eq!(ExecutedArm::Lsh.label(), "lsh");
+        assert_eq!(ExecutedArm::Linear.label(), "linear");
+    }
+}

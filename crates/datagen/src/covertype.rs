@@ -1,0 +1,96 @@
+//! CoverType analog: n = 581,012, d = 54, L1 metric.
+//!
+//! The original is cartographic features with wildly different scales
+//! (elevation in thousands of metres, binary soil indicators) and a
+//! heavily imbalanced class structure (two forest types cover ~85% of
+//! rows). Figure 2c sweeps L1 radii 3000–4000. With per-coordinate
+//! sigma `s`, two intra-cluster points sit at expected L1 distance
+//! `d·2s/√π ≈ 61·s` for d = 54, so sigmas of 30–90 place intra-cluster
+//! distances across the 1800–5500 band — the sweep again crosses from
+//! partial to whole clusters.
+
+use hlsh_families::sampling::rng_stream;
+use hlsh_vec::DenseDataset;
+
+use crate::mixture::{uniform_center, ClusterSpec, MixtureBuilder, PostProcess};
+
+/// Dimensionality of the CoverType analog.
+pub const DIM: usize = 54;
+
+/// Generates the CoverType analog with `n` points.
+///
+/// Cluster profile: 7 "cover types" with the real data's imbalance
+/// (relative weights 36, 49, 6, 0.5, 1.6, 3, 3.5 — the published class
+/// distribution) plus varied sigmas, centers spread over a
+/// `[0, 4000]^54` feature box — **and a near-duplicate stratum (30%)
+/// carved out of the dominant class**. The real CoverType is integer
+/// cartographic data with large groups of (nearly) identical rows;
+/// that stratum is what turns the biggest class's queries "hard": its
+/// per-table collision retention under `w = 4r` rises with the radius
+/// and crosses the hybrid decision boundary inside the paper's
+/// 3000–4000 sweep.
+pub fn covertype_like(n: usize, seed: u64) -> DenseDataset {
+    let mut rng = rng_stream(seed, 0x434F_5654);
+    // Near-duplicate stratum of the dominant cover type (relative
+    // weight 38.4 ≈ 30% of the total): intra-pair L1 distance
+    // ≈ 54·1.128·6 ≈ 365.
+    let weights = [38.4, 25.0, 20.0, 6.2, 0.5, 1.6, 3.0, 3.5];
+    let sigmas = [6.0, 55.0, 45.0, 45.0, 25.0, 30.0, 40.0, 35.0];
+    let mut builder = MixtureBuilder::new(DIM).post_process(PostProcess::ClampNonNegative);
+    for i in 0..weights.len() {
+        let center = uniform_center(&mut rng, DIM, 200.0, 3800.0);
+        builder = builder.cluster(ClusterSpec {
+            weight: weights[i],
+            center,
+            sigma: sigmas[i],
+        });
+    }
+    builder.sample(n, seed).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsh_vec::dense::l1;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = covertype_like(400, 5);
+        assert_eq!(a.len(), 400);
+        assert_eq!(a.dim(), DIM);
+        assert_eq!(a, covertype_like(400, 5));
+    }
+
+    #[test]
+    fn l1_radius_band_is_meaningful() {
+        let d = covertype_like(3_000, 1);
+        // Sample queries from the data; at r = 4000 they should find
+        // a solid chunk of their own (broad) cluster but not everything.
+        let mut nonzero = 0;
+        for i in 0..20 {
+            let q = d.row(i * 131).to_vec();
+            let within = d.rows().filter(|row| l1(row, &q) <= 4000.0).count();
+            assert!(within < d.len(), "radius 4000 captured everything");
+            if within > 1 {
+                nonzero += 1;
+            }
+        }
+        assert!(nonzero >= 10, "too few queries found neighbors: {nonzero}");
+    }
+
+    #[test]
+    fn dominant_cluster_creates_hard_queries() {
+        // Queries in the two big clusters should see far more
+        // 3500-neighbors than queries in the tiny clusters.
+        let d = covertype_like(4_000, 2);
+        let counts: Vec<usize> = (0..30)
+            .map(|i| {
+                let q = d.row(i * 113).to_vec();
+                d.rows().filter(|row| l1(row, &q) <= 3500.0).count()
+            })
+            .collect();
+        let max = counts.iter().copied().max().unwrap();
+        let min = counts.iter().copied().min().unwrap();
+        assert!(max > 10 * (min + 1), "no hard/easy split: min {min} max {max}");
+    }
+}

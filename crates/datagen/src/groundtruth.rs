@@ -1,0 +1,106 @@
+//! Exact (brute force) ground truth, multi-threaded over queries.
+//!
+//! The paper's accuracy metrics (output size in Figure 3, recall in
+//! §4.2, the candSize error in Table 1) all need the exact answer set.
+//! Queries are embarrassingly parallel, so the scan shards over
+//! `crossbeam` scoped threads.
+
+use hlsh_vec::{Distance, PointId, PointSet};
+
+/// Computes, for every query, the ids of all data points within
+/// distance `r` (the exact rNNR answer).
+///
+/// Results are in query order; each id list is in ascending id order.
+pub fn ground_truth<S, Q, D>(data: &S, queries: &Q, distance: &D, r: f64) -> Vec<Vec<PointId>>
+where
+    S: PointSet + Sync,
+    Q: PointSet<Point = S::Point> + Sync,
+    D: Distance<S::Point> + Sync,
+{
+    let nq = queries.len();
+    let mut results: Vec<Vec<PointId>> = vec![Vec::new(); nq];
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq.max(1));
+    if threads <= 1 || nq <= 1 {
+        for (qi, out) in results.iter_mut().enumerate() {
+            *out = scan(data, queries.point(qi), distance, r);
+        }
+        return results;
+    }
+    let chunk = nq.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (ci, slot) in results.chunks_mut(chunk).enumerate() {
+            scope.spawn(move |_| {
+                for (off, out) in slot.iter_mut().enumerate() {
+                    let qi = ci * chunk + off;
+                    *out = scan(data, queries.point(qi), distance, r);
+                }
+            });
+        }
+    })
+    .expect("ground-truth thread panicked");
+    results
+}
+
+fn scan<S, D>(data: &S, q: &S::Point, distance: &D, r: f64) -> Vec<PointId>
+where
+    S: PointSet,
+    D: Distance<S::Point>,
+{
+    let mut out = Vec::new();
+    for id in 0..data.len() {
+        if distance.distance(data.point(id), q) <= r {
+            out.push(id as PointId);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsh_vec::{DenseDataset, L2};
+
+    fn line_data(n: usize) -> DenseDataset {
+        DenseDataset::from_rows(1, (0..n).map(|i| [i as f32]))
+    }
+
+    #[test]
+    fn exact_answers_on_a_line() {
+        let data = line_data(100);
+        let queries = DenseDataset::from_rows(1, [[10.0f32], [50.0], [99.0]]);
+        let gt = ground_truth(&data, &queries, &L2, 2.0);
+        assert_eq!(gt[0], vec![8, 9, 10, 11, 12]);
+        assert_eq!(gt[1], vec![48, 49, 50, 51, 52]);
+        assert_eq!(gt[2], vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn zero_radius_finds_exact_duplicates() {
+        let data = line_data(10);
+        let queries = DenseDataset::from_rows(1, [[3.0f32]]);
+        let gt = ground_truth(&data, &queries, &L2, 0.0);
+        assert_eq!(gt[0], vec![3]);
+    }
+
+    #[test]
+    fn empty_query_set() {
+        let data = line_data(10);
+        let queries = DenseDataset::new(1);
+        let gt = ground_truth(&data, &queries, &L2, 1.0);
+        assert!(gt.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let data = line_data(512);
+        let queries = DenseDataset::from_rows(1, (0..64).map(|i| [(i * 8) as f32]));
+        let par = ground_truth(&data, &queries, &L2, 3.5);
+        for (qi, ids) in par.iter().enumerate() {
+            let q = queries.row(qi);
+            let seq: Vec<u32> = (0..data.len() as u32)
+                .filter(|&id| (data.row(id as usize)[0] - q[0]).abs() <= 3.5)
+                .collect();
+            assert_eq!(ids, &seq, "query {qi}");
+        }
+    }
+}

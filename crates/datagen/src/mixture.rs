@@ -1,0 +1,241 @@
+//! Gaussian-mixture generation with per-cluster densities.
+//!
+//! Every synthetic data set in this crate is some mixture of Gaussian
+//! clusters; what differs is the cluster-count/size/spread profile.
+//! [`MixtureBuilder`] captures the shared machinery: deterministic
+//! sampling, per-cluster weights, per-cluster isotropic sigmas, and
+//! optional post-processing (clipping, normalisation).
+
+use hlsh_families::sampling::{rng_stream, standard_normal};
+use hlsh_vec::DenseDataset;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One mixture component.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Sampling weight (relative; normalised internally).
+    pub weight: f64,
+    /// Component mean.
+    pub center: Vec<f32>,
+    /// Isotropic standard deviation.
+    pub sigma: f64,
+}
+
+/// Post-processing applied to every sampled point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PostProcess {
+    /// Leave coordinates as sampled.
+    None,
+    /// Clamp coordinates to `[0, ∞)` (histogram-like data).
+    ClampNonNegative,
+    /// Clamp to `[0, 1]` (pixel-like data).
+    ClampUnit,
+    /// Scale each point to unit L2 norm (direction data).
+    NormalizeL2,
+}
+
+/// Builds a clustered dense data set.
+#[derive(Clone, Debug)]
+pub struct MixtureBuilder {
+    dim: usize,
+    clusters: Vec<ClusterSpec>,
+    post: PostProcess,
+}
+
+impl MixtureBuilder {
+    /// Starts an empty mixture of the given dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { dim, clusters: Vec::new(), post: PostProcess::None }
+    }
+
+    /// Adds a component.
+    ///
+    /// # Panics
+    /// Panics if the center dimensionality mismatches, `weight <= 0`,
+    /// or `sigma < 0`.
+    pub fn cluster(mut self, spec: ClusterSpec) -> Self {
+        assert_eq!(spec.center.len(), self.dim, "center dimensionality mismatch");
+        assert!(spec.weight > 0.0, "weight must be positive");
+        assert!(spec.sigma >= 0.0, "sigma must be non-negative");
+        self.clusters.push(spec);
+        self
+    }
+
+    /// Sets the post-processing mode.
+    pub fn post_process(mut self, post: PostProcess) -> Self {
+        self.post = post;
+        self
+    }
+
+    /// Number of components so far.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Samples `n` points deterministically. Returns the data set and
+    /// the component index of every point (useful as weak labels).
+    ///
+    /// # Panics
+    /// Panics if no cluster was added.
+    pub fn sample(&self, n: usize, seed: u64) -> (DenseDataset, Vec<u32>) {
+        assert!(!self.clusters.is_empty(), "mixture needs at least one cluster");
+        let mut rng = rng_stream(seed, 0x4D49_5854);
+        let total_weight: f64 = self.clusters.iter().map(|c| c.weight).sum();
+        // Cumulative weights for roulette selection.
+        let mut cumulative = Vec::with_capacity(self.clusters.len());
+        let mut acc = 0.0;
+        for c in &self.clusters {
+            acc += c.weight / total_weight;
+            cumulative.push(acc);
+        }
+
+        let mut data = DenseDataset::with_capacity(self.dim, n);
+        let mut labels = Vec::with_capacity(n);
+        let mut point = vec![0.0f32; self.dim];
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            let ci = cumulative.partition_point(|&c| c < u).min(self.clusters.len() - 1);
+            let cluster = &self.clusters[ci];
+            self.sample_point(cluster, &mut rng, &mut point);
+            data.push(&point);
+            labels.push(ci as u32);
+        }
+        (data, labels)
+    }
+
+    fn sample_point(&self, cluster: &ClusterSpec, rng: &mut StdRng, out: &mut [f32]) {
+        for (o, &c) in out.iter_mut().zip(&cluster.center) {
+            *o = c + (cluster.sigma * standard_normal(rng)) as f32;
+        }
+        match self.post {
+            PostProcess::None => {}
+            PostProcess::ClampNonNegative => {
+                out.iter_mut().for_each(|v| *v = v.max(0.0));
+            }
+            PostProcess::ClampUnit => {
+                out.iter_mut().for_each(|v| *v = v.clamp(0.0, 1.0));
+            }
+            PostProcess::NormalizeL2 => {
+                let norm = out.iter().map(|v| (*v as f64).powi(2)).sum::<f64>().sqrt();
+                if norm > 0.0 {
+                    let inv = (1.0 / norm) as f32;
+                    out.iter_mut().for_each(|v| *v *= inv);
+                }
+            }
+        }
+    }
+}
+
+/// Samples a random center uniformly from `[lo, hi]^dim`.
+pub fn uniform_center(rng: &mut StdRng, dim: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..dim).map(|_| rng.gen::<f32>() * (hi - lo) + lo).collect()
+}
+
+/// Samples a random unit-norm direction.
+pub fn unit_direction(rng: &mut StdRng, dim: usize) -> Vec<f32> {
+    loop {
+        let v: Vec<f32> = (0..dim).map(|_| standard_normal(rng) as f32).collect();
+        let norm = v.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
+        if norm > 1e-6 {
+            return v.iter().map(|x| (*x as f64 / norm) as f32).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsh_vec::dense::{l2, norm};
+
+    fn two_cluster(dim: usize) -> MixtureBuilder {
+        MixtureBuilder::new(dim)
+            .cluster(ClusterSpec { weight: 3.0, center: vec![0.0; dim], sigma: 0.1 })
+            .cluster(ClusterSpec { weight: 1.0, center: vec![10.0; dim], sigma: 0.1 })
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let m = two_cluster(4);
+        let (a, la) = m.sample(100, 9);
+        let (b, lb) = m.sample(100, 9);
+        assert_eq!(a, b);
+        assert_eq!(la, lb);
+        let (c, _) = m.sample(100, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn weights_are_respected() {
+        let m = two_cluster(2);
+        let (_, labels) = m.sample(10_000, 1);
+        let c0 = labels.iter().filter(|&&l| l == 0).count();
+        let frac = c0 as f64 / labels.len() as f64;
+        assert!((frac - 0.75).abs() < 0.03, "cluster-0 fraction {frac}");
+    }
+
+    #[test]
+    fn points_stay_near_their_center() {
+        let m = two_cluster(8);
+        let (data, labels) = m.sample(500, 2);
+        for (i, &l) in labels.iter().enumerate() {
+            let center = if l == 0 { vec![0.0f32; 8] } else { vec![10.0f32; 8] };
+            let d = l2(data.row(i), &center);
+            // sigma=0.1, dim=8 → distance concentrated near 0.1·√8 ≈ 0.28.
+            assert!(d < 1.5, "point {i} strayed {d} from its center");
+        }
+    }
+
+    #[test]
+    fn clamp_nonnegative_works() {
+        let m = MixtureBuilder::new(3)
+            .cluster(ClusterSpec { weight: 1.0, center: vec![0.0; 3], sigma: 1.0 })
+            .post_process(PostProcess::ClampNonNegative);
+        let (data, _) = m.sample(200, 3);
+        assert!(data.as_flat().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn clamp_unit_works() {
+        let m = MixtureBuilder::new(3)
+            .cluster(ClusterSpec { weight: 1.0, center: vec![0.5; 3], sigma: 2.0 })
+            .post_process(PostProcess::ClampUnit);
+        let (data, _) = m.sample(200, 4);
+        assert!(data.as_flat().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn normalize_l2_gives_unit_vectors() {
+        let m = MixtureBuilder::new(5)
+            .cluster(ClusterSpec { weight: 1.0, center: vec![1.0; 5], sigma: 0.5 })
+            .post_process(PostProcess::NormalizeL2);
+        let (data, _) = m.sample(100, 5);
+        for row in data.rows() {
+            assert!((norm(row) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn unit_direction_is_unit() {
+        let mut rng = rng_stream(1, 1);
+        let u = unit_direction(&mut rng, 40);
+        assert!((norm(&u) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn empty_mixture_rejected() {
+        let _ = MixtureBuilder::new(2).sample(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "center dimensionality mismatch")]
+    fn wrong_center_dim_rejected() {
+        let _ = MixtureBuilder::new(2)
+            .cluster(ClusterSpec { weight: 1.0, center: vec![0.0; 3], sigma: 1.0 });
+    }
+}

@@ -1,0 +1,111 @@
+//! MNIST analog: n = 60,000, d = 780, Hamming metric on 64-bit SimHash
+//! fingerprints.
+//!
+//! The paper compresses each MNIST image to a 64-bit SimHash
+//! fingerprint and searches in Hamming space with bit sampling, radii
+//! 12–17 (of 64). A fingerprint bit disagrees between two images with
+//! probability `θ/π` (θ = angle between them), so expected fingerprint
+//! distance is `64·θ/π`; the radius band 12–17 therefore corresponds to
+//! image angles of 34°–48°. The generator produces 10 digit-style
+//! clusters whose intra-cluster angles land in exactly that band (and
+//! inter-cluster angles well above it).
+
+use hlsh_families::sampling::rng_stream;
+use hlsh_families::simhash_fingerprints;
+use hlsh_vec::{BinaryDataset, DenseDataset};
+use rand::Rng;
+
+use crate::mixture::{ClusterSpec, MixtureBuilder, PostProcess};
+
+/// Raw dimensionality of the MNIST analog (28×28 padded, as in the
+/// libsvm distribution).
+pub const DIM: usize = 780;
+
+/// Fingerprint width used by the paper.
+pub const FINGERPRINT_BITS: usize = 64;
+
+/// Generates the raw (dense) MNIST analog with `n` points in
+/// `[0,1]^780`: 10 sparse stroke-pattern clusters.
+pub fn mnist_like_raw(n: usize, seed: u64) -> DenseDataset {
+    let mut rng = rng_stream(seed, 0x4D4E_4953);
+    let mut builder = MixtureBuilder::new(DIM).post_process(PostProcess::ClampUnit);
+    for digit in 0..10 {
+        // Digit prototype: ~20% of pixels active with intensity 0.5–1.
+        let center: Vec<f32> = (0..DIM)
+            .map(|_| if rng.gen::<f64>() < 0.20 { 0.5 + 0.5 * rng.gen::<f32>() } else { 0.0 })
+            .collect();
+        // Writing-style spread; varies per digit for density diversity.
+        let sigma = 0.16 + 0.02 * (digit % 5) as f64;
+        builder = builder.cluster(ClusterSpec { weight: 1.0, center, sigma });
+    }
+    builder.sample(n, seed).0
+}
+
+/// Generates the fingerprinted MNIST analog: raw images compressed to
+/// 64-bit SimHash fingerprints, ready for Hamming search (the exact
+/// pipeline of §4).
+pub fn mnist_like(n: usize, seed: u64) -> BinaryDataset {
+    let raw = mnist_like_raw(n, seed);
+    simhash_fingerprints(&raw, FINGERPRINT_BITS, seed ^ 0x5350)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsh_vec::binary::hamming_words;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = mnist_like(300, 6);
+        assert_eq!(a.len(), 300);
+        assert_eq!(a.bits(), 64);
+        assert_eq!(a, mnist_like(300, 6));
+    }
+
+    #[test]
+    fn raw_values_in_unit_interval() {
+        let d = mnist_like_raw(150, 1);
+        assert!(d.as_flat().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert_eq!(d.dim(), DIM);
+    }
+
+    #[test]
+    fn fingerprint_distances_cover_paper_band() {
+        // Some pairs should land within radius 17 (same digit), most
+        // pairs well outside (different digits).
+        let fps = mnist_like(1_000, 2);
+        let mut within = 0usize;
+        let mut total = 0usize;
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                let dist = hamming_words(fps.row(i), fps.row(j));
+                if dist <= 17 {
+                    within += 1;
+                }
+                total += 1;
+            }
+        }
+        let frac = within as f64 / total as f64;
+        assert!(frac > 0.01, "no near pairs in the radius band: {frac}");
+        assert!(frac < 0.6, "everything collapsed: {frac}");
+    }
+
+    #[test]
+    fn same_cluster_pairs_are_closer() {
+        // Generate two points per cluster by sampling a large batch and
+        // verifying the *minimum* observed distance is small while the
+        // median is large.
+        let fps = mnist_like(500, 3);
+        let mut dists: Vec<u32> = Vec::new();
+        for i in 0..80 {
+            for j in (i + 1)..80 {
+                dists.push(hamming_words(fps.row(i), fps.row(j)));
+            }
+        }
+        dists.sort_unstable();
+        let min = dists[0];
+        let median = dists[dists.len() / 2];
+        assert!(min <= 17, "closest pair {min} outside paper band");
+        assert!(median >= 15, "median pair {median} suspiciously close");
+    }
+}

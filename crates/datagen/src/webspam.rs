@@ -1,0 +1,136 @@
+//! Webspam analog: n = 350,000, d = 254, cosine metric.
+//!
+//! This is the paper's showcase data set: Figure 3 shows that even at
+//! tiny cosine radii (r ≤ 0.1) the output size of some queries exceeds
+//! n/2 while others find almost nothing — the "hard query" regime of
+//! Figure 1 where classic LSH drowns in duplicate removal. The cause in
+//! the real data is near-duplicate spam pages: enormous groups of
+//! almost-identical documents.
+//!
+//! We reproduce the regime directly: one massive near-duplicate hard
+//! region (60% of the data) made of three farms of graded tightness
+//! around one direction, a handful of medium clusters that enter the
+//! output as the radius grows, and a diffuse background that makes
+//! other queries trivially easy.
+//!
+//! Geometry: a point is `normalize(u + s·g)` for cluster direction `u`
+//! and Gaussian `g`; two such points have expected cosine similarity
+//! `≈ 1/(1 + 2s²·d)` to a same-cluster peer, so farm spreads
+//! `s ∈ {0.0005, 0.0046, 0.009}` at d = 254 put intra-farm cosine
+//! distances near 0.0002, 0.011 and 0.04.
+
+use hlsh_families::sampling::rng_stream;
+use hlsh_vec::DenseDataset;
+
+use crate::mixture::{unit_direction, ClusterSpec, MixtureBuilder, PostProcess};
+
+/// Dimensionality of the Webspam analog.
+pub const DIM: usize = 254;
+
+/// Generates the Webspam analog with `n` points (unit L2 norm rows).
+///
+/// Composition (geometry: a point `normalize(u + s·g)` has expected
+/// cosine similarity `1/√(1+s²d)` to the center and `1/(1+s²d)` to a
+/// same-cluster peer):
+///
+/// * **hard region** (60%), one direction, three graded spam farms of
+///   20% each (`s ∈ {0.0005, 0.0046, 0.009}`, pairwise cosine
+///   distances ≈ 0.0002 / 0.011 / 0.04, single-atom SimHash collision
+///   probabilities ≈ 0.997 / 0.95 / 0.91). Any hard query's output
+///   exceeds n/2 at the swept radii (the Figure 3 maximum); the tightest
+///   farm's queries sit past the Algorithm 2 boundary at every k, the
+///   middle farm's cross it as k falls from 30 (r = 0.05) to 21
+///   (r = 0.1), and the loosest farm's stay on the LSH side — the
+///   rising linear-call curve of Figure 3 (right);
+/// * **medium clusters** (8 × 1.5%): spreads 0.012–0.019 — outputs
+///   that grow across the radius sweep;
+/// * **background** (25%): random directions, pairwise cosine distance
+///   ≈ 1 — the easy queries with empty outputs.
+pub fn webspam_like(n: usize, seed: u64) -> DenseDataset {
+    let mut rng = rng_stream(seed, 0x5745_4253);
+    let mut builder = MixtureBuilder::new(DIM).post_process(PostProcess::NormalizeL2);
+
+    // Hard region (60% of the data) around one direction: three spam
+    // farms of graded tightness. All of them land in each other's
+    // candidate sets (they share the direction), so a hard query's
+    // candSize is ~0.6·n regardless of which farm it sits in, while
+    // its #collisions depends on the farm's tightness — the knob that
+    // spreads the Algorithm 2 flips across the radius sweep.
+    let u_hard = unit_direction(&mut rng, DIM);
+    for &(weight, sigma) in &[(0.20, 0.0005), (0.20, 0.0046), (0.20, 0.009)] {
+        builder =
+            builder.cluster(ClusterSpec { weight, center: u_hard.clone(), sigma });
+    }
+
+    // Medium clusters: outputs grow with the radius sweep.
+    for i in 0..8 {
+        let u = unit_direction(&mut rng, DIM);
+        let s = 0.012 + 0.001 * i as f64;
+        builder = builder.cluster(ClusterSpec { weight: 0.015, center: u, sigma: s });
+    }
+
+    // Diffuse background: random directions, pairwise cosine distance
+    // ≈ 1 — no neighbors at r ≤ 0.1.
+    builder = builder.cluster(ClusterSpec {
+        weight: 0.28,
+        center: vec![0.0; DIM],
+        sigma: 1.0,
+    });
+    // (Weights: 0.60 hard region + 0.12 medium + 0.28 background.)
+
+    builder.sample(n, seed).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsh_vec::dense::cosine_distance;
+
+    #[test]
+    fn shape_and_determinism() {
+        let a = webspam_like(600, 3);
+        assert_eq!(a.len(), 600);
+        assert_eq!(a.dim(), DIM);
+        assert_eq!(a, webspam_like(600, 3));
+    }
+
+    #[test]
+    fn rows_are_unit_norm() {
+        let d = webspam_like(200, 1);
+        for row in d.rows() {
+            let norm = hlsh_vec::dense::norm(row);
+            assert!((norm - 1.0).abs() < 1e-4, "norm {norm}");
+        }
+    }
+
+    #[test]
+    fn output_sizes_span_tiny_to_huge() {
+        // The Figure 3 (left) property: at r = 0.1, max output ≈ n/2,
+        // min output ≈ 0.
+        let n = 4_000;
+        let d = webspam_like(n, 2);
+        let counts: Vec<usize> = (0..60)
+            .map(|i| {
+                let q = d.row(i * 61).to_vec();
+                d.rows().filter(|row| cosine_distance(row, &q) <= 0.1).count()
+            })
+            .collect();
+        let max = counts.iter().copied().max().unwrap();
+        let min = counts.iter().copied().min().unwrap();
+        assert!(max as f64 >= 0.25 * n as f64, "no hard queries: max {max}");
+        assert!(min <= 5, "no easy queries: min {min}");
+    }
+
+    #[test]
+    fn output_grows_with_radius() {
+        let n = 3_000;
+        let d = webspam_like(n, 4);
+        // Use a query from the first mega cluster (most points are
+        // cluster members, so row 0 is very likely one).
+        let q = d.row(0).to_vec();
+        let at = |r: f64| d.rows().filter(|row| cosine_distance(row, &q) <= r).count();
+        let c05 = at(0.05);
+        let c10 = at(0.10);
+        assert!(c10 >= c05, "output must be monotone in r");
+    }
+}

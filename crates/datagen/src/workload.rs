@@ -1,0 +1,165 @@
+//! Ready-to-run experiment workloads.
+//!
+//! A workload bundles what §4 of the paper fixes per data set: the data
+//! itself, the 100-point query set ("we randomly remove 100 points and
+//! use it as the query set"), the radius sweep and the calibrated
+//! `β/α` ratio.
+
+use hlsh_families::sampling::rng_stream;
+use hlsh_families::PaperDataset;
+use hlsh_vec::{BinaryDataset, DenseDataset, MetricKind};
+use rand::Rng;
+
+use crate::{corel_like, covertype_like, mnist_like, webspam_like};
+
+/// Samples `count` distinct sorted indexes from `0..n` (the paper's
+/// query-removal procedure), deterministically.
+///
+/// # Panics
+/// Panics if `count > n`.
+pub fn sample_indices(n: usize, count: usize, seed: u64) -> Vec<usize> {
+    assert!(count <= n, "cannot sample {count} of {n}");
+    // Floyd's algorithm: uniform without replacement.
+    let mut rng = rng_stream(seed, 0x5153_414D);
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - count)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+/// A dense-vector workload (Corel, CoverType, Webspam analogs).
+#[derive(Clone, Debug)]
+pub struct DenseWorkload {
+    /// Which paper data set this mimics.
+    pub dataset: PaperDataset,
+    /// The indexed points (query points removed).
+    pub data: DenseDataset,
+    /// The held-out query set.
+    pub queries: DenseDataset,
+    /// Metric to search under.
+    pub metric: MetricKind,
+    /// Figure 2 radius sweep.
+    pub radii: Vec<f64>,
+    /// The paper's `β/α` ratio for this data set.
+    pub beta_over_alpha: f64,
+}
+
+/// A binary-fingerprint workload (MNIST analog).
+#[derive(Clone, Debug)]
+pub struct BinaryWorkload {
+    /// Which paper data set this mimics.
+    pub dataset: PaperDataset,
+    /// The indexed fingerprints (query points removed).
+    pub data: BinaryDataset,
+    /// The held-out query set.
+    pub queries: BinaryDataset,
+    /// Figure 2 radius sweep (Hamming distances).
+    pub radii: Vec<f64>,
+    /// The paper's `β/α` ratio.
+    pub beta_over_alpha: f64,
+}
+
+impl DenseWorkload {
+    /// Builds the workload for one of the three dense paper data sets
+    /// at `n` total points with `queries` of them held out.
+    ///
+    /// # Panics
+    /// Panics for `PaperDataset::Mnist` (binary; use
+    /// [`BinaryWorkload::paper`]) or if `queries >= n`.
+    pub fn paper(dataset: PaperDataset, n: usize, queries: usize, seed: u64) -> Self {
+        assert!(queries < n, "query set must be smaller than the data set");
+        let mut data = match dataset {
+            PaperDataset::Corel => corel_like(n, seed),
+            PaperDataset::CoverType => covertype_like(n, seed),
+            PaperDataset::Webspam => webspam_like(n, seed),
+            PaperDataset::Mnist => panic!("MNIST is a binary workload"),
+        };
+        let idx = sample_indices(n, queries, seed ^ 0x51);
+        let query_set = data.split_off_rows(&idx);
+        Self {
+            dataset,
+            data,
+            queries: query_set,
+            metric: dataset.metric(),
+            radii: dataset.figure2_radii(),
+            beta_over_alpha: dataset.beta_over_alpha(),
+        }
+    }
+}
+
+impl BinaryWorkload {
+    /// Builds the MNIST fingerprint workload at `n` total points with
+    /// `queries` held out.
+    ///
+    /// # Panics
+    /// Panics if `queries >= n`.
+    pub fn paper(n: usize, queries: usize, seed: u64) -> Self {
+        assert!(queries < n, "query set must be smaller than the data set");
+        let mut data = mnist_like(n, seed);
+        let idx = sample_indices(n, queries, seed ^ 0x51);
+        let query_set = data.split_off_rows(&idx);
+        Self {
+            dataset: PaperDataset::Mnist,
+            data,
+            queries: query_set,
+            radii: PaperDataset::Mnist.figure2_radii(),
+            beta_over_alpha: PaperDataset::Mnist.beta_over_alpha(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_indices_properties() {
+        let idx = sample_indices(1000, 100, 1);
+        assert_eq!(idx.len(), 100);
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i < 1000));
+        assert_eq!(idx, sample_indices(1000, 100, 1));
+        assert_ne!(idx, sample_indices(1000, 100, 2));
+    }
+
+    #[test]
+    fn sample_indices_full_range() {
+        let idx = sample_indices(5, 5, 3);
+        assert_eq!(idx, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_over_n_rejected() {
+        let _ = sample_indices(3, 4, 0);
+    }
+
+    #[test]
+    fn dense_workload_splits_cleanly() {
+        let w = DenseWorkload::paper(PaperDataset::Corel, 500, 20, 9);
+        assert_eq!(w.data.len(), 480);
+        assert_eq!(w.queries.len(), 20);
+        assert_eq!(w.metric, MetricKind::L2);
+        assert_eq!(w.beta_over_alpha, 6.0);
+        assert_eq!(w.radii.len(), 6);
+    }
+
+    #[test]
+    fn binary_workload_splits_cleanly() {
+        let w = BinaryWorkload::paper(400, 25, 4);
+        assert_eq!(w.data.len(), 375);
+        assert_eq!(w.queries.len(), 25);
+        assert_eq!(w.radii, vec![12.0, 13.0, 14.0, 15.0, 16.0, 17.0]);
+        assert_eq!(w.beta_over_alpha, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary workload")]
+    fn mnist_as_dense_rejected() {
+        let _ = DenseWorkload::paper(PaperDataset::Mnist, 100, 10, 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Bit-sampling LSH for Hamming distance (Indyk & Motwani, STOC'98).
+//!
+//! An atomic hash picks a uniformly random coordinate `i` and returns
+//! bit `x_i`. Two points at Hamming distance `r` in `d` bits collide
+//! with probability exactly `p(r) = 1 − r/d`. The paper uses this family
+//! for MNIST after compressing each image to a 64-bit SimHash
+//! fingerprint.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::family::{GFunction, LshFamily};
+
+/// The bit-sampling family over packed binary points of `dim_bits` bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitSampling {
+    dim_bits: usize,
+}
+
+impl BitSampling {
+    /// Creates the family for `dim_bits`-bit points.
+    ///
+    /// # Panics
+    /// Panics if `dim_bits == 0`.
+    pub fn new(dim_bits: usize) -> Self {
+        assert!(dim_bits > 0, "bit width must be positive");
+        Self { dim_bits }
+    }
+
+    /// Bit width of the points this family hashes.
+    pub fn dim_bits(&self) -> usize {
+        self.dim_bits
+    }
+}
+
+/// A sampled g-function: `k ≤ 64` coordinate indexes whose bits are
+/// concatenated into the bucket key (bit `j` of the key is coordinate
+/// `coords[j]` of the point).
+#[derive(Clone, Debug)]
+pub struct BitSamplingGFn {
+    coords: Vec<u32>,
+}
+
+impl BitSamplingGFn {
+    /// The sampled coordinates (exposed for the multi-probe extension:
+    /// flipping key bit `j` probes the bucket that differs in coordinate
+    /// `coords[j]`).
+    pub fn coords(&self) -> &[u32] {
+        &self.coords
+    }
+}
+
+impl GFunction<[u64]> for BitSamplingGFn {
+    #[inline]
+    fn bucket_key(&self, p: &[u64]) -> u64 {
+        let mut key = 0u64;
+        for (j, &c) in self.coords.iter().enumerate() {
+            let bit = (p[(c / 64) as usize] >> (c % 64)) & 1;
+            key |= bit << j;
+        }
+        key
+    }
+
+    fn k(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+impl LshFamily<[u64]> for BitSampling {
+    type GFn = BitSamplingGFn;
+
+    fn sample(&self, k: usize, rng: &mut StdRng) -> BitSamplingGFn {
+        assert!(k > 0, "k must be positive");
+        assert!(k <= 64, "bit-sampling keys are capped at 64 bits, got k = {k}");
+        let coords = (0..k).map(|_| rng.gen_range(0..self.dim_bits as u32)).collect();
+        BitSamplingGFn { coords }
+    }
+
+    /// `p(r) = max(0, 1 − r/d)` — exact, not an approximation.
+    fn collision_prob(&self, r: f64) -> f64 {
+        (1.0 - r / self.dim_bits as f64).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-sampling"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::rng_stream;
+    use hlsh_vec::BinaryVec;
+
+    #[test]
+    fn collision_prob_endpoints() {
+        let f = BitSampling::new(64);
+        assert_eq!(f.collision_prob(0.0), 1.0);
+        assert_eq!(f.collision_prob(64.0), 0.0);
+        assert!((f.collision_prob(16.0) - 0.75).abs() < 1e-12);
+        assert_eq!(f.collision_prob(100.0), 0.0); // clamped
+    }
+
+    #[test]
+    fn identical_points_always_collide() {
+        let f = BitSampling::new(64);
+        let mut rng = rng_stream(5, 0);
+        let g = f.sample(20, &mut rng);
+        let p = BinaryVec::from_u64(0x0123_4567_89AB_CDEF);
+        assert_eq!(g.bucket_key(p.words()), g.bucket_key(p.words()));
+        assert_eq!(g.k(), 20);
+    }
+
+    #[test]
+    fn keys_use_only_sampled_coords() {
+        let f = BitSampling::new(128);
+        let mut rng = rng_stream(9, 0);
+        let g = f.sample(10, &mut rng);
+        let mut a = BinaryVec::zeros(128);
+        let mut b = BinaryVec::zeros(128);
+        // Flip a coordinate that is NOT sampled: keys must stay equal.
+        let unsampled = (0..128u32).find(|c| !g.coords().contains(c)).unwrap();
+        b.set(unsampled as usize, true);
+        assert_eq!(g.bucket_key(a.words()), g.bucket_key(b.words()));
+        // Flip a sampled coordinate: keys must differ.
+        let sampled = g.coords()[0];
+        a.set(sampled as usize, true);
+        assert_ne!(g.bucket_key(a.words()), g.bucket_key(b.words()));
+    }
+
+    #[test]
+    #[should_panic(expected = "capped at 64")]
+    fn k_over_64_panics() {
+        let f = BitSampling::new(128);
+        let _ = f.sample(65, &mut rng_stream(0, 0));
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_theory() {
+        // Points at exact Hamming distance r: a single sampled bit
+        // collides with probability 1 - r/d.
+        let d = 64usize;
+        let r = 16usize;
+        let f = BitSampling::new(d);
+        let a = BinaryVec::zeros(d);
+        let mut b = BinaryVec::zeros(d);
+        for i in 0..r {
+            b.set(i * 4, true); // distance exactly 16
+        }
+        let mut rng = rng_stream(123, 0);
+        let trials = 20_000;
+        let mut collisions = 0;
+        for _ in 0..trials {
+            let g = f.sample(1, &mut rng);
+            if g.bucket_key(a.words()) == g.bucket_key(b.words()) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let theory = f.collision_prob(r as f64);
+        assert!((rate - theory).abs() < 0.015, "rate {rate} vs theory {theory}");
+    }
+}

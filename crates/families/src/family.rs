@@ -1,0 +1,86 @@
+//! The [`LshFamily`] / [`GFunction`] abstraction (Definition 2 of the
+//! paper, after Indyk & Motwani).
+
+use rand::rngs::StdRng;
+
+/// A locality-sensitive family of hash functions over points `P`.
+///
+/// A family is `(r, cr, p1, p2)`-sensitive when near points (distance
+/// ≤ r) collide with probability ≥ p1 under a uniformly drawn atomic
+/// hash and far points (distance ≥ cr) with probability ≤ p2. The
+/// classic construction concatenates `k` atomic hashes into a
+/// *g-function* and builds `L` tables from independent g-functions.
+pub trait LshFamily<P: ?Sized>: Clone + Send + Sync {
+    /// The concatenated hash function `g = (h_1, ..., h_k)`.
+    type GFn: GFunction<P>;
+
+    /// Samples one g-function of `k` atoms.
+    ///
+    /// # Panics
+    /// Implementations panic if `k == 0` or `k` exceeds a
+    /// family-specific bound (e.g. 64 bits for sign families).
+    fn sample(&self, k: usize, rng: &mut StdRng) -> Self::GFn;
+
+    /// Analytic collision probability of a *single* atomic hash for two
+    /// points at distance exactly `r` (`p(r)`; `p1 = p(r)` at the query
+    /// radius). Monotone non-increasing in `r`, with `p(0) = 1`.
+    fn collision_prob(&self, r: f64) -> f64;
+
+    /// Short family name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A sampled g-function: maps a point to a 64-bit bucket key.
+///
+/// Keys of sign-bit families (bit sampling, SimHash) are the raw
+/// concatenation of the `k` bits; unbounded-atom families (p-stable,
+/// MinHash) mix their atoms through a 64-bit avalanche combiner. In both
+/// cases equal inputs give equal keys and the probability that two
+/// points with *different* atom vectors share a key is ~2⁻⁶⁴
+/// (negligible versus p2).
+pub trait GFunction<P: ?Sized>: Send + Sync {
+    /// Hashes a point to its bucket key.
+    fn bucket_key(&self, p: &P) -> u64;
+
+    /// Number of concatenated atoms `k`.
+    fn k(&self) -> usize;
+}
+
+/// Mixes a sequence of atom values into one 64-bit bucket key.
+///
+/// Uses a SplitMix64-based fold; empty input maps to a fixed constant.
+#[inline]
+pub fn combine_atoms<I: IntoIterator<Item = u64>>(atoms: I) -> u64 {
+    let mut key = 0x51_7C_C1_B7_27_22_0A_95u64; // FNV-ish offset basis
+    for a in atoms {
+        key = hlsh_hll::hash::splitmix64(key ^ a);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_is_deterministic_and_order_sensitive() {
+        assert_eq!(combine_atoms([1, 2, 3]), combine_atoms([1, 2, 3]));
+        assert_ne!(combine_atoms([1, 2, 3]), combine_atoms([3, 2, 1]));
+        assert_ne!(combine_atoms([1]), combine_atoms([1, 1]));
+    }
+
+    #[test]
+    fn combine_empty_is_stable() {
+        assert_eq!(combine_atoms(std::iter::empty()), combine_atoms(std::iter::empty()));
+    }
+
+    #[test]
+    fn combine_has_no_easy_collisions() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            for j in 0..4u64 {
+                assert!(seen.insert(combine_atoms([i, j])), "collision ({i},{j})");
+            }
+        }
+    }
+}

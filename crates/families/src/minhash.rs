@@ -1,0 +1,178 @@
+//! MinHash — min-wise independent permutations for Jaccard distance
+//! (Broder, Charikar, Frieze, Mitzenmacher, STOC'98).
+//!
+//! An atomic hash applies a random permutation (approximated by a seeded
+//! 64-bit mix) to the universe of set elements and returns the minimum
+//! hash over the set's members. Two sets collide with probability equal
+//! to their Jaccard *similarity*, so `p(r) = 1 − r` for Jaccard distance
+//! `r`. The paper cites this family as one of the LSH schemes its hybrid
+//! strategy applies to; we include it as the extension family for
+//! near-duplicate detection examples.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::family::{combine_atoms, GFunction, LshFamily};
+use hlsh_hll::hash::splitmix64;
+
+/// The MinHash family over packed binary points interpreted as subsets
+/// of `{0, ..., dim_bits−1}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinHash {
+    dim_bits: usize,
+}
+
+impl MinHash {
+    /// Creates the family for sets over a `dim_bits`-element universe.
+    ///
+    /// # Panics
+    /// Panics if `dim_bits == 0`.
+    pub fn new(dim_bits: usize) -> Self {
+        assert!(dim_bits > 0, "universe size must be positive");
+        Self { dim_bits }
+    }
+
+    /// Universe size.
+    pub fn dim_bits(&self) -> usize {
+        self.dim_bits
+    }
+}
+
+/// A sampled g-function: `k` permutation seeds; the key mixes the `k`
+/// min-hash values.
+#[derive(Clone, Debug)]
+pub struct MinHashGFn {
+    seeds: Vec<u64>,
+}
+
+impl MinHashGFn {
+    /// Min-hash value of one atom: minimum seeded hash over set bits.
+    /// Empty sets map to `u64::MAX` (they all collide with each other).
+    fn atom_value(seed: u64, p: &[u64]) -> u64 {
+        let mut min = u64::MAX;
+        for (word_idx, &word) in p.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as u64;
+                let elem = (word_idx as u64) * 64 + bit;
+                let h = splitmix64(elem ^ seed);
+                if h < min {
+                    min = h;
+                }
+                w &= w - 1;
+            }
+        }
+        min
+    }
+}
+
+impl GFunction<[u64]> for MinHashGFn {
+    fn bucket_key(&self, p: &[u64]) -> u64 {
+        combine_atoms(self.seeds.iter().map(|&s| Self::atom_value(s, p)))
+    }
+
+    fn k(&self) -> usize {
+        self.seeds.len()
+    }
+}
+
+impl LshFamily<[u64]> for MinHash {
+    type GFn = MinHashGFn;
+
+    fn sample(&self, k: usize, rng: &mut StdRng) -> MinHashGFn {
+        assert!(k > 0, "k must be positive");
+        let seeds = (0..k).map(|_| rng.gen()).collect();
+        MinHashGFn { seeds }
+    }
+
+    /// `p(r) = 1 − r`: collision probability equals Jaccard similarity.
+    fn collision_prob(&self, r: f64) -> f64 {
+        (1.0 - r).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "MinHash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::rng_stream;
+    use hlsh_vec::BinaryVec;
+
+    fn set_of(bits: &[usize], width: usize) -> BinaryVec {
+        let mut v = BinaryVec::zeros(width);
+        for &b in bits {
+            v.set(b, true);
+        }
+        v
+    }
+
+    #[test]
+    fn collision_prob_is_one_minus_r() {
+        let f = MinHash::new(100);
+        assert_eq!(f.collision_prob(0.0), 1.0);
+        assert_eq!(f.collision_prob(1.0), 0.0);
+        assert!((f.collision_prob(0.3) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sets_always_collide() {
+        let f = MinHash::new(128);
+        let g = f.sample(4, &mut rng_stream(1, 0));
+        let s = set_of(&[3, 77, 100], 128);
+        assert_eq!(g.bucket_key(s.words()), g.bucket_key(s.words()));
+    }
+
+    #[test]
+    fn empty_sets_collide_with_each_other() {
+        let f = MinHash::new(128);
+        let g = f.sample(3, &mut rng_stream(2, 0));
+        let a = BinaryVec::zeros(128);
+        let b = BinaryVec::zeros(128);
+        assert_eq!(g.bucket_key(a.words()), g.bucket_key(b.words()));
+    }
+
+    #[test]
+    fn empirical_collision_rate_equals_jaccard_similarity() {
+        // |a| = |b| = 30, |a ∩ b| = 20, |a ∪ b| = 40 → J = 0.5.
+        let width = 256;
+        let a = set_of(&(0..30).collect::<Vec<_>>(), width);
+        let b = set_of(&(10..50).collect::<Vec<_>>(), width);
+        let sim = 1.0 - hlsh_vec::binary::jaccard_distance(&a, &b);
+        let f = MinHash::new(width);
+        let mut rng = rng_stream(42, 0);
+        let trials = 10_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let g = f.sample(1, &mut rng);
+            if g.bucket_key(a.words()) == g.bucket_key(b.words()) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - sim).abs() < 0.02, "rate {rate} vs similarity {sim}");
+    }
+
+    #[test]
+    fn k_atoms_sharpen_selectivity() {
+        // With k atoms the g-collision probability is J^k.
+        let width = 256;
+        let a = set_of(&(0..40).collect::<Vec<_>>(), width);
+        let b = set_of(&(20..60).collect::<Vec<_>>(), width); // J = 1/3
+        let f = MinHash::new(width);
+        let mut rng = rng_stream(43, 0);
+        let trials = 5_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let g = f.sample(3, &mut rng);
+            if g.bucket_key(a.words()) == g.bucket_key(b.words()) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        let theory = (1.0f64 / 3.0).powi(3);
+        assert!((rate - theory).abs() < 0.02, "rate {rate} vs theory {theory}");
+    }
+}

@@ -1,0 +1,362 @@
+//! p-stable LSH for L1 and L2 distances (Datar, Immorlica, Indyk,
+//! Mirrokni, SoCG'04).
+//!
+//! An atomic hash is `h(x) = ⌊(a·x + b) / w⌋` with `a` drawn from a
+//! p-stable distribution (Cauchy for L1, Gaussian for L2) and
+//! `b ~ U[0, w)`. The paper's settings (§4.1): CoverType uses L1 with
+//! `k = 8, w = 4r`; Corel uses L2 with `k = 7, w = 2r`.
+//!
+//! The collision probability for two points at distance `c` is
+//! `p(c) = ∫₀^w (1/c)·f_p(t/c)·(1 − t/w) dt` which has the closed forms
+//! implemented in [`PStableL2::collision_prob`] (Gaussian) and
+//! [`PStableL1::collision_prob`] (Cauchy).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::family::{combine_atoms, GFunction, LshFamily};
+use crate::sampling;
+use hlsh_vec::dense::dot;
+use hlsh_vec::stats::normal_cdf;
+
+/// Which stable distribution the projections are drawn from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stable {
+    /// Standard Cauchy — 1-stable, for L1.
+    Cauchy,
+    /// Standard Gaussian — 2-stable, for L2.
+    Gaussian,
+}
+
+/// One atomic hash `h(x) = ⌊(a·x + b)/w⌋`.
+#[derive(Clone, Debug)]
+struct Atom {
+    a: Vec<f32>,
+    b: f64,
+}
+
+/// A sampled p-stable g-function of `k` atoms.
+#[derive(Clone, Debug)]
+pub struct PStableGFn {
+    atoms: Vec<Atom>,
+    w: f64,
+}
+
+impl PStableGFn {
+    /// The raw (un-mixed) atom values `⌊(a_i·x + b_i)/w⌋`, exposed for
+    /// the multi-probe extension which perturbs them by ±1.
+    pub fn atom_values(&self, p: &[f32]) -> Vec<i64> {
+        self.atoms.iter().map(|atom| self.atom_value(atom, p)).collect()
+    }
+
+    /// Distance from the projection `a_j·x + b_j` to the *lower* slot
+    /// boundary, in `[0, w)`. Multi-probe scores a −1 perturbation of
+    /// atom `j` by this value and a +1 perturbation by `w − value`.
+    pub fn boundary_offset(&self, j: usize, p: &[f32]) -> f64 {
+        let atom = &self.atoms[j];
+        let proj = dot(&atom.a, p) + atom.b;
+        let slot = (proj / self.w).floor();
+        proj - slot * self.w
+    }
+
+    /// Slot width `w`.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+
+    /// Mixes explicit atom values into a bucket key; used by multi-probe
+    /// to address perturbed buckets.
+    pub fn key_from_atoms(&self, values: &[i64]) -> u64 {
+        debug_assert_eq!(values.len(), self.atoms.len());
+        combine_atoms(values.iter().map(|&v| v as u64))
+    }
+
+    #[inline]
+    fn atom_value(&self, atom: &Atom, p: &[f32]) -> i64 {
+        ((dot(&atom.a, p) + atom.b) / self.w).floor() as i64
+    }
+}
+
+impl GFunction<[f32]> for PStableGFn {
+    #[inline]
+    fn bucket_key(&self, p: &[f32]) -> u64 {
+        combine_atoms(self.atoms.iter().map(|a| self.atom_value(a, p) as u64))
+    }
+
+    fn k(&self) -> usize {
+        self.atoms.len()
+    }
+}
+
+fn sample_gfn(dim: usize, w: f64, stable: Stable, k: usize, rng: &mut StdRng) -> PStableGFn {
+    assert!(k > 0, "k must be positive");
+    let atoms = (0..k)
+        .map(|_| {
+            let a = match stable {
+                Stable::Cauchy => sampling::cauchy_vector(rng, dim),
+                Stable::Gaussian => sampling::normal_vector(rng, dim),
+            };
+            let b = rng.gen::<f64>() * w;
+            Atom { a, b }
+        })
+        .collect();
+    PStableGFn { atoms, w }
+}
+
+/// The L2 (Gaussian projections) p-stable family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PStableL2 {
+    dim: usize,
+    w: f64,
+}
+
+impl PStableL2 {
+    /// Creates the family with slot width `w` (the paper sets `w = 2r`
+    /// for the Corel experiment).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `w <= 0`.
+    pub fn new(dim: usize, w: f64) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(w > 0.0, "slot width must be positive");
+        Self { dim, w }
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Slot width `w`.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+}
+
+impl LshFamily<[f32]> for PStableL2 {
+    type GFn = PStableGFn;
+
+    fn sample(&self, k: usize, rng: &mut StdRng) -> PStableGFn {
+        sample_gfn(self.dim, self.w, Stable::Gaussian, k, rng)
+    }
+
+    /// Closed form (Datar et al., Eq. for the Gaussian case): with
+    /// `t = w/c`,
+    /// `p(c) = 1 − 2Φ(−t) − (2/(√(2π)·t))·(1 − e^{−t²/2})`.
+    fn collision_prob(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 1.0;
+        }
+        let t = self.w / r;
+        let p = 1.0 - 2.0 * normal_cdf(-t)
+            - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t) * (1.0 - (-t * t / 2.0).exp());
+        p.clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "p-stable L2"
+    }
+}
+
+/// The L1 (Cauchy projections) p-stable family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PStableL1 {
+    dim: usize,
+    w: f64,
+}
+
+impl PStableL1 {
+    /// Creates the family with slot width `w` (the paper sets `w = 4r`
+    /// for the CoverType experiment).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `w <= 0`.
+    pub fn new(dim: usize, w: f64) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(w > 0.0, "slot width must be positive");
+        Self { dim, w }
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Slot width `w`.
+    pub fn w(&self) -> f64 {
+        self.w
+    }
+}
+
+impl LshFamily<[f32]> for PStableL1 {
+    type GFn = PStableGFn;
+
+    fn sample(&self, k: usize, rng: &mut StdRng) -> PStableGFn {
+        sample_gfn(self.dim, self.w, Stable::Cauchy, k, rng)
+    }
+
+    /// Closed form (Datar et al., Cauchy case): with `t = w/c`,
+    /// `p(c) = (2/π)·arctan(t) − (1/(π·t))·ln(1 + t²)`.
+    fn collision_prob(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return 1.0;
+        }
+        let t = self.w / r;
+        let p = 2.0 * t.atan() / std::f64::consts::PI
+            - (1.0 + t * t).ln() / (std::f64::consts::PI * t);
+        p.clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "p-stable L1"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::rng_stream;
+
+    #[test]
+    fn l2_collision_prob_shape() {
+        let f = PStableL2::new(8, 4.0);
+        assert_eq!(f.collision_prob(0.0), 1.0);
+        // Monotone decreasing in r.
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let p = f.collision_prob(i as f64 * 0.2);
+            assert!(p <= prev + 1e-12, "not monotone at {i}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        // Far points nearly never collide.
+        assert!(f.collision_prob(100.0) < 0.05);
+    }
+
+    #[test]
+    fn l1_collision_prob_shape() {
+        let f = PStableL1::new(8, 4.0);
+        assert_eq!(f.collision_prob(0.0), 1.0);
+        let mut prev = 1.0;
+        for i in 1..100 {
+            let p = f.collision_prob(i as f64 * 0.2);
+            assert!(p <= prev + 1e-12, "not monotone at {i}");
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+        assert!(f.collision_prob(100.0) < 0.1);
+    }
+
+    #[test]
+    fn paper_parameter_regimes_have_high_p1() {
+        // w = 2r (L2): t = 2 → p1 should be comfortably above 0.5.
+        let l2 = PStableL2::new(32, 2.0);
+        let p1 = l2.collision_prob(1.0);
+        assert!(p1 > 0.6 && p1 < 0.9, "L2 p1 at w=2r: {p1}");
+        // w = 4r (L1): t = 4 → 2·atan(4)/π − ln(17)/(4π) ≈ 0.6186.
+        let l1 = PStableL1::new(54, 4.0);
+        let p1_l1 = l1.collision_prob(1.0);
+        assert!((p1_l1 - 0.6186).abs() < 1e-3, "L1 p1 at w=4r: {p1_l1}");
+    }
+
+    #[test]
+    fn key_deterministic_and_atoms_consistent() {
+        let f = PStableL2::new(6, 2.0);
+        let g = f.sample(7, &mut rng_stream(21, 0));
+        let x = [0.1f32, -0.4, 0.9, 2.2, -1.0, 0.3];
+        assert_eq!(g.bucket_key(&x), g.bucket_key(&x));
+        assert_eq!(g.k(), 7);
+        let atoms = g.atom_values(&x);
+        assert_eq!(atoms.len(), 7);
+        assert_eq!(g.key_from_atoms(&atoms), g.bucket_key(&x));
+    }
+
+    #[test]
+    fn boundary_offset_in_range() {
+        let f = PStableL1::new(5, 3.0);
+        let g = f.sample(8, &mut rng_stream(2, 0));
+        let x = [1.0f32, 2.0, -0.5, 0.0, 4.0];
+        for j in 0..8 {
+            let off = g.boundary_offset(j, &x);
+            assert!((0.0..3.0).contains(&off), "offset {off} outside [0, w)");
+        }
+    }
+
+    #[test]
+    fn nearby_points_share_keys_more_often_than_far() {
+        let dim = 16;
+        let f = PStableL2::new(dim, 4.0);
+        let mut rng = rng_stream(31, 0);
+        let x = vec![0.0f32; dim];
+        let mut near = x.clone();
+        near[0] = 1.0; // distance 1, w/c = 4
+        let mut far = x.clone();
+        far[0] = 16.0; // distance 16, w/c = 0.25
+        let trials = 2_000;
+        let (mut c_near, mut c_far) = (0, 0);
+        for _ in 0..trials {
+            let g = f.sample(1, &mut rng);
+            if g.bucket_key(&x) == g.bucket_key(&near) {
+                c_near += 1;
+            }
+            if g.bucket_key(&x) == g.bucket_key(&far) {
+                c_far += 1;
+            }
+        }
+        assert!(c_near > c_far * 2, "near {c_near} far {c_far}");
+    }
+
+    #[test]
+    fn empirical_l2_collision_matches_closed_form() {
+        let dim = 12;
+        let w = 3.0;
+        let c = 1.5; // distance
+        let f = PStableL2::new(dim, w);
+        let x = vec![0.0f32; dim];
+        let mut y = x.clone();
+        y[3] = c as f32;
+        let mut rng = rng_stream(55, 0);
+        let trials = 20_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let g = f.sample(1, &mut rng);
+            if g.bucket_key(&x) == g.bucket_key(&y) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        let theory = f.collision_prob(c);
+        assert!((rate - theory).abs() < 0.02, "rate {rate} vs theory {theory}");
+    }
+
+    #[test]
+    fn empirical_l1_collision_matches_closed_form() {
+        let dim = 12;
+        let w = 4.0;
+        let c = 2.0;
+        let f = PStableL1::new(dim, w);
+        let x = vec![0.0f32; dim];
+        let mut y = x.clone();
+        // L1 distance c spread over two coordinates.
+        y[0] = 1.0;
+        y[5] = -1.0;
+        let mut rng = rng_stream(56, 0);
+        let trials = 20_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            let g = f.sample(1, &mut rng);
+            if g.bucket_key(&x) == g.bucket_key(&y) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        let theory = f.collision_prob(c);
+        assert!((rate - theory).abs() < 0.02, "rate {rate} vs theory {theory}");
+    }
+
+    #[test]
+    #[should_panic(expected = "slot width must be positive")]
+    fn zero_w_rejected() {
+        let _ = PStableL2::new(4, 0.0);
+    }
+}

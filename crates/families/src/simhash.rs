@@ -1,0 +1,238 @@
+//! SimHash — sign random projections for cosine distance (Charikar,
+//! STOC'02).
+//!
+//! An atomic hash draws a Gaussian vector `a` and returns
+//! `sign(a · x)`. For two vectors at angle `θ` the collision probability
+//! is exactly `1 − θ/π`. The paper uses SimHash twice:
+//!
+//! * directly, for the Webspam cosine-distance experiment, and
+//! * as a compressor, turning each MNIST image into a 64-bit fingerprint
+//!   that is then indexed with bit sampling in Hamming space
+//!   ([`simhash_fingerprints`]).
+//!
+//! Radius convention: `r` is the **cosine distance** `1 − cos θ`, the
+//! quantity on the x-axis of Figure 2b (`r ∈ [0.05, 0.1]`), so
+//! `p(r) = 1 − arccos(1 − r)/π`.
+
+use rand::rngs::StdRng;
+
+use crate::family::{GFunction, LshFamily};
+use crate::sampling;
+use hlsh_vec::dense::dot;
+use hlsh_vec::{BinaryDataset, DenseDataset};
+
+/// The SimHash family over dense points of dimension `dim`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimHash {
+    dim: usize,
+}
+
+impl SimHash {
+    /// Creates the family for `dim`-dimensional dense points.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { dim }
+    }
+
+    /// Point dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// A sampled g-function: `k ≤ 64` Gaussian directions stored as one
+/// flat row-major matrix; key bit `j` is `sign(a_j · x)`.
+#[derive(Clone, Debug)]
+pub struct SimHashGFn {
+    dim: usize,
+    // k rows of length dim.
+    planes: Vec<f32>,
+}
+
+impl SimHashGFn {
+    /// The projection matrix rows (for the multi-probe extension, where
+    /// flipping key bit `j` probes across hyperplane `j`).
+    pub fn plane(&self, j: usize) -> &[f32] {
+        &self.planes[j * self.dim..(j + 1) * self.dim]
+    }
+
+    /// Signed margin `a_j · x` of point `x` against hyperplane `j`;
+    /// multi-probe flips the bits with the smallest `|margin|` first.
+    pub fn margin(&self, j: usize, p: &[f32]) -> f64 {
+        dot(self.plane(j), p)
+    }
+}
+
+impl GFunction<[f32]> for SimHashGFn {
+    #[inline]
+    fn bucket_key(&self, p: &[f32]) -> u64 {
+        debug_assert_eq!(p.len(), self.dim);
+        let mut key = 0u64;
+        for (j, plane) in self.planes.chunks_exact(self.dim).enumerate() {
+            if dot(plane, p) >= 0.0 {
+                key |= 1u64 << j;
+            }
+        }
+        key
+    }
+
+    fn k(&self) -> usize {
+        self.planes.len() / self.dim
+    }
+}
+
+impl LshFamily<[f32]> for SimHash {
+    type GFn = SimHashGFn;
+
+    fn sample(&self, k: usize, rng: &mut StdRng) -> SimHashGFn {
+        assert!(k > 0, "k must be positive");
+        assert!(k <= 64, "SimHash keys are capped at 64 bits, got k = {k}");
+        let mut planes = Vec::with_capacity(k * self.dim);
+        for _ in 0..k {
+            planes.extend(sampling::normal_vector(rng, self.dim));
+        }
+        SimHashGFn { dim: self.dim, planes }
+    }
+
+    /// `p(r) = 1 − arccos(1 − r)/π` where `r = 1 − cos θ` is the cosine
+    /// distance. Exact for Gaussian projections.
+    fn collision_prob(&self, r: f64) -> f64 {
+        let cos = (1.0 - r).clamp(-1.0, 1.0);
+        1.0 - cos.acos() / std::f64::consts::PI
+    }
+
+    fn name(&self) -> &'static str {
+        "SimHash"
+    }
+}
+
+/// Compresses every row of a dense data set into a `bits`-bit SimHash
+/// fingerprint (the paper's MNIST preprocessing: "we applied SimHash to
+/// obtain 64-bit fingerprint vectors").
+///
+/// Cosine-similar points map to fingerprints at small Hamming distance:
+/// each bit disagrees with probability `θ/π`, so
+/// `E[hamming] = bits · θ/π`.
+///
+/// # Panics
+/// Panics if `bits == 0` or `bits > 64`.
+pub fn simhash_fingerprints(data: &DenseDataset, bits: usize, seed: u64) -> BinaryDataset {
+    assert!(bits > 0 && bits <= 64, "fingerprint width must be in 1..=64");
+    let family = SimHash::new(data.dim());
+    let mut rng = sampling::rng_stream(seed, 0x5134_1234);
+    let g = family.sample(bits, &mut rng);
+    let fps: Vec<u64> = data.rows().map(|row| g.bucket_key(row)).collect();
+    BinaryDataset::from_fingerprints(&fps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::rng_stream;
+
+    #[test]
+    fn collision_prob_endpoints() {
+        let f = SimHash::new(10);
+        assert!((f.collision_prob(0.0) - 1.0).abs() < 1e-12);
+        // r = 1 → cos = 0 → θ = π/2 → p = 1/2.
+        assert!((f.collision_prob(1.0) - 0.5).abs() < 1e-12);
+        // r = 2 → antipodal → p = 0.
+        assert!(f.collision_prob(2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_prob_is_monotone() {
+        let f = SimHash::new(10);
+        let mut prev = 1.0;
+        let mut r = 0.0;
+        while r <= 2.0 {
+            let p = f.collision_prob(r);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+            r += 0.05;
+        }
+    }
+
+    #[test]
+    fn key_is_deterministic() {
+        let f = SimHash::new(8);
+        let g = f.sample(16, &mut rng_stream(3, 0));
+        let x = [0.5f32, -1.0, 2.0, 0.0, 1.0, 1.0, -0.5, 0.25];
+        assert_eq!(g.bucket_key(&x), g.bucket_key(&x));
+        assert_eq!(g.k(), 16);
+    }
+
+    #[test]
+    fn scaling_invariance() {
+        // SimHash depends only on direction: scaling a vector by a
+        // positive constant must not change its key.
+        let f = SimHash::new(6);
+        let g = f.sample(32, &mut rng_stream(4, 0));
+        let x = [0.3f32, -0.7, 1.1, 0.0, -2.0, 0.5];
+        let x2: Vec<f32> = x.iter().map(|v| v * 37.0).collect();
+        assert_eq!(g.bucket_key(&x), g.bucket_key(&x2));
+    }
+
+    #[test]
+    fn empirical_collision_rate_matches_theory() {
+        // Construct two unit vectors at a known angle in a 2-plane.
+        let dim = 16;
+        let r_cos = 0.08; // cosine distance, Webspam regime
+        let cos: f64 = 1.0 - r_cos;
+        let sin = (1.0 - cos * cos).sqrt();
+        let mut a = vec![0.0f32; dim];
+        let mut b = vec![0.0f32; dim];
+        a[0] = 1.0;
+        b[0] = cos as f32;
+        b[1] = sin as f32;
+        let f = SimHash::new(dim);
+        let mut rng = rng_stream(77, 0);
+        let trials = 3_000;
+        let mut collisions = 0u32;
+        for _ in 0..trials {
+            let g = f.sample(1, &mut rng);
+            if g.bucket_key(&a) == g.bucket_key(&b) {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let theory = f.collision_prob(r_cos);
+        assert!((rate - theory).abs() < 0.025, "rate {rate} vs theory {theory}");
+    }
+
+    #[test]
+    fn fingerprints_preserve_similarity_ordering() {
+        // Near pair and far pair: near pair should get smaller expected
+        // fingerprint Hamming distance.
+        let dim = 32;
+        let mut data = DenseDataset::new(dim);
+        let base: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.37).sin()).collect();
+        let mut near = base.clone();
+        near[0] += 0.05;
+        let far: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.91).cos()).collect();
+        data.push(&base);
+        data.push(&near);
+        data.push(&far);
+        let fps = simhash_fingerprints(&data, 64, 99);
+        let d_near = hlsh_vec::binary::hamming_words(fps.row(0), fps.row(1));
+        let d_far = hlsh_vec::binary::hamming_words(fps.row(0), fps.row(2));
+        assert!(d_near < d_far, "near {d_near} vs far {d_far}");
+        assert_eq!(fps.len(), 3);
+        assert_eq!(fps.bits(), 64);
+    }
+
+    #[test]
+    fn margin_sign_matches_key_bit() {
+        let f = SimHash::new(4);
+        let g = f.sample(8, &mut rng_stream(10, 0));
+        let x = [1.0f32, -2.0, 0.5, 3.0];
+        let key = g.bucket_key(&x);
+        for j in 0..8 {
+            let bit = (key >> j) & 1 == 1;
+            assert_eq!(bit, g.margin(j, &x) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the LSH families: determinism, locality
+//! (closer points collide at least as often), probability-curve sanity
+//! and parameter-rule invariants.
+
+use hlsh_families::sampling::rng_stream;
+use hlsh_families::{
+    k_paper, k_safe, recall_lower_bound, BitSampling, GFunction, LshFamily, MinHash, PStableL1,
+    PStableL2, SimHash,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gfn_keys_are_deterministic(
+        seed in 0u64..500,
+        k in 1usize..12,
+        p in vec(-5.0f32..5.0, 10),
+    ) {
+        let fam = PStableL2::new(10, 2.0);
+        let g1 = fam.sample(k, &mut rng_stream(seed, 0));
+        let g2 = fam.sample(k, &mut rng_stream(seed, 0));
+        prop_assert_eq!(g1.bucket_key(&p), g2.bucket_key(&p));
+        prop_assert_eq!(g1.k(), k);
+    }
+
+    #[test]
+    fn collision_prob_curves_are_valid(r in 0.0f64..100.0) {
+        for p in [
+            BitSampling::new(64).collision_prob(r),
+            SimHash::new(16).collision_prob(r.min(2.0)),
+            PStableL1::new(8, 4.0).collision_prob(r),
+            PStableL2::new(8, 4.0).collision_prob(r),
+            MinHash::new(64).collision_prob(r.min(1.0)),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&p), "p = {p} at r = {r}");
+        }
+    }
+
+    #[test]
+    fn collision_prob_monotone_decreasing(r1 in 0.0f64..50.0, dr in 0.0f64..50.0) {
+        let r2 = r1 + dr;
+        prop_assert!(
+            PStableL2::new(4, 3.0).collision_prob(r2)
+                <= PStableL2::new(4, 3.0).collision_prob(r1) + 1e-12
+        );
+        prop_assert!(
+            PStableL1::new(4, 3.0).collision_prob(r2)
+                <= PStableL1::new(4, 3.0).collision_prob(r1) + 1e-12
+        );
+        prop_assert!(
+            BitSampling::new(64).collision_prob(r2)
+                <= BitSampling::new(64).collision_prob(r1) + 1e-12
+        );
+    }
+
+    /// Locality on actual hashes: the identical point always collides,
+    /// and a point at small perturbation collides at least as often as
+    /// a far one (statistically; we use a deterministic seed sweep).
+    #[test]
+    fn closer_points_collide_more(seed in 0u64..50) {
+        let dim = 8;
+        let fam = PStableL2::new(dim, 2.0);
+        let base = vec![0.0f32; dim];
+        let mut near = base.clone();
+        near[0] = 0.5;
+        let mut far = base.clone();
+        far[0] = 20.0;
+        let trials = 200;
+        let mut near_hits = 0;
+        let mut far_hits = 0;
+        let mut rng = rng_stream(seed, 1);
+        for _ in 0..trials {
+            let g = fam.sample(2, &mut rng);
+            let kb = g.bucket_key(&base);
+            if g.bucket_key(&near) == kb {
+                near_hits += 1;
+            }
+            if g.bucket_key(&far) == kb {
+                far_hits += 1;
+            }
+        }
+        prop_assert!(near_hits >= far_hits,
+            "near {near_hits} < far {far_hits}");
+    }
+
+    #[test]
+    fn k_rules_bracket_the_bound(p1 in 0.05f64..0.99, l in 1usize..200) {
+        let kp = k_paper(0.1, l, p1);
+        let ks = k_safe(0.1, l, p1);
+        prop_assert!(ks <= kp);
+        prop_assert!(kp - ks <= 1);
+        // The safe rule actually delivers the recall bound.
+        prop_assert!(recall_lower_bound(p1, ks, l) >= 0.9 - 1e-9
+            // Unless even k = 1 cannot reach it (tiny p1, tiny L).
+            || ks == 1);
+    }
+
+    #[test]
+    fn recall_bound_monotone_in_l(p in 0.01f64..0.99, k in 1usize..10, l in 1usize..100) {
+        let r1 = recall_lower_bound(p, k, l);
+        let r2 = recall_lower_bound(p, k, l + 1);
+        prop_assert!(r2 >= r1 - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&r1));
+    }
+
+    #[test]
+    fn minhash_identical_sets_always_collide(
+        words in vec(any::<u64>(), 4),
+        k in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let fam = MinHash::new(256);
+        let g = fam.sample(k, &mut rng_stream(seed, 2));
+        prop_assert_eq!(g.bucket_key(&words), g.bucket_key(&words));
+    }
+
+    #[test]
+    fn bitsampling_key_fits_k_bits(k in 1usize..64, word in any::<u64>()) {
+        let fam = BitSampling::new(64);
+        let g = fam.sample(k, &mut rng_stream(3, 4));
+        let key = g.bucket_key(&[word]);
+        if k < 64 {
+            prop_assert!(key < (1u64 << k), "key {key} uses more than {k} bits");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Cardinality estimation from a register array.
+//!
+//! Implements the estimator of Flajolet et al. 2007 exactly as the paper
+//! cites it: raw estimate `α_m · m² / Σ 2^{−M[j]}` with the small-range
+//! linear-counting correction. The large-range correction of the
+//! original paper exists only to patch 32-bit hash saturation; our
+//! hashes are 64-bit, so it is unnecessary (and omitted, as in every
+//! modern implementation).
+
+/// Bias-correction constant `α_m` for `m = 2^precision` registers.
+///
+/// Values for m = 16, 32, 64 are the exact constants from Flajolet et
+/// al.; larger m uses the asymptotic formula `0.7213 / (1 + 1.079/m)`.
+///
+/// # Panics
+/// Panics if `m < 16` (precision < 4), below the algorithm's validity
+/// range.
+pub fn alpha(m: usize) -> f64 {
+    assert!(m >= 16, "HyperLogLog needs at least 16 registers, got {m}");
+    match m {
+        16 => 0.673,
+        32 => 0.697,
+        64 => 0.709,
+        _ => 0.7213 / (1.0 + 1.079 / m as f64),
+    }
+}
+
+/// Theoretical relative standard error `1.04 / √m` of an `m`-register
+/// sketch (paper §2: "The relative error of HLL is 1.04/√m").
+pub fn relative_error(m: usize) -> f64 {
+    1.04 / (m as f64).sqrt()
+}
+
+/// The raw HyperLogLog estimate `α_m · m² / Σ_j 2^{−M[j]}`.
+pub fn raw_estimate(registers: &[u8]) -> f64 {
+    let m = registers.len();
+    let sum: f64 = registers.iter().map(|&r| 2f64.powi(-(r as i32))).sum();
+    alpha(m) * (m * m) as f64 / sum
+}
+
+/// Full estimate with the small-range correction: when the raw estimate
+/// is below `2.5·m` and empty registers remain, fall back to linear
+/// counting `m · ln(m / V)` where `V` is the number of zero registers.
+pub fn estimate(registers: &[u8]) -> f64 {
+    let m = registers.len();
+    let raw = raw_estimate(registers);
+    if raw <= 2.5 * m as f64 {
+        let zeros = registers.iter().filter(|&&r| r == 0).count();
+        if zeros > 0 {
+            return m as f64 * (m as f64 / zeros as f64).ln();
+        }
+    }
+    raw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_known_values() {
+        assert_eq!(alpha(16), 0.673);
+        assert_eq!(alpha(32), 0.697);
+        assert_eq!(alpha(64), 0.709);
+        assert!((alpha(128) - 0.7213 / (1.0 + 1.079 / 128.0)).abs() < 1e-12);
+        assert!(alpha(1024) < 0.7213);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 16 registers")]
+    fn alpha_rejects_tiny_m() {
+        let _ = alpha(8);
+    }
+
+    #[test]
+    fn relative_error_matches_paper() {
+        // m = 128 → ~9.2%, which the paper rounds to "at most 10%".
+        let e = relative_error(128);
+        assert!(e < 0.10 && e > 0.08, "{e}");
+        assert!((relative_error(16) - 0.26).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_registers_estimate_zero() {
+        let regs = vec![0u8; 64];
+        // Linear counting with V = m gives m·ln(1) = 0.
+        assert_eq!(estimate(&regs), 0.0);
+    }
+
+    #[test]
+    fn estimate_monotone_in_register_values() {
+        let low = vec![1u8; 64];
+        let high = vec![2u8; 64];
+        assert!(raw_estimate(&high) > raw_estimate(&low));
+    }
+
+    #[test]
+    fn linear_counting_single_element() {
+        // One register at some value, rest zero: linear counting says
+        // m·ln(m/(m-1)) ≈ 1.
+        let mut regs = vec![0u8; 128];
+        regs[5] = 3;
+        let e = estimate(&regs);
+        assert!((e - 1.0).abs() < 0.1, "{e}");
+    }
+
+    #[test]
+    fn raw_estimate_saturated_registers_is_large() {
+        let regs = vec![32u8; 128];
+        assert!(raw_estimate(&regs) > 1e10);
+    }
+}

@@ -1,0 +1,93 @@
+//! Deterministic 64-bit element hashing.
+//!
+//! The paper models an HLL update as drawing `{m_i, v_i}` with
+//! `m_i ~ Uniform([m])` and `v_i ~ Geometric(1/2)`. Both draws are
+//! derived from a single well-mixed 64-bit hash of the element: the top
+//! `b` bits index a register and the remaining bits' leading-zero count
+//! is the geometric value. SplitMix64 is the mixer — it passes the usual
+//! avalanche tests, is 3 multiplications per element, and is entirely
+//! deterministic given the seed, so all experiments reproduce exactly.
+
+/// The 64-bit golden-ratio constant used to derive per-seed streams.
+pub const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 finalizer: a bijective avalanche mix of one `u64`.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes element `id` under stream `seed`.
+///
+/// Different seeds give (statistically) independent hash functions;
+/// identical seeds give identical functions, which is what makes two
+/// sketches built in different buckets mergeable.
+#[inline]
+pub fn hash_id(seed: u64, id: u64) -> u64 {
+    splitmix64(id.wrapping_add(seed.wrapping_mul(GOLDEN_GAMMA)).wrapping_add(GOLDEN_GAMMA))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_nontrivial() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        // 0 is the fixed point of the finalizer; real inputs are offset
+        // by GOLDEN_GAMMA in hash_id so this never matters in practice.
+        assert_eq!(splitmix64(0), 0);
+        assert_ne!(splitmix64(1), splitmix64(2));
+        assert_ne!(splitmix64(1), 1);
+    }
+
+    #[test]
+    fn splitmix_is_bijective_on_sample() {
+        // A bijection cannot collide; sample a few thousand inputs.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn hash_id_depends_on_seed_and_id() {
+        assert_eq!(hash_id(7, 42), hash_id(7, 42));
+        assert_ne!(hash_id(7, 42), hash_id(8, 42));
+        assert_ne!(hash_id(7, 42), hash_id(7, 43));
+    }
+
+    #[test]
+    fn hash_id_bits_look_uniform() {
+        // Count set bits over many hashes; expect ~32 per word on average.
+        let mut total = 0u64;
+        let n = 4_096u64;
+        for i in 0..n {
+            total += hash_id(123, i).count_ones() as u64;
+        }
+        let mean = total as f64 / n as f64;
+        assert!((mean - 32.0).abs() < 0.5, "mean popcount {mean}");
+    }
+
+    #[test]
+    fn top_bits_spread_over_registers() {
+        // The register index derives from the top bits; check rough
+        // uniformity over 128 registers.
+        let m = 128usize;
+        let mut counts = vec![0u32; m];
+        let n = 128_000u64;
+        for i in 0..n {
+            let h = hash_id(99, i);
+            counts[(h >> (64 - 7)) as usize] += 1;
+        }
+        let expect = (n as usize / m) as f64;
+        for (j, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.25,
+                "register {j} count {c} far from {expect}"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! HyperLogLog cardinality sketches (Flajolet, Fusy, Gandouet, Meunier,
+//! AofA 2007), as used per-bucket by the hybrid-LSH index.
+//!
+//! The paper (§2, §3) attaches one HLL to every bucket of every LSH hash
+//! table. At query time the `L` sketches of the query's buckets are
+//! merged (register-wise `max`) and the merged sketch estimates
+//! `candSize` — the number of *distinct* points colliding with the query
+//! — which feeds the cost model
+//! `LSHCost = α·#collisions + β·candSize` (Eq. 1).
+//!
+//! Three requirements shape the implementation:
+//!
+//! 1. **Mergeability.** Every sketch in one index must hash elements with
+//!    the same seeded function so that the register-wise `max` of two
+//!    sketches is exactly the sketch of the union ([`HllConfig`] carries
+//!    the shared seed).
+//! 2. **Small-bucket laziness** (paper §3.2): buckets with fewer members
+//!    than `m` registers would waste space on a sketch, so the index
+//!    stores raw member lists for them and feeds the members into the
+//!    merge accumulator on demand ([`MergeAccumulator::add_raw`]).
+//! 3. **Accuracy.** The standard error is `1.04/√m`; the paper uses
+//!    `m = 128` (≈ 9% relative error, in practice < 7%).
+//!
+//! # Example
+//! ```
+//! use hlsh_hll::{HllConfig, HyperLogLog, MergeAccumulator};
+//!
+//! let cfg = HllConfig::new(7, 42); // m = 128 registers, element seed 42
+//! let mut a = HyperLogLog::new(cfg);
+//! let mut b = HyperLogLog::new(cfg);
+//! for i in 0..5_000u64 {
+//!     a.insert(i);
+//! }
+//! for i in 2_500..7_500u64 {
+//!     b.insert(i);
+//! }
+//! let mut acc = MergeAccumulator::new(cfg);
+//! acc.add_sketch(&a);
+//! acc.add_sketch(&b);
+//! let est = acc.estimate();
+//! assert!((est - 7_500.0).abs() / 7_500.0 < 0.25);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dense;
+pub mod estimator;
+pub mod hash;
+pub mod lazy;
+
+pub use dense::{HllConfig, HyperLogLog};
+pub use estimator::relative_error;
+pub use lazy::MergeAccumulator;

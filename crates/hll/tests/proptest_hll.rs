@@ -1,0 +1,132 @@
+//! Property-based tests of the HyperLogLog invariants the hybrid index
+//! relies on: merge is a commutative, associative, idempotent semilattice
+//! operation; merging equals unioning; estimates respect accuracy bounds.
+
+use hlsh_hll::{HllConfig, HyperLogLog, MergeAccumulator};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn cfg() -> HllConfig {
+    HllConfig::new(7, 0xABCD)
+}
+
+fn sketch_of(ids: &[u64]) -> HyperLogLog {
+    let mut h = HyperLogLog::new(cfg());
+    for &id in ids {
+        h.insert(id);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_commutes(a in vec(any::<u64>(), 0..200), b in vec(any::<u64>(), 0..200)) {
+        let sa = sketch_of(&a);
+        let sb = sketch_of(&b);
+        let mut ab = sa.clone();
+        ab.merge_from(&sb);
+        let mut ba = sb.clone();
+        ba.merge_from(&sa);
+        prop_assert_eq!(ab.registers(), ba.registers());
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in vec(any::<u64>(), 0..100),
+        b in vec(any::<u64>(), 0..100),
+        c in vec(any::<u64>(), 0..100),
+    ) {
+        let (sa, sb, sc) = (sketch_of(&a), sketch_of(&b), sketch_of(&c));
+        let mut left = sa.clone();
+        left.merge_from(&sb);
+        left.merge_from(&sc);
+        let mut bc = sb.clone();
+        bc.merge_from(&sc);
+        let mut right = sa.clone();
+        right.merge_from(&bc);
+        prop_assert_eq!(left.registers(), right.registers());
+    }
+
+    #[test]
+    fn merge_is_idempotent(a in vec(any::<u64>(), 0..200)) {
+        let sa = sketch_of(&a);
+        let mut aa = sa.clone();
+        aa.merge_from(&sa);
+        prop_assert_eq!(aa.registers(), sa.registers());
+    }
+
+    #[test]
+    fn merge_equals_union_stream(a in vec(any::<u64>(), 0..200), b in vec(any::<u64>(), 0..200)) {
+        let mut merged = sketch_of(&a);
+        merged.merge_from(&sketch_of(&b));
+        let mut union_ids = a.clone();
+        union_ids.extend_from_slice(&b);
+        let union_sketch = sketch_of(&union_ids);
+        prop_assert_eq!(merged.registers(), union_sketch.registers());
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant(mut ids in vec(any::<u64>(), 1..300)) {
+        let forward = sketch_of(&ids);
+        ids.reverse();
+        let backward = sketch_of(&ids);
+        prop_assert_eq!(forward.registers(), backward.registers());
+    }
+
+    #[test]
+    fn estimate_never_negative_and_zero_iff_empty(ids in vec(any::<u64>(), 0..300)) {
+        let s = sketch_of(&ids);
+        let e = s.estimate();
+        prop_assert!(e >= 0.0);
+        if ids.is_empty() {
+            prop_assert_eq!(e, 0.0);
+        } else {
+            prop_assert!(e > 0.0);
+        }
+    }
+
+    /// Small distinct sets (< m/4) sit squarely in the linear-counting
+    /// regime, where the estimate is accurate to a couple of elements.
+    #[test]
+    fn small_sets_estimate_tightly(ids in vec(0u64..1_000_000, 1..32)) {
+        let distinct: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let s = sketch_of(&ids);
+        let e = s.estimate();
+        let n = distinct.len() as f64;
+        prop_assert!((e - n).abs() <= (0.25 * n).max(2.0),
+            "distinct={n} estimate={e}");
+    }
+
+    #[test]
+    fn accumulator_matches_direct_merge(
+        a in vec(any::<u64>(), 0..150),
+        b in vec(any::<u64>(), 0..150),
+    ) {
+        let mut acc = MergeAccumulator::new(cfg());
+        acc.add_sketch(&sketch_of(&a));
+        acc.add_raw(b.iter().copied());
+        let mut direct = sketch_of(&a);
+        direct.merge_from(&sketch_of(&b));
+        let acc_sketch = acc.into_sketch();
+        prop_assert_eq!(acc_sketch.registers(), direct.registers());
+    }
+}
+
+/// Deterministic accuracy sweep across magnitudes: the observed relative
+/// error at m = 128 must stay within 3σ of the theoretical 1.04/√128.
+#[test]
+fn accuracy_sweep() {
+    let sigma = hlsh_hll::relative_error(128);
+    for &n in &[100u64, 1_000, 10_000, 50_000] {
+        for seed in 0..3u64 {
+            let config = HllConfig::new(7, seed * 17 + 1);
+            let mut h = HyperLogLog::new(config);
+            for i in 0..n {
+                h.insert(i.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(seed));
+            }
+            let e = h.estimate();
+            let rel = (e - n as f64).abs() / n as f64;
+            assert!(rel < 3.5 * sigma, "n={n} seed={seed} rel={rel}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Multi-probe and covering LSH — the extensions §5 of the paper names
+//! as future work for the hybrid strategy.
+//!
+//! * **Multi-probe LSH** (Lv, Josephson, Wang, Charikar, Li, VLDB'07):
+//!   instead of one bucket per table, probe the `T` most promising
+//!   buckets, trading fewer tables for more lookups. The paper observes
+//!   that multi-probe schemes "typically require a large number of
+//!   probes" — exactly the regime where duplicate removal dominates, so
+//!   the hybrid cost model applies verbatim: sum probed bucket sizes
+//!   (`#collisions`), merge probed-bucket HLLs (`candSize`), compare
+//!   with the linear cost. [`multiprobe_query`] implements that on top
+//!   of any [`hlsh_core::HybridLshIndex`] whose g-functions implement
+//!   [`ProbeSequence`].
+//!
+//! * **Covering LSH** (Pagh, SODA'16): a Hamming-space construction
+//!   with *zero false negatives* within radius `r`. We implement the
+//!   core scheme — random map `a : [d] → F₂^{r+1}`, one table per
+//!   nonzero dual vector `v`, each projecting onto
+//!   `{i : ⟨a(i), v⟩ = 1}` — plus the dimension-splitting trick that
+//!   keeps the table count practical at larger radii, and the same
+//!   per-bucket HLL instrumentation so hybrid decisions work there too
+//!   ([`CoveringLshIndex`]).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod covering;
+pub mod multiprobe;
+pub mod perturb;
+
+pub use covering::CoveringLshIndex;
+pub use multiprobe::{multiprobe_query, ProbeSequence};
+pub use perturb::PerturbationGenerator;

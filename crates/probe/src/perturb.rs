@@ -1,0 +1,198 @@
+//! Query-directed perturbation-set generation (Lv et al., §4.3).
+//!
+//! Given per-option scores (the expected "cost" of each elementary
+//! perturbation), emit perturbation sets in non-decreasing total score
+//! using the classic min-heap of {shift, expand} successors. Options
+//! may be grouped into *conflict groups* (for p-stable LSH, the −1 and
+//! +1 perturbations of the same atom conflict — a slot cannot move both
+//! ways); sets containing two options of one group are skipped.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One elementary perturbation option.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbeOption {
+    /// Score (≥ 0); lower = more promising.
+    pub score: f64,
+    /// Conflict group id (options sharing a group never co-occur).
+    pub group: u32,
+    /// Opaque payload handed back in generated sets (e.g. atom index
+    /// and direction packed by the caller).
+    pub payload: u64,
+}
+
+/// Candidate set in the heap: indices into the score-sorted option
+/// array.
+#[derive(Clone, Debug)]
+struct Candidate {
+    total: f64,
+    /// Sorted indices; the last one is always the maximum.
+    indices: Vec<u32>,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on total score via reversed comparison.
+        other.total.partial_cmp(&self.total).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Generates perturbation sets in non-decreasing total score.
+#[derive(Debug)]
+pub struct PerturbationGenerator {
+    /// Options sorted by ascending score.
+    options: Vec<ProbeOption>,
+    heap: BinaryHeap<Candidate>,
+}
+
+impl PerturbationGenerator {
+    /// Builds a generator over the given options (any order).
+    pub fn new(mut options: Vec<ProbeOption>) -> Self {
+        options.sort_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(Ordering::Equal));
+        let mut heap = BinaryHeap::new();
+        if !options.is_empty() {
+            heap.push(Candidate { total: options[0].score, indices: vec![0] });
+        }
+        Self { options, heap }
+    }
+
+    /// Whether a candidate avoids conflicting options.
+    fn is_valid(&self, c: &Candidate) -> bool {
+        let mut groups: Vec<u32> = c.indices.iter().map(|&i| self.options[i as usize].group).collect();
+        groups.sort_unstable();
+        groups.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Pushes the shift/expand successors of a candidate.
+    fn push_successors(&mut self, c: &Candidate) {
+        let last = *c.indices.last().expect("candidates are non-empty") as usize;
+        if last + 1 < self.options.len() {
+            // Shift: replace the max element with the next option.
+            let mut shifted = c.indices.clone();
+            *shifted.last_mut().unwrap() = (last + 1) as u32;
+            let total = c.total - self.options[last].score + self.options[last + 1].score;
+            self.heap.push(Candidate { total, indices: shifted });
+            // Expand: also include the next option.
+            let mut expanded = c.indices.clone();
+            expanded.push((last + 1) as u32);
+            let total = c.total + self.options[last + 1].score;
+            self.heap.push(Candidate { total, indices: expanded });
+        }
+    }
+}
+
+impl Iterator for PerturbationGenerator {
+    /// Payloads of one perturbation set, in option-score order.
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        while let Some(c) = self.heap.pop() {
+            self.push_successors(&c);
+            if self.is_valid(&c) {
+                return Some(
+                    c.indices.iter().map(|&i| self.options[i as usize].payload).collect(),
+                );
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(scores: &[f64]) -> Vec<ProbeOption> {
+        scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ProbeOption { score: s, group: i as u32, payload: i as u64 })
+            .collect()
+    }
+
+    #[test]
+    fn emits_in_nondecreasing_score_order() {
+        let gen = PerturbationGenerator::new(opts(&[3.0, 1.0, 2.0, 5.0]));
+        let scores_by_payload = [3.0, 1.0, 2.0, 5.0];
+        let mut last = 0.0;
+        for set in gen.take(12) {
+            let total: f64 = set.iter().map(|&p| scores_by_payload[p as usize]).sum();
+            assert!(total >= last - 1e-12, "total {total} after {last}");
+            last = total;
+        }
+    }
+
+    #[test]
+    fn first_set_is_single_minimum() {
+        let mut gen = PerturbationGenerator::new(opts(&[3.0, 1.0, 2.0]));
+        assert_eq!(gen.next(), Some(vec![1]));
+    }
+
+    #[test]
+    fn enumerates_all_subsets_without_conflicts() {
+        // 3 options, all different groups → 7 non-empty subsets.
+        let gen = PerturbationGenerator::new(opts(&[1.0, 2.0, 4.0]));
+        let sets: Vec<Vec<u64>> = gen.collect();
+        assert_eq!(sets.len(), 7);
+        let mut canon: Vec<Vec<u64>> = sets
+            .into_iter()
+            .map(|mut s| {
+                s.sort_unstable();
+                s
+            })
+            .collect();
+        canon.sort();
+        canon.dedup();
+        assert_eq!(canon.len(), 7, "duplicate subsets emitted");
+    }
+
+    #[test]
+    fn conflicting_pairs_are_skipped() {
+        // Two options in the same group: sets never contain both.
+        let options = vec![
+            ProbeOption { score: 1.0, group: 0, payload: 10 },
+            ProbeOption { score: 2.0, group: 0, payload: 11 },
+            ProbeOption { score: 3.0, group: 1, payload: 12 },
+        ];
+        let gen = PerturbationGenerator::new(options);
+        for set in gen {
+            let both = set.contains(&10) && set.contains(&11);
+            assert!(!both, "conflicting set {set:?}");
+        }
+    }
+
+    #[test]
+    fn empty_options_yield_nothing() {
+        let mut gen = PerturbationGenerator::new(vec![]);
+        assert_eq!(gen.next(), None);
+    }
+
+    #[test]
+    fn pstable_style_pairing() {
+        // k = 2 atoms → 4 options, groups {0,0,1,1}. Valid sets: each
+        // atom contributes at most one direction. Count subsets of
+        // options {a-,a+,b-,b+} with no conflict: 3 choices per atom
+        // (none/minus/plus) → 9 − 1 (empty) = 8 sets.
+        let options = vec![
+            ProbeOption { score: 0.1, group: 0, payload: 0 },
+            ProbeOption { score: 0.9, group: 0, payload: 1 },
+            ProbeOption { score: 0.4, group: 1, payload: 2 },
+            ProbeOption { score: 0.6, group: 1, payload: 3 },
+        ];
+        let gen = PerturbationGenerator::new(options);
+        let sets: Vec<_> = gen.collect();
+        assert_eq!(sets.len(), 8);
+    }
+}

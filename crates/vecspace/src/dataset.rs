@@ -1,0 +1,70 @@
+//! The [`PointSet`] abstraction shared by dense and binary data sets.
+
+/// Identifier of a point inside a data set.
+///
+/// The whole pipeline (buckets, candidate sets, HyperLogLog elements)
+/// works on indexes rather than point payloads; `u32` halves bucket
+/// memory versus `usize` and comfortably covers the paper's largest data
+/// set (CoverType, n = 581,012).
+pub type PointId = u32;
+
+/// A finite indexed collection of points of one type.
+///
+/// `Point` is an unsized borrow target (`[f32]` for dense data, `[u64]`
+/// for packed binary data) so that both dataset layouts hand out
+/// zero-copy views.
+pub trait PointSet {
+    /// Borrowed point type.
+    type Point: ?Sized;
+
+    /// Number of points.
+    fn len(&self) -> usize;
+
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows point `i`.
+    ///
+    /// # Panics
+    /// Implementations panic if `i >= self.len()`.
+    fn point(&self, i: usize) -> &Self::Point;
+}
+
+/// A point set that accepts appended points (streaming ingestion).
+///
+/// Implemented by [`crate::DenseDataset`] and [`crate::BinaryDataset`];
+/// enables the core index's `insert` to grow the index
+/// online (HyperLogLog sketches are insert-friendly; deletion is *not*
+/// supported because a sketch cannot retract an element).
+pub trait GrowablePointSet: PointSet {
+    /// Appends one point, which becomes index `len() - 1`.
+    ///
+    /// # Panics
+    /// Implementations panic on shape mismatch (wrong dimensionality /
+    /// bit width).
+    fn push_point(&mut self, p: &Self::Point);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Three;
+    impl PointSet for Three {
+        type Point = str;
+        fn len(&self) -> usize {
+            3
+        }
+        fn point(&self, i: usize) -> &str {
+            ["a", "b", "c"][i]
+        }
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(!Three.is_empty());
+        assert_eq!(Three.point(1), "b");
+    }
+}

@@ -1,0 +1,340 @@
+//! Row-major dense `f32` matrices.
+//!
+//! All real-valued data sets in the paper (Corel, CoverType, Webspam) are
+//! stored as a single contiguous allocation, which keeps the linear-scan
+//! baseline honest: a scan walks memory sequentially exactly as an
+//! optimised brute-force implementation would.
+
+use crate::dataset::PointSet;
+
+/// A dense data set of `n` points in `R^d`, stored row-major in one
+/// contiguous `Vec<f32>`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DenseDataset {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl DenseDataset {
+    /// Creates an empty data set with the given dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { data: Vec::new(), dim }
+    }
+
+    /// Creates an empty data set with room for `n` points.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        Self { data: Vec::with_capacity(dim * n), dim }
+    }
+
+    /// Builds a data set from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn from_flat(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(
+            data.len() % dim == 0,
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { data, dim }
+    }
+
+    /// Builds a data set from an iterator of rows.
+    ///
+    /// # Panics
+    /// Panics if any row's length differs from `dim`.
+    pub fn from_rows<I, R>(dim: usize, rows: I) -> Self
+    where
+        I: IntoIterator<Item = R>,
+        R: AsRef<[f32]>,
+    {
+        let mut ds = Self::new(dim);
+        for row in rows {
+            ds.push(row.as_ref());
+        }
+        ds
+    }
+
+    /// Appends one point.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != self.dim()`.
+    pub fn push(&mut self, point: &[f32]) {
+        assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
+        self.data.extend_from_slice(point);
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the data set holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Dimensionality of every point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Borrow point `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Iterator over all rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// The underlying flat buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Removes the points with the given (sorted, unique) indexes and
+    /// returns them as a new data set, preserving order. Used to split a
+    /// query set off a data set the way the paper does ("randomly remove
+    /// 100 points and use it as the query set").
+    ///
+    /// # Panics
+    /// Panics if indexes are not strictly increasing or out of bounds.
+    pub fn split_off_rows(&mut self, indexes: &[usize]) -> DenseDataset {
+        for w in indexes.windows(2) {
+            assert!(w[0] < w[1], "indexes must be strictly increasing");
+        }
+        if let Some(&last) = indexes.last() {
+            assert!(last < self.len(), "index {last} out of bounds");
+        }
+        let mut removed = DenseDataset::with_capacity(self.dim, indexes.len());
+        let mut kept = Vec::with_capacity(self.data.len() - indexes.len() * self.dim);
+        let mut next = indexes.iter().copied().peekable();
+        for (i, row) in self.data.chunks_exact(self.dim).enumerate() {
+            if next.peek() == Some(&i) {
+                removed.data.extend_from_slice(row);
+                next.next();
+            } else {
+                kept.extend_from_slice(row);
+            }
+        }
+        self.data = kept;
+        removed
+    }
+
+    /// Normalises every row to unit L2 norm in place. Rows with zero norm
+    /// are left untouched. Useful before cosine-distance experiments.
+    pub fn normalize_l2(&mut self) {
+        let dim = self.dim;
+        for row in self.data.chunks_exact_mut(dim) {
+            let norm = row.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                let inv = (1.0 / norm) as f32;
+                for v in row {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+}
+
+impl crate::dataset::GrowablePointSet for DenseDataset {
+    #[inline]
+    fn push_point(&mut self, p: &[f32]) {
+        self.push(p);
+    }
+}
+
+impl PointSet for DenseDataset {
+    type Point = [f32];
+
+    #[inline]
+    fn len(&self) -> usize {
+        DenseDataset::len(self)
+    }
+
+    #[inline]
+    fn point(&self, i: usize) -> &[f32] {
+        self.row(i)
+    }
+}
+
+/// Dot product of two equal-length slices, accumulated in `f64` for
+/// numerical robustness at high dimension.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (*x as f64) * (*y as f64)).sum()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = (*x as f64) - (*y as f64);
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean (L2) distance.
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f64 {
+    l2_sq(a, b).sqrt()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn l1(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| ((*x as f64) - (*y as f64)).abs()).sum()
+}
+
+/// L2 norm of a slice.
+#[inline]
+pub fn norm(a: &[f32]) -> f64 {
+    a.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt()
+}
+
+/// Cosine distance `1 − cos(a, b)` in `[0, 2]`.
+///
+/// If either vector has zero norm the distance is defined as `1.0`
+/// (orthogonal-like), which keeps the function total.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    // Clamp for fp error so downstream arccos never sees |cos| > 1.
+    let cos = (dot(a, b) / (na * nb)).clamp(-1.0, 1.0);
+    1.0 - cos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_row_round_trip() {
+        let mut ds = DenseDataset::new(3);
+        ds.push(&[1.0, 2.0, 3.0]);
+        ds.push(&[4.0, 5.0, 6.0]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 3);
+        assert_eq!(ds.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ds.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn push_wrong_dim_panics() {
+        let mut ds = DenseDataset::new(3);
+        ds.push(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn from_flat_validates_length() {
+        let ds = DenseDataset::from_flat(vec![0.0; 12], 4);
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        let _ = DenseDataset::from_flat(vec![0.0; 10], 4);
+    }
+
+    #[test]
+    fn rows_iterator_matches_row() {
+        let ds = DenseDataset::from_rows(2, [[0.0f32, 1.0], [2.0, 3.0], [4.0, 5.0]]);
+        let collected: Vec<&[f32]> = ds.rows().collect();
+        assert_eq!(collected.len(), 3);
+        for (i, r) in collected.iter().enumerate() {
+            assert_eq!(*r, ds.row(i));
+        }
+    }
+
+    #[test]
+    fn split_off_rows_partitions() {
+        let mut ds = DenseDataset::from_rows(1, (0..10).map(|i| [i as f32]));
+        let removed = ds.split_off_rows(&[0, 3, 9]);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(removed.row(0), &[0.0]);
+        assert_eq!(removed.row(1), &[3.0]);
+        assert_eq!(removed.row(2), &[9.0]);
+        assert_eq!(ds.len(), 7);
+        assert_eq!(ds.row(0), &[1.0]);
+        assert_eq!(ds.row(6), &[8.0]);
+    }
+
+    #[test]
+    fn split_off_rows_empty_index_list() {
+        let mut ds = DenseDataset::from_rows(1, (0..4).map(|i| [i as f32]));
+        let removed = ds.split_off_rows(&[]);
+        assert_eq!(removed.len(), 0);
+        assert_eq!(ds.len(), 4);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [1.0f32, 2.0, 2.0];
+        let b = [2.0f32, 0.0, 1.0];
+        assert_eq!(dot(&a, &b), 4.0);
+        assert_eq!(norm(&a), 3.0);
+        assert_eq!(l1(&a, &b), 4.0);
+        assert!((l2(&a, &b) - 6.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_distance_basic() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        assert!((cosine_distance(&a, &a) - 0.0).abs() < 1e-12);
+        assert!((cosine_distance(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [-1.0f32, 0.0];
+        assert!((cosine_distance(&a, &c) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_distance_zero_vector_is_one() {
+        let z = [0.0f32, 0.0];
+        let a = [1.0f32, 0.0];
+        assert_eq!(cosine_distance(&z, &a), 1.0);
+    }
+
+    #[test]
+    fn normalize_l2_makes_unit_rows() {
+        let mut ds = DenseDataset::from_rows(2, [[3.0f32, 4.0], [0.0, 0.0]]);
+        ds.normalize_l2();
+        assert!((norm(ds.row(0)) - 1.0).abs() < 1e-6);
+        assert_eq!(ds.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn pointset_impl_delegates() {
+        let ds = DenseDataset::from_rows(2, [[1.0f32, 2.0]]);
+        assert_eq!(PointSet::len(&ds), 1);
+        assert_eq!(PointSet::point(&ds, 0), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Plain-text data set parsers.
+//!
+//! The paper evaluates on UCI (dense whitespace/comma text) and libsvm
+//! (sparse `label idx:val ...`) files. These parsers let a user drop the
+//! original Corel / CoverType / Webspam / MNIST files into the harness in
+//! place of our synthetic analogs.
+
+use std::io::BufRead;
+
+use crate::dense::DenseDataset;
+
+/// Errors produced while parsing a data set file.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed record, with 1-based line number and description.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Malformed { line, message } => {
+                write!(f, "malformed record on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Io(e) => Some(e),
+            ParseError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseError {
+    fn from(e: std::io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Parses libsvm-format data (`label idx:val idx:val ...`, 1-based
+/// indexes) into a dense data set of dimensionality `dim`. Features with
+/// index greater than `dim` are rejected; absent features are zero.
+/// Labels are returned alongside the data.
+///
+/// Blank lines and lines starting with `#` are skipped. A trailing
+/// comment introduced by `#` on a data line is ignored, matching common
+/// libsvm tooling.
+pub fn parse_libsvm<R: BufRead>(
+    reader: R,
+    dim: usize,
+) -> Result<(DenseDataset, Vec<f32>), ParseError> {
+    let mut ds = DenseDataset::new(dim);
+    let mut labels = Vec::new();
+    let mut row = vec![0.0f32; dim];
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        let label_tok = parts.next().expect("non-empty line has a first token");
+        let label: f32 = label_tok.parse().map_err(|_| ParseError::Malformed {
+            line: lineno + 1,
+            message: format!("bad label {label_tok:?}"),
+        })?;
+        row.iter_mut().for_each(|v| *v = 0.0);
+        for tok in parts {
+            let (idx_s, val_s) = tok.split_once(':').ok_or_else(|| ParseError::Malformed {
+                line: lineno + 1,
+                message: format!("feature {tok:?} is not idx:val"),
+            })?;
+            let idx: usize = idx_s.parse().map_err(|_| ParseError::Malformed {
+                line: lineno + 1,
+                message: format!("bad feature index {idx_s:?}"),
+            })?;
+            let val: f32 = val_s.parse().map_err(|_| ParseError::Malformed {
+                line: lineno + 1,
+                message: format!("bad feature value {val_s:?}"),
+            })?;
+            if idx == 0 || idx > dim {
+                return Err(ParseError::Malformed {
+                    line: lineno + 1,
+                    message: format!("feature index {idx} outside 1..={dim}"),
+                });
+            }
+            row[idx - 1] = val;
+        }
+        ds.push(&row);
+        labels.push(label);
+    }
+    Ok((ds, labels))
+}
+
+/// Parses dense whitespace- or comma-separated rows of `dim` values
+/// (UCI style). Blank lines and `#` comments are skipped.
+pub fn parse_dense<R: BufRead>(reader: R, dim: usize) -> Result<DenseDataset, ParseError> {
+    let mut ds = DenseDataset::new(dim);
+    let mut row = Vec::with_capacity(dim);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        row.clear();
+        for tok in line.split(|c: char| c == ',' || c.is_ascii_whitespace()) {
+            if tok.is_empty() {
+                continue;
+            }
+            let v: f32 = tok.parse().map_err(|_| ParseError::Malformed {
+                line: lineno + 1,
+                message: format!("bad value {tok:?}"),
+            })?;
+            row.push(v);
+        }
+        if row.len() != dim {
+            return Err(ParseError::Malformed {
+                line: lineno + 1,
+                message: format!("expected {dim} values, found {}", row.len()),
+            });
+        }
+        ds.push(&row);
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libsvm_happy_path() {
+        let text = "\
+# comment line
++1 1:0.5 3:2.0
+-1 2:1.5   # trailing comment
+
++1 1:1.0 2:1.0 3:1.0
+";
+        let (ds, labels) = parse_libsvm(text.as_bytes(), 3).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(labels, vec![1.0, -1.0, 1.0]);
+        assert_eq!(ds.row(0), &[0.5, 0.0, 2.0]);
+        assert_eq!(ds.row(1), &[0.0, 1.5, 0.0]);
+        assert_eq!(ds.row(2), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn libsvm_rejects_out_of_range_index() {
+        let err = parse_libsvm("1 5:1.0".as_bytes(), 3).unwrap_err();
+        match err {
+            ParseError::Malformed { line, .. } => assert_eq!(line, 1),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn libsvm_rejects_zero_index() {
+        assert!(parse_libsvm("1 0:1.0".as_bytes(), 3).is_err());
+    }
+
+    #[test]
+    fn libsvm_rejects_bad_pair() {
+        assert!(parse_libsvm("1 nonsense".as_bytes(), 3).is_err());
+        assert!(parse_libsvm("1 a:1.0".as_bytes(), 3).is_err());
+        assert!(parse_libsvm("1 1:x".as_bytes(), 3).is_err());
+        assert!(parse_libsvm("zz 1:1.0".as_bytes(), 3).is_err());
+    }
+
+    #[test]
+    fn dense_happy_path_commas_and_spaces() {
+        let text = "1.0, 2.0, 3.0\n4 5 6\n";
+        let ds = parse_dense(text.as_bytes(), 3).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn dense_rejects_wrong_arity() {
+        let err = parse_dense("1.0 2.0".as_bytes(), 3).unwrap_err();
+        assert!(err.to_string().contains("expected 3 values"));
+    }
+
+    #[test]
+    fn dense_skips_comments_and_blanks() {
+        let text = "# header\n\n1 2\n";
+        let ds = parse_dense(text.as_bytes(), 2).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn error_display_formats() {
+        let e = ParseError::Malformed { line: 7, message: "boom".into() };
+        assert_eq!(e.to_string(), "malformed record on line 7: boom");
+    }
+}

@@ -1,0 +1,32 @@
+//! Vector substrate for the hybrid-LSH reproduction.
+//!
+//! This crate provides the point types, distance metrics and dataset
+//! containers that every other crate in the workspace builds on:
+//!
+//! * [`DenseDataset`] — row-major `f32` matrices for real-valued data
+//!   (Corel, CoverType, Webspam analogs),
+//! * [`BinaryDataset`] / [`BinaryVec`] — packed bit vectors for Hamming
+//!   space (MNIST 64-bit SimHash fingerprints),
+//! * the [`Distance`] trait with [`L1`], [`L2`], [`Cosine`], [`Hamming`]
+//!   and [`Jaccard`] implementations,
+//! * numeric special functions ([`stats::erf`], [`stats::normal_cdf`])
+//!   needed by the analytic p-stable collision probabilities,
+//! * plain-text parsers for libsvm and dense whitespace formats so the
+//!   paper's original data sets can be dropped in unchanged.
+//!
+//! Everything is dependency-free, deterministic and `unsafe`-free.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binary;
+pub mod dataset;
+pub mod dense;
+pub mod io;
+pub mod metric;
+pub mod stats;
+
+pub use binary::{BinaryDataset, BinaryVec};
+pub use dataset::{GrowablePointSet, PointId, PointSet};
+pub use dense::DenseDataset;
+pub use metric::{Cosine, Distance, Hamming, Jaccard, MetricKind, UnitCosine, L1, L2};

@@ -1,0 +1,225 @@
+//! Distance metrics as zero-sized strategy types.
+//!
+//! The rNNR problem (Definition 1 in the paper) is parameterised by an
+//! arbitrary distance function `f`. We model `f` as the [`Distance`]
+//! trait so the index is generic over both metric and point
+//! representation, mirroring the paper's claim that the hybrid strategy
+//! works "in an arbitrary high-dimensional space and distance measure
+//! that allows LSH".
+
+use crate::binary;
+use crate::dense;
+
+/// A distance function over borrowed points of type `P`.
+pub trait Distance<P: ?Sized>: Clone + Send + Sync {
+    /// Computes the distance between two points.
+    fn distance(&self, a: &P, b: &P) -> f64;
+
+    /// A short human-readable name ("L2", "cosine", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Enumeration of the metrics used in the paper's evaluation, for
+/// configuration and reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MetricKind {
+    /// Manhattan distance (CoverType experiment).
+    L1,
+    /// Euclidean distance (Corel experiment).
+    L2,
+    /// Cosine distance `1 − cos` (Webspam experiment).
+    Cosine,
+    /// Hamming distance on packed bits (MNIST experiment).
+    Hamming,
+    /// Jaccard distance on set bits (MinHash extension).
+    Jaccard,
+}
+
+impl std::fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MetricKind::L1 => "L1",
+            MetricKind::L2 => "L2",
+            MetricKind::Cosine => "cosine",
+            MetricKind::Hamming => "Hamming",
+            MetricKind::Jaccard => "Jaccard",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Manhattan distance over dense vectors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L1;
+
+impl Distance<[f32]> for L1 {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        dense::l1(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "L1"
+    }
+}
+
+/// Euclidean distance over dense vectors.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L2;
+
+impl Distance<[f32]> for L2 {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        dense::l2(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "L2"
+    }
+}
+
+/// Cosine distance `1 − cos(a, b)` over dense vectors, range `[0, 2]`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Cosine;
+
+impl Distance<[f32]> for Cosine {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        dense::cosine_distance(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine"
+    }
+}
+
+/// Cosine distance `1 − a·b` for vectors **already scaled to unit L2
+/// norm** (one dot product instead of three passes).
+///
+/// This is the production-realistic cosine metric: normalise once at
+/// ingest, then every distance is a single dot product. Results equal
+/// [`Cosine`] on unit inputs; on non-unit inputs they differ — the
+/// caller owns the invariant (e.g. via
+/// [`crate::DenseDataset::normalize_l2`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitCosine;
+
+impl Distance<[f32]> for UnitCosine {
+    #[inline]
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        1.0 - dense::dot(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "cosine(unit)"
+    }
+}
+
+/// Hamming distance over packed binary vectors, returned as `f64` so all
+/// metrics share one signature.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Hamming;
+
+impl Distance<[u64]> for Hamming {
+    #[inline]
+    fn distance(&self, a: &[u64], b: &[u64]) -> f64 {
+        binary::hamming_words(a, b) as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "Hamming"
+    }
+}
+
+/// Jaccard distance over packed binary vectors interpreted as sets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Jaccard;
+
+impl Distance<[u64]> for Jaccard {
+    fn distance(&self, a: &[u64], b: &[u64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut inter = 0u64;
+        let mut union = 0u64;
+        for (x, y) in a.iter().zip(b) {
+            inter += (x & y).count_ones() as u64;
+            union += (x | y).count_ones() as u64;
+        }
+        if union == 0 {
+            0.0
+        } else {
+            1.0 - inter as f64 / union as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Jaccard"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_l2_agree_with_free_functions() {
+        let a = [0.0f32, 3.0];
+        let b = [4.0f32, 0.0];
+        assert_eq!(L1.distance(&a, &b), 7.0);
+        assert_eq!(L2.distance(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn cosine_identity_is_zero() {
+        let a = [0.3f32, 0.4, 0.5];
+        assert!(Cosine.distance(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_cosine_matches_cosine_on_unit_vectors() {
+        let a = [0.6f32, 0.8];
+        let b = [1.0f32, 0.0];
+        assert!((UnitCosine.distance(&a, &b) - Cosine.distance(&a, &b)).abs() < 1e-6);
+        assert!(UnitCosine.distance(&a, &a).abs() < 1e-6);
+        assert_eq!(UnitCosine.name(), "cosine(unit)");
+    }
+
+    #[test]
+    fn hamming_on_words() {
+        assert_eq!(Hamming.distance(&[0b111u64], &[0b010u64]), 2.0);
+    }
+
+    #[test]
+    fn jaccard_on_words() {
+        assert!((Jaccard.distance(&[0b0111u64], &[0b1110u64]) - 0.5).abs() < 1e-12);
+        assert_eq!(Jaccard.distance(&[0u64], &[0u64]), 0.0);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(L1.name(), "L1");
+        assert_eq!(L2.name(), "L2");
+        assert_eq!(Cosine.name(), "cosine");
+        assert_eq!(Hamming.name(), "Hamming");
+        assert_eq!(Jaccard.name(), "Jaccard");
+        assert_eq!(MetricKind::Cosine.to_string(), "cosine");
+        assert_eq!(MetricKind::L1.to_string(), "L1");
+    }
+
+    /// Triangle inequality spot checks: metric axioms on random-ish data.
+    #[test]
+    fn triangle_inequality_holds() {
+        let pts: Vec<[f32; 4]> = vec![
+            [0.0, 1.0, 2.0, 3.0],
+            [1.0, 1.0, 0.0, -2.0],
+            [5.0, -3.0, 2.5, 0.5],
+        ];
+        for a in &pts {
+            for b in &pts {
+                for c in &pts {
+                    assert!(L1.distance(a, c) <= L1.distance(a, b) + L1.distance(b, c) + 1e-9);
+                    assert!(L2.distance(a, c) <= L2.distance(a, b) + L2.distance(b, c) + 1e-9);
+                }
+            }
+        }
+    }
+}

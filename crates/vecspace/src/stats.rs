@@ -1,0 +1,238 @@
+//! Numeric special functions and summary statistics.
+//!
+//! The p-stable LSH collision probabilities (Datar et al., SoCG'04) need
+//! the standard normal CDF; experiment reporting needs robust summary
+//! statistics. Both live here so no external numeric crate is required.
+
+/// Error function `erf(x)`, accurate to about `1.2e-7` absolute error.
+///
+/// Uses the Abramowitz & Stegun 7.1.26 rational approximation with the
+/// usual odd-symmetry extension. That accuracy is far below the
+/// statistical noise of any LSH parameter decision.
+pub fn erf(x: f64) -> f64 {
+    // Constants of A&S 7.1.26.
+    const A1: f64 = 0.254829592;
+    const A2: f64 = -0.284496736;
+    const A3: f64 = 1.421413741;
+    const A4: f64 = -1.453152027;
+    const A5: f64 = 1.061405429;
+    const P: f64 = 0.3275911;
+
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+#[inline]
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// Standard normal density `φ(x)`.
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Used by the experiment harness to report mean ± standard deviation
+/// over repeated runs exactly as the paper does ("average of 5 runs").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Summary of a sample: min / mean / max, as reported in Figure 3 (left)
+/// of the paper.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Smallest observation.
+    pub min: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+/// Summarises a non-empty slice.
+///
+/// # Panics
+/// Panics if `xs` is empty.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarise an empty sample");
+    let mut w = Welford::new();
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs {
+        w.push(x);
+        min = min.min(x);
+        max = max.max(x);
+    }
+    Summary { min, mean: w.mean(), max, std_dev: w.std_dev(), count: xs.len() }
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`) of an unsorted
+/// sample. Copies and sorts internally; intended for reporting, not hot
+/// paths.
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!(!xs.is_empty(), "cannot take a percentile of an empty sample");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (-1.0, -0.8427007929),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x}) = {} want {want}", erf(x));
+        }
+    }
+
+    #[test]
+    fn normal_cdf_known_values() {
+        // The A&S polynomial has ~1e-9 residual at 0; that is fine.
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-8);
+        assert!((normal_cdf(1.0) - 0.8413447461).abs() < 2e-7);
+        assert!((normal_cdf(-1.96) - 0.0249978951).abs() < 2e-7);
+        assert!(normal_cdf(8.0) > 0.999999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn normal_pdf_peak() {
+        assert!((normal_pdf(0.0) - 0.3989422804).abs() < 1e-9);
+        assert!((normal_pdf(1.0) - 0.2419707245).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = 0.0;
+        let mut x = -5.0;
+        while x <= 5.0 {
+            let c = normal_cdf(x);
+            assert!(c >= prev - 1e-12, "cdf not monotone at {x}");
+            prev = c;
+            x += 0.01;
+        }
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_degenerate() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        let mut w1 = Welford::new();
+        w1.push(3.0);
+        assert_eq!(w1.mean(), 3.0);
+        assert_eq!(w1.variance(), 0.0);
+    }
+
+    #[test]
+    fn summarize_basics() {
+        let s = summarize(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summarize_empty_panics() {
+        let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+}

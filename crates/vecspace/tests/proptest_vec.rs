@@ -1,0 +1,118 @@
+//! Property-based tests of the vector substrate: metric axioms,
+//! bit-vector round trips, and parser totality.
+
+use hlsh_vec::binary::{hamming, jaccard_distance};
+use hlsh_vec::dense::{cosine_distance, dot, l1, l2, norm};
+use hlsh_vec::{BinaryVec, DenseDataset};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn l1_l2_metric_axioms(
+        a in vec(-100.0f32..100.0, 8),
+        b in vec(-100.0f32..100.0, 8),
+        c in vec(-100.0f32..100.0, 8),
+    ) {
+        // Symmetry.
+        prop_assert!((l1(&a, &b) - l1(&b, &a)).abs() < 1e-9);
+        prop_assert!((l2(&a, &b) - l2(&b, &a)).abs() < 1e-9);
+        // Identity.
+        prop_assert!(l1(&a, &a).abs() < 1e-9);
+        prop_assert!(l2(&a, &a).abs() < 1e-9);
+        // Non-negativity.
+        prop_assert!(l1(&a, &b) >= 0.0);
+        prop_assert!(l2(&a, &b) >= 0.0);
+        // Triangle inequality (with fp slack).
+        prop_assert!(l1(&a, &c) <= l1(&a, &b) + l1(&b, &c) + 1e-6);
+        prop_assert!(l2(&a, &c) <= l2(&a, &b) + l2(&b, &c) + 1e-6);
+    }
+
+    #[test]
+    fn l2_dominated_by_l1(a in vec(-50.0f32..50.0, 12), b in vec(-50.0f32..50.0, 12)) {
+        prop_assert!(l2(&a, &b) <= l1(&a, &b) + 1e-6);
+    }
+
+    #[test]
+    fn dot_cauchy_schwarz(a in vec(-10.0f32..10.0, 6), b in vec(-10.0f32..10.0, 6)) {
+        prop_assert!(dot(&a, &b).abs() <= norm(&a) * norm(&b) + 1e-6);
+    }
+
+    #[test]
+    fn cosine_distance_range(a in vec(-10.0f32..10.0, 5), b in vec(-10.0f32..10.0, 5)) {
+        let d = cosine_distance(&a, &b);
+        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&d));
+        prop_assert!((cosine_distance(&a, &b) - cosine_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binaryvec_set_get_round_trip(bits in vec(any::<bool>(), 1..200)) {
+        let v = BinaryVec::from_bools(&bits);
+        for (i, &b) in bits.iter().enumerate() {
+            prop_assert_eq!(v.get(i), b);
+        }
+        prop_assert_eq!(v.count_ones() as usize, bits.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn hamming_is_a_metric(
+        a in vec(any::<bool>(), 64),
+        b in vec(any::<bool>(), 64),
+        c in vec(any::<bool>(), 64),
+    ) {
+        let (va, vb, vc) = (
+            BinaryVec::from_bools(&a),
+            BinaryVec::from_bools(&b),
+            BinaryVec::from_bools(&c),
+        );
+        prop_assert_eq!(hamming(&va, &vb), hamming(&vb, &va));
+        prop_assert_eq!(hamming(&va, &va), 0);
+        prop_assert!(hamming(&va, &vc) <= hamming(&va, &vb) + hamming(&vb, &vc));
+    }
+
+    #[test]
+    fn jaccard_range_and_symmetry(a in vec(any::<bool>(), 96), b in vec(any::<bool>(), 96)) {
+        let (va, vb) = (BinaryVec::from_bools(&a), BinaryVec::from_bools(&b));
+        let d = jaccard_distance(&va, &vb);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d, jaccard_distance(&vb, &va));
+        prop_assert_eq!(jaccard_distance(&va, &va), 0.0);
+    }
+
+    #[test]
+    fn split_off_rows_preserves_all_points(
+        rows in vec(vec(-5.0f32..5.0, 3), 2..50),
+        pick_seed in 0usize..1000,
+    ) {
+        let mut ds = DenseDataset::from_rows(3, rows.iter().map(|r| {
+            let mut a = [0.0f32; 3];
+            a.copy_from_slice(r);
+            a
+        }));
+        let take = (pick_seed % rows.len()).max(1);
+        let idx: Vec<usize> = (0..take).map(|i| i * rows.len() / take).collect();
+        let mut uniq = idx.clone();
+        uniq.dedup();
+        let removed = ds.split_off_rows(&uniq);
+        prop_assert_eq!(removed.len() + ds.len(), rows.len());
+        // Every original row appears exactly once across both sets.
+        let mut all: Vec<Vec<u32>> = removed
+            .rows()
+            .chain(ds.rows())
+            .map(|r| r.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        all.sort();
+        let mut orig: Vec<Vec<u32>> =
+            rows.iter().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect();
+        orig.sort();
+        prop_assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn libsvm_parser_never_panics(text in "[ -~\\n]{0,300}") {
+        // Totality: arbitrary printable input either parses or errors,
+        // never panics.
+        let _ = hlsh_vec::io::parse_libsvm(text.as_bytes(), 8);
+        let _ = hlsh_vec::io::parse_dense(text.as_bytes(), 4);
+    }
+}

@@ -1,0 +1,72 @@
+//! Content-based image retrieval — the paper's second motivating
+//! application (Yu et al., ICML'14): spherical range reporting over
+//! colour-histogram features under L2, using the p-stable family and
+//! the paper's Corel parameters (`k = 7, w = 2r`).
+//!
+//! ```text
+//! cargo run --release --example image_retrieval
+//! ```
+
+// Queries and ground truth are parallel arrays; indexed loops are intentional.
+#![allow(clippy::needless_range_loop)]
+use hybrid_lsh::datagen::{corel_like, ground_truth};
+use hybrid_lsh::prelude::*;
+
+fn main() {
+    // Corel-style colour histograms: 32-dim, non-negative, clustered by
+    // image theme with one near-duplicate burst group.
+    let n = 10_000;
+    let mut data = corel_like(n, 11);
+    let query_rows: Vec<usize> = (0..8).map(|i| i * 1_200).collect();
+    let queries = data.split_off_rows(&query_rows);
+
+    // The paper's Corel setting: k = 7, w = 2r, L = 50, δ = 0.1.
+    let radius = 0.45;
+    let params = PaperParams::default();
+    let (k, w) = params.pstable_k_w(hybrid_lsh::vec::MetricKind::L2, radius);
+    let index = IndexBuilder::new(PStableL2::new(data.dim(), w), L2)
+        .tables(params.l)
+        .hash_len(k)
+        .seed(5)
+        .build(data);
+    println!(
+        "indexed {} histograms: L = {}, k = {k}, w = {w}, β/α = {:.1}",
+        index.len(),
+        index.tables(),
+        index.cost_model().ratio()
+    );
+
+    // Retrieve images within L2 radius 0.45 of each query image.
+    let truth = ground_truth(index.data(), &queries, &L2, radius);
+    let mut total_time = std::time::Duration::ZERO;
+    for qi in 0..queries.len() {
+        let q = queries.row(qi);
+        let t = std::time::Instant::now();
+        let out = index.query(q, radius);
+        total_time += t.elapsed();
+        let recall = hybrid_lsh::index::evaluate_recall(&out.ids, &truth[qi]);
+        println!(
+            "image {qi}: {} matches via {} (recall {:.3})",
+            out.ids.len(),
+            out.report.executed.label(),
+            recall.recall()
+        );
+    }
+    println!("total query time: {total_time:?}");
+
+    // Compare all three strategies on the densest query (the paper's
+    // Figure 2d comparison, one point).
+    let densest = (0..queries.len())
+        .max_by_key(|&qi| truth[qi].len())
+        .expect("non-empty query set");
+    let q = queries.row(densest);
+    for strategy in [Strategy::Hybrid, Strategy::LshOnly, Strategy::LinearOnly] {
+        let t = std::time::Instant::now();
+        let out = index.query_with_strategy(q, radius, strategy);
+        println!(
+            "densest image, {strategy:>6}: {} matches in {:?}",
+            out.ids.len(),
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a hybrid-LSH index over clustered vectors, run
+//! radius queries, and inspect the per-query strategy decisions.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+// Queries and ground truth are parallel arrays; indexed loops are intentional.
+#![allow(clippy::needless_range_loop)]
+use hybrid_lsh::datagen::{ground_truth, webspam_like};
+use hybrid_lsh::prelude::*;
+
+fn main() {
+    // 1. Data: a Webspam-style corpus — one huge near-duplicate region,
+    //    some medium clusters, diffuse background (unit-norm rows).
+    let n = 8_000;
+    let mut data = webspam_like(n, 7);
+    println!("generated {} points in {} dims", data.len(), data.dim());
+
+    // 2. Hold out a few queries, exactly like the paper's protocol.
+    let queries = data.split_off_rows(&[10, 2_000, 4_000, 6_000, 7_999]);
+
+    // 3. Build the index: SimHash for cosine distance, L = 30 tables,
+    //    k from the paper's δ-rule at the target radius. The cost model
+    //    is calibrated automatically on the data.
+    let radius = 0.08;
+    let family = SimHash::new(data.dim());
+    let k = k_paper(0.1, 30, family.collision_prob(radius));
+    let index = IndexBuilder::new(family, UnitCosine)
+        .tables(30)
+        .hash_len(k)
+        .seed(42)
+        .build(data);
+    println!(
+        "index: L = {}, k = {}, calibrated β/α = {:.1}",
+        index.tables(),
+        index.k(),
+        index.cost_model().ratio()
+    );
+
+    // 4. Query. The hybrid strategy decides per query whether LSH-based
+    //    search or a linear scan is cheaper.
+    for qi in 0..queries.len() {
+        let q = queries.row(qi);
+        let est = index.explain(q);
+        let out = index.query(q, radius);
+        println!(
+            "query {qi}: {} neighbors | {} collisions, candSize ≈ {:.0} → \
+             LSHCost/LinearCost = {:.2} → executed {}",
+            out.ids.len(),
+            est.collisions,
+            est.cand_size_estimate,
+            est.lsh_cost / est.linear_cost,
+            out.report.executed.label(),
+        );
+    }
+
+    // 5. Verify against exact ground truth.
+    let truth = ground_truth(index.data(), &queries, &UnitCosine, radius);
+    for qi in 0..queries.len() {
+        let out = index.query(queries.row(qi), radius);
+        let report = hybrid_lsh::index::evaluate_recall(&out.ids, &truth[qi]);
+        assert!(report.precision() >= 1.0 - 1e-9, "reported a far point!");
+        println!(
+            "query {qi}: recall {:.3} ({} of {})",
+            report.recall(),
+            report.true_positives,
+            report.truth_size
+        );
+    }
+}

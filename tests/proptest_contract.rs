@@ -1,0 +1,166 @@
+//! Property-based tests of the rNNR contract across random data sets,
+//! radii and parameters: whatever the configuration, the index must
+//! never report a far point, the linear arm must be exact, and both
+//! arms must agree with brute force up to the allowed failure
+//! probability.
+
+use hybrid_lsh::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// Both globs export a `Strategy`; the index's enum is the one we mean.
+use hybrid_lsh::Strategy;
+
+fn brute_force(data: &DenseDataset, q: &[f32], r: f64) -> Vec<u32> {
+    (0..data.len() as u32)
+        .filter(|&i| hybrid_lsh::vec::dense::l2(data.row(i as usize), q) <= r)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Precision is always exactly 1: every reported id is within r.
+    #[test]
+    fn never_reports_far_points(
+        points in vec(vec(-10.0f32..10.0, 4), 20..120),
+        qx in -10.0f32..10.0,
+        r in 0.1f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        let data = DenseDataset::from_rows(4, points.iter().map(|p| {
+            let mut a = [0.0f32; 4];
+            a.copy_from_slice(p);
+            a
+        }));
+        let q = [qx, 0.0, 1.0, -1.0];
+        let index = IndexBuilder::new(PStableL2::new(4, (r).max(0.5)), L2)
+            .tables(6)
+            .hash_len(3)
+            .seed(seed)
+            .cost_model(CostModel::from_ratio(2.0))
+            .build(data);
+        let out = index.query(&q, r);
+        for &id in &out.ids {
+            let d = hybrid_lsh::vec::dense::l2(index.data().row(id as usize), &q);
+            prop_assert!(d <= r + 1e-9, "id {id} at distance {d} > {r}");
+        }
+        // No duplicates in the output.
+        let mut sorted = out.ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), out.ids.len());
+    }
+
+    /// The linear strategy equals brute force exactly, independent of
+    /// any LSH parameter.
+    #[test]
+    fn linear_strategy_is_brute_force(
+        points in vec(vec(-5.0f32..5.0, 3), 10..80),
+        r in 0.1f64..10.0,
+        k in 1usize..6,
+        l in 1usize..8,
+    ) {
+        let data = DenseDataset::from_rows(3, points.iter().map(|p| {
+            let mut a = [0.0f32; 3];
+            a.copy_from_slice(p);
+            a
+        }));
+        let q = [0.0f32, 0.0, 0.0];
+        let expected = brute_force(&data, &q, r);
+        let index = IndexBuilder::new(PStableL2::new(3, 1.0), L2)
+            .tables(l)
+            .hash_len(k)
+            .seed(1)
+            .cost_model(CostModel::from_ratio(1.0))
+            .build(data);
+        let mut got = index.query_with_strategy(&q, r, Strategy::LinearOnly).ids;
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Points identical to the query are reported with certainty by
+    /// every strategy (they collide in every table).
+    #[test]
+    fn exact_duplicates_always_reported(
+        dup_count in 1usize..20,
+        noise in vec(vec(5.0f32..50.0, 3), 5..40),
+        strategy_idx in 0usize..3,
+    ) {
+        let q = [1.0f32, 2.0, 3.0];
+        let mut data = DenseDataset::new(3);
+        for _ in 0..dup_count {
+            data.push(&q);
+        }
+        for p in &noise {
+            let mut a = [0.0f32; 3];
+            a.copy_from_slice(p);
+            data.push(&a);
+        }
+        let index = IndexBuilder::new(PStableL2::new(3, 2.0), L2)
+            .tables(5)
+            .hash_len(4)
+            .seed(3)
+            .cost_model(CostModel::from_ratio(1.0))
+            .build(data);
+        let strategy = Strategy::ALL[strategy_idx];
+        let out = index.query_with_strategy(&q, 0.0, strategy);
+        prop_assert_eq!(out.ids.len(), dup_count, "strategy {}", strategy);
+        prop_assert!(out.ids.iter().all(|&id| (id as usize) < dup_count));
+    }
+
+    /// The hybrid report is internally consistent.
+    #[test]
+    fn report_invariants(
+        points in vec(vec(-3.0f32..3.0, 3), 20..100),
+        r in 0.5f64..5.0,
+    ) {
+        let data = DenseDataset::from_rows(3, points.iter().map(|p| {
+            let mut a = [0.0f32; 3];
+            a.copy_from_slice(p);
+            a
+        }));
+        let q = [0.0f32, 1.0, 0.0];
+        let index = IndexBuilder::new(PStableL2::new(3, 2.0), L2)
+            .tables(6)
+            .hash_len(3)
+            .seed(5)
+            .cost_model(CostModel::from_ratio(3.0))
+            .build(data);
+        let out = index.query(&q, r);
+        let rep = &out.report;
+        prop_assert_eq!(rep.output_size, out.ids.len());
+        prop_assert!(rep.cand_size_estimate >= 0.0);
+        if let Some(actual) = rep.cand_size_actual {
+            // Candidates are a subset of all collisions.
+            prop_assert!(actual <= rep.collisions);
+            // Output points all passed the distance filter on candidates.
+            prop_assert!(rep.output_size <= actual);
+        }
+        prop_assert!(rep.total_nanos >= rep.hll_nanos);
+    }
+
+    /// Larger radii never shrink the linear-arm output (monotonicity).
+    #[test]
+    fn output_monotone_in_radius(
+        points in vec(vec(-5.0f32..5.0, 2), 10..60),
+        r1 in 0.1f64..3.0,
+        dr in 0.0f64..3.0,
+    ) {
+        let data = DenseDataset::from_rows(2, points.iter().map(|p| {
+            let mut a = [0.0f32; 2];
+            a.copy_from_slice(p);
+            a
+        }));
+        let q = [0.0f32, 0.0];
+        let index = IndexBuilder::new(PStableL2::new(2, 1.0), L2)
+            .tables(4)
+            .hash_len(2)
+            .seed(7)
+            .cost_model(CostModel::from_ratio(1.0))
+            .build(data);
+        let small = index.query_with_strategy(&q, r1, Strategy::LinearOnly).ids.len();
+        let large = index.query_with_strategy(&q, r1 + dr, Strategy::LinearOnly).ids.len();
+        prop_assert!(large >= small);
+    }
+}
