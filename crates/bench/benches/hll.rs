@@ -62,9 +62,7 @@ fn bench_estimate(c: &mut Criterion) {
     for i in 0..100_000u64 {
         sketch.insert(i);
     }
-    c.bench_function("hll_estimate_m128", |b| {
-        b.iter(|| std::hint::black_box(sketch.estimate()))
-    });
+    c.bench_function("hll_estimate_m128", |b| b.iter(|| std::hint::black_box(sketch.estimate())));
 }
 
 criterion_group! {

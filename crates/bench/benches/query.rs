@@ -68,11 +68,8 @@ fn bench_queries(c: &mut Criterion) {
         for strategy in [Strategy::Hybrid, Strategy::LshOnly, Strategy::LinearOnly] {
             group.bench_function(format!("{qname}_{strategy}"), |b| {
                 b.iter(|| {
-                    let out = s.index.query_with_strategy(
-                        std::hint::black_box(&q[..]),
-                        r,
-                        strategy,
-                    );
+                    let out =
+                        s.index.query_with_strategy(std::hint::black_box(&q[..]), r, strategy);
                     std::hint::black_box(out.ids.len())
                 })
             });

@@ -1,0 +1,130 @@
+//! Criterion benches of the storage/execution refactor: hashmap vs
+//! frozen bucket lookups, and single-query vs batch-engine throughput
+//! on the mixture workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hlsh_core::{CostModel, IndexBuilder, QueryEngine, Strategy};
+use hlsh_datagen::benchmark_mixture;
+use hlsh_families::PStableL2;
+use hlsh_vec::{DenseDataset, L2};
+
+type Index<B> = hlsh_core::HybridLshIndex<DenseDataset, PStableL2, L2, B>;
+
+struct Setup {
+    map_index: Index<hlsh_core::MapStore>,
+    frozen_index: Index<hlsh_core::FrozenStore>,
+    queries: Vec<Vec<f32>>,
+    r: f64,
+}
+
+fn setup() -> Setup {
+    let r = 1.5;
+    let (mut data, _) = benchmark_mixture(24, 6_000, r, 31);
+    let q_rows: Vec<usize> = (0..64).map(|i| i * 90).collect();
+    let queries_ds = data.split_off_rows(&q_rows);
+    let queries: Vec<Vec<f32>> =
+        (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
+    let map_index = IndexBuilder::new(PStableL2::new(24, 2.0 * r), L2)
+        .tables(20)
+        .hash_len(7)
+        .seed(17)
+        .cost_model(CostModel::from_ratio(6.0))
+        .build(data);
+    let frozen_index = {
+        let (mut data2, _) = benchmark_mixture(24, 6_000, r, 31);
+        data2.split_off_rows(&q_rows);
+        IndexBuilder::new(PStableL2::new(24, 2.0 * r), L2)
+            .tables(20)
+            .hash_len(7)
+            .seed(17)
+            .cost_model(CostModel::from_ratio(6.0))
+            .build_frozen(data2)
+    };
+    Setup { map_index, frozen_index, queries, r }
+}
+
+fn bench_lookup_backends(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("bucket_lookup");
+    group.bench_function("hashmap", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &s.queries[qi % s.queries.len()];
+            qi += 1;
+            let mut hits = 0usize;
+            for table in s.map_index.raw_tables() {
+                if let Some(bucket) = table.bucket(std::hint::black_box(&q[..])) {
+                    hits += bucket.len();
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("frozen_csr", |b| {
+        let mut qi = 0;
+        b.iter(|| {
+            let q = &s.queries[qi % s.queries.len()];
+            qi += 1;
+            let mut hits = 0usize;
+            for table in s.frozen_index.raw_tables() {
+                if let Some(bucket) = table.bucket(std::hint::black_box(&q[..])) {
+                    hits += bucket.len();
+                }
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("mixture_queryset");
+    group.bench_function("sequential_map", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &s.queries {
+                total += s.map_index.query(q, s.r).ids.len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("engine_reuse_frozen", |b| {
+        b.iter(|| {
+            let mut engine = QueryEngine::new();
+            let mut total = 0usize;
+            for q in &s.queries {
+                total += engine.query(&s.frozen_index, q, s.r).ids.len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.bench_function("batch_frozen_all_cores", |b| {
+        b.iter(|| {
+            let out = s.frozen_index.query_batch(&s.queries, s.r);
+            std::hint::black_box(out.iter().map(|o| o.ids.len()).sum::<usize>())
+        })
+    });
+    group.bench_function("batch_frozen_4_threads", |b| {
+        b.iter(|| {
+            let out = s.frozen_index.query_batch_with_strategy(
+                &s.queries,
+                s.r,
+                Strategy::Hybrid,
+                Some(4),
+            );
+            std::hint::black_box(out.iter().map(|o| o.ids.len()).sum::<usize>())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_lookup_backends, bench_query_paths
+}
+criterion_main!(benches);

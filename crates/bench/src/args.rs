@@ -100,9 +100,7 @@ fn parse_dataset(s: &str) -> Result<PaperDataset, String> {
         "covertype" => Ok(PaperDataset::CoverType),
         "webspam" => Ok(PaperDataset::Webspam),
         "mnist" => Ok(PaperDataset::Mnist),
-        other => Err(format!(
-            "unknown dataset {other:?} (expected corel|covertype|webspam|mnist)"
-        )),
+        other => Err(format!("unknown dataset {other:?} (expected corel|covertype|webspam|mnist)")),
     }
 }
 

@@ -10,9 +10,9 @@
 //! ```
 
 use hlsh_bench::experiment::{measure_radius, ExperimentConfig};
-use hlsh_core::CostModel;
 use hlsh_bench::tablefmt::Table;
 use hlsh_bench::CommonArgs;
+use hlsh_core::CostModel;
 use hlsh_datagen::DenseWorkload;
 use hlsh_families::{k_paper, LshFamily, PaperDataset, SimHash};
 use hlsh_vec::UnitCosine;

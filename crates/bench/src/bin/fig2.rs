@@ -32,8 +32,7 @@ fn main() {
             &["radius", "k", "Hybrid", "LSH", "Linear", "winner"],
         );
         for row in &rows {
-            let winner = if row.hybrid_secs <= row.lsh_secs && row.hybrid_secs <= row.linear_secs
-            {
+            let winner = if row.hybrid_secs <= row.lsh_secs && row.hybrid_secs <= row.linear_secs {
                 "Hybrid"
             } else if row.lsh_secs <= row.linear_secs {
                 "LSH"

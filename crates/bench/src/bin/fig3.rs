@@ -49,5 +49,7 @@ fn main() {
         ]);
     }
     right.print();
-    println!("paper reference — max output > n/2; LS calls ≈ 10% at r=0.05 rising to ≈ 50% at r=0.10");
+    println!(
+        "paper reference — max output > n/2; LS calls ≈ 10% at r=0.05 rising to ≈ 50% at r=0.10"
+    );
 }

@@ -32,8 +32,7 @@ fn main() {
         // "Small range of radii where LSH significantly outperforms
         // linear": keep the radii whose LSH time beats linear, falling
         // back to the smallest half of the sweep.
-        let lsh_friendly: Vec<_> =
-            rows.iter().filter(|r| r.lsh_secs < r.linear_secs).collect();
+        let lsh_friendly: Vec<_> = rows.iter().filter(|r| r.lsh_secs < r.linear_secs).collect();
         let chosen: Vec<_> = if lsh_friendly.is_empty() {
             rows.iter().take((rows.len() / 2).max(1)).collect()
         } else {

@@ -1,0 +1,152 @@
+//! Batch-query throughput on the mixture workload: sequential
+//! single-query loop vs reused [`QueryEngine`] vs the sharded
+//! [`query_batch`] API, on both storage backends.
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin throughput -- [--n N] [--queries N] [--runs N] [--seed N] [--threads N]
+//! ```
+//!
+//! Verifies byte-identical result ids across every path before
+//! printing queries/second, so a speedup can never come from a wrong
+//! answer.
+
+use std::time::Instant;
+
+use hlsh_core::{CostModel, IndexBuilder, QueryEngine, Strategy};
+use hlsh_datagen::benchmark_mixture;
+use hlsh_families::PStableL2;
+use hlsh_vec::L2;
+
+struct Args {
+    n: usize,
+    queries: usize,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        n: 20_000,
+        queries: 256,
+        runs: 5,
+        seed: 23,
+        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--n" => out.n = grab("--n"),
+            "--queries" => out.queries = grab("--queries"),
+            "--runs" => out.runs = grab("--runs").max(1),
+            "--seed" => out.seed = grab("--seed") as u64,
+            "--threads" => out.threads = grab("--threads").max(1),
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\nusage: throughput [--n N] [--queries N] [--runs N] [--seed N] [--threads N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(out.queries < out.n, "--queries must be smaller than --n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let dim = 24;
+    let r = 1.5;
+
+    let (mut data, _) = benchmark_mixture(dim, args.n, r, args.seed);
+    let q_rows: Vec<usize> = (0..args.queries).map(|i| i * (args.n / args.queries)).collect();
+    let queries_ds = data.split_off_rows(&q_rows);
+    let queries: Vec<Vec<f32>> =
+        (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
+
+    let index = IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
+        .tables(20)
+        .hash_len(7)
+        .seed(args.seed)
+        .cost_model(CostModel::from_ratio(6.0))
+        .build(data);
+    let frozen = {
+        let (mut data2, _) = benchmark_mixture(dim, args.n, r, args.seed);
+        data2.split_off_rows(&q_rows);
+        IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
+            .tables(20)
+            .hash_len(7)
+            .seed(args.seed)
+            .cost_model(CostModel::from_ratio(6.0))
+            .build_frozen(data2)
+    };
+
+    // Correctness gate: every path must report identical ids.
+    let reference: Vec<Vec<u32>> = queries.iter().map(|q| index.query(q, r).ids).collect();
+    let engine_ids: Vec<Vec<u32>> = {
+        let mut engine = QueryEngine::new();
+        queries.iter().map(|q| engine.query(&frozen, q, r).ids).collect()
+    };
+    let batch_ids: Vec<Vec<u32>> = frozen
+        .query_batch_with_strategy(&queries, r, Strategy::Hybrid, Some(args.threads))
+        .into_iter()
+        .map(|o| o.ids)
+        .collect();
+    assert_eq!(reference, engine_ids, "engine path diverged from sequential");
+    assert_eq!(reference, batch_ids, "batch path diverged from sequential");
+    println!(
+        "verified: {} queries, byte-identical ids across sequential / engine / batch paths\n",
+        queries.len()
+    );
+
+    let nq = queries.len() as f64;
+    let measure = |label: &str, mut f: Box<dyn FnMut() -> usize + '_>| {
+        let mut best = f64::INFINITY;
+        for _ in 0..args.runs {
+            let t0 = Instant::now();
+            let total = f();
+            let secs = t0.elapsed().as_secs_f64();
+            std::hint::black_box(total);
+            best = best.min(secs);
+        }
+        println!("{label:<44} {:>12.0} queries/s   ({best:.4} s best of {})", nq / best, args.runs);
+        nq / best
+    };
+
+    let seq = measure(
+        "sequential query() loop, hashmap store",
+        Box::new(|| queries.iter().map(|q| index.query(q, r).ids.len()).sum()),
+    );
+    measure(
+        "sequential query() loop, frozen store",
+        Box::new(|| queries.iter().map(|q| frozen.query(q, r).ids.len()).sum()),
+    );
+    measure(
+        "QueryEngine reuse, frozen store",
+        Box::new(|| {
+            let mut engine = QueryEngine::new();
+            queries.iter().map(|q| engine.query(&frozen, q, r).ids.len()).sum()
+        }),
+    );
+    for threads in [1, 2, 4, args.threads] {
+        let label = format!("query_batch, frozen store, {threads} thread(s)");
+        let tput = measure(
+            &label,
+            Box::new(|| {
+                frozen
+                    .query_batch_with_strategy(&queries, r, Strategy::Hybrid, Some(threads))
+                    .iter()
+                    .map(|o| o.ids.len())
+                    .sum()
+            }),
+        );
+        if threads == 4 {
+            println!("  -> 4-thread batch vs sequential hashmap loop: {:.2}x", tput / seq);
+        }
+    }
+}

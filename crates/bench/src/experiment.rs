@@ -13,9 +13,7 @@ use std::time::Instant;
 use hlsh_core::search::ExecutedArm;
 use hlsh_core::{CostModel, HybridLshIndex, IndexBuilder, QueryOutput, Strategy};
 use hlsh_datagen::{ground_truth, BinaryWorkload, DenseWorkload};
-use hlsh_families::{
-    k_paper, BitSampling, LshFamily, PStableL1, PStableL2, PaperDataset, SimHash,
-};
+use hlsh_families::{k_paper, BitSampling, LshFamily, PStableL1, PStableL2, PaperDataset, SimHash};
 use hlsh_probe::{multiprobe_query, ProbeSequence};
 use hlsh_vec::stats::Welford;
 use hlsh_vec::{Distance, Hamming, PointSet, UnitCosine, L1, L2};
@@ -221,9 +219,7 @@ where
 {
     let cost = match cfg.ratio_override {
         Some(ratio) => CostModel::from_ratio(ratio),
-        None => {
-            CostModel::calibrate(data, distance, 10_000.min(100 * data.len().max(1)), cfg.seed)
-        }
+        None => CostModel::calibrate(data, distance, 10_000.min(100 * data.len().max(1)), cfg.seed),
     };
     eprintln!(
         "[calibration] α = {:.1} ns, β_scan = {:.1} ns, β_cand = {:.1} ns (β/α = {:.1})",
@@ -254,8 +250,8 @@ pub fn measure_radius<S, Q, F, D>(
 where
     S: PointSet + Sync,
     Q: PointSet<Point = S::Point> + Sync,
-    F: LshFamily<S::Point>,
-    F::GFn: ProbeSequence<S::Point> + Send,
+    F: LshFamily<S::Point> + Sync,
+    F::GFn: ProbeSequence<S::Point> + Send + Sync,
     D: Distance<S::Point> + Sync,
 {
     let m = 1usize << cfg.hll_precision;
@@ -277,14 +273,22 @@ where
     }
     let nq = queries.len().max(1);
 
-    // Timed passes.
+    // Timed passes. Single-probe sweeps go through the batch engine
+    // (sharded across cores, per-thread scratch reuse); multi-probe
+    // still walks the per-query path.
     let timed = |strategy: Strategy| -> f64 {
         let mut total = 0.0;
         for _ in 0..cfg.runs {
             let t0 = Instant::now();
-            for qi in 0..queries.len() {
-                let out = run_query(&index, queries.point(qi), r, strategy, cfg.probes_per_table);
-                std::hint::black_box(out.ids.len());
+            if cfg.probes_per_table <= 1 {
+                let outs = index.query_batch_set(queries, r, strategy, None);
+                std::hint::black_box(outs.iter().map(|o| o.ids.len()).sum::<usize>());
+            } else {
+                for qi in 0..queries.len() {
+                    let out =
+                        run_query(&index, queries.point(qi), r, strategy, cfg.probes_per_table);
+                    std::hint::black_box(out.ids.len());
+                }
             }
             total += t0.elapsed().as_secs_f64();
         }

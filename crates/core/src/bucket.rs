@@ -24,6 +24,31 @@ impl Bucket {
         Self { members: Vec::new(), sketch: None }
     }
 
+    /// Rebuilds a bucket from its parts (used when thawing a frozen
+    /// store back into hashmap form).
+    pub fn from_parts(members: Vec<PointId>, sketch: Option<HyperLogLog>) -> Self {
+        Self { members, sketch }
+    }
+
+    /// Decomposes the bucket into its member list and optional sketch
+    /// (used when freezing a hashmap store into the CSR arena).
+    pub fn into_parts(self) -> (Vec<PointId>, Option<HyperLogLog>) {
+        (self.members, self.sketch)
+    }
+
+    /// The materialised sketch, if any.
+    #[inline]
+    pub fn sketch(&self) -> Option<&HyperLogLog> {
+        self.sketch.as_ref()
+    }
+
+    /// A borrowed view of this bucket, the common currency of every
+    /// [`BucketStore`](crate::store::BucketStore) backend.
+    #[inline]
+    pub fn as_view(&self) -> BucketRef<'_> {
+        BucketRef { members: &self.members, sketch: self.sketch.as_ref() }
+    }
+
     /// Inserts a point, materialising the sketch once the bucket
     /// reaches `lazy_threshold` members (the paper suggests `m`).
     ///
@@ -87,6 +112,65 @@ impl Bucket {
 impl Default for Bucket {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// A borrowed view of one bucket: member slice plus optional sketch.
+///
+/// Both storage backends hand out this type — the hashmap store borrows
+/// straight from a [`Bucket`], the frozen store from its CSR arena —
+/// so every query path (single-probe, multi-probe, covering) is
+/// backend-agnostic.
+#[derive(Clone, Copy, Debug)]
+pub struct BucketRef<'a> {
+    pub(crate) members: &'a [PointId],
+    pub(crate) sketch: Option<&'a HyperLogLog>,
+}
+
+impl<'a> BucketRef<'a> {
+    /// Builds a view from raw parts (storage backends only).
+    #[inline]
+    pub fn from_parts(members: &'a [PointId], sketch: Option<&'a HyperLogLog>) -> Self {
+        Self { members, sketch }
+    }
+
+    /// Number of members (the `#collisions` contribution).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the bucket is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member point ids.
+    #[inline]
+    pub fn members(&self) -> &'a [PointId] {
+        self.members
+    }
+
+    /// The materialised sketch, if any.
+    #[inline]
+    pub fn sketch(&self) -> Option<&'a HyperLogLog> {
+        self.sketch
+    }
+
+    /// Whether the sketch has been materialised.
+    #[inline]
+    pub fn has_sketch(&self) -> bool {
+        self.sketch.is_some()
+    }
+
+    /// Contributes this bucket to a query-time merge: register-wise max
+    /// if the sketch exists, raw member hashing otherwise (paper §3.2).
+    pub fn contribute_to(&self, acc: &mut MergeAccumulator) {
+        match self.sketch {
+            Some(s) => acc.add_sketch(s),
+            None => acc.add_raw(self.members.iter().map(|&m| m as u64)),
+        }
     }
 }
 

@@ -7,6 +7,7 @@ use hlsh_vec::{Distance, PointSet};
 
 use crate::cost::CostModel;
 use crate::index::HybridLshIndex;
+use crate::store::FrozenStore;
 
 /// Configures and builds a [`HybridLshIndex`].
 ///
@@ -154,6 +155,20 @@ impl<F, D> IndexBuilder<F, D> {
             self.parallel,
         )
     }
+
+    /// Builds the index and immediately freezes every table into the
+    /// read-optimised CSR arena ([`FrozenStore`]) — the right call for
+    /// build-once/query-many workloads. See
+    /// [`HybridLshIndex::freeze`].
+    pub fn build_frozen<S>(self, data: S) -> HybridLshIndex<S, F, D, FrozenStore>
+    where
+        S: PointSet + Sync,
+        F: LshFamily<S::Point>,
+        F::GFn: Send,
+        D: Distance<S::Point>,
+    {
+        self.build(data).freeze()
+    }
 }
 
 #[cfg(test)]
@@ -182,17 +197,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one hash table")]
     fn zero_tables_rejected() {
-        let _ = IndexBuilder::new(BitSampling::new(64), Hamming)
-            .tables(0)
-            .build(tiny_data());
+        let _ = IndexBuilder::new(BitSampling::new(64), Hamming).tables(0).build(tiny_data());
     }
 
     #[test]
     #[should_panic(expected = "at least one atom")]
     fn zero_k_rejected() {
-        let _ = IndexBuilder::new(BitSampling::new(64), Hamming)
-            .hash_len(0)
-            .build(tiny_data());
+        let _ = IndexBuilder::new(BitSampling::new(64), Hamming).hash_len(0).build(tiny_data());
     }
 
     #[test]
@@ -210,10 +221,7 @@ mod tests {
         let c = build(8);
         let q = [0u64];
         assert_eq!(a.explain(&q[..]).collisions, b.explain(&q[..]).collisions);
-        assert_eq!(
-            a.explain(&q[..]).cand_size_estimate,
-            b.explain(&q[..]).cand_size_estimate
-        );
+        assert_eq!(a.explain(&q[..]).cand_size_estimate, b.explain(&q[..]).cand_size_estimate);
         // A different seed almost surely samples different coords.
         let _ = c; // (collision counts may coincide; just ensure it builds)
     }

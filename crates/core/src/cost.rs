@@ -173,8 +173,7 @@ impl CostModel {
         // size, not cold growth.
         let dup_factor = 16;
         let alpha_ops = sample_pairs * dup_factor;
-        let ids: Vec<u32> =
-            (0..alpha_ops).map(|_| (next() % sample_pairs as u64) as u32).collect();
+        let ids: Vec<u32> = (0..alpha_ops).map(|_| (next() % sample_pairs as u64) as u32).collect();
         let mut alpha = f64::INFINITY;
         for rep in 0..4 {
             let mut set: FxHashSet<u32> = FxHashSet::default();

@@ -30,11 +30,12 @@ pub struct DiverseOutput {
     pub report: QueryReport,
 }
 
-impl<S, F, D> HybridLshIndex<S, F, D>
+impl<S, F, D, B> HybridLshIndex<S, F, D, B>
 where
     S: PointSet,
     F: LshFamily<S::Point>,
     D: Distance<S::Point>,
+    B: crate::store::BucketStore,
 {
     /// Reports up to `k` points within distance `r` of `q`, selected
     /// for maximal spread by the greedy max-min heuristic
@@ -145,8 +146,7 @@ mod tests {
         assert_eq!(out.ids.len(), 3);
         assert_eq!(out.candidates, 60);
         // One id per blob: ids 0..20, 20..40, 40..60.
-        let blobs: std::collections::HashSet<u32> =
-            out.ids.iter().map(|&id| id / 20).collect();
+        let blobs: std::collections::HashSet<u32> = out.ids.iter().map(|&id| id / 20).collect();
         assert_eq!(blobs.len(), 3, "ids {:?}", out.ids);
         assert!(out.min_pairwise_distance > 4.0);
     }

@@ -1,0 +1,408 @@
+//! The query execution engine: reusable per-thread scratch state and
+//! the parallel batch API.
+//!
+//! A single Algorithm 2 query needs three pieces of transient state —
+//! the probed bucket list, the HLL merge accumulator, and the
+//! candidate-dedup hash set. Allocating them per query is fine for one
+//! call but wasteful under batch load, where the dedup set alone can
+//! reach `n` entries. [`QueryEngine`] owns that scratch and reuses it
+//! across queries; [`HybridLshIndex::query_batch`] shards a query slice
+//! over scoped threads, one engine per thread, and returns outputs in
+//! input order — byte-identical ids to a sequential loop.
+
+use std::time::Instant;
+
+use hlsh_families::LshFamily;
+use hlsh_hll::MergeAccumulator;
+use hlsh_vec::{Distance, PointId, PointSet};
+
+use crate::hasher::FxHashSet;
+use crate::index::HybridLshIndex;
+use crate::report::{QueryOutput, QueryReport};
+use crate::search::{ExecutedArm, Strategy};
+use crate::store::BucketStore;
+
+/// Reusable scratch state for running queries.
+///
+/// One engine serves one thread: methods take `&mut self` and recycle
+/// the dedup set and merge accumulator between calls. Results are
+/// identical to the allocate-per-query path.
+#[derive(Debug, Default)]
+pub struct QueryEngine {
+    seen: FxHashSet<PointId>,
+    acc: Option<MergeAccumulator>,
+}
+
+impl QueryEngine {
+    /// Creates an engine with empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hybrid query (Algorithm 2) with reused scratch.
+    pub fn query<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+    ) -> QueryOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        self.query_with_strategy(index, q, r, Strategy::Hybrid)
+    }
+
+    /// Runs a query under an explicit strategy with reused scratch.
+    pub fn query_with_strategy<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        strategy: Strategy,
+    ) -> QueryOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let t_start = Instant::now();
+        match strategy {
+            Strategy::LinearOnly => {
+                let ids = linear_arm(index, q, r);
+                let total = t_start.elapsed().as_nanos() as u64;
+                QueryOutput {
+                    report: QueryReport {
+                        executed: ExecutedArm::Linear,
+                        collisions: 0,
+                        cand_size_estimate: 0.0,
+                        cand_size_actual: None,
+                        output_size: ids.len(),
+                        hash_nanos: 0,
+                        hll_nanos: 0,
+                        total_nanos: total,
+                    },
+                    ids,
+                }
+            }
+            Strategy::LshOnly => {
+                let (buckets, collisions, hash_nanos) = index.probe(q);
+                let (ids, cand_actual) = self.lsh_arm(index, q, r, &buckets);
+                let total = t_start.elapsed().as_nanos() as u64;
+                QueryOutput {
+                    report: QueryReport {
+                        executed: ExecutedArm::Lsh,
+                        collisions,
+                        cand_size_estimate: cand_actual as f64,
+                        cand_size_actual: Some(cand_actual),
+                        output_size: ids.len(),
+                        hash_nanos,
+                        hll_nanos: 0,
+                        total_nanos: total,
+                    },
+                    ids,
+                }
+            }
+            Strategy::Hybrid => {
+                // Algorithm 2 line 1: bucket sizes → #collisions.
+                let (buckets, collisions, hash_nanos) = index.probe(q);
+                // Line 2: merge HLLs → candSize estimate.
+                let t_hll = Instant::now();
+                let acc = self.accumulator(index);
+                for b in &buckets {
+                    b.contribute_to(acc);
+                }
+                let cand_estimate = acc.estimate();
+                let hll_nanos = t_hll.elapsed().as_nanos() as u64;
+                // Lines 3–4: compare costs, run the cheaper arm.
+                let prefer_lsh =
+                    index.cost_model().prefer_lsh(collisions, cand_estimate, index.len());
+                let (executed, ids, cand_actual) = if prefer_lsh {
+                    let (ids, cand) = self.lsh_arm(index, q, r, &buckets);
+                    (ExecutedArm::Lsh, ids, Some(cand))
+                } else {
+                    (ExecutedArm::Linear, linear_arm(index, q, r), None)
+                };
+                let total = t_start.elapsed().as_nanos() as u64;
+                QueryOutput {
+                    report: QueryReport {
+                        executed,
+                        collisions,
+                        cand_size_estimate: cand_estimate,
+                        cand_size_actual: cand_actual,
+                        output_size: ids.len(),
+                        hash_nanos,
+                        hll_nanos,
+                        total_nanos: total,
+                    },
+                    ids,
+                }
+            }
+        }
+    }
+
+    /// The merge accumulator for `index`'s HLL config, cleared and
+    /// ready (recreated only when the config changes between indexes).
+    fn accumulator<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+    ) -> &mut MergeAccumulator
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let config = index.hll_config();
+        match &mut self.acc {
+            Some(acc) if acc.config() == config => acc.clear(),
+            slot => *slot = Some(MergeAccumulator::new(config)),
+        }
+        self.acc.as_mut().expect("accumulator just ensured")
+    }
+
+    /// Step S2 + S3: dedup the colliding points, filter by distance.
+    /// Returns (reported ids, distinct candidate count).
+    fn lsh_arm<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        buckets: &[crate::bucket::BucketRef<'_>],
+    ) -> (Vec<PointId>, usize)
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        self.seen.clear();
+        let mut out = Vec::new();
+        let (data, distance) = (index.data(), index.distance());
+        for b in buckets {
+            for &id in b.members() {
+                if self.seen.insert(id) && distance.distance(data.point(id as usize), q) <= r {
+                    out.push(id);
+                }
+            }
+        }
+        (out, self.seen.len())
+    }
+}
+
+/// The brute-force arm: scan every point.
+fn linear_arm<S, F, D, B>(index: &HybridLshIndex<S, F, D, B>, q: &S::Point, r: f64) -> Vec<PointId>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    let (data, distance) = (index.data(), index.distance());
+    let mut out = Vec::new();
+    for id in 0..data.len() {
+        if distance.distance(data.point(id), q) <= r {
+            out.push(id as PointId);
+        }
+    }
+    out
+}
+
+/// Adapter presenting a slice of `AsRef<P>` values as a [`PointSet`].
+/// (The `fn() -> &P` phantom keeps the adapter `Sync` regardless of
+/// `P`'s own `Sync`-ness; only `&Q` is ever shared across threads.)
+struct SliceSet<'a, Q, P: ?Sized>(&'a [Q], std::marker::PhantomData<fn() -> &'a P>);
+
+impl<Q, P> PointSet for SliceSet<'_, Q, P>
+where
+    Q: AsRef<P>,
+    P: ?Sized,
+{
+    type Point = P;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn point(&self, i: usize) -> &P {
+        self.0[i].as_ref()
+    }
+}
+
+impl<S, F, D, B> HybridLshIndex<S, F, D, B>
+where
+    S: PointSet + Sync,
+    F: LshFamily<S::Point> + Sync,
+    F::GFn: Sync,
+    D: Distance<S::Point> + Sync,
+    B: BucketStore + Sync,
+{
+    /// Answers a batch of hybrid queries, sharded across all available
+    /// cores. Outputs are in input order and their ids are
+    /// byte-identical to a sequential `query` loop.
+    pub fn query_batch<Q>(&self, queries: &[Q], r: f64) -> Vec<QueryOutput>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        self.query_batch_with_strategy(queries, r, Strategy::Hybrid, None)
+    }
+
+    /// Batch querying under an explicit strategy and optional thread
+    /// count (`None` = all available cores).
+    pub fn query_batch_with_strategy<Q>(
+        &self,
+        queries: &[Q],
+        r: f64,
+        strategy: Strategy,
+        threads: Option<usize>,
+    ) -> Vec<QueryOutput>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        self.query_batch_set(&SliceSet(queries, std::marker::PhantomData), r, strategy, threads)
+    }
+
+    /// Batch querying over any [`PointSet`] of queries (the natural
+    /// shape for the experiment harness, whose held-out query sets are
+    /// themselves datasets).
+    pub fn query_batch_set<Q>(
+        &self,
+        queries: &Q,
+        r: f64,
+        strategy: Strategy,
+        threads: Option<usize>,
+    ) -> Vec<QueryOutput>
+    where
+        Q: PointSet<Point = S::Point> + Sync,
+    {
+        let nq = queries.len();
+        if nq == 0 {
+            return Vec::new();
+        }
+        let threads = threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+            .clamp(1, nq);
+
+        let mut results: Vec<Option<QueryOutput>> = vec![None; nq];
+        if threads == 1 {
+            let mut engine = QueryEngine::new();
+            for (qi, slot) in results.iter_mut().enumerate() {
+                *slot = Some(engine.query_with_strategy(self, queries.point(qi), r, strategy));
+            }
+        } else {
+            let chunk = nq.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (ci, slots) in results.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        let mut engine = QueryEngine::new();
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            let qi = ci * chunk + off;
+                            *slot = Some(engine.query_with_strategy(
+                                self,
+                                queries.point(qi),
+                                r,
+                                strategy,
+                            ));
+                        }
+                    });
+                }
+            });
+        }
+        results.into_iter().map(|r| r.expect("every query slot filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::cost::CostModel;
+    use hlsh_families::BitSampling;
+    use hlsh_vec::{BinaryDataset, Hamming};
+
+    fn fingerprints(n: u64, seed: u64) -> Vec<u64> {
+        (0..n).map(|i| hlsh_hll::hash::hash_id(seed, i / 3)).collect()
+    }
+
+    fn build_index(fps: &[u64]) -> HybridLshIndex<BinaryDataset, BitSampling, Hamming> {
+        IndexBuilder::new(BitSampling::new(64), Hamming)
+            .tables(8)
+            .hash_len(10)
+            .seed(42)
+            .cost_model(CostModel::from_ratio(4.0))
+            .build(BinaryDataset::from_fingerprints(fps))
+    }
+
+    #[test]
+    fn engine_reuse_matches_fresh_engines() {
+        let fps = fingerprints(600, 9);
+        let index = build_index(&fps);
+        let mut engine = QueryEngine::new();
+        for qi in (0..fps.len()).step_by(37) {
+            let q = [fps[qi]];
+            let reused = engine.query(&index, &q[..], 6.0);
+            let fresh = index.query(&q[..], 6.0);
+            assert_eq!(reused.ids, fresh.ids);
+            assert_eq!(reused.report.executed, fresh.report.executed);
+            assert_eq!(reused.report.collisions, fresh.report.collisions);
+            assert_eq!(reused.report.cand_size_estimate, fresh.report.cand_size_estimate);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_loop_all_strategies() {
+        let fps = fingerprints(500, 4);
+        let index = build_index(&fps);
+        let queries: Vec<Vec<u64>> =
+            (0..40).map(|i| vec![fps[i * 12] ^ (i as u64 & 0b11)]).collect();
+        for strategy in Strategy::ALL {
+            for threads in [Some(1), Some(3), Some(7), None] {
+                let batch = index.query_batch_with_strategy(&queries, 5.0, strategy, threads);
+                assert_eq!(batch.len(), queries.len());
+                for (qi, out) in batch.iter().enumerate() {
+                    let seq = index.query_with_strategy(&queries[qi], 5.0, strategy);
+                    assert_eq!(out.ids, seq.ids, "strategy {strategy} query {qi}");
+                    assert_eq!(out.report.executed, seq.report.executed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_on_empty_query_set() {
+        let index = build_index(&fingerprints(50, 1));
+        let queries: Vec<Vec<u64>> = Vec::new();
+        assert!(index.query_batch(&queries, 2.0).is_empty());
+    }
+
+    #[test]
+    fn batch_with_more_threads_than_queries() {
+        let fps = fingerprints(80, 2);
+        let index = build_index(&fps);
+        let queries = vec![vec![fps[0]], vec![fps[40]]];
+        let out = index.query_batch_with_strategy(&queries, 3.0, Strategy::Hybrid, Some(16));
+        assert_eq!(out.len(), 2);
+        for (qi, o) in out.iter().enumerate() {
+            assert_eq!(o.ids, index.query(&queries[qi], 3.0).ids);
+        }
+    }
+
+    #[test]
+    fn frozen_batch_matches_map_batch() {
+        let fps = fingerprints(400, 7);
+        let queries: Vec<Vec<u64>> = (0..25).map(|i| vec![fps[i * 16]]).collect();
+        let map_index = build_index(&fps);
+        let map_out = map_index.query_batch(&queries, 4.0);
+        let frozen = map_index.freeze();
+        let frozen_out = frozen.query_batch(&queries, 4.0);
+        for (a, b) in map_out.iter().zip(&frozen_out) {
+            assert_eq!(a.ids, b.ids);
+            assert_eq!(a.report.executed, b.report.executed);
+            assert_eq!(a.report.collisions, b.report.collisions);
+            assert_eq!(a.report.cand_size_estimate, b.report.cand_size_estimate);
+        }
+    }
+}

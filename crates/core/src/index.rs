@@ -1,17 +1,17 @@
 //! The hybrid-LSH index: Algorithm 1 (construction) and Algorithm 2
-//! (hybrid query).
-
-use std::time::Instant;
+//! (hybrid query), generic over the bucket-storage backend.
 
 use hlsh_families::LshFamily;
 use hlsh_hll::{HllConfig, MergeAccumulator};
 use hlsh_vec::{Distance, PointId, PointSet};
 
-use crate::bucket::Bucket;
+use crate::bucket::BucketRef;
 use crate::cost::{CostEstimate, CostModel};
+use crate::engine::QueryEngine;
 use crate::hasher::FxHashSet;
-use crate::report::{QueryOutput, QueryReport};
-use crate::search::{ExecutedArm, Strategy};
+use crate::report::QueryOutput;
+use crate::search::Strategy;
+use crate::store::{BucketStore, FrozenStore, MapStore};
 use crate::table::HashTable;
 
 /// An LSH index over a data set `S`, instrumented with per-bucket
@@ -19,33 +19,38 @@ use crate::table::HashTable;
 /// search and a linear scan (the paper's hybrid strategy).
 ///
 /// Generic over the point representation (`S::Point`), the LSH family
-/// `F` and the distance `D`, so the same machinery serves all four of
+/// `F`, the distance `D` — so the same machinery serves all four of
 /// the paper's experiments (Hamming/bit-sampling, cosine/SimHash,
-/// L1/Cauchy, L2/Gaussian).
-pub struct HybridLshIndex<S, F, D>
+/// L1/Cauchy, L2/Gaussian) — and the bucket store `B`:
+/// [`MapStore`] (default) accepts streaming inserts, while
+/// [`freeze`](Self::freeze) converts every table into a read-optimised
+/// CSR arena ([`FrozenStore`]) for maximum query throughput.
+pub struct HybridLshIndex<S, F, D, B = MapStore>
 where
     S: PointSet,
     F: LshFamily<S::Point>,
     D: Distance<S::Point>,
+    B: BucketStore,
 {
     data: S,
     family: F,
     distance: D,
-    tables: Vec<HashTable<F::GFn>>,
+    tables: Vec<HashTable<F::GFn, B>>,
     hll_config: HllConfig,
     lazy_threshold: usize,
     cost: CostModel,
     k: usize,
 }
 
-impl<S, F, D> HybridLshIndex<S, F, D>
+impl<S, F, D> HybridLshIndex<S, F, D, MapStore>
 where
     S: PointSet,
     F: LshFamily<S::Point>,
     D: Distance<S::Point>,
 {
     /// Constructs the index (Algorithm 1). Called by
-    /// [`IndexBuilder::build`]; prefer that entry point.
+    /// [`IndexBuilder::build`](crate::IndexBuilder::build); prefer that
+    /// entry point.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn construct(
         data: S,
@@ -62,8 +67,7 @@ where
         S: Sync,
         F::GFn: Send,
     {
-        let mut tables: Vec<HashTable<F::GFn>> =
-            gfns.into_iter().map(HashTable::new).collect();
+        let mut tables: Vec<HashTable<F::GFn>> = gfns.into_iter().map(HashTable::new).collect();
         let n = data.len();
 
         // Algorithm 1: for each point, for each table, insert into the
@@ -77,9 +81,9 @@ where
         if threads > 1 && tables.len() > 1 {
             let data_ref = &data;
             let chunk_size = 1.max(tables.len().div_ceil(threads));
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for chunk in tables.chunks_mut(chunk_size) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for table in chunk {
                             for id in 0..n {
                                 table.insert(
@@ -92,8 +96,7 @@ where
                         }
                     });
                 }
-            })
-            .expect("index build thread panicked");
+            });
         } else {
             for table in &mut tables {
                 for id in 0..n {
@@ -105,6 +108,74 @@ where
         Self { data, family, distance, tables, hll_config, lazy_threshold, cost, k }
     }
 
+    /// Appends a point to the index online (streaming ingestion),
+    /// returning its id.
+    ///
+    /// Runs the Algorithm 1 inner loop for the new point: one bucket
+    /// insert and one HLL update per table. Available when the data
+    /// set type supports appends and the store is the mutable
+    /// [`MapStore`] (a frozen index must [`thaw`](Self::thaw) first).
+    /// Deletion is intentionally absent — a HyperLogLog sketch cannot
+    /// retract an element (rebuild the index to shrink it).
+    pub fn insert(&mut self, p: &S::Point) -> PointId
+    where
+        S: hlsh_vec::GrowablePointSet,
+    {
+        let id = self.data.len() as PointId;
+        self.data.push_point(p);
+        for table in &mut self.tables {
+            table.insert(id, p, self.hll_config, self.lazy_threshold);
+        }
+        id
+    }
+
+    /// Converts every table into the read-optimised [`FrozenStore`]
+    /// (sorted key array + offsets + contiguous member slab): query
+    /// lookups become binary search + slice borrow with zero per-bucket
+    /// allocation. Query results are byte-identical before and after.
+    pub fn freeze(self) -> HybridLshIndex<S, F, D, FrozenStore> {
+        HybridLshIndex {
+            data: self.data,
+            family: self.family,
+            distance: self.distance,
+            tables: self.tables.into_iter().map(HashTable::freeze).collect(),
+            hll_config: self.hll_config,
+            lazy_threshold: self.lazy_threshold,
+            cost: self.cost,
+            k: self.k,
+        }
+    }
+}
+
+impl<S, F, D> HybridLshIndex<S, F, D, FrozenStore>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+{
+    /// Converts back to the mutable [`MapStore`] backend so streaming
+    /// [`insert`](HybridLshIndex::insert) works again.
+    pub fn thaw(self) -> HybridLshIndex<S, F, D, MapStore> {
+        HybridLshIndex {
+            data: self.data,
+            family: self.family,
+            distance: self.distance,
+            tables: self.tables.into_iter().map(HashTable::thaw).collect(),
+            hll_config: self.hll_config,
+            lazy_threshold: self.lazy_threshold,
+            cost: self.cost,
+            k: self.k,
+        }
+    }
+}
+
+impl<S, F, D, B> HybridLshIndex<S, F, D, B>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
     /// The indexed data set.
     pub fn data(&self) -> &S {
         &self.data
@@ -152,32 +223,15 @@ where
 
     /// Direct access to the underlying tables (for the multi-probe
     /// extension crate).
-    pub fn raw_tables(&self) -> &[HashTable<F::GFn>] {
+    pub fn raw_tables(&self) -> &[HashTable<F::GFn, B>] {
         &self.tables
-    }
-
-    /// Appends a point to the index online (streaming ingestion),
-    /// returning its id.
-    ///
-    /// Runs the Algorithm 1 inner loop for the new point: one bucket
-    /// insert and one HLL update per table. Available when the data
-    /// set type supports appends. Deletion is intentionally absent —
-    /// a HyperLogLog sketch cannot retract an element (rebuild the
-    /// index to shrink it).
-    pub fn insert(&mut self, p: &S::Point) -> PointId
-    where
-        S: hlsh_vec::GrowablePointSet,
-    {
-        let id = self.data.len() as PointId;
-        self.data.push_point(p);
-        for table in &mut self.tables {
-            table.insert(id, p, self.hll_config, self.lazy_threshold);
-        }
-        id
     }
 
     /// Hybrid query (Algorithm 2): estimate costs, pick the cheaper
     /// arm, report every indexed point within distance `r` of `q`.
+    ///
+    /// Allocates fresh per-query scratch; batch workloads should prefer
+    /// [`query_batch`](Self::query_batch) or a reused [`QueryEngine`].
     pub fn query(&self, q: &S::Point, r: f64) -> QueryOutput {
         self.query_with_strategy(q, r, Strategy::Hybrid)
     }
@@ -190,74 +244,7 @@ where
     /// Runs a query under an explicit strategy (the Figure 2 baselines:
     /// `LshOnly`, `LinearOnly`, or the adaptive `Hybrid`).
     pub fn query_with_strategy(&self, q: &S::Point, r: f64, strategy: Strategy) -> QueryOutput {
-        let t_start = Instant::now();
-        match strategy {
-            Strategy::LinearOnly => {
-                let ids = self.linear_arm(q, r);
-                let total = t_start.elapsed().as_nanos() as u64;
-                QueryOutput {
-                    report: QueryReport {
-                        executed: ExecutedArm::Linear,
-                        collisions: 0,
-                        cand_size_estimate: 0.0,
-                        cand_size_actual: None,
-                        output_size: ids.len(),
-                        hash_nanos: 0,
-                        hll_nanos: 0,
-                        total_nanos: total,
-                    },
-                    ids,
-                }
-            }
-            Strategy::LshOnly => {
-                let (buckets, collisions, hash_nanos) = self.probe(q);
-                let (ids, cand_actual) = self.lsh_arm(q, r, &buckets);
-                let total = t_start.elapsed().as_nanos() as u64;
-                QueryOutput {
-                    report: QueryReport {
-                        executed: ExecutedArm::Lsh,
-                        collisions,
-                        cand_size_estimate: cand_actual as f64,
-                        cand_size_actual: Some(cand_actual),
-                        output_size: ids.len(),
-                        hash_nanos,
-                        hll_nanos: 0,
-                        total_nanos: total,
-                    },
-                    ids,
-                }
-            }
-            Strategy::Hybrid => {
-                // Algorithm 2 line 1: bucket sizes → #collisions.
-                let (buckets, collisions, hash_nanos) = self.probe(q);
-                // Line 2: merge HLLs → candSize estimate.
-                let t_hll = Instant::now();
-                let cand_estimate = self.estimate_cand_size(&buckets);
-                let hll_nanos = t_hll.elapsed().as_nanos() as u64;
-                // Lines 3–4: compare costs, run the cheaper arm.
-                let prefer_lsh = self.cost.prefer_lsh(collisions, cand_estimate, self.len());
-                let (executed, ids, cand_actual) = if prefer_lsh {
-                    let (ids, cand) = self.lsh_arm(q, r, &buckets);
-                    (ExecutedArm::Lsh, ids, Some(cand))
-                } else {
-                    (ExecutedArm::Linear, self.linear_arm(q, r), None)
-                };
-                let total = t_start.elapsed().as_nanos() as u64;
-                QueryOutput {
-                    report: QueryReport {
-                        executed,
-                        collisions,
-                        cand_size_estimate: cand_estimate,
-                        cand_size_actual: cand_actual,
-                        output_size: ids.len(),
-                        hash_nanos,
-                        hll_nanos,
-                        total_nanos: total,
-                    },
-                    ids,
-                }
-            }
-        }
+        QueryEngine::new().query_with_strategy(self, q, r, strategy)
     }
 
     /// Returns the Algorithm 2 cost estimate for a query without
@@ -315,8 +302,8 @@ where
 
     /// Step S1 + bucket lookup: the `L` buckets matching `q`, the total
     /// collision count, and the elapsed nanoseconds.
-    fn probe(&self, q: &S::Point) -> (Vec<&Bucket>, usize, u64) {
-        let t = Instant::now();
+    pub(crate) fn probe(&self, q: &S::Point) -> (Vec<BucketRef<'_>>, usize, u64) {
+        let t = std::time::Instant::now();
         let mut buckets = Vec::with_capacity(self.tables.len());
         let mut collisions = 0usize;
         for table in &self.tables {
@@ -330,39 +317,12 @@ where
 
     /// Algorithm 2 line 2: merged-HLL candidate-size estimate (the
     /// `O(mL)` overhead; small buckets contribute raw members, §3.2).
-    fn estimate_cand_size(&self, buckets: &[&Bucket]) -> f64 {
+    fn estimate_cand_size(&self, buckets: &[BucketRef<'_>]) -> f64 {
         let mut acc = MergeAccumulator::new(self.hll_config);
         for b in buckets {
             b.contribute_to(&mut acc);
         }
         acc.estimate()
-    }
-
-    /// Step S2 + S3: dedup the colliding points, filter by distance.
-    /// Returns (reported ids, distinct candidate count).
-    fn lsh_arm(&self, q: &S::Point, r: f64, buckets: &[&Bucket]) -> (Vec<PointId>, usize) {
-        let mut seen: FxHashSet<PointId> = FxHashSet::default();
-        let mut out = Vec::new();
-        for b in buckets {
-            for &id in b.members() {
-                if seen.insert(id) && self.distance.distance(self.data.point(id as usize), q) <= r
-                {
-                    out.push(id);
-                }
-            }
-        }
-        (out, seen.len())
-    }
-
-    /// The brute-force arm: scan every point.
-    fn linear_arm(&self, q: &S::Point, r: f64) -> Vec<PointId> {
-        let mut out = Vec::new();
-        for id in 0..self.data.len() {
-            if self.distance.distance(self.data.point(id), q) <= r {
-                out.push(id as PointId);
-            }
-        }
-        out
     }
 }
 

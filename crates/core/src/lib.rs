@@ -23,6 +23,18 @@
 //! the decision adapts per query, so sparse-region queries keep LSH's
 //! sublinear behaviour while dense-region queries fall back to the scan.
 //!
+//! # Storage and execution
+//!
+//! Bucket storage is pluggable behind the [`store::BucketStore`]
+//! trait: indexes build on the hashmap-backed [`MapStore`] and can be
+//! [`frozen`](HybridLshIndex::freeze) into the CSR-arena
+//! [`FrozenStore`] for read-mostly serving (binary-search lookups over
+//! contiguous arrays, zero per-bucket allocation; `thaw` converts
+//! back). Query execution lives in [`QueryEngine`], which reuses
+//! per-thread scratch across queries;
+//! [`query_batch`](HybridLshIndex::query_batch) shards a batch over
+//! scoped threads with byte-identical results to a sequential loop.
+//!
 //! # Example
 //!
 //! ```
@@ -59,17 +71,22 @@ pub mod bucket;
 pub mod builder;
 pub mod cost;
 pub mod diverse;
+pub mod engine;
 pub mod hasher;
 pub mod index;
 pub mod recall;
 pub mod report;
 pub mod search;
+pub mod store;
 pub mod table;
 
+pub use bucket::BucketRef;
 pub use builder::IndexBuilder;
 pub use cost::{CostEstimate, CostModel};
 pub use diverse::DiverseOutput;
+pub use engine::QueryEngine;
 pub use index::{HybridLshIndex, IndexStats};
 pub use recall::{evaluate_recall, RecallReport};
 pub use report::{QueryOutput, QueryReport};
 pub use search::Strategy;
+pub use store::{BucketStore, FrozenStore, MapStore};

@@ -1,0 +1,321 @@
+//! Pluggable bucket storage backends.
+//!
+//! A [`HashTable`](crate::table::HashTable) delegates all bucket
+//! storage to a [`BucketStore`]. Two backends ship:
+//!
+//! * [`MapStore`] — the build-time and streaming backend: a
+//!   `FxHashMap<u64, Bucket>` that accepts inserts in any order.
+//! * [`FrozenStore`] — the read-optimised backend: a CSR-style arena
+//!   (sorted key array, offset array, one contiguous member slab, a
+//!   parallel sketch array) built by
+//!   [`freeze`](crate::table::HashTable::freeze). A lookup is a binary
+//!   search over a dense `u64` array plus a slice borrow — no pointer
+//!   chasing, no per-bucket allocation, and members of neighbouring
+//!   buckets share cache lines during multi-probe sweeps.
+//!
+//! Both backends hand out [`BucketRef`] views, so every query path is
+//! backend-agnostic; [`thaw`](FrozenStore::thaw) converts back when an
+//! index must resume streaming ingestion.
+
+use hlsh_hll::{HllConfig, HyperLogLog};
+use hlsh_vec::PointId;
+
+use crate::bucket::{Bucket, BucketRef};
+use crate::hasher::FxHashMap;
+
+/// Storage of a hash table's buckets, keyed by the 64-bit bucket key.
+pub trait BucketStore {
+    /// Creates an empty store.
+    fn new() -> Self
+    where
+        Self: Sized;
+
+    /// Inserts a point into the bucket for `key` (Algorithm 1 lines
+    /// 3–4: append the member and update the bucket's lazy HLL).
+    ///
+    /// # Panics
+    /// Immutable backends ([`FrozenStore`]) panic; convert with
+    /// [`FrozenStore::thaw`] first.
+    fn insert(&mut self, key: u64, id: PointId, config: HllConfig, lazy_threshold: usize);
+
+    /// Looks up the bucket for a raw key.
+    fn get(&self, key: u64) -> Option<BucketRef<'_>>;
+
+    /// Number of non-empty buckets.
+    fn bucket_count(&self) -> usize;
+
+    /// Iterates over all `(key, bucket)` pairs. Iteration order is
+    /// backend-defined (arbitrary for [`MapStore`], ascending key order
+    /// for [`FrozenStore`]).
+    fn iter(&self) -> Box<dyn Iterator<Item = (u64, BucketRef<'_>)> + '_>;
+
+    /// Total heap bytes held by the store.
+    fn memory_bytes(&self) -> usize;
+}
+
+/// The hashmap-backed build/streaming store.
+#[derive(Clone, Debug, Default)]
+pub struct MapStore {
+    buckets: FxHashMap<u64, Bucket>,
+}
+
+impl BucketStore for MapStore {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn insert(&mut self, key: u64, id: PointId, config: HllConfig, lazy_threshold: usize) {
+        self.buckets.entry(key).or_default().insert(id, config, lazy_threshold);
+    }
+
+    fn get(&self, key: u64) -> Option<BucketRef<'_>> {
+        self.buckets.get(&key).map(Bucket::as_view)
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (u64, BucketRef<'_>)> + '_> {
+        Box::new(self.buckets.iter().map(|(&k, b)| (k, b.as_view())))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.buckets.values().map(Bucket::memory_bytes).sum()
+    }
+}
+
+impl MapStore {
+    /// Converts into the read-optimised CSR arena. Member order within
+    /// each bucket is preserved, so query outputs are byte-identical
+    /// across backends.
+    pub fn freeze(self) -> FrozenStore {
+        let mut entries: Vec<(u64, Bucket)> = self.buckets.into_iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+
+        let total_members: usize = entries.iter().map(|(_, b)| b.len()).sum();
+        let mut keys = Vec::with_capacity(entries.len());
+        let mut offsets = Vec::with_capacity(entries.len() + 1);
+        let mut members = Vec::with_capacity(total_members);
+        let mut sketches = Vec::with_capacity(entries.len());
+        offsets.push(0usize);
+        for (key, bucket) in entries {
+            let (bucket_members, sketch) = bucket.into_parts();
+            keys.push(key);
+            members.extend_from_slice(&bucket_members);
+            offsets.push(members.len());
+            sketches.push(sketch);
+        }
+        let prefix = prefix_table(&keys);
+        FrozenStore { keys, prefix, offsets, members, sketches }
+    }
+}
+
+/// The read-optimised frozen store: a CSR-style arena.
+///
+/// Layout (for `B` buckets holding `M` members total):
+///
+/// ```text
+/// keys:     [u64; B]        sorted bucket keys
+/// prefix:   [u32; 257]      key range per top byte (search accelerator)
+/// offsets:  [usize; B + 1]  member-slab extents per bucket
+/// members:  [PointId; M]    one contiguous slab
+/// sketches: [Option<HyperLogLog>; B]  parallel to keys
+/// ```
+///
+/// Lookup = binary search on `keys` + two offset reads; no per-bucket
+/// heap allocation survives freezing. Because bucket keys are
+/// well-mixed hash outputs, the top-byte prefix table narrows each
+/// search to ≈ `B/256` keys (a handful of probes even for millions of
+/// buckets).
+#[derive(Clone, Debug)]
+pub struct FrozenStore {
+    keys: Vec<u64>,
+    prefix: Vec<u32>,
+    offsets: Vec<usize>,
+    members: Vec<PointId>,
+    sketches: Vec<Option<HyperLogLog>>,
+}
+
+fn prefix_table(keys: &[u64]) -> Vec<u32> {
+    let mut prefix = vec![0u32; 257];
+    for &key in keys {
+        prefix[(key >> 56) as usize + 1] += 1;
+    }
+    for p in 1..prefix.len() {
+        prefix[p] += prefix[p - 1];
+    }
+    prefix
+}
+
+impl FrozenStore {
+    fn bucket_at(&self, i: usize) -> BucketRef<'_> {
+        BucketRef::from_parts(
+            &self.members[self.offsets[i]..self.offsets[i + 1]],
+            self.sketches[i].as_ref(),
+        )
+    }
+
+    /// Converts back to the mutable hashmap store (resuming streaming
+    /// ingestion after a freeze).
+    pub fn thaw(self) -> MapStore {
+        let mut buckets = FxHashMap::default();
+        buckets.reserve(self.keys.len());
+        for (i, &key) in self.keys.iter().enumerate() {
+            let members = self.members[self.offsets[i]..self.offsets[i + 1]].to_vec();
+            buckets.insert(key, Bucket::from_parts(members, self.sketches[i].clone()));
+        }
+        MapStore { buckets }
+    }
+
+    /// Total members across all buckets (the slab length).
+    pub fn member_slots(&self) -> usize {
+        self.members.len()
+    }
+}
+
+impl BucketStore for FrozenStore {
+    fn new() -> Self {
+        Self {
+            keys: Vec::new(),
+            prefix: vec![0; 257],
+            offsets: vec![0],
+            members: Vec::new(),
+            sketches: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, _key: u64, _id: PointId, _config: HllConfig, _lazy_threshold: usize) {
+        panic!("FrozenStore is immutable; thaw() the table back to a MapStore before inserting");
+    }
+
+    fn get(&self, key: u64) -> Option<BucketRef<'_>> {
+        let p = (key >> 56) as usize;
+        let (lo, hi) = (self.prefix[p] as usize, self.prefix[p + 1] as usize);
+        self.keys[lo..hi].binary_search(&key).ok().map(|i| self.bucket_at(lo + i))
+    }
+
+    fn bucket_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (u64, BucketRef<'_>)> + '_> {
+        Box::new(self.keys.iter().enumerate().map(|(i, &k)| (k, self.bucket_at(i))))
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.prefix.capacity() * std::mem::size_of::<u32>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.members.capacity() * std::mem::size_of::<PointId>()
+            + self.sketches.capacity() * std::mem::size_of::<Option<HyperLogLog>>()
+            + self
+                .sketches
+                .iter()
+                .map(|s| s.as_ref().map_or(0, HyperLogLog::memory_bytes))
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HllConfig {
+        HllConfig::new(7, 99)
+    }
+
+    fn populated_map() -> MapStore {
+        let mut m = MapStore::new();
+        // Three buckets, one crossing the lazy threshold.
+        for id in 0..200u32 {
+            m.insert(17, id, cfg(), 128);
+        }
+        for id in 200..205u32 {
+            m.insert(3, id, cfg(), 128);
+        }
+        m.insert(u64::MAX, 999, cfg(), 128);
+        m
+    }
+
+    #[test]
+    fn map_and_frozen_agree_on_every_key() {
+        let map = populated_map();
+        let frozen = map.clone().freeze();
+        assert_eq!(map.bucket_count(), frozen.bucket_count());
+        for key in [3u64, 17, u64::MAX, 0, 12345] {
+            match (map.get(key), frozen.get(key)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.members(), b.members(), "members for key {key}");
+                    assert_eq!(a.has_sketch(), b.has_sketch(), "sketch presence for key {key}");
+                    if let (Some(sa), Some(sb)) = (a.sketch(), b.sketch()) {
+                        assert_eq!(sa.registers(), sb.registers());
+                    }
+                }
+                (None, None) => {}
+                (a, b) => panic!("key {key}: map {:?} vs frozen {:?}", a.is_some(), b.is_some()),
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_iterates_in_key_order() {
+        let frozen = populated_map().freeze();
+        let keys: Vec<u64> = frozen.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![3, 17, u64::MAX]);
+        assert_eq!(frozen.member_slots(), 206);
+    }
+
+    #[test]
+    fn thaw_round_trips() {
+        let map = populated_map();
+        let thawed = map.clone().freeze().thaw();
+        assert_eq!(map.bucket_count(), thawed.bucket_count());
+        for (key, bucket) in map.iter() {
+            let t = thawed.get(key).expect("key lost in round trip");
+            assert_eq!(bucket.members(), t.members());
+            assert_eq!(bucket.has_sketch(), t.has_sketch());
+        }
+        // A thawed store accepts inserts again.
+        let mut thawed = thawed;
+        thawed.insert(3, 1000, cfg(), 128);
+        assert_eq!(thawed.get(3).unwrap().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "immutable")]
+    fn frozen_insert_panics() {
+        let mut frozen = populated_map().freeze();
+        frozen.insert(1, 1, cfg(), 128);
+    }
+
+    #[test]
+    fn empty_stores_behave() {
+        let map = MapStore::new();
+        let frozen = MapStore::new().freeze();
+        assert_eq!(map.bucket_count(), 0);
+        assert_eq!(frozen.bucket_count(), 0);
+        assert!(map.get(0).is_none());
+        assert!(frozen.get(0).is_none());
+        assert_eq!(frozen.iter().count(), 0);
+    }
+
+    #[test]
+    fn frozen_lookup_has_no_allocation_per_hit() {
+        // Structural check: the returned view borrows the slab.
+        let frozen = populated_map().freeze();
+        let a = frozen.get(17).unwrap();
+        let b = frozen.get(17).unwrap();
+        assert_eq!(a.members().as_ptr(), b.members().as_ptr());
+    }
+
+    #[test]
+    fn memory_accounting_is_positive_and_comparable() {
+        let map = populated_map();
+        let frozen = map.clone().freeze();
+        assert!(map.memory_bytes() > 0);
+        assert!(frozen.memory_bytes() > 0);
+        // The frozen arena must at least hold the member slab.
+        assert!(frozen.memory_bytes() >= 206 * std::mem::size_of::<PointId>());
+    }
+}

@@ -1,23 +1,25 @@
-//! One LSH hash table: a g-function plus its bucket map.
+//! One LSH hash table: a g-function plus a pluggable bucket store.
 
 use hlsh_families::GFunction;
 use hlsh_hll::HllConfig;
 use hlsh_vec::PointId;
 
-use crate::bucket::Bucket;
-use crate::hasher::FxHashMap;
+use crate::bucket::BucketRef;
+use crate::store::{BucketStore, FrozenStore, MapStore};
 
-/// A single hash table `T_j` with hash function `g_j`.
+/// A single hash table `T_j` with hash function `g_j`, generic over its
+/// storage backend `B` ([`MapStore`] while building/streaming,
+/// [`FrozenStore`] after [`freeze`](Self::freeze)).
 #[derive(Clone, Debug)]
-pub struct HashTable<G> {
+pub struct HashTable<G, B = MapStore> {
     g: G,
-    buckets: FxHashMap<u64, Bucket>,
+    store: B,
 }
 
-impl<G> HashTable<G> {
+impl<G, B: BucketStore> HashTable<G, B> {
     /// Creates an empty table around a sampled g-function.
     pub fn new(g: G) -> Self {
-        Self { g, buckets: FxHashMap::default() }
+        Self { g, store: B::new() }
     }
 
     /// The table's g-function.
@@ -25,31 +27,37 @@ impl<G> HashTable<G> {
         &self.g
     }
 
+    /// The storage backend.
+    pub fn store(&self) -> &B {
+        &self.store
+    }
+
     /// Number of non-empty buckets.
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.store.bucket_count()
     }
 
-    /// Iterates over all buckets.
-    pub fn buckets(&self) -> impl Iterator<Item = (&u64, &Bucket)> {
-        self.buckets.iter()
+    /// Iterates over all buckets (order is backend-defined).
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, BucketRef<'_>)> + '_ {
+        self.store.iter()
     }
 
-    /// Looks up the bucket for a raw key (used by multi-probe, which
-    /// addresses perturbed keys directly).
-    pub fn bucket_for_key(&self, key: u64) -> Option<&Bucket> {
-        self.buckets.get(&key)
+    /// Looks up the bucket for a raw key (used by multi-probe and
+    /// covering LSH, which address perturbed keys directly).
+    pub fn bucket_for_key(&self, key: u64) -> Option<BucketRef<'_>> {
+        self.store.get(key)
     }
 
     /// Total heap bytes of all buckets.
     pub fn memory_bytes(&self) -> usize {
-        self.buckets.values().map(Bucket::memory_bytes).sum()
+        self.store.memory_bytes()
     }
-}
 
-impl<G> HashTable<G> {
     /// Inserts a point (Algorithm 1 lines 3–4: insert into bucket
     /// `g_i(x)` and update that bucket's HLL).
+    ///
+    /// # Panics
+    /// Panics on an immutable backend ([`FrozenStore`]).
     pub fn insert<P: ?Sized>(
         &mut self,
         id: PointId,
@@ -60,23 +68,39 @@ impl<G> HashTable<G> {
         G: GFunction<P>,
     {
         let key = self.g.bucket_key(point);
-        self.buckets.entry(key).or_default().insert(id, config, lazy_threshold);
+        self.store.insert(key, id, config, lazy_threshold);
     }
 
     /// Looks up the bucket matching a query point.
-    pub fn bucket<P: ?Sized>(&self, q: &P) -> Option<&Bucket>
+    pub fn bucket<P: ?Sized>(&self, q: &P) -> Option<BucketRef<'_>>
     where
         G: GFunction<P>,
     {
-        self.buckets.get(&self.g.bucket_key(q))
+        self.store.get(self.g.bucket_key(q))
+    }
+}
+
+impl<G> HashTable<G, MapStore> {
+    /// Converts to the read-optimised frozen backend. Lookups keep
+    /// returning byte-identical buckets; inserts panic until
+    /// [`thaw`](HashTable::thaw).
+    pub fn freeze(self) -> HashTable<G, FrozenStore> {
+        HashTable { g: self.g, store: self.store.freeze() }
+    }
+}
+
+impl<G> HashTable<G, FrozenStore> {
+    /// Converts back to the mutable hashmap backend.
+    pub fn thaw(self) -> HashTable<G, MapStore> {
+        HashTable { g: self.g, store: self.store.thaw() }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hlsh_families::{BitSampling, LshFamily};
     use hlsh_families::sampling::rng_stream;
+    use hlsh_families::{BitSampling, LshFamily};
     use hlsh_vec::BinaryVec;
 
     fn cfg() -> HllConfig {
@@ -87,7 +111,7 @@ mod tests {
     fn insert_and_lookup() {
         let family = BitSampling::new(64);
         let g = family.sample(8, &mut rng_stream(3, 0));
-        let mut t = HashTable::new(g);
+        let mut t: HashTable<_> = HashTable::new(g);
         let a = BinaryVec::from_u64(0xFFFF_0000_FFFF_0000);
         let b = BinaryVec::from_u64(0x0000_FFFF_0000_FFFF);
         t.insert(0, a.words(), cfg(), 128);
@@ -117,7 +141,7 @@ mod tests {
     fn bucket_for_key_matches_bucket() {
         let family = BitSampling::new(64);
         let g = family.sample(8, &mut rng_stream(5, 0));
-        let mut t = HashTable::new(g);
+        let mut t: HashTable<_> = HashTable::new(g);
         let p = BinaryVec::from_u64(12345);
         t.insert(7, p.words(), cfg(), 128);
         let key = t.g().bucket_key(p.words());
@@ -125,5 +149,32 @@ mod tests {
             t.bucket_for_key(key).map(|b| b.members()),
             t.bucket(p.words()).map(|b| b.members())
         );
+    }
+
+    #[test]
+    fn freeze_preserves_lookups_and_thaw_restores_inserts() {
+        let family = BitSampling::new(64);
+        let g = family.sample(10, &mut rng_stream(6, 0));
+        let mut t: HashTable<_> = HashTable::new(g);
+        let points: Vec<BinaryVec> = (0..300u64)
+            .map(|i| BinaryVec::from_u64(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .collect();
+        for (id, p) in points.iter().enumerate() {
+            t.insert(id as PointId, p.words(), cfg(), 16);
+        }
+
+        let frozen = t.clone().freeze();
+        assert_eq!(frozen.bucket_count(), t.bucket_count());
+        for p in &points {
+            let a = t.bucket(p.words()).expect("map bucket");
+            let b = frozen.bucket(p.words()).expect("frozen bucket");
+            assert_eq!(a.members(), b.members());
+            assert_eq!(a.has_sketch(), b.has_sketch());
+        }
+
+        let mut thawed = frozen.thaw();
+        let extra = BinaryVec::from_u64(0xABCD);
+        thawed.insert(300, extra.words(), cfg(), 16);
+        assert!(thawed.bucket(extra.words()).expect("bucket after thaw").members().contains(&300));
     }
 }

@@ -7,7 +7,7 @@ use hlsh_vec::{BinaryDataset, DenseDataset, Hamming, L2};
 
 #[test]
 fn streamed_index_equals_batch_index() {
-    let all: Vec<u64> = (0..800u64).map(|i| hlsh_hll_hash(i)).collect();
+    let all: Vec<u64> = (0..800u64).map(hlsh_hll_hash).collect();
     let (head, tail) = all.split_at(500);
 
     let batch = IndexBuilder::new(BitSampling::new(64), Hamming)
@@ -83,14 +83,10 @@ fn insert_updates_bucket_sketches() {
     assert!(stats.sketched_buckets > 0, "sketch never materialised");
     let est = index.explain(&[42u64][..]);
     assert_eq!(est.collisions, 2 * 41); // 41 members in both tables
-    // 41 distinct point ids, each seen in both tables: the merged
-    // estimate must count them once, not twice (m = 128 ⇒ near-exact
-    // in the linear-counting regime).
-    assert!(
-        (est.cand_size_estimate - 41.0).abs() <= 6.0,
-        "estimate {}",
-        est.cand_size_estimate
-    );
+                                        // 41 distinct point ids, each seen in both tables: the merged
+                                        // estimate must count them once, not twice (m = 128 ⇒ near-exact
+                                        // in the linear-counting regime).
+    assert!((est.cand_size_estimate - 41.0).abs() <= 6.0, "estimate {}", est.cand_size_estimate);
 }
 
 fn hlsh_hll_hash(i: u64) -> u64 {

@@ -90,8 +90,7 @@ mod tests {
         // neighbors (its own cluster), but far fewer than n.
         let d = corel_like(3_000, 2);
         let q = d.row(0).to_vec();
-        let within: usize =
-            d.rows().filter(|row| l2(row, &q) <= 0.6).count();
+        let within: usize = d.rows().filter(|row| l2(row, &q) <= 0.6).count();
         assert!(within >= 1, "query lost its own cluster");
         assert!(within < d.len() / 2, "radius 0.6 captures too much: {within}");
     }

@@ -39,11 +39,7 @@ pub fn covertype_like(n: usize, seed: u64) -> DenseDataset {
     let mut builder = MixtureBuilder::new(DIM).post_process(PostProcess::ClampNonNegative);
     for i in 0..weights.len() {
         let center = uniform_center(&mut rng, DIM, 200.0, 3800.0);
-        builder = builder.cluster(ClusterSpec {
-            weight: weights[i],
-            center,
-            sigma: sigmas[i],
-        });
+        builder = builder.cluster(ClusterSpec { weight: weights[i], center, sigma: sigmas[i] });
     }
     builder.sample(n, seed).0
 }
@@ -81,11 +77,12 @@ mod tests {
     #[test]
     fn dominant_cluster_creates_hard_queries() {
         // Queries in the two big clusters should see far more
-        // 3500-neighbors than queries in the tiny clusters.
+        // 3500-neighbors than queries in the tiny clusters. Sample
+        // densely enough that the sub-1% clusters are hit.
         let d = covertype_like(4_000, 2);
-        let counts: Vec<usize> = (0..30)
+        let counts: Vec<usize> = (0..100)
             .map(|i| {
-                let q = d.row(i * 113).to_vec();
+                let q = d.row(i * 39).to_vec();
                 d.rows().filter(|row| l1(row, &q) <= 3500.0).count()
             })
             .collect();

@@ -36,7 +36,7 @@ pub mod workload;
 pub use corel::corel_like;
 pub use covertype::covertype_like;
 pub use groundtruth::ground_truth;
-pub use mixture::{ClusterSpec, MixtureBuilder};
+pub use mixture::{benchmark_mixture, ClusterSpec, MixtureBuilder};
 pub use mnist::mnist_like;
 pub use webspam::webspam_like;
 pub use workload::{BinaryWorkload, DenseWorkload};

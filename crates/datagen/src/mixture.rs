@@ -131,6 +131,39 @@ impl MixtureBuilder {
     }
 }
 
+/// A ready-made mixture profile for benchmarks and equivalence tests:
+/// one near-duplicate mega-cluster (~30% of points, queries there are
+/// "hard" and drive the hybrid decision to the linear arm), a handful
+/// of medium clusters, and a diffuse background (queries there are
+/// "easy" and stay on the LSH arm).
+///
+/// Intra-cluster L2 distances scale with `radius`, so querying at `r ≈
+/// radius` splits the query set across both Algorithm 2 arms — exactly
+/// the regime batch-equivalence tests must cover.
+pub fn benchmark_mixture(dim: usize, n: usize, radius: f64, seed: u64) -> (DenseDataset, Vec<u32>) {
+    let mut rng = rng_stream(seed, 0x424D_4958);
+    let unit = radius / (2.0 * dim as f64).sqrt();
+    let spread = (6.0 * radius) as f32;
+    let mut builder = MixtureBuilder::new(dim)
+        // Near-duplicate mega-cluster: pairwise distance ≈ 0.4·radius.
+        .cluster(ClusterSpec {
+            weight: 30.0,
+            center: uniform_center(&mut rng, dim, -spread, spread),
+            sigma: 0.3 * unit,
+        })
+        // Diffuse background: pairwise distance ≈ 8·radius.
+        .cluster(ClusterSpec { weight: 40.0, center: vec![0.0; dim], sigma: 8.0 * unit });
+    // Medium clusters: pairwise distance ≈ 1.4·radius.
+    for _ in 0..6 {
+        builder = builder.cluster(ClusterSpec {
+            weight: 5.0,
+            center: uniform_center(&mut rng, dim, -spread, spread),
+            sigma: unit,
+        });
+    }
+    builder.sample(n, seed)
+}
+
 /// Samples a random center uniformly from `[lo, hi]^dim`.
 pub fn uniform_center(rng: &mut StdRng, dim: usize, lo: f32, hi: f32) -> Vec<f32> {
     (0..dim).map(|_| rng.gen::<f32>() * (hi - lo) + lo).collect()
@@ -235,7 +268,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "center dimensionality mismatch")]
     fn wrong_center_dim_rejected() {
-        let _ = MixtureBuilder::new(2)
-            .cluster(ClusterSpec { weight: 1.0, center: vec![0.0; 3], sigma: 1.0 });
+        let _ = MixtureBuilder::new(2).cluster(ClusterSpec {
+            weight: 1.0,
+            center: vec![0.0; 3],
+            sigma: 1.0,
+        });
     }
 }

@@ -58,8 +58,7 @@ pub fn webspam_like(n: usize, seed: u64) -> DenseDataset {
     // spreads the Algorithm 2 flips across the radius sweep.
     let u_hard = unit_direction(&mut rng, DIM);
     for &(weight, sigma) in &[(0.20, 0.0005), (0.20, 0.0046), (0.20, 0.009)] {
-        builder =
-            builder.cluster(ClusterSpec { weight, center: u_hard.clone(), sigma });
+        builder = builder.cluster(ClusterSpec { weight, center: u_hard.clone(), sigma });
     }
 
     // Medium clusters: outputs grow with the radius sweep.
@@ -71,11 +70,7 @@ pub fn webspam_like(n: usize, seed: u64) -> DenseDataset {
 
     // Diffuse background: random directions, pairwise cosine distance
     // ≈ 1 — no neighbors at r ≤ 0.1.
-    builder = builder.cluster(ClusterSpec {
-        weight: 0.28,
-        center: vec![0.0; DIM],
-        sigma: 1.0,
-    });
+    builder = builder.cluster(ClusterSpec { weight: 0.28, center: vec![0.0; DIM], sigma: 1.0 });
     // (Weights: 0.60 hard region + 0.12 medium + 0.28 background.)
 
     builder.sample(n, seed).0

@@ -96,14 +96,10 @@ pub fn optimize_k_l(
     for k in 1..=max_k {
         // Smallest L with (1 − p1^k)^L ≤ δ.
         let miss = 1.0 - p1.powi(k as i32);
-        let l = if miss <= 0.0 {
-            1
-        } else {
-            (delta.ln() / miss.ln()).ceil().max(1.0) as usize
-        };
+        let l = if miss <= 0.0 { 1 } else { (delta.ln() / miss.ln()).ceil().max(1.0) as usize };
         let per_table = k as f64 * hash_cost_alpha_units + n as f64 * p2.powi(k as i32);
         let cost = l as f64 * per_table;
-        if best.map_or(true, |b| cost < b.estimated_cost) {
+        if best.is_none_or(|b| cost < b.estimated_cost) {
             best = Some(TunedParams { k, l, estimated_cost: cost });
         }
     }
@@ -250,10 +246,7 @@ mod tests {
                 let delta = 0.1;
                 let k = k_safe(delta, l, p1);
                 let recall = recall_lower_bound(p1, k, l);
-                assert!(
-                    recall >= 1.0 - delta - 1e-9,
-                    "p1={p1} L={l} k={k} recall={recall}"
-                );
+                assert!(recall >= 1.0 - delta - 1e-9, "p1={p1} L={l} k={k} recall={recall}");
             }
         }
     }

@@ -148,7 +148,8 @@ impl LshFamily<[f32]> for PStableL2 {
             return 1.0;
         }
         let t = self.w / r;
-        let p = 1.0 - 2.0 * normal_cdf(-t)
+        let p = 1.0
+            - 2.0 * normal_cdf(-t)
             - 2.0 / ((2.0 * std::f64::consts::PI).sqrt() * t) * (1.0 - (-t * t / 2.0).exp());
         p.clamp(0.0, 1.0)
     }
@@ -202,8 +203,8 @@ impl LshFamily<[f32]> for PStableL1 {
             return 1.0;
         }
         let t = self.w / r;
-        let p = 2.0 * t.atan() / std::f64::consts::PI
-            - (1.0 + t * t).ln() / (std::f64::consts::PI * t);
+        let p =
+            2.0 * t.atan() / std::f64::consts::PI - (1.0 + t * t).ln() / (std::f64::consts::PI * t);
         p.clamp(0.0, 1.0)
     }
 

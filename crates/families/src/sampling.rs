@@ -15,9 +15,8 @@ use rand::{Rng, SeedableRng};
 /// an index can use `rng_stream(seed, j)` without overlapping table
 /// `j+1`.
 pub fn rng_stream(master_seed: u64, stream: u64) -> StdRng {
-    let mixed = hlsh_hll::hash::splitmix64(
-        master_seed ^ stream.wrapping_mul(hlsh_hll::hash::GOLDEN_GAMMA),
-    );
+    let mixed =
+        hlsh_hll::hash::splitmix64(master_seed ^ stream.wrapping_mul(hlsh_hll::hash::GOLDEN_GAMMA));
     StdRng::seed_from_u64(mixed)
 }
 

@@ -24,10 +24,7 @@ impl HllConfig {
     /// # Panics
     /// Panics unless `4 ≤ precision ≤ 16`.
     pub fn new(precision: u8, seed: u64) -> Self {
-        assert!(
-            (4..=16).contains(&precision),
-            "precision must be in 4..=16, got {precision}"
-        );
+        assert!((4..=16).contains(&precision), "precision must be in 4..=16, got {precision}");
         Self { precision, seed }
     }
 
@@ -203,10 +200,7 @@ mod tests {
                 h.insert(i);
             }
             let e = h.estimate();
-            assert!(
-                (e - n as f64).abs() <= (n as f64 * 0.15).max(1.5),
-                "n={n} estimate={e}"
-            );
+            assert!((e - n as f64).abs() <= (n as f64 * 0.15).max(1.5), "n={n} estimate={e}");
         }
     }
 

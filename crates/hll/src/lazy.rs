@@ -49,6 +49,13 @@ impl MergeAccumulator {
         self.sketch.estimate()
     }
 
+    /// The configuration this accumulator merges under (lets callers
+    /// that pool accumulators across queries check compatibility before
+    /// [`clear`](Self::clear)-and-reuse).
+    pub fn config(&self) -> HllConfig {
+        self.sketch.config()
+    }
+
     /// Number of `add_sketch` calls (instrumentation for the Table 1
     /// cost accounting).
     pub fn merged_sketches(&self) -> usize {

@@ -26,11 +26,11 @@
 //! Every bucket carries the same lazy HLL sketch as the core index, so
 //! Algorithm 2's cost decision applies unchanged.
 
-use hlsh_core::bucket::Bucket;
 use hlsh_core::hasher::FxHashSet;
 use hlsh_core::search::ExecutedArm;
+use hlsh_core::store::{BucketStore, FrozenStore, MapStore};
 use hlsh_core::table::HashTable;
-use hlsh_core::{CostModel, QueryOutput, QueryReport, Strategy};
+use hlsh_core::{BucketRef, CostModel, QueryOutput, QueryReport, Strategy};
 use hlsh_families::sampling::rng_stream;
 use hlsh_families::GFunction;
 use hlsh_hll::{HllConfig, MergeAccumulator};
@@ -64,21 +64,24 @@ impl GFunction<[u64]> for CoveringGFn {
 }
 
 /// A covering-LSH index over `≤ 64`-bit binary points with zero false
-/// negatives within the construction radius.
-pub struct CoveringLshIndex<S, D>
+/// negatives within the construction radius. Generic over the bucket
+/// store like the core index: built on [`MapStore`], convertible to
+/// the read-optimised [`FrozenStore`] with [`freeze`](Self::freeze).
+pub struct CoveringLshIndex<S, D, B = MapStore>
 where
     S: PointSet<Point = [u64]>,
     D: Distance<[u64]>,
+    B: BucketStore,
 {
     data: S,
     distance: D,
-    tables: Vec<HashTable<CoveringGFn>>,
+    tables: Vec<HashTable<CoveringGFn, B>>,
     radius: u32,
     hll_config: HllConfig,
     cost: CostModel,
 }
 
-impl<S, D> CoveringLshIndex<S, D>
+impl<S, D> CoveringLshIndex<S, D, MapStore>
 where
     S: PointSet<Point = [u64]>,
     D: Distance<[u64]>,
@@ -107,10 +110,7 @@ where
         let chunk_radius = radius as usize / parts;
         let tables_per_chunk = (1usize << (chunk_radius + 1)) - 1;
         let total_tables = parts * tables_per_chunk;
-        assert!(
-            total_tables <= 4096,
-            "table count {total_tables} too large; increase `parts`"
-        );
+        assert!(total_tables <= 4096, "table count {total_tables} too large; increase `parts`");
 
         let mut rng = rng_stream(seed, 0x434F_5645);
         let mut tables = Vec::with_capacity(total_tables);
@@ -142,8 +142,7 @@ where
 
         let hll_config = HllConfig::new(7, seed ^ 0x4356);
         let lazy_threshold = hll_config.registers();
-        let mut index =
-            Self { data, distance, tables, radius, hll_config, cost };
+        let mut index = Self { data, distance, tables, radius, hll_config, cost };
         for id in 0..index.data.len() {
             let point = index.data.point(id);
             // Single-word points only (asserted in bucket_key).
@@ -155,6 +154,44 @@ where
         index
     }
 
+    /// Converts every table into the read-optimised frozen arena.
+    /// Query answers are byte-identical before and after.
+    pub fn freeze(self) -> CoveringLshIndex<S, D, FrozenStore> {
+        CoveringLshIndex {
+            data: self.data,
+            distance: self.distance,
+            tables: self.tables.into_iter().map(HashTable::freeze).collect(),
+            radius: self.radius,
+            hll_config: self.hll_config,
+            cost: self.cost,
+        }
+    }
+}
+
+impl<S, D> CoveringLshIndex<S, D, FrozenStore>
+where
+    S: PointSet<Point = [u64]>,
+    D: Distance<[u64]>,
+{
+    /// Converts back to the mutable hashmap backend.
+    pub fn thaw(self) -> CoveringLshIndex<S, D, MapStore> {
+        CoveringLshIndex {
+            data: self.data,
+            distance: self.distance,
+            tables: self.tables.into_iter().map(HashTable::thaw).collect(),
+            radius: self.radius,
+            hll_config: self.hll_config,
+            cost: self.cost,
+        }
+    }
+}
+
+impl<S, D, B> CoveringLshIndex<S, D, B>
+where
+    S: PointSet<Point = [u64]>,
+    D: Distance<[u64]>,
+    B: BucketStore,
+{
     /// The guarantee radius.
     pub fn radius(&self) -> u32 {
         self.radius
@@ -201,7 +238,7 @@ where
         }
 
         let t_hash = Instant::now();
-        let mut buckets: Vec<&Bucket> = Vec::with_capacity(self.tables.len());
+        let mut buckets: Vec<BucketRef<'_>> = Vec::with_capacity(self.tables.len());
         let mut collisions = 0usize;
         for table in &self.tables {
             if let Some(b) = table.bucket(q) {
@@ -319,8 +356,7 @@ mod tests {
         }
         let data = BinaryDataset::from_fingerprints(&fps);
         let q = fps[0];
-        let idx =
-            CoveringLshIndex::build(data, Hamming, 64, 4, 1, 3, CostModel::from_ratio(1e12));
+        let idx = CoveringLshIndex::build(data, Hamming, 64, 4, 1, 3, CostModel::from_ratio(1e12));
         let out = idx.query(&[q][..], 4.0, Strategy::LshOnly);
         // Exact answer by brute force:
         let expected: Vec<u32> = fps
@@ -348,8 +384,7 @@ mod tests {
         let data = BinaryDataset::from_fingerprints(&fps);
         let q = fps[5];
         // r = 8 with 4 parts → chunk radius 2 → 4·7 = 28 tables.
-        let idx =
-            CoveringLshIndex::build(data, Hamming, 64, 8, 4, 13, CostModel::from_ratio(1e12));
+        let idx = CoveringLshIndex::build(data, Hamming, 64, 8, 4, 13, CostModel::from_ratio(1e12));
         assert_eq!(idx.tables(), 28);
         let out = idx.query(&[q][..], 8.0, Strategy::LshOnly);
         let expected: Vec<u32> = fps
@@ -412,8 +447,7 @@ mod tests {
     #[should_panic(expected = "too large")]
     fn oversized_table_count_rejected() {
         let data = BinaryDataset::from_fingerprints(&[0u64]);
-        let _ =
-            CoveringLshIndex::build(data, Hamming, 64, 16, 1, 0, CostModel::from_ratio(1.0));
+        let _ = CoveringLshIndex::build(data, Hamming, 64, 16, 1, 0, CostModel::from_ratio(1.0));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use std::time::Instant;
 
 use hlsh_core::search::ExecutedArm;
-use hlsh_core::{HybridLshIndex, QueryOutput, QueryReport, Strategy};
+use hlsh_core::store::BucketStore;
+use hlsh_core::{BucketRef, HybridLshIndex, QueryOutput, QueryReport, Strategy};
 use hlsh_families::bitsampling::BitSamplingGFn;
 use hlsh_families::pstable::PStableGFn;
 use hlsh_families::simhash::SimHashGFn;
@@ -44,7 +45,11 @@ impl ProbeSequence<[f32]> for PStableGFn {
         let mut options = Vec::with_capacity(2 * self.k());
         for j in 0..self.k() {
             let off = self.boundary_offset(j, q);
-            options.push(ProbeOption { score: off * off, group: j as u32, payload: (j as u64) << 1 });
+            options.push(ProbeOption {
+                score: off * off,
+                group: j as u32,
+                payload: (j as u64) << 1,
+            });
             let up = w - off;
             options.push(ProbeOption {
                 score: up * up,
@@ -128,8 +133,8 @@ impl ProbeSequence<[u64]> for BitSamplingGFn {
 ///
 /// # Panics
 /// Panics if `probes_per_table == 0`.
-pub fn multiprobe_query<S, F, D>(
-    index: &HybridLshIndex<S, F, D>,
+pub fn multiprobe_query<S, F, D, B>(
+    index: &HybridLshIndex<S, F, D, B>,
     q: &S::Point,
     r: f64,
     probes_per_table: usize,
@@ -140,6 +145,7 @@ where
     F: LshFamily<S::Point>,
     F::GFn: ProbeSequence<S::Point>,
     D: Distance<S::Point>,
+    B: BucketStore,
 {
     assert!(probes_per_table > 0, "need at least one probe per table");
     let t_start = Instant::now();
@@ -161,9 +167,11 @@ where
         };
     }
 
-    // Step S1 (extended): probe sequence per table.
+    // Step S1 (extended): probe sequence per table. Every lookup goes
+    // through the BucketStore trait, so multi-probe works unchanged on
+    // hashmap and frozen backends.
     let t_hash = Instant::now();
-    let mut buckets = Vec::new();
+    let mut buckets: Vec<BucketRef<'_>> = Vec::new();
     let mut collisions = 0usize;
     for table in index.raw_tables() {
         for key in table.g().probe_keys(q, probes_per_table) {
@@ -238,11 +246,12 @@ where
     }
 }
 
-fn linear_scan<S, F, D>(index: &HybridLshIndex<S, F, D>, q: &S::Point, r: f64) -> Vec<PointId>
+fn linear_scan<S, F, D, B>(index: &HybridLshIndex<S, F, D, B>, q: &S::Point, r: f64) -> Vec<PointId>
 where
     S: PointSet,
     F: LshFamily<S::Point>,
     D: Distance<S::Point>,
+    B: BucketStore,
 {
     (0..index.len())
         .filter(|&id| index.distance().distance(index.data().point(id), q) <= r)
@@ -280,9 +289,7 @@ mod tests {
         // First perturbation must be a single-bit flip of the
         // minimal-margin bit.
         let margins: Vec<f64> = (0..10).map(|j| g.margin(j, &q).abs()).collect();
-        let jmin = (0..10)
-            .min_by(|&a, &b| margins[a].partial_cmp(&margins[b]).unwrap())
-            .unwrap();
+        let jmin = (0..10).min_by(|&a, &b| margins[a].partial_cmp(&margins[b]).unwrap()).unwrap();
         assert_eq!(keys[1], base ^ (1u64 << jmin));
     }
 

@@ -70,7 +70,8 @@ impl PerturbationGenerator {
 
     /// Whether a candidate avoids conflicting options.
     fn is_valid(&self, c: &Candidate) -> bool {
-        let mut groups: Vec<u32> = c.indices.iter().map(|&i| self.options[i as usize].group).collect();
+        let mut groups: Vec<u32> =
+            c.indices.iter().map(|&i| self.options[i as usize].group).collect();
         groups.sort_unstable();
         groups.windows(2).all(|w| w[0] != w[1])
     }
@@ -101,9 +102,7 @@ impl Iterator for PerturbationGenerator {
         while let Some(c) = self.heap.pop() {
             self.push_successors(&c);
             if self.is_valid(&c) {
-                return Some(
-                    c.indices.iter().map(|&i| self.options[i as usize].payload).collect(),
-                );
+                return Some(c.indices.iter().map(|&i| self.options[i as usize].payload).collect());
             }
         }
         None

@@ -1,0 +1,76 @@
+//! Collection strategies (`vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A size specification for [`vec`]: a fixed length or a half-open
+/// range of lengths.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self { lo: *r.start(), hi: *r.end() + 1 }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + if span <= 1 { 0 } else { rng.below(span) as usize };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::vec;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn fixed_size_is_exact() {
+        let mut rng = TestRng::deterministic("fixed");
+        let v = vec(0u64..10, 6).generate(&mut rng);
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn ranged_size_varies_within_bounds() {
+        let mut rng = TestRng::deterministic("ranged");
+        let strat = vec(0u64..10, 2..9);
+        let lens: Vec<usize> = (0..200).map(|_| strat.generate(&mut rng).len()).collect();
+        assert!(lens.iter().all(|&l| (2..9).contains(&l)));
+        assert!(lens.iter().collect::<std::collections::HashSet<_>>().len() > 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! The [`Strategy`] trait and range-strategy implementations.
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no shrinking — `generate` draws
+/// one value directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(rng.below(span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                start + (rng.unit_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn int_ranges_cover_without_escaping() {
+        let mut rng = TestRng::deterministic("ints");
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let x = (10usize..15).generate(&mut rng);
+            assert!((10..15).contains(&x));
+            seen[x - 10] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn negative_int_ranges() {
+        let mut rng = TestRng::deterministic("neg");
+        for _ in 0..500 {
+            let x = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_inside() {
+        let mut rng = TestRng::deterministic("floats");
+        for _ in 0..500 {
+            let x = (-2.0f32..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn reference_strategies_delegate() {
+        let mut rng = TestRng::deterministic("refs");
+        let s = 0u64..4;
+        let by_ref = &s;
+        // UFCS so the blanket `impl Strategy for &S` is the one used.
+        assert!(Strategy::generate(&by_ref, &mut rng) < 4);
+    }
+}

@@ -1,0 +1,158 @@
+//! String strategies from simplified regex patterns.
+//!
+//! A `&str` used as a strategy is parsed as a sequence of elements,
+//! each a literal character or a character class `[...]` (ranges,
+//! escapes `\n` `\t` `\r` `\\` `\-` `\]`), optionally followed by a
+//! `{n}` / `{lo,hi}` repetition. This covers the patterns the
+//! workspace's tests use (e.g. `"[ -~\n]{0,300}"`); anything fancier
+//! (alternation, groups, `*`/`+`) is rejected with a panic so a test
+//! author notices immediately.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+struct Element {
+    chars: Vec<char>, // alphabet to draw from
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Element> {
+    let mut chars = pattern.chars().peekable();
+    let mut elements = Vec::new();
+    while let Some(c) = chars.next() {
+        let alphabet: Vec<char> = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    match c {
+                        ']' => {
+                            if let Some(p) = pending {
+                                set.push(p);
+                            }
+                            break;
+                        }
+                        '\\' => {
+                            if let Some(p) =
+                                pending.replace(unescape(chars.next().expect("dangling escape")))
+                            {
+                                set.push(p);
+                            }
+                        }
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let start = pending.take().unwrap();
+                            let mut end = chars.next().unwrap();
+                            if end == '\\' {
+                                end = unescape(chars.next().expect("dangling escape"));
+                            }
+                            assert!(start <= end, "inverted range in pattern {pattern:?}");
+                            set.extend(start..=end);
+                        }
+                        other => {
+                            if let Some(p) = pending.replace(other) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+                set
+            }
+            '\\' => vec![unescape(chars.next().expect("dangling escape"))],
+            '*' | '+' | '?' | '(' | ')' | '|' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?} (shim supports classes and {{m,n}} only)")
+            }
+            literal => vec![literal],
+        };
+        // Optional repetition.
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "inverted repetition in pattern {pattern:?}");
+        elements.push(Element { chars: alphabet, lo, hi });
+    }
+    elements
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for el in parse(self) {
+            let span = (el.hi - el.lo) as u64 + 1;
+            let n = el.lo + if span <= 1 { 0 } else { rng.below(span) as usize };
+            for _ in 0..n {
+                out.push(el.chars[rng.below(el.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_class_with_newline() {
+        let mut rng = TestRng::deterministic("printable");
+        let pattern = "[ -~\n]{0,300}";
+        for _ in 0..50 {
+            let s = Strategy::generate(pattern, &mut rng);
+            assert!(s.chars().count() <= 300);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut rng = TestRng::deterministic("lit");
+        let s = Strategy::generate("ab[01]{3}z", &mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+        assert!(s[2..5].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    fn escaped_dash_and_bracket() {
+        let mut rng = TestRng::deterministic("esc");
+        let s = Strategy::generate("[a\\-b]{10}", &mut rng);
+        assert!(s.chars().all(|c| c == 'a' || c == '-' || c == 'b'));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex feature")]
+    fn star_rejected() {
+        let mut rng = TestRng::deterministic("star");
+        let _ = Strategy::generate("a*", &mut rng);
+    }
+}

@@ -38,7 +38,7 @@ impl DenseDataset {
     pub fn from_flat(data: Vec<f32>, dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim

@@ -208,11 +208,8 @@ mod tests {
     /// Triangle inequality spot checks: metric axioms on random-ish data.
     #[test]
     fn triangle_inequality_holds() {
-        let pts: Vec<[f32; 4]> = vec![
-            [0.0, 1.0, 2.0, 3.0],
-            [1.0, 1.0, 0.0, -2.0],
-            [5.0, -3.0, 2.5, 0.5],
-        ];
+        let pts: Vec<[f32; 4]> =
+            vec![[0.0, 1.0, 2.0, 3.0], [1.0, 1.0, 0.0, -2.0], [5.0, -3.0, 2.5, 0.5]];
         for a in &pts {
             for b in &pts {
                 for c in &pts {

@@ -24,15 +24,8 @@ fn main() {
     // Exact reporting at Hamming radius 8 with dimension splitting:
     // 4 chunks × (2^(8/4+1) − 1) = 28 tables, no false negatives.
     let radius = 8u32;
-    let index = CoveringLshIndex::build(
-        data,
-        Hamming,
-        64,
-        radius,
-        4,
-        9,
-        CostModel::from_ratio(1.0),
-    );
+    let index =
+        CoveringLshIndex::build(data, Hamming, 64, radius, 4, 9, CostModel::from_ratio(1.0));
     println!(
         "covering index: {} tables for guarantee radius {radius} (zero false negatives)",
         index.tables()

@@ -56,17 +56,12 @@ fn main() {
 
     // Compare all three strategies on the densest query (the paper's
     // Figure 2d comparison, one point).
-    let densest = (0..queries.len())
-        .max_by_key(|&qi| truth[qi].len())
-        .expect("non-empty query set");
+    let densest =
+        (0..queries.len()).max_by_key(|&qi| truth[qi].len()).expect("non-empty query set");
     let q = queries.row(densest);
     for strategy in [Strategy::Hybrid, Strategy::LshOnly, Strategy::LinearOnly] {
         let t = std::time::Instant::now();
         let out = index.query_with_strategy(q, radius, strategy);
-        println!(
-            "densest image, {strategy:>6}: {} matches in {:?}",
-            out.ids.len(),
-            t.elapsed()
-        );
+        println!("densest image, {strategy:>6}: {} matches in {:?}", out.ids.len(), t.elapsed());
     }
 }

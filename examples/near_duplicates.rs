@@ -64,15 +64,9 @@ fn main() {
     let radius = 12.0;
     let family = BitSampling::new(64);
     let k = k_paper(0.1, 50, family.collision_prob(radius));
-    let index = IndexBuilder::new(family, Hamming)
-        .tables(50)
-        .hash_len(k)
-        .seed(3)
-        .build(fingerprints);
-    println!(
-        "index: L = 50, k = {k}, calibrated β/α = {:.2}",
-        index.cost_model().ratio()
-    );
+    let index =
+        IndexBuilder::new(family, Hamming).tables(50).hash_len(k).seed(3).build(fingerprints);
+    println!("index: L = 50, k = {k}, calibrated β/α = {:.2}", index.cost_model().ratio());
 
     // Report near-duplicates of a farm document and a rare document.
     let farm_doc = 0usize; // template 0 → huge duplicate group
@@ -100,10 +94,6 @@ fn main() {
         .collect();
     let hybrid = index.query(&q, radius);
     let recall = hybrid_lsh::index::evaluate_recall(&hybrid.ids, &exact);
-    println!(
-        "farm doc: exact group size {}, hybrid recall {:.3}",
-        exact.len(),
-        recall.recall()
-    );
+    println!("farm doc: exact group size {}, hybrid recall {:.3}", exact.len(), recall.recall());
     assert!(recall.recall() >= 0.85, "hybrid recall below 1 − δ target");
 }

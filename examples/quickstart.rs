@@ -26,11 +26,7 @@ fn main() {
     let radius = 0.08;
     let family = SimHash::new(data.dim());
     let k = k_paper(0.1, 30, family.collision_prob(radius));
-    let index = IndexBuilder::new(family, UnitCosine)
-        .tables(30)
-        .hash_len(k)
-        .seed(42)
-        .build(data);
+    let index = IndexBuilder::new(family, UnitCosine).tables(30).hash_len(k).seed(42).build(data);
     println!(
         "index: L = {}, k = {}, calibrated β/α = {:.1}",
         index.tables(),

@@ -51,12 +51,16 @@ pub use hlsh_hll as hll;
 pub use hlsh_probe as probe;
 pub use hlsh_vec as vec;
 
-pub use hlsh_core::{CostModel, HybridLshIndex, IndexBuilder, QueryOutput, Strategy};
+pub use hlsh_core::{
+    BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, QueryEngine,
+    QueryOutput, Strategy,
+};
 
 /// One-line import for applications.
 pub mod prelude {
     pub use hlsh_core::{
-        CostModel, HybridLshIndex, IndexBuilder, QueryOutput, QueryReport, Strategy,
+        BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, QueryEngine,
+        QueryOutput, QueryReport, Strategy,
     };
     pub use hlsh_families::{
         k_paper, k_safe, BitSampling, LshFamily, MinHash, PStableL1, PStableL2, PaperParams,

@@ -3,9 +3,7 @@
 
 // Queries and ground truth are parallel arrays; indexed loops are intentional.
 #![allow(clippy::needless_range_loop)]
-use hybrid_lsh::datagen::{
-    corel_like, covertype_like, ground_truth, mnist_like, webspam_like,
-};
+use hybrid_lsh::datagen::{corel_like, covertype_like, ground_truth, mnist_like, webspam_like};
 use hybrid_lsh::index::search::ExecutedArm;
 use hybrid_lsh::prelude::*;
 
@@ -22,20 +20,14 @@ fn check_dense<F: LshFamily<[f32]>>(
 ) {
     let q_rows: Vec<usize> = (0..10).map(|i| i * (data.len() / 10)).collect();
     let queries = data.split_off_rows(&q_rows);
-    let index = IndexBuilder::new(family, metric.clone())
-        .tables(l)
-        .hash_len(k)
-        .seed(77)
-        .build(data);
+    let index =
+        IndexBuilder::new(family, metric.clone()).tables(l).hash_len(k).seed(77).build(data);
     let truth = ground_truth(index.data(), &queries, &metric, r);
     let mut recalls = Vec::new();
     for qi in 0..queries.len() {
         let out = index.query(queries.row(qi), r);
         let rep = hybrid_lsh::index::evaluate_recall(&out.ids, &truth[qi]);
-        assert!(
-            rep.precision() >= 1.0 - 1e-12,
-            "query {qi} reported a point outside the radius"
-        );
+        assert!(rep.precision() >= 1.0 - 1e-12, "query {qi} reported a point outside the radius");
         recalls.push(rep.recall());
     }
     let mean = recalls.iter().sum::<f64>() / recalls.len() as f64;
@@ -72,11 +64,7 @@ fn mnist_bitsampling_pipeline() {
     let family = BitSampling::new(64);
     let r = 14.0;
     let k = k_paper(0.1, 30, family.collision_prob(r));
-    let index = IndexBuilder::new(family, Hamming)
-        .tables(30)
-        .hash_len(k)
-        .seed(8)
-        .build(data);
+    let index = IndexBuilder::new(family, Hamming).tables(30).hash_len(k).seed(8).build(data);
     let truth = ground_truth(index.data(), &queries, &Hamming, r);
     for qi in 0..queries.len() {
         let out = index.query(queries.row(qi), r);
@@ -92,16 +80,11 @@ fn mnist_bitsampling_pipeline() {
 fn linear_strategy_is_exact_everywhere() {
     let mut data = webspam_like(800, 9);
     let queries = data.split_off_rows(&[1, 100, 700]);
-    let index = IndexBuilder::new(SimHash::new(254), UnitCosine)
-        .tables(8)
-        .hash_len(10)
-        .seed(1)
-        .build(data);
+    let index =
+        IndexBuilder::new(SimHash::new(254), UnitCosine).tables(8).hash_len(10).seed(1).build(data);
     let truth = ground_truth(index.data(), &queries, &UnitCosine, 0.1);
     for qi in 0..queries.len() {
-        let mut out = index
-            .query_with_strategy(queries.row(qi), 0.1, Strategy::LinearOnly)
-            .ids;
+        let mut out = index.query_with_strategy(queries.row(qi), 0.1, Strategy::LinearOnly).ids;
         out.sort_unstable();
         assert_eq!(out, truth[qi], "linear arm must equal brute force");
     }
@@ -123,11 +106,14 @@ fn hybrid_switches_arms_on_duplicate_heavy_data() {
     assert_eq!(out.ids.len(), 600);
 
     // Spread data: tiny buckets → LSH arm.
-    let data = DenseDataset::from_rows(8, (0..600).map(|i| {
-        let mut v = [0.0f32; 8];
-        v[0] = i as f32 * 100.0;
-        v
-    }));
+    let data = DenseDataset::from_rows(
+        8,
+        (0..600).map(|i| {
+            let mut v = [0.0f32; 8];
+            v[0] = i as f32 * 100.0;
+            v
+        }),
+    );
     let index = IndexBuilder::new(PStableL2::new(8, 1.0), L2)
         .tables(10)
         .hash_len(4)
@@ -248,11 +234,8 @@ fn io_round_trip_feeds_the_index() {
     assert_eq!(labels.len(), 200);
     data.normalize_l2();
     let queries = data.split_off_rows(&[0]);
-    let index = IndexBuilder::new(SimHash::new(3), UnitCosine)
-        .tables(10)
-        .hash_len(4)
-        .seed(0)
-        .build(data);
+    let index =
+        IndexBuilder::new(SimHash::new(3), UnitCosine).tables(10).hash_len(4).seed(0).build(data);
     let out = index.query(queries.row(0), 0.05);
     assert!(!out.ids.is_empty());
 }

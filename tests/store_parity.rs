@@ -1,0 +1,172 @@
+//! Storage-backend parity and batch-engine equivalence.
+//!
+//! The refactor's contract: (1) `FrozenStore` is observationally
+//! identical to `MapStore` for any insert sequence; (2) `query_batch`
+//! returns byte-identical ids (and the same executed arm) as a
+//! sequential `query` loop, on any thread count, on both backends.
+
+use hybrid_lsh::hll::HllConfig;
+use hybrid_lsh::index::store::{BucketStore, MapStore};
+use hybrid_lsh::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+// Both globs export a `Strategy`; the index's enum is the one we mean.
+use hybrid_lsh::Strategy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For arbitrary insert sequences — including duplicate ids, key
+    /// collisions, and lazy thresholds low enough to materialise
+    /// sketches — freezing preserves every observable: bucket count,
+    /// per-key membership (order included), sketch presence and sketch
+    /// registers. Thawing restores mutability without loss.
+    #[test]
+    fn frozen_store_matches_map_store(
+        inserts in vec((0u64..12, 0u32..500), 0..400),
+        lazy_threshold in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let config = HllConfig::new(5, seed);
+        let mut map = MapStore::new();
+        for &(key, id) in &inserts {
+            // Spread keys so adjacent test keys don't share buckets.
+            map.insert(key.wrapping_mul(0x9E37_79B9_7F4A_7C15), id, config, lazy_threshold);
+        }
+        let frozen = map.clone().freeze();
+
+        prop_assert_eq!(map.bucket_count(), frozen.bucket_count());
+        for probe_key in (0u64..16).map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15)) {
+            match (map.get(probe_key), frozen.get(probe_key)) {
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.members(), b.members());
+                    prop_assert_eq!(a.has_sketch(), b.has_sketch());
+                    if let (Some(sa), Some(sb)) = (a.sketch(), b.sketch()) {
+                        prop_assert_eq!(sa.registers(), sb.registers());
+                    }
+                }
+                (None, None) => {}
+                (a, b) => {
+                    prop_assert!(false, "presence mismatch: map {} frozen {}",
+                        a.is_some(), b.is_some());
+                }
+            }
+        }
+
+        // Frozen iteration is sorted and covers exactly the map's keys.
+        let frozen_keys: Vec<u64> = frozen.iter().map(|(k, _)| k).collect();
+        prop_assert!(frozen_keys.windows(2).all(|w| w[0] < w[1]));
+        let mut map_keys: Vec<u64> = map.iter().map(|(k, _)| k).collect();
+        map_keys.sort_unstable();
+        prop_assert_eq!(&frozen_keys, &map_keys);
+
+        // Thaw round-trips.
+        let thawed = frozen.thaw();
+        prop_assert_eq!(thawed.bucket_count(), map.bucket_count());
+        for (key, bucket) in map.iter() {
+            let t = thawed.get(key).expect("key lost in thaw");
+            prop_assert_eq!(bucket.members(), t.members());
+        }
+    }
+}
+
+type MixtureIndex<B> = HybridLshIndex<DenseDataset, PStableL2, L2, B>;
+
+/// Builds the mixture-workload index pair (hashmap + frozen) and the
+/// held-out query list shared by the equivalence tests.
+fn mixture_setup() -> (MixtureIndex<MapStore>, MixtureIndex<FrozenStore>, Vec<Vec<f32>>, f64) {
+    let dim = 16;
+    let r = 1.4;
+    let make_data = || {
+        let (mut data, _) = hybrid_lsh::datagen::benchmark_mixture(dim, 3_000, r, 77);
+        let q_rows: Vec<usize> = (0..60).map(|i| i * 49).collect();
+        let queries = data.split_off_rows(&q_rows);
+        (data, queries)
+    };
+    let (data, queries_ds) = make_data();
+    let queries: Vec<Vec<f32>> =
+        (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
+    // β/α = 2: hard queries (mega-cluster collisions in most of the 12
+    // tables) cost more than 2n and flip to the linear arm; easy ones
+    // stay on LSH — the split the equivalence tests must cover.
+    let build = |data| {
+        IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
+            .tables(12)
+            .hash_len(6)
+            .seed(5)
+            .cost_model(CostModel::from_ratio(2.0))
+            .build(data)
+    };
+    let map_index = build(data);
+    let frozen_index = build(make_data().0).freeze();
+    (map_index, frozen_index, queries, r)
+}
+
+#[test]
+fn query_batch_equals_sequential_loop_on_mixture() {
+    let (map_index, _frozen_index, queries, r) = mixture_setup();
+    for strategy in Strategy::ALL {
+        let sequential: Vec<QueryOutput> =
+            queries.iter().map(|q| map_index.query_with_strategy(q, r, strategy)).collect();
+        // Mixture data must exercise BOTH arms under Hybrid, or the
+        // equivalence claim is vacuous.
+        if matches!(strategy, Strategy::Hybrid) {
+            let linear = sequential
+                .iter()
+                .filter(|o| {
+                    matches!(o.report.executed, hybrid_lsh::index::search::ExecutedArm::Linear)
+                })
+                .count();
+            assert!(linear > 0, "no hard queries in the mixture workload");
+            assert!(linear < queries.len(), "no easy queries in the mixture workload");
+        }
+        for threads in [Some(1), Some(2), Some(4), None] {
+            let batch = map_index.query_batch_with_strategy(&queries, r, strategy, threads);
+            assert_eq!(batch.len(), sequential.len());
+            for (qi, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+                assert_eq!(b.ids, s.ids, "{strategy} query {qi} ({threads:?} threads)");
+                assert_eq!(b.report.executed, s.report.executed);
+                assert_eq!(b.report.collisions, s.report.collisions);
+            }
+        }
+    }
+}
+
+#[test]
+fn frozen_index_answers_identically_on_mixture() {
+    let (map_index, frozen_index, queries, r) = mixture_setup();
+    let map_out = map_index.query_batch(&queries, r);
+    let frozen_out = frozen_index.query_batch(&queries, r);
+    for (qi, (a, b)) in map_out.iter().zip(&frozen_out).enumerate() {
+        assert_eq!(a.ids, b.ids, "query {qi}");
+        assert_eq!(a.report.executed, b.report.executed);
+        assert_eq!(a.report.collisions, b.report.collisions);
+        assert_eq!(a.report.cand_size_estimate, b.report.cand_size_estimate);
+    }
+    // Strategy decisions must be the same per-query, so strategy
+    // distribution across backends matches exactly too.
+    assert_eq!(map_index.stats().member_slots, frozen_index.stats().member_slots);
+}
+
+#[test]
+fn multiprobe_works_on_frozen_backend() {
+    let (map_index, frozen_index, queries, r) = mixture_setup();
+    for q in queries.iter().take(12) {
+        let a = hybrid_lsh::probe::multiprobe_query(&map_index, q, r, 6, Strategy::LshOnly);
+        let b = hybrid_lsh::probe::multiprobe_query(&frozen_index, q, r, 6, Strategy::LshOnly);
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.report.collisions, b.report.collisions);
+    }
+}
+
+#[test]
+fn frozen_index_thaws_back_to_streaming() {
+    let (map_index, frozen_index, queries, r) = mixture_setup();
+    let mut thawed = frozen_index.thaw();
+    let grown_id = thawed.insert(&queries[0]);
+    assert_eq!(grown_id as usize, map_index.len());
+    // The fresh point is its own exact neighbor now.
+    let out = thawed.query(&queries[0], r);
+    assert!(out.ids.contains(&grown_id));
+}
