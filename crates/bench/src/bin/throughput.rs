@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use hlsh_core::{CostModel, IndexBuilder, QueryEngine, Strategy};
+use hlsh_core::{CostModel, IndexBuilder, QueryEngine, Strategy, VerifyMode};
 use hlsh_datagen::benchmark_mixture;
 use hlsh_families::PStableL2;
 use hlsh_vec::L2;
@@ -97,10 +97,15 @@ fn main() {
         .into_iter()
         .map(|o| o.ids)
         .collect();
+    let scalar_ids: Vec<Vec<u32>> = {
+        let mut engine = QueryEngine::with_verify_mode(VerifyMode::Scalar);
+        queries.iter().map(|q| engine.query(&frozen, q, r).ids).collect()
+    };
     assert_eq!(reference, engine_ids, "engine path diverged from sequential");
     assert_eq!(reference, batch_ids, "batch path diverged from sequential");
+    assert_eq!(reference, scalar_ids, "kernel verification diverged from scalar");
     println!(
-        "verified: {} queries, byte-identical ids across sequential / engine / batch paths\n",
+        "verified: {} queries, byte-identical ids across sequential / engine / batch / scalar-verify paths\n",
         queries.len()
     );
 
@@ -126,13 +131,23 @@ fn main() {
         "sequential query() loop, frozen store",
         Box::new(|| queries.iter().map(|q| frozen.query(q, r).ids.len()).sum()),
     );
-    measure(
-        "QueryEngine reuse, frozen store",
+    // S3 verification mode: the batched one-to-many kernels (default)
+    // vs the per-candidate scalar loop, on the same engine/store.
+    let scalar_verify = measure(
+        "QueryEngine reuse, frozen store, verify=scalar",
         Box::new(|| {
-            let mut engine = QueryEngine::new();
+            let mut engine = QueryEngine::with_verify_mode(VerifyMode::Scalar);
             queries.iter().map(|q| engine.query(&frozen, q, r).ids.len()).sum()
         }),
     );
+    let kernel_verify = measure(
+        "QueryEngine reuse, frozen store, verify=kernel",
+        Box::new(|| {
+            let mut engine = QueryEngine::with_verify_mode(VerifyMode::Kernel);
+            queries.iter().map(|q| engine.query(&frozen, q, r).ids.len()).sum()
+        }),
+    );
+    println!("  -> kernel vs scalar verification (β path): {:.2}x", kernel_verify / scalar_verify);
     for threads in [1, 2, 4, args.threads] {
         let label = format!("query_batch, frozen store, {threads} thread(s)");
         let tput = measure(

@@ -8,7 +8,7 @@
 //! the query-time merge accumulator on demand, which yields the exact
 //! same merged sketch for strictly less memory.
 
-use hlsh_hll::{HllConfig, HyperLogLog, MergeAccumulator};
+use hlsh_hll::{HllConfig, HyperLogLog, MergeAccumulator, SketchRef};
 use hlsh_vec::PointId;
 
 /// One bucket: the member list plus an optional sketch.
@@ -46,7 +46,7 @@ impl Bucket {
     /// [`BucketStore`](crate::store::BucketStore) backend.
     #[inline]
     pub fn as_view(&self) -> BucketRef<'_> {
-        BucketRef { members: &self.members, sketch: self.sketch.as_ref() }
+        BucketRef { members: &self.members, sketch: self.sketch.as_ref().map(HyperLogLog::view) }
     }
 
     /// Inserts a point, materialising the sketch once the bucket
@@ -118,19 +118,21 @@ impl Default for Bucket {
 /// A borrowed view of one bucket: member slice plus optional sketch.
 ///
 /// Both storage backends hand out this type — the hashmap store borrows
-/// straight from a [`Bucket`], the frozen store from its CSR arena —
+/// straight from a [`Bucket`], the frozen store from its register slab —
 /// so every query path (single-probe, multi-probe, covering) is
-/// backend-agnostic.
+/// backend-agnostic. The sketch is a [`SketchRef`] (config tag + raw
+/// register slice), which lets the frozen backend serve sketches with
+/// zero per-bucket heap objects.
 #[derive(Clone, Copy, Debug)]
 pub struct BucketRef<'a> {
     pub(crate) members: &'a [PointId],
-    pub(crate) sketch: Option<&'a HyperLogLog>,
+    pub(crate) sketch: Option<SketchRef<'a>>,
 }
 
 impl<'a> BucketRef<'a> {
     /// Builds a view from raw parts (storage backends only).
     #[inline]
-    pub fn from_parts(members: &'a [PointId], sketch: Option<&'a HyperLogLog>) -> Self {
+    pub fn from_parts(members: &'a [PointId], sketch: Option<SketchRef<'a>>) -> Self {
         Self { members, sketch }
     }
 
@@ -152,9 +154,9 @@ impl<'a> BucketRef<'a> {
         self.members
     }
 
-    /// The materialised sketch, if any.
+    /// The materialised sketch, if any, as a borrowed view.
     #[inline]
-    pub fn sketch(&self) -> Option<&'a HyperLogLog> {
+    pub fn sketch(&self) -> Option<SketchRef<'a>> {
         self.sketch
     }
 
@@ -165,10 +167,11 @@ impl<'a> BucketRef<'a> {
     }
 
     /// Contributes this bucket to a query-time merge: register-wise max
-    /// if the sketch exists, raw member hashing otherwise (paper §3.2).
+    /// straight from the backing registers if the sketch exists, raw
+    /// member hashing otherwise (paper §3.2).
     pub fn contribute_to(&self, acc: &mut MergeAccumulator) {
         match self.sketch {
-            Some(s) => acc.add_sketch(s),
+            Some(s) => acc.add_sketch_ref(s),
             None => acc.add_raw(self.members.iter().map(|&m| m as u64)),
         }
     }

@@ -19,24 +19,39 @@ use hlsh_vec::{Distance, PointId, PointSet};
 use crate::hasher::FxHashSet;
 use crate::index::HybridLshIndex;
 use crate::report::{QueryOutput, QueryReport};
-use crate::search::{ExecutedArm, Strategy};
+use crate::search::{ExecutedArm, Strategy, VerifyMode};
 use crate::store::BucketStore;
 
 /// Reusable scratch state for running queries.
 ///
 /// One engine serves one thread: methods take `&mut self` and recycle
-/// the dedup set and merge accumulator between calls. Results are
-/// identical to the allocate-per-query path.
+/// the dedup set, candidate list and merge accumulator between calls.
+/// Results are identical to the allocate-per-query path.
 #[derive(Debug, Default)]
 pub struct QueryEngine {
     seen: FxHashSet<PointId>,
+    cands: Vec<PointId>,
     acc: Option<MergeAccumulator>,
+    verify: VerifyMode,
 }
 
 impl QueryEngine {
-    /// Creates an engine with empty scratch.
+    /// Creates an engine with empty scratch and the default
+    /// [`VerifyMode::Kernel`] distance filter.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an engine with an explicit S3 verification mode
+    /// ([`VerifyMode::Scalar`] forces per-candidate `distance()` calls;
+    /// useful as a benchmark baseline).
+    pub fn with_verify_mode(verify: VerifyMode) -> Self {
+        Self { verify, ..Self::default() }
+    }
+
+    /// The S3 verification mode in force.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify
     }
 
     /// Hybrid query (Algorithm 2) with reused scratch.
@@ -72,7 +87,7 @@ impl QueryEngine {
         let t_start = Instant::now();
         match strategy {
             Strategy::LinearOnly => {
-                let ids = linear_arm(index, q, r);
+                let ids = linear_arm(index, q, r, self.verify);
                 let total = t_start.elapsed().as_nanos() as u64;
                 QueryOutput {
                     report: QueryReport {
@@ -124,7 +139,7 @@ impl QueryEngine {
                     let (ids, cand) = self.lsh_arm(index, q, r, &buckets);
                     (ExecutedArm::Lsh, ids, Some(cand))
                 } else {
-                    (ExecutedArm::Linear, linear_arm(index, q, r), None)
+                    (ExecutedArm::Linear, linear_arm(index, q, r, self.verify), None)
                 };
                 let total = t_start.elapsed().as_nanos() as u64;
                 QueryOutput {
@@ -164,8 +179,12 @@ impl QueryEngine {
         self.acc.as_mut().expect("accumulator just ensured")
     }
 
-    /// Step S2 + S3: dedup the colliding points, filter by distance.
-    /// Returns (reported ids, distinct candidate count).
+    /// Step S2 + S3: dedup the colliding points, then verify the whole
+    /// candidate list in one batched distance-filter call (under
+    /// [`VerifyMode::Kernel`], a one-to-many kernel straight over the
+    /// dataset's flat storage on dense data). Returns (reported ids,
+    /// distinct candidate count). Output order equals the interleaved
+    /// per-candidate loop: first-collision order, filtered.
     fn lsh_arm<S, F, D, B>(
         &mut self,
         index: &HybridLshIndex<S, F, D, B>,
@@ -180,21 +199,35 @@ impl QueryEngine {
         B: BucketStore,
     {
         self.seen.clear();
-        let mut out = Vec::new();
-        let (data, distance) = (index.data(), index.distance());
+        self.cands.clear();
         for b in buckets {
             for &id in b.members() {
-                if self.seen.insert(id) && distance.distance(data.point(id as usize), q) <= r {
-                    out.push(id);
+                if self.seen.insert(id) {
+                    self.cands.push(id);
                 }
             }
         }
-        (out, self.seen.len())
+        let (data, distance) = (index.data(), index.distance());
+        let mut out = Vec::new();
+        match self.verify {
+            VerifyMode::Kernel => distance.verify_many(data, &self.cands, q, r, &mut out),
+            VerifyMode::Scalar => {
+                hlsh_vec::metric::verify_scalar(distance, data, &self.cands, q, r, &mut out)
+            }
+        }
+        (out, self.cands.len())
     }
 }
 
-/// The brute-force arm: scan every point.
-fn linear_arm<S, F, D, B>(index: &HybridLshIndex<S, F, D, B>, q: &S::Point, r: f64) -> Vec<PointId>
+/// The brute-force arm: scan every point (batched through the metric's
+/// [`scan_within`](Distance::scan_within) kernel unless scalar mode is
+/// forced).
+fn linear_arm<S, F, D, B>(
+    index: &HybridLshIndex<S, F, D, B>,
+    q: &S::Point,
+    r: f64,
+    verify: VerifyMode,
+) -> Vec<PointId>
 where
     S: PointSet,
     F: LshFamily<S::Point>,
@@ -203,10 +236,9 @@ where
 {
     let (data, distance) = (index.data(), index.distance());
     let mut out = Vec::new();
-    for id in 0..data.len() {
-        if distance.distance(data.point(id), q) <= r {
-            out.push(id as PointId);
-        }
+    match verify {
+        VerifyMode::Kernel => distance.scan_within(data, q, r, &mut out),
+        VerifyMode::Scalar => hlsh_vec::metric::scan_scalar(distance, data, q, r, &mut out),
     }
     out
 }

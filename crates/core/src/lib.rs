@@ -88,5 +88,5 @@ pub use engine::QueryEngine;
 pub use index::{HybridLshIndex, IndexStats};
 pub use recall::{evaluate_recall, RecallReport};
 pub use report::{QueryOutput, QueryReport};
-pub use search::Strategy;
+pub use search::{Strategy, VerifyMode};
 pub use store::{BucketStore, FrozenStore, MapStore};

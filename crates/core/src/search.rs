@@ -32,6 +32,40 @@ impl std::fmt::Display for Strategy {
     }
 }
 
+/// How the S3 distance filter (and the linear arm) evaluate distances.
+///
+/// The engine defaults to [`Kernel`](VerifyMode::Kernel): candidates
+/// are deduplicated first and then verified as one batched
+/// [`verify_many`](hlsh_vec::Distance::verify_many) call, which on
+/// dense data dispatches to the chunked one-to-many kernels in
+/// `hlsh_vec::kernels`. [`Scalar`](VerifyMode::Scalar) forces the
+/// per-candidate `distance()` loop — the pre-kernel behaviour, kept as
+/// a benchmark baseline and a cross-check in equivalence tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum VerifyMode {
+    /// Batched kernel verification (default).
+    #[default]
+    Kernel,
+    /// Per-candidate virtual `distance()` calls.
+    Scalar,
+}
+
+impl VerifyMode {
+    /// Display label for reports and bench output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VerifyMode::Kernel => "kernel",
+            VerifyMode::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for VerifyMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// What a query actually executed after the hybrid decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ExecutedArm {
@@ -72,5 +106,12 @@ mod tests {
     fn executed_arm_labels() {
         assert_eq!(ExecutedArm::Lsh.label(), "lsh");
         assert_eq!(ExecutedArm::Linear.label(), "linear");
+    }
+
+    #[test]
+    fn verify_mode_defaults_to_kernel() {
+        assert_eq!(VerifyMode::default(), VerifyMode::Kernel);
+        assert_eq!(VerifyMode::Kernel.to_string(), "kernel");
+        assert_eq!(VerifyMode::Scalar.label(), "scalar");
     }
 }

@@ -6,18 +6,19 @@
 //! * [`MapStore`] — the build-time and streaming backend: a
 //!   `FxHashMap<u64, Bucket>` that accepts inserts in any order.
 //! * [`FrozenStore`] — the read-optimised backend: a CSR-style arena
-//!   (sorted key array, offset array, one contiguous member slab, a
-//!   parallel sketch array) built by
-//!   [`freeze`](crate::table::HashTable::freeze). A lookup is a binary
-//!   search over a dense `u64` array plus a slice borrow — no pointer
-//!   chasing, no per-bucket allocation, and members of neighbouring
-//!   buckets share cache lines during multi-probe sweeps.
+//!   (sorted key array, offset array, one contiguous member slab, one
+//!   contiguous HLL register slab addressed through a presence bitmap)
+//!   built by [`freeze`](crate::table::HashTable::freeze). A lookup is
+//!   a binary search over a dense `u64` array plus slice borrows — no
+//!   pointer chasing, no per-bucket allocation of any kind, and members
+//!   of neighbouring buckets share cache lines during multi-probe
+//!   sweeps.
 //!
 //! Both backends hand out [`BucketRef`] views, so every query path is
 //! backend-agnostic; [`thaw`](FrozenStore::thaw) converts back when an
 //! index must resume streaming ingestion.
 
-use hlsh_hll::{HllConfig, HyperLogLog};
+use hlsh_hll::{HllConfig, SketchRef};
 use hlsh_vec::PointId;
 
 use crate::bucket::{Bucket, BucketRef};
@@ -88,7 +89,13 @@ impl BucketStore for MapStore {
 impl MapStore {
     /// Converts into the read-optimised CSR arena. Member order within
     /// each bucket is preserved, so query outputs are byte-identical
-    /// across backends.
+    /// across backends; sketch registers are copied into one contiguous
+    /// slab (byte-identical registers, zero per-bucket allocations).
+    ///
+    /// # Panics
+    /// Panics if sketched buckets disagree on their [`HllConfig`]
+    /// (cannot happen through a [`HashTable`](crate::table::HashTable),
+    /// which threads one config through every insert).
     pub fn freeze(self) -> FrozenStore {
         let mut entries: Vec<(u64, Bucket)> = self.buckets.into_iter().collect();
         entries.sort_unstable_by_key(|(k, _)| *k);
@@ -97,44 +104,76 @@ impl MapStore {
         let mut keys = Vec::with_capacity(entries.len());
         let mut offsets = Vec::with_capacity(entries.len() + 1);
         let mut members = Vec::with_capacity(total_members);
-        let mut sketches = Vec::with_capacity(entries.len());
+        let mut sketch_config: Option<HllConfig> = None;
+        let mut sketch_bits = vec![0u64; entries.len().div_ceil(64)];
+        let mut registers: Vec<u8> = Vec::new();
         offsets.push(0usize);
-        for (key, bucket) in entries {
+        for (i, (key, bucket)) in entries.into_iter().enumerate() {
             let (bucket_members, sketch) = bucket.into_parts();
             keys.push(key);
             members.extend_from_slice(&bucket_members);
             offsets.push(members.len());
-            sketches.push(sketch);
+            if let Some(s) = sketch {
+                match sketch_config {
+                    None => sketch_config = Some(s.config()),
+                    Some(c) => {
+                        assert_eq!(c, s.config(), "mixed HllConfigs in one store")
+                    }
+                }
+                sketch_bits[i / 64] |= 1u64 << (i % 64);
+                registers.extend_from_slice(s.registers());
+            }
         }
         let prefix = prefix_table(&keys);
-        FrozenStore { keys, prefix, offsets, members, sketches }
+        let sketch_rank = rank_table(&sketch_bits);
+        FrozenStore {
+            keys,
+            prefix,
+            offsets,
+            members,
+            sketch_config,
+            sketch_bits,
+            sketch_rank,
+            registers,
+        }
     }
 }
 
-/// The read-optimised frozen store: a CSR-style arena.
+/// The read-optimised frozen store: a CSR-style arena with zero
+/// pointers per bucket.
 ///
-/// Layout (for `B` buckets holding `M` members total):
+/// Layout (for `B` buckets holding `M` members total, `P` of them
+/// sketched with `m` registers each):
 ///
 /// ```text
-/// keys:     [u64; B]        sorted bucket keys
-/// prefix:   [u32; 257]      key range per top byte (search accelerator)
-/// offsets:  [usize; B + 1]  member-slab extents per bucket
-/// members:  [PointId; M]    one contiguous slab
-/// sketches: [Option<HyperLogLog>; B]  parallel to keys
+/// keys:         [u64; B]          sorted bucket keys
+/// prefix:       [u32; 257]        key range per top byte (search accelerator)
+/// offsets:      [usize; B + 1]    member-slab extents per bucket
+/// members:      [PointId; M]      one contiguous slab
+/// sketch_bits:  [u64; ⌈B/64⌉]     presence bitmap: bucket i sketched?
+/// sketch_rank:  [u32; ⌈B/64⌉]     popcount prefix sums for O(1) rank
+/// registers:    [u8; P·m]         one contiguous register slab
 /// ```
 ///
-/// Lookup = binary search on `keys` + two offset reads; no per-bucket
-/// heap allocation survives freezing. Because bucket keys are
-/// well-mixed hash outputs, the top-byte prefix table narrows each
-/// search to ≈ `B/256` keys (a handful of probes even for millions of
-/// buckets).
+/// Lookup = binary search on `keys` + two offset reads; a sketched
+/// bucket's registers are the `rank(i)`-th `m`-byte row of the slab,
+/// where `rank(i)` counts sketched buckets before `i` via the bitmap —
+/// no `Option<HyperLogLog>` array, no per-bucket heap allocation of any
+/// kind survives freezing. Because bucket keys are well-mixed hash
+/// outputs, the top-byte prefix table narrows each search to ≈ `B/256`
+/// keys (a handful of probes even for millions of buckets).
 #[derive(Clone, Debug)]
 pub struct FrozenStore {
     keys: Vec<u64>,
     prefix: Vec<u32>,
     offsets: Vec<usize>,
     members: Vec<PointId>,
-    sketches: Vec<Option<HyperLogLog>>,
+    /// Config shared by every packed sketch; `None` iff no bucket is
+    /// sketched (then `registers` is empty and the bitmap all-zero).
+    sketch_config: Option<HllConfig>,
+    sketch_bits: Vec<u64>,
+    sketch_rank: Vec<u32>,
+    registers: Vec<u8>,
 }
 
 fn prefix_table(keys: &[u64]) -> Vec<u32> {
@@ -148,22 +187,64 @@ fn prefix_table(keys: &[u64]) -> Vec<u32> {
     prefix
 }
 
+/// Per-word popcount prefix sums over the presence bitmap:
+/// `rank[w] = popcount(bits[..w])`.
+fn rank_table(bits: &[u64]) -> Vec<u32> {
+    let mut rank = Vec::with_capacity(bits.len());
+    let mut total = 0u32;
+    for &word in bits {
+        rank.push(total);
+        total += word.count_ones();
+    }
+    rank
+}
+
 impl FrozenStore {
+    /// Whether bucket `i` carries a packed sketch.
+    #[inline]
+    fn is_sketched(&self, i: usize) -> bool {
+        (self.sketch_bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of sketched buckets before bucket `i` = this bucket's row
+    /// in the register slab.
+    #[inline]
+    fn sketch_row(&self, i: usize) -> usize {
+        let word = i / 64;
+        let below = self.sketch_bits[word] & ((1u64 << (i % 64)) - 1);
+        self.sketch_rank[word] as usize + below.count_ones() as usize
+    }
+
+    /// The borrowed sketch view for bucket `i`, straight out of the
+    /// register slab.
+    #[inline]
+    fn sketch_at(&self, i: usize) -> Option<SketchRef<'_>> {
+        if !self.is_sketched(i) {
+            return None;
+        }
+        let config = self.sketch_config.expect("bitmap bit set without a sketch config");
+        let m = config.registers();
+        let row = self.sketch_row(i);
+        Some(SketchRef::new(config, &self.registers[row * m..(row + 1) * m]))
+    }
+
     fn bucket_at(&self, i: usize) -> BucketRef<'_> {
         BucketRef::from_parts(
             &self.members[self.offsets[i]..self.offsets[i + 1]],
-            self.sketches[i].as_ref(),
+            self.sketch_at(i),
         )
     }
 
     /// Converts back to the mutable hashmap store (resuming streaming
-    /// ingestion after a freeze).
+    /// ingestion after a freeze). Sketch registers are copied back out
+    /// of the slab, so a freeze/thaw round trip is lossless.
     pub fn thaw(self) -> MapStore {
         let mut buckets = FxHashMap::default();
         buckets.reserve(self.keys.len());
         for (i, &key) in self.keys.iter().enumerate() {
             let members = self.members[self.offsets[i]..self.offsets[i + 1]].to_vec();
-            buckets.insert(key, Bucket::from_parts(members, self.sketches[i].clone()));
+            let sketch = self.sketch_at(i).map(|s| s.to_owned());
+            buckets.insert(key, Bucket::from_parts(members, sketch));
         }
         MapStore { buckets }
     }
@@ -171,6 +252,12 @@ impl FrozenStore {
     /// Total members across all buckets (the slab length).
     pub fn member_slots(&self) -> usize {
         self.members.len()
+    }
+
+    /// Bytes of the packed register slab (= sketched buckets × register
+    /// count; exposed for memory-accounting tests).
+    pub fn sketch_slab_bytes(&self) -> usize {
+        self.registers.len()
     }
 }
 
@@ -181,7 +268,10 @@ impl BucketStore for FrozenStore {
             prefix: vec![0; 257],
             offsets: vec![0],
             members: Vec::new(),
-            sketches: Vec::new(),
+            sketch_config: None,
+            sketch_bits: Vec::new(),
+            sketch_rank: Vec::new(),
+            registers: Vec::new(),
         }
     }
 
@@ -203,17 +293,16 @@ impl BucketStore for FrozenStore {
         Box::new(self.keys.iter().enumerate().map(|(i, &k)| (k, self.bucket_at(i))))
     }
 
+    /// Exact heap bytes of the arena: the seven flat arrays, nothing
+    /// else — there are no per-bucket allocations left to estimate.
     fn memory_bytes(&self) -> usize {
         self.keys.capacity() * std::mem::size_of::<u64>()
             + self.prefix.capacity() * std::mem::size_of::<u32>()
             + self.offsets.capacity() * std::mem::size_of::<usize>()
             + self.members.capacity() * std::mem::size_of::<PointId>()
-            + self.sketches.capacity() * std::mem::size_of::<Option<HyperLogLog>>()
-            + self
-                .sketches
-                .iter()
-                .map(|s| s.as_ref().map_or(0, HyperLogLog::memory_bytes))
-                .sum::<usize>()
+            + self.sketch_bits.capacity() * std::mem::size_of::<u64>()
+            + self.sketch_rank.capacity() * std::mem::size_of::<u32>()
+            + self.registers.capacity()
     }
 }
 
@@ -317,5 +406,64 @@ mod tests {
         assert!(frozen.memory_bytes() > 0);
         // The frozen arena must at least hold the member slab.
         assert!(frozen.memory_bytes() >= 206 * std::mem::size_of::<PointId>());
+    }
+
+    #[test]
+    fn frozen_sketches_live_in_one_slab() {
+        // One bucket (200 members) crosses the lazy threshold of 128,
+        // the other two stay raw: the slab holds exactly one sketch's
+        // registers and memory accounting is the closed-form sum of the
+        // flat arrays — no per-bucket sketch heap objects remain.
+        let frozen = populated_map().freeze();
+        let m = cfg().registers();
+        assert_eq!(frozen.sketch_slab_bytes(), m);
+        let expected = frozen.keys.capacity() * std::mem::size_of::<u64>()
+            + frozen.prefix.capacity() * std::mem::size_of::<u32>()
+            + frozen.offsets.capacity() * std::mem::size_of::<usize>()
+            + frozen.members.capacity() * std::mem::size_of::<PointId>()
+            + frozen.sketch_bits.capacity() * std::mem::size_of::<u64>()
+            + frozen.sketch_rank.capacity() * std::mem::size_of::<u32>()
+            + frozen.registers.capacity();
+        assert_eq!(frozen.memory_bytes(), expected);
+
+        // The sketched bucket's view borrows straight from the slab.
+        let sketched = frozen.get(17).unwrap().sketch().expect("bucket 17 is sketched");
+        assert_eq!(sketched.registers().as_ptr(), frozen.registers.as_ptr());
+        assert!(frozen.get(3).unwrap().sketch().is_none());
+
+        // Slab registers are byte-identical to the owned-sketch path.
+        let map = populated_map();
+        let owned = map.get(17).unwrap();
+        assert_eq!(owned.sketch().unwrap().registers(), sketched.registers());
+        assert_eq!(
+            owned.sketch().unwrap().estimate().to_bits(),
+            sketched.estimate().to_bits(),
+            "estimates must be byte-identical, not merely close"
+        );
+    }
+
+    #[test]
+    fn rank_lookup_handles_many_buckets() {
+        // >64 buckets exercises multi-word bitmap/rank arithmetic:
+        // every 3rd bucket sketched, interleaved with raw ones.
+        let mut map = MapStore::new();
+        for b in 0..200u64 {
+            let key = b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let n = if b % 3 == 0 { 10 } else { 2 };
+            for id in 0..n {
+                map.insert(key, (b * 100 + id) as u32, cfg(), 5);
+            }
+        }
+        let frozen = map.clone().freeze();
+        for (key, bucket) in map.iter() {
+            let f = frozen.get(key).expect("key survives freeze");
+            assert_eq!(bucket.members(), f.members());
+            assert_eq!(bucket.has_sketch(), f.has_sketch());
+            if let (Some(a), Some(b)) = (bucket.sketch(), f.sketch()) {
+                assert_eq!(a.registers(), b.registers());
+            }
+        }
+        let sketched = (0..200u64).filter(|b| b % 3 == 0).count();
+        assert_eq!(frozen.sketch_slab_bytes(), sketched * cfg().registers());
     }
 }

@@ -45,12 +45,11 @@ where
     S: PointSet,
     D: Distance<S::Point>,
 {
+    // Goes through the metric's scan_within hook, so dense ground truth
+    // gets the chunked full-scan kernels (identical predicate to a
+    // per-point distance() loop).
     let mut out = Vec::new();
-    for id in 0..data.len() {
-        if distance.distance(data.point(id), q) <= r {
-            out.push(id as PointId);
-        }
-    }
+    distance.scan_within(data, q, r, &mut out);
     out
 }
 

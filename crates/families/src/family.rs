@@ -46,16 +46,26 @@ pub trait GFunction<P: ?Sized>: Send + Sync {
     fn k(&self) -> usize;
 }
 
+/// Initial state of the atom-combining fold (an FNV-ish offset basis).
+///
+/// Exposed together with [`combine_step`] so hot `bucket_key`
+/// implementations can fold atoms incrementally — e.g. straight out of
+/// a matrix–vector kernel callback — without materialising an atom
+/// vector; `atoms.fold(COMBINE_SEED, combine_step) == combine_atoms(atoms)`.
+pub const COMBINE_SEED: u64 = 0x51_7C_C1_B7_27_22_0A_95;
+
+/// One step of the atom-combining fold; see [`COMBINE_SEED`].
+#[inline]
+pub fn combine_step(key: u64, atom: u64) -> u64 {
+    hlsh_hll::hash::splitmix64(key ^ atom)
+}
+
 /// Mixes a sequence of atom values into one 64-bit bucket key.
 ///
 /// Uses a SplitMix64-based fold; empty input maps to a fixed constant.
 #[inline]
 pub fn combine_atoms<I: IntoIterator<Item = u64>>(atoms: I) -> u64 {
-    let mut key = 0x51_7C_C1_B7_27_22_0A_95u64; // FNV-ish offset basis
-    for a in atoms {
-        key = hlsh_hll::hash::splitmix64(key ^ a);
-    }
-    key
+    atoms.into_iter().fold(COMBINE_SEED, combine_step)
 }
 
 #[cfg(test)]

@@ -14,9 +14,9 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::family::{combine_atoms, GFunction, LshFamily};
+use crate::family::{combine_atoms, combine_step, GFunction, LshFamily, COMBINE_SEED};
 use crate::sampling;
-use hlsh_vec::dense::dot;
+use hlsh_vec::kernels;
 use hlsh_vec::stats::normal_cdf;
 
 /// Which stable distribution the projections are drawn from.
@@ -28,17 +28,20 @@ enum Stable {
     Gaussian,
 }
 
-/// One atomic hash `h(x) = ⌊(a·x + b)/w⌋`.
-#[derive(Clone, Debug)]
-struct Atom {
-    a: Vec<f32>,
-    b: f64,
-}
-
 /// A sampled p-stable g-function of `k` atoms.
+///
+/// All `k` projection directions are packed into one row-major
+/// `[k × dim]` matrix so a query computes every hash coordinate with a
+/// single matrix–vector kernel ([`hlsh_vec::kernels::matvec_each`])
+/// instead of `k` separate scalar dot products; the shifts `b_j` stay
+/// in a parallel `f64` array.
 #[derive(Clone, Debug)]
 pub struct PStableGFn {
-    atoms: Vec<Atom>,
+    dim: usize,
+    /// `k` rows of length `dim`: row `j` is projection direction `a_j`.
+    proj: Vec<f32>,
+    /// Per-atom shifts `b_j ~ U[0, w)`.
+    shifts: Vec<f64>,
     w: f64,
 }
 
@@ -46,15 +49,22 @@ impl PStableGFn {
     /// The raw (un-mixed) atom values `⌊(a_i·x + b_i)/w⌋`, exposed for
     /// the multi-probe extension which perturbs them by ±1.
     pub fn atom_values(&self, p: &[f32]) -> Vec<i64> {
-        self.atoms.iter().map(|atom| self.atom_value(atom, p)).collect()
+        let mut values = Vec::with_capacity(self.shifts.len());
+        kernels::matvec_each(&self.proj, self.dim, p, |j, proj| {
+            values.push(((proj + self.shifts[j]) / self.w).floor() as i64);
+        });
+        values
     }
 
     /// Distance from the projection `a_j·x + b_j` to the *lower* slot
     /// boundary, in `[0, w)`. Multi-probe scores a −1 perturbation of
     /// atom `j` by this value and a +1 perturbation by `w − value`.
+    ///
+    /// Uses the same chunked dot kernel as the matrix–vector path, so
+    /// the slot implied here always matches [`atom_values`](Self::atom_values).
     pub fn boundary_offset(&self, j: usize, p: &[f32]) -> f64 {
-        let atom = &self.atoms[j];
-        let proj = dot(&atom.a, p) + atom.b;
+        let row = &self.proj[j * self.dim..(j + 1) * self.dim];
+        let proj = kernels::dot(row, p) + self.shifts[j];
         let slot = (proj / self.w).floor();
         proj - slot * self.w
     }
@@ -67,40 +77,42 @@ impl PStableGFn {
     /// Mixes explicit atom values into a bucket key; used by multi-probe
     /// to address perturbed buckets.
     pub fn key_from_atoms(&self, values: &[i64]) -> u64 {
-        debug_assert_eq!(values.len(), self.atoms.len());
+        debug_assert_eq!(values.len(), self.shifts.len());
         combine_atoms(values.iter().map(|&v| v as u64))
-    }
-
-    #[inline]
-    fn atom_value(&self, atom: &Atom, p: &[f32]) -> i64 {
-        ((dot(&atom.a, p) + atom.b) / self.w).floor() as i64
     }
 }
 
 impl GFunction<[f32]> for PStableGFn {
     #[inline]
     fn bucket_key(&self, p: &[f32]) -> u64 {
-        combine_atoms(self.atoms.iter().map(|a| self.atom_value(a, p) as u64))
+        // One matvec for all k coordinates, folded into the key on the
+        // fly — no per-query allocation.
+        let mut key = COMBINE_SEED;
+        kernels::matvec_each(&self.proj, self.dim, p, |j, proj| {
+            let slot = ((proj + self.shifts[j]) / self.w).floor() as i64;
+            key = combine_step(key, slot as u64);
+        });
+        key
     }
 
     fn k(&self) -> usize {
-        self.atoms.len()
+        self.shifts.len()
     }
 }
 
 fn sample_gfn(dim: usize, w: f64, stable: Stable, k: usize, rng: &mut StdRng) -> PStableGFn {
     assert!(k > 0, "k must be positive");
-    let atoms = (0..k)
-        .map(|_| {
-            let a = match stable {
-                Stable::Cauchy => sampling::cauchy_vector(rng, dim),
-                Stable::Gaussian => sampling::normal_vector(rng, dim),
-            };
-            let b = rng.gen::<f64>() * w;
-            Atom { a, b }
-        })
-        .collect();
-    PStableGFn { atoms, w }
+    let mut proj = Vec::with_capacity(k * dim);
+    let mut shifts = Vec::with_capacity(k);
+    for _ in 0..k {
+        let a = match stable {
+            Stable::Cauchy => sampling::cauchy_vector(rng, dim),
+            Stable::Gaussian => sampling::normal_vector(rng, dim),
+        };
+        proj.extend_from_slice(&a);
+        shifts.push(rng.gen::<f64>() * w);
+    }
+    PStableGFn { dim, proj, shifts, w }
 }
 
 /// The L2 (Gaussian projections) p-stable family.

@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 
 use crate::family::{GFunction, LshFamily};
 use crate::sampling;
-use hlsh_vec::dense::dot;
+use hlsh_vec::kernels;
 use hlsh_vec::{BinaryDataset, DenseDataset};
 
 /// The SimHash family over dense points of dimension `dim`.
@@ -61,8 +61,9 @@ impl SimHashGFn {
 
     /// Signed margin `a_j · x` of point `x` against hyperplane `j`;
     /// multi-probe flips the bits with the smallest `|margin|` first.
+    /// Same chunked kernel as `bucket_key`, so sign and key bit agree.
     pub fn margin(&self, j: usize, p: &[f32]) -> f64 {
-        dot(self.plane(j), p)
+        kernels::dot(self.plane(j), p)
     }
 }
 
@@ -70,12 +71,13 @@ impl GFunction<[f32]> for SimHashGFn {
     #[inline]
     fn bucket_key(&self, p: &[f32]) -> u64 {
         debug_assert_eq!(p.len(), self.dim);
+        // All k sign bits from one matrix–vector kernel pass.
         let mut key = 0u64;
-        for (j, plane) in self.planes.chunks_exact(self.dim).enumerate() {
-            if dot(plane, p) >= 0.0 {
+        kernels::matvec_each(&self.planes, self.dim, p, |j, proj| {
+            if proj >= 0.0 {
                 key |= 1u64 << j;
             }
-        }
+        });
         key
     }
 

@@ -75,6 +75,22 @@ impl HyperLogLog {
         Self { config, registers: vec![0; config.registers()] }
     }
 
+    /// Rebuilds a sketch from a raw register array (e.g. a row of a
+    /// frozen store's register slab being thawed back to owned form).
+    ///
+    /// # Panics
+    /// Panics if `registers.len() != config.registers()`.
+    pub fn from_registers(config: HllConfig, registers: Vec<u8>) -> Self {
+        assert_eq!(registers.len(), config.registers(), "register array length mismatch");
+        Self { config, registers }
+    }
+
+    /// A borrowed, zero-allocation view of this sketch.
+    #[inline]
+    pub fn view(&self) -> SketchRef<'_> {
+        SketchRef { config: self.config, registers: &self.registers }
+    }
+
     /// The sketch's configuration.
     #[inline]
     pub fn config(&self) -> HllConfig {
@@ -85,6 +101,25 @@ impl HyperLogLog {
     #[inline]
     pub fn registers(&self) -> &[u8] {
         &self.registers
+    }
+
+    /// Register-wise `max` with a raw register array of the same length
+    /// (the slab-merge primitive: callers guarantee the registers were
+    /// produced under an identical [`HllConfig`]).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn merge_registers(&mut self, registers: &[u8]) {
+        assert_eq!(
+            self.registers.len(),
+            registers.len(),
+            "cannot merge register arrays of different sizes"
+        );
+        for (a, &b) in self.registers.iter_mut().zip(registers) {
+            if b > *a {
+                *a = b;
+            }
+        }
     }
 
     /// Inserts an element by id (hashed internally with the config seed).
@@ -119,11 +154,7 @@ impl HyperLogLog {
             self.config, other.config,
             "cannot merge HyperLogLog sketches with different configs"
         );
-        for (a, &b) in self.registers.iter_mut().zip(&other.registers) {
-            if b > *a {
-                *a = b;
-            }
-        }
+        self.merge_registers(&other.registers);
     }
 
     /// Estimated cardinality (with small-range correction).
@@ -146,6 +177,54 @@ impl HyperLogLog {
     /// Heap memory used by the register array, in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.registers.len()
+    }
+}
+
+/// A borrowed HyperLogLog: a config tag plus a register slice.
+///
+/// This is the currency of zero-pointer sketch storage — a frozen
+/// store keeps all registers in one contiguous slab and hands out
+/// `SketchRef`s pointing into it, while owned [`HyperLogLog`]s lend
+/// views via [`HyperLogLog::view`]. Estimation and merging behave
+/// exactly like the owned sketch over the same registers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchRef<'a> {
+    config: HllConfig,
+    registers: &'a [u8],
+}
+
+impl<'a> SketchRef<'a> {
+    /// Wraps a raw register slice (storage backends only).
+    ///
+    /// # Panics
+    /// Panics if `registers.len() != config.registers()`.
+    #[inline]
+    pub fn new(config: HllConfig, registers: &'a [u8]) -> Self {
+        assert_eq!(registers.len(), config.registers(), "register slice length mismatch");
+        Self { config, registers }
+    }
+
+    /// The configuration the registers were produced under.
+    #[inline]
+    pub fn config(&self) -> HllConfig {
+        self.config
+    }
+
+    /// The borrowed register array.
+    #[inline]
+    pub fn registers(&self) -> &'a [u8] {
+        self.registers
+    }
+
+    /// Estimated cardinality (with small-range correction) — identical
+    /// to [`HyperLogLog::estimate`] over the same registers.
+    pub fn estimate(&self) -> f64 {
+        estimator::estimate(self.registers)
+    }
+
+    /// Copies into an owned sketch.
+    pub fn to_owned(&self) -> HyperLogLog {
+        HyperLogLog { config: self.config, registers: self.registers.to_vec() }
     }
 }
 

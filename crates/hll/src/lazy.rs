@@ -11,7 +11,7 @@
 //! result is bit-for-bit identical to having materialised a sketch in
 //! every bucket.
 
-use crate::dense::{HllConfig, HyperLogLog};
+use crate::dense::{HllConfig, HyperLogLog, SketchRef};
 
 /// Accumulates the union sketch of several buckets.
 #[derive(Clone, Debug)]
@@ -32,7 +32,22 @@ impl MergeAccumulator {
     /// # Panics
     /// Panics if the sketch's config differs from the accumulator's.
     pub fn add_sketch(&mut self, other: &HyperLogLog) {
-        self.sketch.merge_from(other);
+        self.add_sketch_ref(other.view());
+    }
+
+    /// Merges a borrowed sketch — register-wise `max` straight from the
+    /// backing slice, so frozen-store register slabs are consumed with
+    /// no intermediate copy or allocation.
+    ///
+    /// # Panics
+    /// Panics if the view's config differs from the accumulator's.
+    pub fn add_sketch_ref(&mut self, other: SketchRef<'_>) {
+        assert_eq!(
+            self.sketch.config(),
+            other.config(),
+            "cannot merge HyperLogLog sketches with different configs"
+        );
+        self.sketch.merge_registers(other.registers());
         self.merged_sketches += 1;
     }
 

@@ -49,6 +49,6 @@ pub mod estimator;
 pub mod hash;
 pub mod lazy;
 
-pub use dense::{HllConfig, HyperLogLog};
+pub use dense::{HllConfig, HyperLogLog, SketchRef};
 pub use estimator::relative_error;
 pub use lazy::MergeAccumulator;

@@ -262,18 +262,19 @@ where
         };
 
         if prefer_lsh {
+            // S2 dedup, then one batched S3 verification call.
             let mut seen: FxHashSet<PointId> = FxHashSet::default();
-            let mut ids = Vec::new();
+            let mut cands = Vec::new();
             for b in &buckets {
                 for &id in b.members() {
-                    if seen.insert(id)
-                        && self.distance.distance(self.data.point(id as usize), q) <= r
-                    {
-                        ids.push(id);
+                    if seen.insert(id) {
+                        cands.push(id);
                     }
                 }
             }
-            let cand = seen.len();
+            let mut ids = Vec::new();
+            self.distance.verify_many(&self.data, &cands, q, r, &mut ids);
+            let cand = cands.len();
             QueryOutput {
                 report: QueryReport {
                     executed: ExecutedArm::Lsh,
@@ -310,10 +311,9 @@ where
     }
 
     fn linear_arm(&self, q: &[u64], r: f64) -> Vec<PointId> {
-        (0..self.data.len())
-            .filter(|&id| self.distance.distance(self.data.point(id), q) <= r)
-            .map(|id| id as PointId)
-            .collect()
+        let mut out = Vec::new();
+        self.distance.scan_within(&self.data, q, r, &mut out);
+        out
     }
 }
 

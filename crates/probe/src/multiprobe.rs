@@ -199,18 +199,20 @@ where
     };
 
     if prefer_lsh {
+        // S2 dedup, then one batched S3 kernel call over the whole
+        // candidate list (same shape as the core engine's LSH arm).
         let mut seen: std::collections::HashSet<PointId> = std::collections::HashSet::new();
-        let mut ids = Vec::new();
+        let mut cands = Vec::new();
         for b in &buckets {
             for &id in b.members() {
-                if seen.insert(id)
-                    && index.distance().distance(index.data().point(id as usize), q) <= r
-                {
-                    ids.push(id);
+                if seen.insert(id) {
+                    cands.push(id);
                 }
             }
         }
-        let cand_actual = seen.len();
+        let mut ids = Vec::new();
+        index.distance().verify_many(index.data(), &cands, q, r, &mut ids);
+        let cand_actual = cands.len();
         QueryOutput {
             report: QueryReport {
                 executed: ExecutedArm::Lsh,
@@ -253,10 +255,9 @@ where
     D: Distance<S::Point>,
     B: BucketStore,
 {
-    (0..index.len())
-        .filter(|&id| index.distance().distance(index.data().point(id), q) <= r)
-        .map(|id| id as PointId)
-        .collect()
+    let mut out = Vec::new();
+    index.distance().scan_within(index.data(), q, r, &mut out);
+    out
 }
 
 #[cfg(test)]

@@ -30,6 +30,18 @@ pub trait PointSet {
     /// # Panics
     /// Implementations panic if `i >= self.len()`.
     fn point(&self, i: usize) -> &Self::Point;
+
+    /// The set's row-major dense `f32` storage `(flat, dim)`, if it has
+    /// one. Point `i` must be `flat[i·dim .. (i+1)·dim]`.
+    ///
+    /// This is the dispatch hook for the vectorized one-to-many
+    /// verification kernels ([`crate::kernels`]): metrics that know a
+    /// dense kernel ask for the view and fall back to per-point
+    /// [`Distance::distance`](crate::Distance::distance) calls when it
+    /// is `None` (the default).
+    fn dense_view(&self) -> Option<(&[f32], usize)> {
+        None
+    }
 }
 
 /// A point set that accepts appended points (streaming ingestion).

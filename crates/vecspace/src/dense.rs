@@ -143,7 +143,7 @@ impl DenseDataset {
     pub fn normalize_l2(&mut self) {
         let dim = self.dim;
         for row in self.data.chunks_exact_mut(dim) {
-            let norm = row.iter().map(|v| (*v as f64) * (*v as f64)).sum::<f64>().sqrt();
+            let norm = crate::kernels::norm(row);
             if norm > 0.0 {
                 let inv = (1.0 / norm) as f32;
                 for v in row {
@@ -173,10 +173,22 @@ impl PointSet for DenseDataset {
     fn point(&self, i: usize) -> &[f32] {
         self.row(i)
     }
+
+    #[inline]
+    fn dense_view(&self) -> Option<(&[f32], usize)> {
+        Some((&self.data, self.dim))
+    }
 }
 
 /// Dot product of two equal-length slices, accumulated in `f64` for
 /// numerical robustness at high dimension.
+///
+/// This and the functions below are the *scalar reference*
+/// implementations: the throughput kernels in [`crate::kernels`] must
+/// agree with them within the epsilon documented there
+/// (property-tested in `tests/proptest_vec.rs`). Hot paths use the
+/// kernels; these stay as the semantic ground truth and serve small
+/// fixed-dimension call sites where chunking buys nothing.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());

@@ -1,0 +1,625 @@
+//! Throughput-oriented numeric kernels for dense `f32` data.
+//!
+//! Every function here is the chunked counterpart of a scalar reference
+//! in [`crate::dense`]. The scalar versions promote each element to
+//! `f64` before multiplying, which is numerically conservative but
+//! compiles to serial scalar code; the kernels instead keep
+//! [`LANES`]-wide arrays of `f32` accumulators in the inner loop — a
+//! shape LLVM autovectorizes on stable Rust without `std::simd` — and
+//! fold the lanes into one `f64` at the end. The remainder tail
+//! (`len % LANES` elements) is accumulated in `f64` exactly like the
+//! scalar reference, so results on slices shorter than [`LANES`] are
+//! bit-identical to `crate::dense`.
+//!
+//! # Accuracy contract
+//!
+//! For `n`-element inputs with entries of magnitude `M`, lane
+//! accumulation rounds in `f32`, so kernel outputs may differ from the
+//! `f64` references by a relative error of roughly `n · 2⁻²⁴` on
+//! cancellation-free sums (`l1`, `l2_sq`, `norm`) and by an absolute
+//! error of roughly `n · M² · 2⁻²⁴` for [`dot`], whose terms may
+//! cancel. `tests/proptest_vec.rs` pins this envelope. Callers that
+//! filter by a radius must treat the boundary as fuzzy at that scale —
+//! the one-to-many kernels therefore inflate their *early-exit* bound
+//! slightly and make the final accept/reject decision on the fully
+//! accumulated value, so an early exit never rejects a candidate the
+//! non-exiting kernel would accept.
+
+use crate::dataset::PointId;
+
+/// Accumulator width of every chunked kernel (8 × `f32` = one AVX2
+/// register; narrower SIMD ISAs simply use two registers).
+pub const LANES: usize = 8;
+
+/// How many [`LANES`]-chunks the one-to-many kernels process between
+/// early-exit checks (64 elements — folding the lanes costs a few
+/// scalar adds, so checking every chunk would cost more than it saves).
+const EXIT_CHECK_CHUNKS: usize = 8;
+
+/// Folds a lane accumulator into one `f64` with a fixed pairwise tree,
+/// so every kernel (and every row of [`matvec`]) reduces in the same
+/// order and produces bit-identical results for identical inputs.
+#[inline(always)]
+fn fold(acc: [f32; LANES]) -> f64 {
+    let a = (acc[0] as f64 + acc[1] as f64) + (acc[2] as f64 + acc[3] as f64);
+    let b = (acc[4] as f64 + acc[5] as f64) + (acc[6] as f64 + acc[7] as f64);
+    a + b
+}
+
+/// Chunked dot product. Counterpart of [`crate::dense::dot`].
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut sum = fold(acc);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += (*x as f64) * (*y as f64);
+    }
+    sum
+}
+
+/// Chunked squared Euclidean distance. Counterpart of
+/// [`crate::dense::l2_sq`].
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            let d = xa[l] - xb[l];
+            acc[l] += d * d;
+        }
+    }
+    let mut sum = fold(acc);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = (*x as f64) - (*y as f64);
+        sum += d * d;
+    }
+    sum
+}
+
+/// Chunked Euclidean distance.
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f64 {
+    l2_sq(a, b).sqrt()
+}
+
+/// Chunked Manhattan distance. Counterpart of [`crate::dense::l1`].
+#[inline]
+pub fn l1(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += (xa[l] - xb[l]).abs();
+        }
+    }
+    let mut sum = fold(acc);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += ((*x as f64) - (*y as f64)).abs();
+    }
+    sum
+}
+
+/// Chunked L2 norm. Counterpart of [`crate::dense::norm`].
+#[inline]
+pub fn norm(a: &[f32]) -> f64 {
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    for xa in ca.by_ref() {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xa[l];
+        }
+    }
+    let mut sum = fold(acc);
+    for x in ca.remainder() {
+        sum += (*x as f64) * (*x as f64);
+    }
+    sum.sqrt()
+}
+
+/// Chunked cosine distance `1 − cos(a, b)` in a single pass (three lane
+/// accumulator groups: `a·b`, `‖a‖²`, `‖b‖²`). Counterpart of
+/// [`crate::dense::cosine_distance`], including the zero-norm → `1.0`
+/// convention that keeps the function total.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dab = [0.0f32; LANES];
+    let mut daa = [0.0f32; LANES];
+    let mut dbb = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            dab[l] += xa[l] * xb[l];
+            daa[l] += xa[l] * xa[l];
+            dbb[l] += xb[l] * xb[l];
+        }
+    }
+    let (mut ab, mut aa, mut bb) = (fold(dab), fold(daa), fold(dbb));
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let (x, y) = (*x as f64, *y as f64);
+        ab += x * y;
+        aa += x * x;
+        bb += y * y;
+    }
+    if aa == 0.0 || bb == 0.0 {
+        return 1.0;
+    }
+    1.0 - (ab / (aa.sqrt() * bb.sqrt())).clamp(-1.0, 1.0)
+}
+
+/// Rows processed per block by the matrix–vector kernels. Four rows
+/// share every load of `x`, and 4 × [`LANES`] `f32` accumulators still
+/// fit the vector register file comfortably.
+const ROW_BLOCK: usize = 4;
+
+/// Dense matrix–vector product: `out[j] = row_j(mat) · x` for the
+/// `mat.len() / dim` row-major rows of `mat`.
+///
+/// Processes [`ROW_BLOCK`] rows per pass so each chunk of `x` is loaded
+/// once per block instead of once per row — this is the "all K
+/// projections in one kernel" path used by the LSH g-functions. Every
+/// row reduces with the same lane/fold schedule as [`dot`], so
+/// `out[j]` is bit-identical to `dot(row_j, x)`.
+///
+/// # Panics
+/// Panics if `mat.len()` is not a multiple of `dim`, `x.len() != dim`,
+/// or `out.len()` differs from the row count.
+pub fn matvec(mat: &[f32], dim: usize, x: &[f32], out: &mut [f64]) {
+    assert!(dim > 0 && mat.len().is_multiple_of(dim), "matrix shape mismatch");
+    assert_eq!(x.len(), dim, "vector length mismatch");
+    assert_eq!(out.len(), mat.len() / dim, "output length mismatch");
+    matvec_each(mat, dim, x, |j, v| out[j] = v);
+}
+
+/// Like [`matvec`] but hands each `(row_index, value)` to a callback in
+/// ascending row order instead of writing a slice — the zero-allocation
+/// shape used by `bucket_key` implementations that fold projections
+/// into a hash key on the fly.
+///
+/// # Panics
+/// Panics if `mat.len()` is not a multiple of `dim` or `x.len() != dim`.
+pub fn matvec_each<F: FnMut(usize, f64)>(mat: &[f32], dim: usize, x: &[f32], mut f: F) {
+    assert!(dim > 0 && mat.len().is_multiple_of(dim), "matrix shape mismatch");
+    assert_eq!(x.len(), dim, "vector length mismatch");
+    let rows = mat.len() / dim;
+    let whole = dim - dim % LANES;
+    let mut r = 0;
+    while r + ROW_BLOCK <= rows {
+        let base = r * dim;
+        let mut acc = [[0.0f32; LANES]; ROW_BLOCK];
+        let mut i = 0;
+        while i < whole {
+            for (j, lane) in acc.iter_mut().enumerate() {
+                let row = &mat[base + j * dim + i..base + j * dim + i + LANES];
+                let xc = &x[i..i + LANES];
+                for l in 0..LANES {
+                    lane[l] += row[l] * xc[l];
+                }
+            }
+            i += LANES;
+        }
+        for (j, lane) in acc.iter().enumerate() {
+            let mut sum = fold(*lane);
+            for i in whole..dim {
+                sum += (mat[base + j * dim + i] as f64) * (x[i] as f64);
+            }
+            f(r + j, sum);
+        }
+        r += ROW_BLOCK;
+    }
+    while r < rows {
+        f(r, dot(&mat[r * dim..(r + 1) * dim], x));
+        r += 1;
+    }
+}
+
+/// Accumulates `Σ (a_i − b_i)²` with a periodic early exit: returns
+/// `None` as soon as a partial sum provably exceeds `exit_bound`,
+/// `Some(total)` otherwise. Partial sums of squares are monotone, so an
+/// exit is exact with respect to the kernel's own arithmetic.
+#[inline]
+fn l2_sq_within(a: &[f32], b: &[f32], exit_bound: f64) -> Option<f64> {
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut since_check = 0usize;
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            let d = xa[l] - xb[l];
+            acc[l] += d * d;
+        }
+        since_check += 1;
+        if since_check == EXIT_CHECK_CHUNKS {
+            since_check = 0;
+            if fold(acc) > exit_bound {
+                return None;
+            }
+        }
+    }
+    let mut sum = fold(acc);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = (*x as f64) - (*y as f64);
+        sum += d * d;
+    }
+    Some(sum)
+}
+
+/// Accumulates `Σ |a_i − b_i|` with the same early-exit scheme as
+/// [`l2_sq_within`].
+#[inline]
+fn l1_within(a: &[f32], b: &[f32], exit_bound: f64) -> Option<f64> {
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    let mut since_check = 0usize;
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += (xa[l] - xb[l]).abs();
+        }
+        since_check += 1;
+        if since_check == EXIT_CHECK_CHUNKS {
+            since_check = 0;
+            if fold(acc) > exit_bound {
+                return None;
+            }
+        }
+    }
+    let mut sum = fold(acc);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += ((*x as f64) - (*y as f64)).abs();
+    }
+    Some(sum)
+}
+
+/// Inflates a radius bound so lane rounding can only *defer* an early
+/// exit, never force a rejection the full accumulation would accept.
+#[inline]
+fn inflate(bound: f64) -> f64 {
+    bound * (1.0 + 1e-5) + f64::MIN_POSITIVE
+}
+
+/// One-to-many squared-L2 filter: appends to `out` every id in `ids`
+/// whose row of the row-major matrix `flat` lies within squared radius
+/// `r_sq` of `q`, preserving the order of `ids`. Rows are addressed as
+/// `flat[id·dim .. (id+1)·dim]` — candidate verification straight out
+/// of the dataset slab, no per-candidate virtual dispatch.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or an id indexes past the matrix.
+pub fn l2_sq_one_to_many(
+    flat: &[f32],
+    dim: usize,
+    ids: &[PointId],
+    q: &[f32],
+    r_sq: f64,
+    out: &mut Vec<PointId>,
+) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r_sq);
+    for &id in ids {
+        let start = id as usize * dim;
+        let row = &flat[start..start + dim];
+        if let Some(d2) = l2_sq_within(row, q, exit_bound) {
+            if d2 <= r_sq {
+                out.push(id);
+            }
+        }
+    }
+}
+
+/// Full-scan squared-L2 filter: appends the id of every row of `flat`
+/// within squared radius `r_sq` of `q`, in row order — the linear arm's
+/// kernel (same early-exit scheme as [`l2_sq_one_to_many`], walking the
+/// slab sequentially instead of gathering rows by id).
+///
+/// # Panics
+/// Panics if `q.len() != dim`.
+pub fn l2_sq_scan(flat: &[f32], dim: usize, q: &[f32], r_sq: f64, out: &mut Vec<PointId>) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r_sq);
+    for (id, row) in flat.chunks_exact(dim).enumerate() {
+        if let Some(d2) = l2_sq_within(row, q, exit_bound) {
+            if d2 <= r_sq {
+                out.push(id as PointId);
+            }
+        }
+    }
+}
+
+/// One-to-many L2 filter in *unsquared* radius terms: accepts id iff
+/// `l2(row, q) <= r` — bit-for-bit the same predicate (same chunked
+/// `l2_sq`, same `sqrt`, same compare) as a per-candidate
+/// `kernels::l2(row, q) <= r` loop, so a batched caller and a scalar
+/// caller can never disagree, even exactly at the radius boundary or
+/// for `r < 0` (which rejects everything, distances being
+/// non-negative). The early exit still runs on the squared partial
+/// sums. Prefer this over [`l2_sq_one_to_many`] whenever the
+/// surrounding code thinks in radii rather than squared radii.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or an id indexes past the matrix.
+pub fn l2_one_to_many(
+    flat: &[f32],
+    dim: usize,
+    ids: &[PointId],
+    q: &[f32],
+    r: f64,
+    out: &mut Vec<PointId>,
+) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r * r);
+    for &id in ids {
+        let start = id as usize * dim;
+        let row = &flat[start..start + dim];
+        if let Some(d2) = l2_sq_within(row, q, exit_bound) {
+            if d2.sqrt() <= r {
+                out.push(id);
+            }
+        }
+    }
+}
+
+/// Full-scan counterpart of [`l2_one_to_many`]: accepts every row with
+/// `l2(row, q) <= r`, in row order.
+///
+/// # Panics
+/// Panics if `q.len() != dim`.
+pub fn l2_scan(flat: &[f32], dim: usize, q: &[f32], r: f64, out: &mut Vec<PointId>) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r * r);
+    for (id, row) in flat.chunks_exact(dim).enumerate() {
+        if let Some(d2) = l2_sq_within(row, q, exit_bound) {
+            if d2.sqrt() <= r {
+                out.push(id as PointId);
+            }
+        }
+    }
+}
+
+/// Full-scan L1 filter; see [`l2_sq_scan`].
+///
+/// # Panics
+/// Panics if `q.len() != dim`.
+pub fn l1_scan(flat: &[f32], dim: usize, q: &[f32], r: f64, out: &mut Vec<PointId>) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r);
+    for (id, row) in flat.chunks_exact(dim).enumerate() {
+        if let Some(d) = l1_within(row, q, exit_bound) {
+            if d <= r {
+                out.push(id as PointId);
+            }
+        }
+    }
+}
+
+/// One-to-many L1 filter; see [`l2_sq_one_to_many`].
+///
+/// # Panics
+/// Panics if `q.len() != dim` or an id indexes past the matrix.
+pub fn l1_one_to_many(
+    flat: &[f32],
+    dim: usize,
+    ids: &[PointId],
+    q: &[f32],
+    r: f64,
+    out: &mut Vec<PointId>,
+) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r);
+    for &id in ids {
+        let start = id as usize * dim;
+        let row = &flat[start..start + dim];
+        if let Some(d) = l1_within(row, q, exit_bound) {
+            if d <= r {
+                out.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense;
+
+    fn wave(n: usize, phase: f32) -> Vec<f32> {
+        (0..n).map(|i| ((i as f32) * 0.37 + phase).sin() * 3.0).collect()
+    }
+
+    #[test]
+    fn kernels_match_scalar_on_short_slices_exactly() {
+        // Below LANES elements only the f64 tail runs: bit-identical.
+        for n in 0..LANES {
+            let a = wave(n, 0.1);
+            let b = wave(n, 1.7);
+            assert_eq!(dot(&a, &b), dense::dot(&a, &b), "dot n={n}");
+            assert_eq!(l2_sq(&a, &b), dense::l2_sq(&a, &b), "l2_sq n={n}");
+            assert_eq!(l1(&a, &b), dense::l1(&a, &b), "l1 n={n}");
+            assert_eq!(norm(&a), dense::norm(&a), "norm n={n}");
+        }
+    }
+
+    #[test]
+    fn kernels_match_scalar_within_epsilon() {
+        for n in [8usize, 16, 63, 64, 100, 256, 960] {
+            let a = wave(n, 0.0);
+            let b = wave(n, 2.3);
+            let eps = 1e-4 * (n as f64);
+            assert!((dot(&a, &b) - dense::dot(&a, &b)).abs() < eps, "dot n={n}");
+            assert!((l2_sq(&a, &b) - dense::l2_sq(&a, &b)).abs() < eps, "l2_sq n={n}");
+            assert!((l1(&a, &b) - dense::l1(&a, &b)).abs() < eps, "l1 n={n}");
+            assert!((norm(&a) - dense::norm(&a)).abs() < eps, "norm n={n}");
+            assert!(
+                (cosine_distance(&a, &b) - dense::cosine_distance(&a, &b)).abs() < 1e-5,
+                "cosine n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_cosine_keeps_zero_norm_convention() {
+        // The documented total-function convention: zero-norm input (on
+        // either side) yields exactly 1.0, for lengths that exercise
+        // both the lane loop and the scalar tail.
+        for n in [3usize, 8, 19, 64] {
+            let z = vec![0.0f32; n];
+            let a = wave(n, 0.4);
+            assert_eq!(cosine_distance(&z, &a), 1.0, "zero lhs n={n}");
+            assert_eq!(cosine_distance(&a, &z), 1.0, "zero rhs n={n}");
+            assert_eq!(cosine_distance(&z, &z), 1.0, "zero both n={n}");
+        }
+        // And identical non-zero inputs still give ~0.
+        let a = wave(40, 0.9);
+        assert!(cosine_distance(&a, &a).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matvec_rows_match_dot_bitwise() {
+        // Block path (rows 0..4) and the per-row remainder path must
+        // both reduce exactly like `dot`.
+        for (rows, dim) in [(1usize, 5usize), (4, 24), (6, 17), (7, 64), (9, 3)] {
+            let mat = wave(rows * dim, 0.2);
+            let x = wave(dim, 1.1);
+            let mut out = vec![0.0f64; rows];
+            matvec(&mat, dim, &x, &mut out);
+            for (j, &v) in out.iter().enumerate() {
+                let reference = dot(&mat[j * dim..(j + 1) * dim], &x);
+                assert_eq!(v.to_bits(), reference.to_bits(), "row {j} of {rows}x{dim}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_each_visits_rows_in_order() {
+        let (rows, dim) = (11usize, 16usize);
+        let mat = wave(rows * dim, 0.0);
+        let x = wave(dim, 0.5);
+        let mut seen = Vec::new();
+        matvec_each(&mat, dim, &x, |j, v| seen.push((j, v)));
+        assert_eq!(seen.len(), rows);
+        for (expect, (j, _)) in seen.iter().enumerate() {
+            assert_eq!(expect, *j);
+        }
+        let mut out = vec![0.0f64; rows];
+        matvec(&mat, dim, &x, &mut out);
+        for ((_, v), o) in seen.iter().zip(&out) {
+            assert_eq!(v.to_bits(), o.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "vector length mismatch")]
+    fn matvec_rejects_bad_vector() {
+        let mut out = [0.0f64; 1];
+        matvec(&[0.0; 4], 4, &[0.0; 3], &mut out);
+    }
+
+    #[test]
+    fn one_to_many_filters_match_per_pair_kernels() {
+        let dim = 96;
+        let n = 200;
+        let flat = wave(n * dim, 0.3);
+        let q = wave(dim, 4.2);
+        let ids: Vec<PointId> = (0..n as PointId).collect();
+
+        // Pick radii at distance quantiles so both arms of the filter
+        // (accept / early-exit reject) are exercised.
+        let mut d2: Vec<f64> = (0..n).map(|i| l2_sq(&flat[i * dim..(i + 1) * dim], &q)).collect();
+        d2.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for r_sq in [d2[10] * 1.000001, d2[n / 2], d2[n - 2]] {
+            let mut got = Vec::new();
+            l2_sq_one_to_many(&flat, dim, &ids, &q, r_sq, &mut got);
+            let expect: Vec<PointId> = ids
+                .iter()
+                .copied()
+                .filter(|&id| l2_sq(&flat[id as usize * dim..(id as usize + 1) * dim], &q) <= r_sq)
+                .collect();
+            assert_eq!(got, expect, "l2 r_sq={r_sq}");
+        }
+
+        let mut d1: Vec<f64> = (0..n).map(|i| l1(&flat[i * dim..(i + 1) * dim], &q)).collect();
+        d1.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for r in [d1[10] * 1.000001, d1[n / 2], d1[n - 2]] {
+            let mut got = Vec::new();
+            l1_one_to_many(&flat, dim, &ids, &q, r, &mut got);
+            let expect: Vec<PointId> = ids
+                .iter()
+                .copied()
+                .filter(|&id| l1(&flat[id as usize * dim..(id as usize + 1) * dim], &q) <= r)
+                .collect();
+            assert_eq!(got, expect, "l1 r={r}");
+        }
+    }
+
+    #[test]
+    fn one_to_many_preserves_id_order_and_duplicates() {
+        let dim = 8;
+        let flat = wave(4 * dim, 0.0);
+        let q = flat[0..dim].to_vec();
+        let ids = [2u32, 0, 0, 3];
+        let mut out = Vec::new();
+        l2_sq_one_to_many(&flat, dim, &ids, &q, 1e-9, &mut out);
+        // Only row 0 matches q; both occurrences survive, in order.
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn l2_one_to_many_matches_scalar_predicate_exactly() {
+        // The unsquared-radius variant must agree with a per-row
+        // `l2(row, q) <= r` loop bit-for-bit — including when r is
+        // EXACTLY a candidate's computed distance (boundary equality)
+        // and when r is negative (reject all; distances are >= 0).
+        let dim = 33;
+        let n = 50;
+        let flat = wave(n * dim, 0.7);
+        let q = wave(dim, 3.3);
+        let ids: Vec<PointId> = (0..n as PointId).collect();
+        for probe in [0usize, 7, n - 1] {
+            let r = l2(&flat[probe * dim..(probe + 1) * dim], &q);
+            let mut got = Vec::new();
+            l2_one_to_many(&flat, dim, &ids, &q, r, &mut got);
+            let expect: Vec<PointId> = ids
+                .iter()
+                .copied()
+                .filter(|&id| l2(&flat[id as usize * dim..(id as usize + 1) * dim], &q) <= r)
+                .collect();
+            assert_eq!(got, expect, "boundary r from row {probe}");
+            assert!(got.contains(&(probe as PointId)), "boundary row itself must be accepted");
+
+            let mut scan = Vec::new();
+            l2_scan(&flat, dim, &q, r, &mut scan);
+            assert_eq!(scan, expect);
+        }
+        let mut got = Vec::new();
+        l2_one_to_many(&flat, dim, &ids, &q, -1.0, &mut got);
+        assert!(got.is_empty(), "negative radius must reject everything");
+    }
+
+    #[test]
+    fn early_exit_never_rejects_boundary_accepts() {
+        // A far row whose prefix already exceeds the radius must be
+        // rejected, while an exact-boundary row survives.
+        let dim = 128;
+        let mut flat = vec![0.0f32; 2 * dim];
+        flat[0] = 100.0; // row 0: d2 = 10_000 from origin
+        flat[dim] = 3.0; // row 1: d2 = 9
+        let q = vec![0.0f32; dim];
+        let mut out = Vec::new();
+        l2_sq_one_to_many(&flat, dim, &[0, 1], &q, 9.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+}

@@ -8,7 +8,13 @@
 //! * [`BinaryDataset`] / [`BinaryVec`] — packed bit vectors for Hamming
 //!   space (MNIST 64-bit SimHash fingerprints),
 //! * the [`Distance`] trait with [`L1`], [`L2`], [`Cosine`], [`Hamming`]
-//!   and [`Jaccard`] implementations,
+//!   and [`Jaccard`] implementations, including batched
+//!   [`verify_many`](Distance::verify_many) /
+//!   [`scan_within`](Distance::scan_within) hooks backed by the
+//!   chunked [`kernels`] on dense data,
+//! * [`kernels`] — throughput-oriented chunked distance, projection
+//!   (matrix–vector) and one-to-many verification kernels over the
+//!   scalar references in [`dense`],
 //! * numeric special functions ([`stats::erf`], [`stats::normal_cdf`])
 //!   needed by the analytic p-stable collision probabilities,
 //! * plain-text parsers for libsvm and dense whitespace formats so the
@@ -23,6 +29,7 @@ pub mod binary;
 pub mod dataset;
 pub mod dense;
 pub mod io;
+pub mod kernels;
 pub mod metric;
 pub mod stats;
 

@@ -8,7 +8,8 @@
 //! that allows LSH".
 
 use crate::binary;
-use crate::dense;
+use crate::dataset::{PointId, PointSet};
+use crate::kernels;
 
 /// A distance function over borrowed points of type `P`.
 pub trait Distance<P: ?Sized>: Clone + Send + Sync {
@@ -17,6 +18,35 @@ pub trait Distance<P: ?Sized>: Clone + Send + Sync {
 
     /// A short human-readable name ("L2", "cosine", ...).
     fn name(&self) -> &'static str;
+
+    /// Batched candidate verification (step S3 of the query pipeline):
+    /// appends to `out` every id in `ids` whose point lies within `r`
+    /// of `q`, preserving the order of `ids`.
+    ///
+    /// The default is the per-id [`distance`](Self::distance) loop;
+    /// dense metrics override it to score the whole candidate list with
+    /// a one-to-many kernel straight out of the dataset's flat storage
+    /// (see [`crate::kernels`]). Overrides must preserve ordering and
+    /// may differ from the default only within the kernel accuracy
+    /// envelope documented in [`crate::kernels`].
+    fn verify_many<S>(&self, data: &S, ids: &[PointId], q: &P, r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = P> + ?Sized,
+        Self: Sized,
+    {
+        verify_scalar(self, data, ids, q, r, out);
+    }
+
+    /// Full linear scan: appends every id in `data` within `r` of `q`,
+    /// in ascending id order. Same contract and kernel dispatch as
+    /// [`verify_many`](Self::verify_many), walking all points.
+    fn scan_within<S>(&self, data: &S, q: &P, r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = P> + ?Sized,
+        Self: Sized,
+    {
+        scan_scalar(self, data, q, r, out);
+    }
 }
 
 /// Enumeration of the metrics used in the paper's evaluation, for
@@ -48,6 +78,80 @@ impl std::fmt::Display for MetricKind {
     }
 }
 
+/// The canonical per-id verification loop: backs the trait's provided
+/// `verify_many` default, the dense metrics' non-dense fallback arms (a
+/// metric override cannot call the default it replaced), and the query
+/// engine's forced-scalar mode, so "scalar baseline" means one loop
+/// everywhere.
+pub fn verify_scalar<P, S, D>(
+    d: &D,
+    data: &S,
+    ids: &[PointId],
+    q: &P,
+    r: f64,
+    out: &mut Vec<PointId>,
+) where
+    P: ?Sized,
+    S: PointSet<Point = P> + ?Sized,
+    D: Distance<P>,
+{
+    for &id in ids {
+        if d.distance(data.point(id as usize), q) <= r {
+            out.push(id);
+        }
+    }
+}
+
+/// The canonical full-scan loop backing the trait's provided
+/// `scan_within` default; see [`verify_scalar`].
+pub fn scan_scalar<P, S, D>(d: &D, data: &S, q: &P, r: f64, out: &mut Vec<PointId>)
+where
+    P: ?Sized,
+    S: PointSet<Point = P> + ?Sized,
+    D: Distance<P>,
+{
+    for id in 0..data.len() {
+        if d.distance(data.point(id), q) <= r {
+            out.push(id as PointId);
+        }
+    }
+}
+
+/// Per-row dense filter over listed candidates for metrics without a
+/// dedicated one-to-many kernel: accepts id iff `row_dist(row) <= r`,
+/// where `row_dist` must compute exactly what the metric's
+/// `distance()` would on the same row (shared by the cosine metrics).
+fn verify_dense_rows(
+    flat: &[f32],
+    dim: usize,
+    ids: &[PointId],
+    r: f64,
+    row_dist: impl Fn(&[f32]) -> f64,
+    out: &mut Vec<PointId>,
+) {
+    for &id in ids {
+        let start = id as usize * dim;
+        if row_dist(&flat[start..start + dim]) <= r {
+            out.push(id);
+        }
+    }
+}
+
+/// Full-scan counterpart of [`verify_dense_rows`], in row order.
+fn scan_dense_rows(
+    flat: &[f32],
+    dim: usize,
+    r: f64,
+    row_dist: impl Fn(&[f32]) -> f64,
+    out: &mut Vec<PointId>,
+) {
+    for (id, row) in flat.chunks_exact(dim).enumerate() {
+        if row_dist(row) <= r {
+            out.push(id as PointId);
+        }
+    }
+}
+
 /// Manhattan distance over dense vectors.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct L1;
@@ -55,11 +159,31 @@ pub struct L1;
 impl Distance<[f32]> for L1 {
     #[inline]
     fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
-        dense::l1(a, b)
+        kernels::l1(a, b)
     }
 
     fn name(&self) -> &'static str {
         "L1"
+    }
+
+    fn verify_many<S>(&self, data: &S, ids: &[PointId], q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l1_one_to_many(flat, dim, ids, q, r, out),
+            None => verify_scalar(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l1_scan(flat, dim, q, r, out),
+            None => scan_scalar(self, data, q, r, out),
+        }
     }
 }
 
@@ -70,11 +194,35 @@ pub struct L2;
 impl Distance<[f32]> for L2 {
     #[inline]
     fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
-        dense::l2(a, b)
+        kernels::l2(a, b)
     }
 
     fn name(&self) -> &'static str {
         "L2"
+    }
+
+    // The unsquared-radius kernels share the scalar path's exact
+    // predicate (`sqrt(l2_sq) <= r` on identical floats), so Kernel and
+    // Scalar verification can never disagree, even at the boundary or
+    // for r < 0.
+    fn verify_many<S>(&self, data: &S, ids: &[PointId], q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l2_one_to_many(flat, dim, ids, q, r, out),
+            None => verify_scalar(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l2_scan(flat, dim, q, r, out),
+            None => scan_scalar(self, data, q, r, out),
+        }
     }
 }
 
@@ -85,11 +233,38 @@ pub struct Cosine;
 impl Distance<[f32]> for Cosine {
     #[inline]
     fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
-        dense::cosine_distance(a, b)
+        kernels::cosine_distance(a, b)
     }
 
     fn name(&self) -> &'static str {
         "cosine"
+    }
+
+    // Cosine needs both norms, so there is no monotone early-exit
+    // bound; the win is the single-pass chunked kernel per row, with
+    // the exact `distance()` predicate.
+    fn verify_many<S>(&self, data: &S, ids: &[PointId], q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => {
+                verify_dense_rows(flat, dim, ids, r, |row| kernels::cosine_distance(row, q), out)
+            }
+            None => verify_scalar(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => {
+                scan_dense_rows(flat, dim, r, |row| kernels::cosine_distance(row, q), out)
+            }
+            None => scan_scalar(self, data, q, r, out),
+        }
     }
 }
 
@@ -107,11 +282,35 @@ pub struct UnitCosine;
 impl Distance<[f32]> for UnitCosine {
     #[inline]
     fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
-        1.0 - dense::dot(a, b)
+        1.0 - kernels::dot(a, b)
     }
 
     fn name(&self) -> &'static str {
         "cosine(unit)"
+    }
+
+    fn verify_many<S>(&self, data: &S, ids: &[PointId], q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => {
+                verify_dense_rows(flat, dim, ids, r, |row| 1.0 - kernels::dot(row, q), out)
+            }
+            None => verify_scalar(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<PointId>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => {
+                scan_dense_rows(flat, dim, r, |row| 1.0 - kernels::dot(row, q), out)
+            }
+            None => scan_scalar(self, data, q, r, out),
+        }
     }
 }
 

@@ -1,11 +1,25 @@
 //! Property-based tests of the vector substrate: metric axioms,
-//! bit-vector round trips, and parser totality.
+//! bit-vector round trips, parser totality, and chunked-kernel parity
+//! against the scalar reference implementations.
 
 use hlsh_vec::binary::{hamming, jaccard_distance};
 use hlsh_vec::dense::{cosine_distance, dot, l1, l2, norm};
-use hlsh_vec::{BinaryVec, DenseDataset};
+use hlsh_vec::{kernels, BinaryVec, DenseDataset};
 use proptest::collection::vec;
 use proptest::prelude::*;
+
+/// Tolerance for one chunked kernel result against its `f64` scalar
+/// reference: lane accumulation rounds in `f32`, so the error grows
+/// with the element count `n` and the magnitude of the accumulated
+/// terms (see the accuracy contract in `hlsh_vec::kernels`). `scale`
+/// must be the sum of the absolute values of the accumulated terms —
+/// for `dot` that is `Σ|aᵢ·bᵢ|`, NOT `|Σ aᵢ·bᵢ|`, because cancellation
+/// shrinks the result without shrinking the rounding error.
+fn kernel_tolerance(n: usize, scale: f64) -> f64 {
+    // 2⁻²⁴ per f32 rounding step, n/8 steps per lane, with headroom.
+    let eps = (n as f64) * 8.0 * f32::EPSILON as f64;
+    scale * eps + 1e-9
+}
 
 proptest! {
     #[test]
@@ -106,6 +120,127 @@ proptest! {
             rows.iter().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect();
         orig.sort();
         prop_assert_eq!(all, orig);
+    }
+
+    /// Chunked kernels vs. scalar references, any length (covers the
+    /// pure-tail, exact-chunk, and mixed cases) — the documented
+    /// epsilon envelope of `hlsh_vec::kernels`.
+    #[test]
+    fn kernels_agree_with_scalar_references(
+        pairs in vec((-100.0f32..100.0, -100.0f32..100.0), 0..200),
+    ) {
+        let (a, b): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let n = a.len();
+
+        let dot_scale: f64 = a.iter().zip(&b).map(|(x, y)| (*x as f64 * *y as f64).abs()).sum();
+        prop_assert!((kernels::dot(&a, &b) - dot(&a, &b)).abs()
+            <= kernel_tolerance(n, dot_scale));
+
+        let l2s_ref = l2(&a, &b).powi(2);
+        prop_assert!((kernels::l2_sq(&a, &b) - l2s_ref).abs()
+            <= kernel_tolerance(n, l2s_ref));
+
+        let l1_ref = l1(&a, &b);
+        prop_assert!((kernels::l1(&a, &b) - l1_ref).abs() <= kernel_tolerance(n, l1_ref));
+
+        let norm_ref = norm(&a);
+        prop_assert!((kernels::norm(&a) - norm_ref).abs()
+            <= kernel_tolerance(n, norm_ref.powi(2)).sqrt());
+
+        // Cosine is scale-free: both implementations clamp into [0, 2].
+        let cos_k = kernels::cosine_distance(&a, &b);
+        let cos_s = cosine_distance(&a, &b);
+        prop_assert!((-1e-9..=2.0 + 1e-9).contains(&cos_k));
+        // Tiny norms amplify the quotient's relative error; below the
+        // noise floor both values are fuzz around an ill-conditioned
+        // angle, so bound the comparison away from it.
+        if norm_ref > 1e-3 && norm(&b) > 1e-3 {
+            prop_assert!((cos_k - cos_s).abs() <= 1e-3, "cosine {cos_k} vs {cos_s}");
+        }
+    }
+
+    /// The one-to-many verification kernels agree with a per-candidate
+    /// scalar filter: membership may differ only for candidates whose
+    /// scalar distance sits inside the kernel accuracy envelope around
+    /// the radius, and everything reported is genuinely within the
+    /// (fuzzed) radius.
+    #[test]
+    fn one_to_many_filters_agree_with_scalar_filter(
+        flat in vec(-20.0f32..20.0, 64..64 * 40),
+        q_seed in vec(-20.0f32..20.0, 16),
+        r_frac in 0.05f64..0.95,
+    ) {
+        let dim = 16;
+        let n = flat.len() / dim;
+        let flat = &flat[..n * dim];
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let q: &[f32] = &q_seed;
+
+        // Radius as a quantile of the actual distance distribution so
+        // both accept and reject paths are exercised.
+        let mut d2: Vec<f64> =
+            (0..n).map(|i| l2(&flat[i * dim..(i + 1) * dim], q).powi(2)).collect();
+        d2.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let r_sq = d2[((n - 1) as f64 * r_frac) as usize].max(1e-6);
+
+        let mut got = Vec::new();
+        kernels::l2_sq_one_to_many(flat, dim, &ids, q, r_sq, &mut got);
+        let slack = kernel_tolerance(dim, r_sq.max(1.0));
+        let got_set: std::collections::HashSet<u32> = got.iter().copied().collect();
+        prop_assert_eq!(got_set.len(), got.len(), "duplicate ids reported");
+        for i in 0..n {
+            let d = l2(&flat[i * dim..(i + 1) * dim], q).powi(2);
+            let reported = got_set.contains(&(i as u32));
+            if d <= r_sq - slack {
+                prop_assert!(reported, "missed candidate {i}: {d} <= {r_sq}");
+            } else if d > r_sq + slack {
+                prop_assert!(!reported, "false positive {i}: {d} > {r_sq}");
+            }
+        }
+
+        let mut d1: Vec<f64> = (0..n).map(|i| l1(&flat[i * dim..(i + 1) * dim], q)).collect();
+        d1.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let r = d1[((n - 1) as f64 * r_frac) as usize].max(1e-6);
+        let mut got = Vec::new();
+        kernels::l1_one_to_many(flat, dim, &ids, q, r, &mut got);
+        let slack = kernel_tolerance(dim, r.max(1.0));
+        let got_set: std::collections::HashSet<u32> = got.iter().copied().collect();
+        for i in 0..n {
+            let d = l1(&flat[i * dim..(i + 1) * dim], q);
+            let reported = got_set.contains(&(i as u32));
+            if d <= r - slack {
+                prop_assert!(reported, "missed candidate {i}: {d} <= {r}");
+            } else if d > r + slack {
+                prop_assert!(!reported, "false positive {i}: {d} > {r}");
+            }
+        }
+
+        // The full-scan variants must match the gather variants exactly
+        // (identical arithmetic, identical order).
+        let mut scan = Vec::new();
+        kernels::l2_sq_scan(flat, dim, q, r_sq, &mut scan);
+        let mut gather = Vec::new();
+        kernels::l2_sq_one_to_many(flat, dim, &ids, q, r_sq, &mut gather);
+        prop_assert_eq!(scan, gather);
+    }
+
+    /// `matvec` rows are bit-identical to the chunked `dot` on every
+    /// row (block path and remainder path alike).
+    #[test]
+    fn matvec_is_bitwise_dot_per_row(
+        mat in vec(-10.0f32..10.0, 1..400),
+        rows in 1usize..12,
+    ) {
+        let dim = (mat.len() / rows).max(1);
+        let mat = &mat[..dim * (mat.len() / dim).min(rows).max(1)];
+        let nrows = mat.len() / dim;
+        let x: Vec<f32> = (0..dim).map(|i| ((i * 37) % 17) as f32 - 8.0).collect();
+        let mut out = vec![0.0f64; nrows];
+        kernels::matvec(mat, dim, &x, &mut out);
+        for (j, &v) in out.iter().enumerate() {
+            let d = kernels::dot(&mat[j * dim..(j + 1) * dim], &x);
+            prop_assert_eq!(v.to_bits(), d.to_bits(), "row {}", j);
+        }
     }
 
     #[test]

@@ -53,14 +53,14 @@ pub use hlsh_vec as vec;
 
 pub use hlsh_core::{
     BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, QueryEngine,
-    QueryOutput, Strategy,
+    QueryOutput, Strategy, VerifyMode,
 };
 
 /// One-line import for applications.
 pub mod prelude {
     pub use hlsh_core::{
         BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, QueryEngine,
-        QueryOutput, QueryReport, Strategy,
+        QueryOutput, QueryReport, Strategy, VerifyMode,
     };
     pub use hlsh_families::{
         k_paper, k_safe, BitSampling, LshFamily, MinHash, PStableL1, PStableL2, PaperParams,

@@ -12,7 +12,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 // Both globs export a `Strategy`; the index's enum is the one we mean.
-use hybrid_lsh::Strategy;
+use hybrid_lsh::{Strategy, VerifyMode};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -157,6 +157,57 @@ fn multiprobe_works_on_frozen_backend() {
         let b = hybrid_lsh::probe::multiprobe_query(&frozen_index, q, r, 6, Strategy::LshOnly);
         assert_eq!(a.ids, b.ids);
         assert_eq!(a.report.collisions, b.report.collisions);
+    }
+}
+
+/// The packed register slab must be observationally lossless: every
+/// sketched bucket's cardinality estimate is *byte-identical* (not
+/// merely close) between the per-bucket `HyperLogLog` path and the
+/// frozen slab's `SketchRef` path, per table and per key.
+#[test]
+fn frozen_slab_sketch_estimates_are_byte_identical() {
+    let (map_index, frozen_index, _queries, _r) = mixture_setup();
+    let mut sketched = 0usize;
+    for (mt, ft) in map_index.raw_tables().iter().zip(frozen_index.raw_tables()) {
+        for (key, mb) in mt.buckets() {
+            let fb = ft.bucket_for_key(key).expect("key lost in freeze");
+            assert_eq!(mb.has_sketch(), fb.has_sketch(), "sketch presence for key {key}");
+            if let (Some(ms), Some(fs)) = (mb.sketch(), fb.sketch()) {
+                assert_eq!(ms.registers(), fs.registers(), "registers for key {key}");
+                assert_eq!(
+                    ms.estimate().to_bits(),
+                    fs.estimate().to_bits(),
+                    "estimate for key {key} must be byte-identical"
+                );
+                sketched += 1;
+            }
+        }
+    }
+    assert!(sketched > 0, "mixture workload must materialise some sketches");
+}
+
+/// The kernelized S3 filter (batched one-to-many verification) and the
+/// scalar per-candidate loop must produce identical ids and identical
+/// executed arms on the mixture corpus — the engine-level guarantee
+/// that kernel rounding never flips an accept/reject decision at the
+/// tested radius.
+#[test]
+fn kernel_and_scalar_verify_modes_agree_on_mixture() {
+    let (map_index, frozen_index, queries, r) = mixture_setup();
+    for strategy in Strategy::ALL {
+        let mut kernel_engine = QueryEngine::with_verify_mode(VerifyMode::Kernel);
+        let mut scalar_engine = QueryEngine::with_verify_mode(VerifyMode::Scalar);
+        assert_eq!(kernel_engine.verify_mode(), VerifyMode::Kernel);
+        for (qi, q) in queries.iter().enumerate() {
+            let k = kernel_engine.query_with_strategy(&map_index, q, r, strategy);
+            let s = scalar_engine.query_with_strategy(&map_index, q, r, strategy);
+            assert_eq!(k.ids, s.ids, "{strategy} query {qi}");
+            assert_eq!(k.report.executed, s.report.executed, "{strategy} query {qi}");
+            assert_eq!(k.report.cand_size_actual, s.report.cand_size_actual);
+
+            let kf = kernel_engine.query_with_strategy(&frozen_index, q, r, strategy);
+            assert_eq!(kf.ids, s.ids, "frozen {strategy} query {qi}");
+        }
     }
 }
 
