@@ -1,6 +1,6 @@
 //! Batch-query throughput on the mixture workload: sequential
 //! single-query loop vs reused [`QueryEngine`] vs the sharded
-//! [`query_batch`] API, on both storage backends.
+//! `query_batch` API, on both storage backends.
 //!
 //! ```text
 //! cargo run --release -p hlsh-bench --bin throughput -- [--n N] [--queries N] [--runs N] [--seed N] [--threads N]

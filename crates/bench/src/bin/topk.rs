@@ -1,0 +1,207 @@
+//! Top-k query quality and throughput on the mixture workload:
+//! recall@k against exact ground truth, then queries/second for the
+//! sequential [`TopKEngine`] loop vs the sharded `query_topk_batch`
+//! API on the frozen backend.
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin topk -- \
+//!     [--n N] [--queries N] [--k N] [--levels N] [--runs N] \
+//!     [--seed N] [--threads N] [--json PATH]
+//! ```
+//!
+//! Verifies byte-identical neighbor lists between the batch and
+//! sequential paths before timing anything, and exits non-zero if
+//! recall@k falls below `--min-recall` (default 0: report-only; CI's
+//! recall gate lives in `tests/topk_recall.rs`). `--json` writes a
+//! `BENCH_kernels.json`-style timing record for workflow artifacts.
+
+use std::time::Instant;
+
+use hlsh_bench::experiment::recall_at_k;
+use hlsh_core::{
+    CostModel, IndexBuilder, RadiusSchedule, Strategy, TopKEngine, TopKIndex, TopKOutput,
+};
+use hlsh_datagen::{benchmark_mixture, ground_truth_topk};
+use hlsh_families::PStableL2;
+use hlsh_vec::L2;
+
+struct Args {
+    n: usize,
+    queries: usize,
+    k: usize,
+    levels: usize,
+    runs: usize,
+    seed: u64,
+    threads: usize,
+    min_recall: f64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        n: 20_000,
+        queries: 256,
+        k: 10,
+        levels: 4,
+        runs: 5,
+        seed: 23,
+        threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        min_recall: 0.0,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab_str =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
+        let mut grab = |name: &str| -> usize {
+            grab_str(name).parse().unwrap_or_else(|_| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--n" => out.n = grab("--n"),
+            "--queries" => out.queries = grab("--queries"),
+            "--k" => out.k = grab("--k").max(1),
+            "--levels" => out.levels = grab("--levels").max(1),
+            "--runs" => out.runs = grab("--runs").max(1),
+            "--seed" => out.seed = grab("--seed") as u64,
+            "--threads" => out.threads = grab("--threads").max(1),
+            "--min-recall" => {
+                out.min_recall = grab_str("--min-recall")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--min-recall needs a float"))
+            }
+            "--json" => out.json = Some(grab_str("--json")),
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\nusage: topk [--n N] [--queries N] [--k N] [--levels N] [--runs N] [--seed N] [--threads N] [--min-recall F] [--json PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(out.queries < out.n, "--queries must be smaller than --n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let dim = 24;
+    let base_r = 1.5;
+    let schedule = RadiusSchedule::doubling(base_r, args.levels);
+
+    let (mut data, _) = benchmark_mixture(dim, args.n, base_r, args.seed);
+    let q_rows: Vec<usize> = (0..args.queries).map(|i| i * (args.n / args.queries)).collect();
+    let queries_ds = data.split_off_rows(&q_rows);
+    let queries: Vec<Vec<f32>> =
+        (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
+
+    let t_build = Instant::now();
+    let index = TopKIndex::build(data, schedule, |_, r| {
+        IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
+            .tables(20)
+            .hash_len(6)
+            .seed(args.seed)
+            .cost_model(CostModel::from_ratio(6.0))
+    })
+    .freeze();
+    let build_secs = t_build.elapsed().as_secs_f64();
+    println!(
+        "built {} levels (radii {:?}) over n={} in {build_secs:.2} s\n",
+        args.levels,
+        schedule.radii().collect::<Vec<_>>(),
+        index.len()
+    );
+
+    // Correctness gate: batch must be byte-identical to the sequential
+    // engine loop before any timing is trusted.
+    let sequential: Vec<TopKOutput> = {
+        let mut engine = TopKEngine::new();
+        queries.iter().map(|q| engine.query_topk(&index, q, args.k)).collect()
+    };
+    let batch = index.query_topk_batch_with(&queries, args.k, Strategy::Hybrid, Some(args.threads));
+    for (qi, (s, b)) in sequential.iter().zip(&batch).enumerate() {
+        assert_eq!(s.neighbors, b.neighbors, "batch diverged from sequential at query {qi}");
+    }
+    println!(
+        "verified: {} queries, byte-identical neighbors across sequential / batch paths",
+        queries.len()
+    );
+
+    // Quality: recall@k against exact ground truth.
+    let truth = ground_truth_topk(index.data(), &queries_ds, &L2, args.k);
+    let recall = recall_at_k(&sequential, &truth);
+    let nq = queries.len() as f64;
+    let frac = |f: fn(&TopKOutput) -> bool| sequential.iter().filter(|o| f(o)).count() as f64 / nq;
+    let executed_mean =
+        sequential.iter().map(|o| o.report.levels_executed).sum::<usize>() as f64 / nq;
+    let skipped_mean =
+        sequential.iter().map(|o| o.report.levels_skipped).sum::<usize>() as f64 / nq;
+    let early_frac = frac(|o| o.report.early_exit);
+    let fallback_frac = frac(|o| o.report.exact_fallback);
+    println!(
+        "recall@{k}: {recall:.4}   levels executed {executed_mean:.2} / skipped {skipped_mean:.2} (of {total}), early-exit {early:.0}%, exact-fallback {fb:.0}%\n",
+        k = args.k,
+        total = args.levels,
+        early = 100.0 * early_frac,
+        fb = 100.0 * fallback_frac,
+    );
+
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut measure = |label: String, mut f: Box<dyn FnMut() -> usize + '_>| {
+        let mut best = f64::INFINITY;
+        for _ in 0..args.runs {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        println!("{label:<44} {:>12.0} queries/s   ({best:.4} s best of {})", nq / best, args.runs);
+        timings.push((label, nq / best));
+    };
+
+    measure(
+        "sequential TopKEngine loop, frozen store".into(),
+        Box::new(|| {
+            let mut engine = TopKEngine::new();
+            queries.iter().map(|q| engine.query_topk(&index, q, args.k).neighbors.len()).sum()
+        }),
+    );
+    let mut thread_counts = vec![1, 2, 4];
+    if !thread_counts.contains(&args.threads) {
+        thread_counts.push(args.threads);
+    }
+    for threads in thread_counts {
+        let (index_ref, queries_ref) = (&index, &queries);
+        measure(
+            format!("query_topk_batch, frozen store, {threads} thread(s)"),
+            Box::new(move || {
+                index_ref
+                    .query_topk_batch_with(queries_ref, args.k, Strategy::Hybrid, Some(threads))
+                    .iter()
+                    .map(|o| o.neighbors.len())
+                    .sum()
+            }),
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let results: Vec<String> = timings
+            .iter()
+            .map(|(id, qps)| format!("    {{ \"id\": \"{id}\", \"queries_per_sec\": {qps:.1} }}"))
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"topk\",\n  \"command\": \"cargo run --release -p hlsh-bench --bin topk\",\n  \"params\": {{ \"n\": {}, \"queries\": {}, \"k\": {}, \"levels\": {}, \"dim\": {dim}, \"base_radius\": {base_r}, \"seed\": {} }},\n  \"recall_at_k\": {recall:.4},\n  \"levels_executed_mean\": {executed_mean:.3},\n  \"levels_skipped_mean\": {skipped_mean:.3},\n  \"early_exit_frac\": {early_frac:.3},\n  \"exact_fallback_frac\": {fallback_frac:.3},\n  \"build_secs\": {build_secs:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+            args.n,
+            args.queries,
+            args.k,
+            args.levels,
+            args.seed,
+            results.join(",\n"),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+
+    if recall < args.min_recall {
+        eprintln!("recall@{} = {recall:.4} below required {:.4}", args.k, args.min_recall);
+        std::process::exit(1);
+    }
+}

@@ -365,6 +365,28 @@ where
     }
 }
 
+/// Macro-averaged recall@k of top-k outputs against exact top-k ground
+/// truth (the [`hlsh_datagen::ground_truth_topk`] format): per query,
+/// `|reported ∩ truth| / |truth|`, averaged over the query set. Empty
+/// truth counts as full recall.
+pub fn recall_at_k(outputs: &[hlsh_core::TopKOutput], truth: &[Vec<(u32, f64)>]) -> f64 {
+    assert_eq!(outputs.len(), truth.len(), "outputs and truth must be parallel");
+    if outputs.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    for (out, t) in outputs.iter().zip(truth) {
+        if t.is_empty() {
+            total += 1.0;
+            continue;
+        }
+        let truth_ids: std::collections::HashSet<u32> = t.iter().map(|&(id, _)| id).collect();
+        let hits = out.neighbors.iter().filter(|n| truth_ids.contains(&n.id)).count();
+        total += hits as f64 / truth_ids.len() as f64;
+    }
+    total / outputs.len() as f64
+}
+
 fn recall_of(out: &QueryOutput, truth: &[u32]) -> f64 {
     if truth.is_empty() {
         return 1.0;
@@ -435,6 +457,30 @@ mod tests {
         let rows = run_dataset(PaperDataset::CoverType, &tiny_cfg(800));
         assert_eq!(rows.len(), 6);
         assert_eq!(rows[0].k, 8);
+    }
+
+    #[test]
+    fn recall_at_k_counts_hits() {
+        use hlsh_core::{Neighbor, TopKOutput, TopKReport};
+        let report = TopKReport {
+            levels_executed: 1,
+            levels_skipped: 0,
+            early_exit: false,
+            exact_fallback: false,
+            verified: 2,
+            total_nanos: 0,
+        };
+        let out = |ids: &[u32]| TopKOutput {
+            neighbors: ids.iter().map(|&id| Neighbor { id, dist: id as f64 }).collect(),
+            report,
+        };
+        // Query 0: 1 of 2 truth ids found; query 1: both found.
+        let outputs = vec![out(&[1, 9]), out(&[4, 5])];
+        let truth = vec![vec![(1u32, 0.0), (2, 1.0)], vec![(4u32, 0.0), (5, 1.0)]];
+        assert!((recall_at_k(&outputs, &truth) - 0.75).abs() < 1e-12);
+        // Empty truth counts as full recall; empty inputs are 1.0.
+        assert_eq!(recall_at_k(&[out(&[])], &[vec![]]), 1.0);
+        assert_eq!(recall_at_k(&[], &[]), 1.0);
     }
 
     #[test]

@@ -105,57 +105,198 @@ impl QueryEngine {
             }
             Strategy::LshOnly => {
                 let (buckets, collisions, hash_nanos) = index.probe(q);
-                let (ids, cand_actual) = self.lsh_arm(index, q, r, &buckets);
-                let total = t_start.elapsed().as_nanos() as u64;
-                QueryOutput {
-                    report: QueryReport {
-                        executed: ExecutedArm::Lsh,
-                        collisions,
-                        cand_size_estimate: cand_actual as f64,
-                        cand_size_actual: Some(cand_actual),
-                        output_size: ids.len(),
-                        hash_nanos,
-                        hll_nanos: 0,
-                        total_nanos: total,
-                    },
-                    ids,
-                }
+                self.lsh_output(index, q, r, &buckets, collisions, hash_nanos, 0, None, t_start)
             }
             Strategy::Hybrid => {
-                // Algorithm 2 line 1: bucket sizes → #collisions.
-                let (buckets, collisions, hash_nanos) = index.probe(q);
-                // Line 2: merge HLLs → candSize estimate.
-                let t_hll = Instant::now();
-                let acc = self.accumulator(index);
-                for b in &buckets {
-                    b.contribute_to(acc);
-                }
-                let cand_estimate = acc.estimate();
-                let hll_nanos = t_hll.elapsed().as_nanos() as u64;
-                // Lines 3–4: compare costs, run the cheaper arm.
-                let prefer_lsh =
-                    index.cost_model().prefer_lsh(collisions, cand_estimate, index.len());
-                let (executed, ids, cand_actual) = if prefer_lsh {
-                    let (ids, cand) = self.lsh_arm(index, q, r, &buckets);
-                    (ExecutedArm::Lsh, ids, Some(cand))
-                } else {
-                    (ExecutedArm::Linear, linear_arm(index, q, r, self.verify), None)
-                };
-                let total = t_start.elapsed().as_nanos() as u64;
-                QueryOutput {
-                    report: QueryReport {
-                        executed,
-                        collisions,
-                        cand_size_estimate: cand_estimate,
-                        cand_size_actual: cand_actual,
-                        output_size: ids.len(),
-                        hash_nanos,
-                        hll_nanos,
-                        total_nanos: total,
-                    },
-                    ids,
-                }
+                // Algorithm 2 lines 1–2: collisions + candSize estimate.
+                let (buckets, collisions, hash_nanos, cand_estimate, hll_nanos) =
+                    self.probe_and_estimate(index, q);
+                self.hybrid_decision(
+                    index,
+                    q,
+                    r,
+                    &buckets,
+                    collisions,
+                    cand_estimate,
+                    hash_nanos,
+                    hll_nanos,
+                    t_start,
+                )
             }
+        }
+    }
+
+    /// Probes and estimates once, then runs the query only when the
+    /// estimated distinct-candidate count exceeds `skip_at_most`;
+    /// returns `None` (no arm executed) otherwise.
+    ///
+    /// This is the top-k driver's level filter: a schedule level whose
+    /// predicted candidates are all already verified cannot improve the
+    /// heap, and deciding that from the sketches costs `O(mL)` — the
+    /// same probe + merge work the executed query needs anyway, done
+    /// once here rather than twice.
+    ///
+    /// Under [`Strategy::LinearOnly`] the filter does not apply (a scan
+    /// forms no candidate set) and the query always runs. Under
+    /// [`Strategy::LshOnly`] the report's `cand_size_estimate` carries
+    /// the sketch estimate (unlike
+    /// [`query_with_strategy`](Self::query_with_strategy), which skips
+    /// estimation there); ids are identical.
+    pub fn query_unless_cand_at_most<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        strategy: Strategy,
+        skip_at_most: f64,
+    ) -> Option<QueryOutput>
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        if matches!(strategy, Strategy::LinearOnly) {
+            return Some(self.query_with_strategy(index, q, r, strategy));
+        }
+        let t_start = Instant::now();
+        let (buckets, collisions, hash_nanos, cand_estimate, hll_nanos) =
+            self.probe_and_estimate(index, q);
+        if cand_estimate <= skip_at_most {
+            return None;
+        }
+        Some(match strategy {
+            Strategy::LshOnly => self.lsh_output(
+                index,
+                q,
+                r,
+                &buckets,
+                collisions,
+                hash_nanos,
+                hll_nanos,
+                Some(cand_estimate),
+                t_start,
+            ),
+            _ => self.hybrid_decision(
+                index,
+                q,
+                r,
+                &buckets,
+                collisions,
+                cand_estimate,
+                hash_nanos,
+                hll_nanos,
+                t_start,
+            ),
+        })
+    }
+
+    /// Steps S1–S2 of Algorithm 2 with reused scratch: probe the `L`
+    /// buckets, merge their sketches. Returns `(buckets, collisions,
+    /// hash_nanos, cand_estimate, hll_nanos)`.
+    fn probe_and_estimate<'a, S, F, D, B>(
+        &mut self,
+        index: &'a HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+    ) -> (Vec<crate::bucket::BucketRef<'a>>, usize, u64, f64, u64)
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let (buckets, collisions, hash_nanos) = index.probe(q);
+        let t_hll = Instant::now();
+        let acc = self.accumulator(index);
+        for b in &buckets {
+            b.contribute_to(acc);
+        }
+        let cand_estimate = acc.estimate();
+        let hll_nanos = t_hll.elapsed().as_nanos() as u64;
+        (buckets, collisions, hash_nanos, cand_estimate, hll_nanos)
+    }
+
+    /// Runs the LSH arm over already-probed buckets and assembles the
+    /// report; `estimate` carries a sketch estimate when one was
+    /// computed (`None` mirrors the classic LshOnly report, whose
+    /// `cand_size_estimate` is the exact candidate count).
+    #[allow(clippy::too_many_arguments)]
+    fn lsh_output<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        buckets: &[crate::bucket::BucketRef<'_>],
+        collisions: usize,
+        hash_nanos: u64,
+        hll_nanos: u64,
+        estimate: Option<f64>,
+        t_start: Instant,
+    ) -> QueryOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let (ids, cand_actual) = self.lsh_arm(index, q, r, buckets);
+        let total = t_start.elapsed().as_nanos() as u64;
+        QueryOutput {
+            report: QueryReport {
+                executed: ExecutedArm::Lsh,
+                collisions,
+                cand_size_estimate: estimate.unwrap_or(cand_actual as f64),
+                cand_size_actual: Some(cand_actual),
+                output_size: ids.len(),
+                hash_nanos,
+                hll_nanos,
+                total_nanos: total,
+            },
+            ids,
+        }
+    }
+
+    /// Algorithm 2 lines 3–4 over already-probed buckets: compare
+    /// costs, run the cheaper arm, assemble the report.
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_decision<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        buckets: &[crate::bucket::BucketRef<'_>],
+        collisions: usize,
+        cand_estimate: f64,
+        hash_nanos: u64,
+        hll_nanos: u64,
+        t_start: Instant,
+    ) -> QueryOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let prefer_lsh = index.cost_model().prefer_lsh(collisions, cand_estimate, index.len());
+        let (executed, ids, cand_actual) = if prefer_lsh {
+            let (ids, cand) = self.lsh_arm(index, q, r, buckets);
+            (ExecutedArm::Lsh, ids, Some(cand))
+        } else {
+            (ExecutedArm::Linear, linear_arm(index, q, r, self.verify), None)
+        };
+        let total = t_start.elapsed().as_nanos() as u64;
+        QueryOutput {
+            report: QueryReport {
+                executed,
+                collisions,
+                cand_size_estimate: cand_estimate,
+                cand_size_actual: cand_actual,
+                output_size: ids.len(),
+                hash_nanos,
+                hll_nanos,
+                total_nanos: total,
+            },
+            ids,
         }
     }
 
@@ -310,40 +451,9 @@ where
     where
         Q: PointSet<Point = S::Point> + Sync,
     {
-        let nq = queries.len();
-        if nq == 0 {
-            return Vec::new();
-        }
-        let threads = threads
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
-            .clamp(1, nq);
-
-        let mut results: Vec<Option<QueryOutput>> = vec![None; nq];
-        if threads == 1 {
-            let mut engine = QueryEngine::new();
-            for (qi, slot) in results.iter_mut().enumerate() {
-                *slot = Some(engine.query_with_strategy(self, queries.point(qi), r, strategy));
-            }
-        } else {
-            let chunk = nq.div_ceil(threads);
-            std::thread::scope(|scope| {
-                for (ci, slots) in results.chunks_mut(chunk).enumerate() {
-                    scope.spawn(move || {
-                        let mut engine = QueryEngine::new();
-                        for (off, slot) in slots.iter_mut().enumerate() {
-                            let qi = ci * chunk + off;
-                            *slot = Some(engine.query_with_strategy(
-                                self,
-                                queries.point(qi),
-                                r,
-                                strategy,
-                            ));
-                        }
-                    });
-                }
-            });
-        }
-        results.into_iter().map(|r| r.expect("every query slot filled")).collect()
+        hlsh_vec::parallel::par_map_with(queries.len(), threads, QueryEngine::new, |engine, qi| {
+            engine.query_with_strategy(self, queries.point(qi), r, strategy)
+        })
     }
 }
 

@@ -76,9 +76,11 @@ pub mod hasher;
 pub mod index;
 pub mod recall;
 pub mod report;
+pub mod schedule;
 pub mod search;
 pub mod store;
 pub mod table;
+pub mod topk;
 
 pub use bucket::BucketRef;
 pub use builder::IndexBuilder;
@@ -88,5 +90,7 @@ pub use engine::QueryEngine;
 pub use index::{HybridLshIndex, IndexStats};
 pub use recall::{evaluate_recall, RecallReport};
 pub use report::{QueryOutput, QueryReport};
+pub use schedule::RadiusSchedule;
 pub use search::{Strategy, VerifyMode};
 pub use store::{BucketStore, FrozenStore, MapStore};
+pub use topk::{BoundedHeap, Neighbor, TopKEngine, TopKIndex, TopKOutput, TopKReport};

@@ -2,8 +2,8 @@
 //!
 //! The paper's accuracy metrics (output size in Figure 3, recall in
 //! §4.2, the candSize error in Table 1) all need the exact answer set.
-//! Queries are embarrassingly parallel, so the scan shards over
-//! `std::thread` scoped threads.
+//! Queries are embarrassingly parallel, so the scans shard over
+//! scoped threads via [`hlsh_vec::parallel::par_map_with`].
 
 use hlsh_vec::{Distance, PointId, PointSet};
 
@@ -17,27 +17,42 @@ where
     Q: PointSet<Point = S::Point> + Sync,
     D: Distance<S::Point> + Sync,
 {
-    let nq = queries.len();
-    let mut results: Vec<Vec<PointId>> = vec![Vec::new(); nq];
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nq.max(1));
-    if threads <= 1 || nq <= 1 {
-        for (qi, out) in results.iter_mut().enumerate() {
-            *out = scan(data, queries.point(qi), distance, r);
-        }
-        return results;
-    }
-    let chunk = nq.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (ci, slot) in results.chunks_mut(chunk).enumerate() {
-            scope.spawn(move || {
-                for (off, out) in slot.iter_mut().enumerate() {
-                    let qi = ci * chunk + off;
-                    *out = scan(data, queries.point(qi), distance, r);
-                }
-            });
-        }
-    });
-    results
+    hlsh_vec::parallel::par_map_with(
+        queries.len(),
+        None,
+        || (),
+        |_, qi| scan(data, queries.point(qi), distance, r),
+    )
+}
+
+/// Computes, for every query, the exact `min(k, n)` nearest neighbors
+/// as `(id, distance)` pairs, ascending by `(distance, id)` — distance
+/// ties always break toward the smaller id, so the truth is a total
+/// order and stable across thread counts.
+///
+/// Per query the scan avoids computing most exact distances: the k-th
+/// smallest distance within a fixed prefix of the data is an upper
+/// bound on the true k-th-neighbor distance, so one
+/// [`scan_within`](Distance::scan_within) pass at that bound (the
+/// chunked full-scan kernel with early-exit on dense data) yields a
+/// candidate superset that is then ranked exactly.
+pub fn ground_truth_topk<S, Q, D>(
+    data: &S,
+    queries: &Q,
+    distance: &D,
+    k: usize,
+) -> Vec<Vec<(PointId, f64)>>
+where
+    S: PointSet + Sync,
+    Q: PointSet<Point = S::Point> + Sync,
+    D: Distance<S::Point> + Sync,
+{
+    hlsh_vec::parallel::par_map_with(
+        queries.len(),
+        None,
+        || (),
+        |_, qi| scan_topk(data, queries.point(qi), distance, k),
+    )
 }
 
 fn scan<S, D>(data: &S, q: &S::Point, distance: &D, r: f64) -> Vec<PointId>
@@ -51,6 +66,44 @@ where
     let mut out = Vec::new();
     distance.scan_within(data, q, r, &mut out);
     out
+}
+
+/// Exact top-k for one query; see [`ground_truth_topk`].
+fn scan_topk<S, D>(data: &S, q: &S::Point, distance: &D, k: usize) -> Vec<(PointId, f64)>
+where
+    S: PointSet,
+    D: Distance<S::Point>,
+{
+    let n = data.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let by_dist_then_id =
+        |a: &(PointId, f64), b: &(PointId, f64)| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0));
+
+    // Distances over a prefix sample: its k-th smallest bounds the true
+    // k-th-neighbor distance from above.
+    let sample = n.min(k.max(256));
+    let mut cand: Vec<(PointId, f64)> =
+        (0..sample).map(|id| (id as PointId, distance.distance(data.point(id), q))).collect();
+    if sample < n {
+        let (_, kth, _) = cand.select_nth_unstable_by(k - 1, by_dist_then_id);
+        let bound = kth.1;
+        // Everything within the bound is a superset of the true top-k
+        // (radius predicate is `<=`, so boundary ties are kept).
+        let mut ids = Vec::new();
+        distance.scan_within(data, q, bound, &mut ids);
+        cand =
+            ids.into_iter().map(|id| (id, distance.distance(data.point(id as usize), q))).collect();
+        debug_assert!(cand.len() >= k, "radius bound must keep at least k candidates");
+    }
+    if cand.len() > k {
+        cand.select_nth_unstable_by(k - 1, by_dist_then_id);
+        cand.truncate(k);
+    }
+    cand.sort_unstable_by(by_dist_then_id);
+    cand
 }
 
 #[cfg(test)]
@@ -86,6 +139,51 @@ mod tests {
         let queries = DenseDataset::new(1);
         let gt = ground_truth(&data, &queries, &L2, 1.0);
         assert!(gt.is_empty());
+    }
+
+    #[test]
+    fn topk_on_a_line_breaks_ties_by_ascending_id() {
+        let data = line_data(100);
+        let queries = DenseDataset::from_rows(1, [[10.0f32], [0.0]]);
+        let gt = ground_truth_topk(&data, &queries, &L2, 5);
+        // Distances 0,1,1,2,2 → ids 10, then 9 before 11, then 8 before 12.
+        let ids: Vec<u32> = gt[0].iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![10, 9, 11, 8, 12]);
+        assert_eq!(gt[0][0].1, 0.0);
+        assert_eq!(gt[0][1].1, 1.0);
+        // Boundary query: nothing below 0.
+        let ids: Vec<u32> = gt[1].iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn topk_equals_full_sort_reference() {
+        // 600 points forces the prefix-bound + scan_within path
+        // (sample = 256 < n); compare against the naive full sort.
+        let data = line_data(600);
+        let queries = DenseDataset::from_rows(1, [[300.5f32], [599.0], [0.25]]);
+        let k = 17;
+        let gt = ground_truth_topk(&data, &queries, &L2, k);
+        for (qi, found) in gt.iter().enumerate() {
+            let q = queries.row(qi);
+            let mut all: Vec<(u32, f64)> =
+                (0..data.len()).map(|i| (i as u32, L2.distance(data.row(i), q))).collect();
+            all.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            all.truncate(k);
+            assert_eq!(found, &all, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn topk_k_of_zero_and_k_beyond_n() {
+        let data = line_data(8);
+        let queries = DenseDataset::from_rows(1, [[4.0f32]]);
+        assert!(ground_truth_topk(&data, &queries, &L2, 0)[0].is_empty());
+        let all = &ground_truth_topk(&data, &queries, &L2, 100)[0];
+        assert_eq!(all.len(), 8);
+        assert!(all
+            .windows(2)
+            .all(|w| { w[0].1 < w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0) }));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod workload;
 
 pub use corel::corel_like;
 pub use covertype::covertype_like;
-pub use groundtruth::ground_truth;
+pub use groundtruth::{ground_truth, ground_truth_topk};
 pub use mixture::{benchmark_mixture, ClusterSpec, MixtureBuilder};
 pub use mnist::mnist_like;
 pub use webspam::webspam_like;

@@ -2,7 +2,7 @@
 //! negatives*.
 //!
 //! The paper's §5 names covering LSH, alongside multi-probe, as a
-//! scheme the hybrid strategy fits because it "typically require[s] a
+//! scheme the hybrid strategy fits because it "typically require\[s\] a
 //! large number of probes".
 //!
 //! # Construction

@@ -123,23 +123,24 @@ impl ProbeSequence<[u64]> for BitSamplingGFn {
     }
 }
 
-/// Multi-probe query with the hybrid cost decision.
+/// Steps S1–S2 of a multi-probe query plus the Algorithm 2 decision,
+/// shared by [`multiprobe_query`] and
+/// [`multiprobe_topk`](crate::multiprobe_topk).
 ///
-/// Probes the `probes_per_table` best buckets in each of the `L`
-/// tables. Under [`Strategy::Hybrid`] the probed buckets' sizes and
-/// sketches drive the Algorithm 2 decision exactly as in single-probe
-/// hybrid search; [`Strategy::LshOnly`] always collects candidates;
-/// [`Strategy::LinearOnly`] always scans.
-///
-/// # Panics
-/// Panics if `probes_per_table == 0`.
-pub fn multiprobe_query<S, F, D, B>(
-    index: &HybridLshIndex<S, F, D, B>,
+/// Probes the `probes_per_table` best buckets per table (every lookup
+/// goes through the `BucketStore` trait, so this works unchanged on
+/// hashmap and frozen backends). Under [`Strategy::Hybrid`] the probed
+/// sizes and merged sketches drive the arm choice; [`Strategy::LshOnly`]
+/// always prefers the candidate arm; [`Strategy::LinearOnly`] probes
+/// nothing and never prefers it. Returns `(buckets, collisions,
+/// hash_nanos, cand_estimate, hll_nanos, prefer_lsh)`.
+#[allow(clippy::type_complexity)]
+pub(crate) fn probe_and_decide<'a, S, F, D, B>(
+    index: &'a HybridLshIndex<S, F, D, B>,
     q: &S::Point,
-    r: f64,
     probes_per_table: usize,
     strategy: Strategy,
-) -> QueryOutput
+) -> (Vec<BucketRef<'a>>, usize, u64, f64, u64, bool)
 where
     S: PointSet,
     F: LshFamily<S::Point>,
@@ -148,28 +149,9 @@ where
     B: BucketStore,
 {
     assert!(probes_per_table > 0, "need at least one probe per table");
-    let t_start = Instant::now();
-
     if matches!(strategy, Strategy::LinearOnly) {
-        let ids = linear_scan(index, q, r);
-        return QueryOutput {
-            report: QueryReport {
-                executed: ExecutedArm::Linear,
-                collisions: 0,
-                cand_size_estimate: 0.0,
-                cand_size_actual: None,
-                output_size: ids.len(),
-                hash_nanos: 0,
-                hll_nanos: 0,
-                total_nanos: t_start.elapsed().as_nanos() as u64,
-            },
-            ids,
-        };
+        return (Vec::new(), 0, 0, 0.0, 0, false);
     }
-
-    // Step S1 (extended): probe sequence per table. Every lookup goes
-    // through the BucketStore trait, so multi-probe works unchanged on
-    // hashmap and frozen backends.
     let t_hash = Instant::now();
     let mut buckets: Vec<BucketRef<'_>> = Vec::new();
     let mut collisions = 0usize;
@@ -197,11 +179,42 @@ where
         }
         _ => (0, true, 0.0),
     };
+    (buckets, collisions, hash_nanos, cand_estimate, hll_nanos, prefer_lsh)
+}
+
+/// Multi-probe query with the hybrid cost decision.
+///
+/// Probes the `probes_per_table` best buckets in each of the `L`
+/// tables. Under [`Strategy::Hybrid`] the probed buckets' sizes and
+/// sketches drive the Algorithm 2 decision exactly as in single-probe
+/// hybrid search; [`Strategy::LshOnly`] always collects candidates;
+/// [`Strategy::LinearOnly`] always scans.
+///
+/// # Panics
+/// Panics if `probes_per_table == 0`.
+pub fn multiprobe_query<S, F, D, B>(
+    index: &HybridLshIndex<S, F, D, B>,
+    q: &S::Point,
+    r: f64,
+    probes_per_table: usize,
+    strategy: Strategy,
+) -> QueryOutput
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    F::GFn: ProbeSequence<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    let t_start = Instant::now();
+    let (buckets, collisions, hash_nanos, cand_estimate, hll_nanos, prefer_lsh) =
+        probe_and_decide(index, q, probes_per_table, strategy);
 
     if prefer_lsh {
         // S2 dedup, then one batched S3 kernel call over the whole
         // candidate list (same shape as the core engine's LSH arm).
-        let mut seen: std::collections::HashSet<PointId> = std::collections::HashSet::new();
+        let mut seen: hlsh_core::hasher::FxHashSet<PointId> =
+            hlsh_core::hasher::FxHashSet::default();
         let mut cands = Vec::new();
         for b in &buckets {
             for &id in b.members() {

@@ -1,0 +1,195 @@
+//! Top-k nearest neighbors over a *single* index via multi-probe
+//! candidate generation.
+//!
+//! The core crate's [`TopKIndex`](hlsh_core::TopKIndex) maintains one
+//! rNNR index per radius level. Multi-probe offers a memory-light
+//! alternative for one already-built index: the probe sequence recovers
+//! the neighbors a single bucket misses, the candidates are verified
+//! with exact distances into the same bounded `(distance, id)` heap,
+//! and the hybrid cost model still arbitrates — on hard queries the
+//! linear arm runs, which for top-k means an **exact** k-NN scan.
+//! Whenever fewer than `k` candidates survive, the exact fallback scan
+//! completes the answer, so `multiprobe_topk` always returns
+//! `min(k, n)` neighbors.
+
+use std::time::Instant;
+
+use hlsh_core::store::BucketStore;
+use hlsh_core::topk::{BoundedHeap, Neighbor, TopKOutput, TopKReport};
+use hlsh_core::{HybridLshIndex, Strategy};
+use hlsh_families::LshFamily;
+use hlsh_vec::{Distance, PointId, PointSet};
+
+use crate::multiprobe::ProbeSequence;
+
+/// Top-k query over one hybrid index, probing the `probes_per_table`
+/// best buckets per table.
+///
+/// Strategy semantics mirror [`multiprobe_query`](crate::multiprobe_query):
+/// [`Strategy::Hybrid`] compares the probed collision count and merged
+/// sketch estimate against the linear cost; [`Strategy::LshOnly`]
+/// always verifies the probed candidates; [`Strategy::LinearOnly`]
+/// always scans — the latter two bound the answer from below and above
+/// (LinearOnly is exact). The report reuses [`TopKReport`] with
+/// `levels_executed = 1`: a single index is one "level" of the top-k
+/// reduction.
+///
+/// Distance ties break by ascending id, so results are deterministic
+/// for a fixed index.
+///
+/// # Panics
+/// Panics if `probes_per_table == 0`.
+pub fn multiprobe_topk<S, F, D, B>(
+    index: &HybridLshIndex<S, F, D, B>,
+    q: &S::Point,
+    k: usize,
+    probes_per_table: usize,
+    strategy: Strategy,
+) -> TopKOutput
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    F::GFn: ProbeSequence<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    assert!(probes_per_table > 0, "need at least one probe per table");
+    let t_start = Instant::now();
+    let n = index.len();
+    let k_eff = k.min(n);
+    let mut report = TopKReport {
+        levels_executed: 0,
+        levels_skipped: 0,
+        early_exit: false,
+        exact_fallback: false,
+        verified: 0,
+        total_nanos: 0,
+    };
+    if k_eff == 0 {
+        report.total_nanos = t_start.elapsed().as_nanos() as u64;
+        return TopKOutput { neighbors: Vec::new(), report };
+    }
+
+    let mut heap = BoundedHeap::new(k_eff);
+    let (data, distance) = (index.data(), index.distance());
+
+    // Steps S1–S2 plus the Algorithm 2 decision, exactly as in
+    // `multiprobe_query`: for top-k the "radius filter" is the heap
+    // itself, so LSHCost keeps its shape (α·#collisions + β·candSize)
+    // and LinearCost stays β·n.
+    let (buckets, _collisions, _hash_nanos, _cand_estimate, _hll_nanos, prefer_lsh) =
+        crate::multiprobe::probe_and_decide(index, q, probes_per_table, strategy);
+
+    if prefer_lsh {
+        report.levels_executed = 1;
+        let mut seen: hlsh_core::hasher::FxHashSet<PointId> =
+            hlsh_core::hasher::FxHashSet::default();
+        for b in &buckets {
+            for &id in b.members() {
+                if seen.insert(id) {
+                    let dist = distance.distance(data.point(id as usize), q);
+                    heap.push(Neighbor { id, dist });
+                }
+            }
+        }
+        report.verified = seen.len();
+        // Too few distinct candidates: finish exactly over the
+        // remaining points (rejections only start once the heap is
+        // full, so `seen ⊇ heap` exactly when it matters).
+        if heap.len() < k_eff {
+            report.exact_fallback = true;
+            for id in 0..n {
+                let id = id as PointId;
+                if !seen.contains(&id) {
+                    let dist = distance.distance(data.point(id as usize), q);
+                    heap.push(Neighbor { id, dist });
+                }
+            }
+        }
+    } else {
+        // Linear arm: exact top-k scan.
+        report.exact_fallback = true;
+        for id in 0..n {
+            let dist = distance.distance(data.point(id), q);
+            heap.push(Neighbor { id: id as PointId, dist });
+        }
+        report.verified = n;
+    }
+
+    report.total_nanos = t_start.elapsed().as_nanos() as u64;
+    TopKOutput { neighbors: heap.into_sorted_vec(), report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsh_core::{CostModel, IndexBuilder};
+    use hlsh_families::PStableL2;
+    use hlsh_vec::{DenseDataset, L2};
+
+    fn line_index(n: usize, ratio: f64) -> HybridLshIndex<DenseDataset, PStableL2, L2> {
+        let data = DenseDataset::from_rows(2, (0..n).map(|i| [i as f32, 0.0]));
+        IndexBuilder::new(PStableL2::new(2, 3.0), L2)
+            .tables(6)
+            .hash_len(4)
+            .seed(11)
+            .cost_model(CostModel::from_ratio(ratio))
+            .build(data)
+    }
+
+    #[test]
+    fn linear_only_is_exact() {
+        let index = line_index(120, 4.0);
+        let out = multiprobe_topk(&index, &[40.2f32, 0.0][..], 5, 4, Strategy::LinearOnly);
+        assert_eq!(out.ids(), vec![40, 41, 39, 42, 38]);
+        assert!(out.report.exact_fallback);
+        assert_eq!(out.report.verified, 120);
+    }
+
+    #[test]
+    fn hybrid_returns_full_k_and_contains_the_true_nearest() {
+        let index = line_index(200, 4.0);
+        for probes in [1, 4, 16] {
+            let out = multiprobe_topk(&index, &[77.0f32, 0.0][..], 6, probes, Strategy::Hybrid);
+            assert_eq!(out.neighbors.len(), 6, "probes {probes}");
+            assert_eq!(out.neighbors[0].id, 77);
+            assert_eq!(out.neighbors[0].dist, 0.0);
+            // Ascending (dist, id).
+            assert!(out.neighbors.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn more_probes_never_worsen_the_kth_distance() {
+        let index = line_index(400, 1e9); // force the LSH arm
+        let q = [203.4f32, 0.0];
+        let few = multiprobe_topk(&index, &q[..], 8, 1, Strategy::LshOnly);
+        let many = multiprobe_topk(&index, &q[..], 8, 24, Strategy::LshOnly);
+        let kth = |o: &TopKOutput| o.neighbors.last().unwrap().dist;
+        assert!(kth(&many) <= kth(&few) + 1e-12);
+        assert!(many.report.verified >= few.report.verified);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all_points() {
+        let index = line_index(30, 4.0);
+        let out = multiprobe_topk(&index, &[5.0f32, 0.0][..], 64, 2, Strategy::Hybrid);
+        assert_eq!(out.neighbors.len(), 30);
+        assert!(out.report.exact_fallback);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let index = line_index(20, 4.0);
+        let out = multiprobe_topk(&index, &[1.0f32, 0.0][..], 0, 2, Strategy::Hybrid);
+        assert!(out.neighbors.is_empty());
+        assert_eq!(out.report.levels_executed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one probe")]
+    fn zero_probes_rejected() {
+        let index = line_index(10, 4.0);
+        let _ = multiprobe_topk(&index, &[0.0f32, 0.0][..], 3, 0, Strategy::Hybrid);
+    }
+}

@@ -3,7 +3,7 @@
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// A size specification for [`vec`]: a fixed length or a half-open
+/// A size specification for [`vec()`]: a fixed length or a half-open
 /// range of lengths.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
@@ -35,7 +35,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,

@@ -44,6 +44,42 @@ pub trait PointSet {
     }
 }
 
+impl<T: PointSet + ?Sized> PointSet for &T {
+    type Point = T::Point;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn point(&self, i: usize) -> &Self::Point {
+        (**self).point(i)
+    }
+
+    fn dense_view(&self) -> Option<(&[f32], usize)> {
+        (**self).dense_view()
+    }
+}
+
+// `Arc<S>` as a point set lets several indexes share one immutable copy
+// of the data — the layout of the top-k index family, where every
+// radius level owns its own tables but all levels verify candidates
+// against the same points.
+impl<T: PointSet + ?Sized> PointSet for std::sync::Arc<T> {
+    type Point = T::Point;
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn point(&self, i: usize) -> &Self::Point {
+        (**self).point(i)
+    }
+
+    fn dense_view(&self) -> Option<(&[f32], usize)> {
+        (**self).dense_view()
+    }
+}
+
 /// A point set that accepts appended points (streaming ingestion).
 ///
 /// Implemented by [`crate::DenseDataset`] and [`crate::BinaryDataset`];
@@ -78,5 +114,17 @@ mod tests {
     fn default_is_empty() {
         assert!(!Three.is_empty());
         assert_eq!(Three.point(1), "b");
+    }
+
+    #[test]
+    fn reference_and_arc_delegate() {
+        let by_ref: &Three = &Three;
+        assert_eq!(by_ref.len(), 3);
+        assert_eq!(by_ref.point(2), "c");
+        assert!(by_ref.dense_view().is_none());
+        let shared = std::sync::Arc::new(Three);
+        assert_eq!(shared.len(), 3);
+        assert_eq!(shared.point(0), "a");
+        assert!(shared.dense_view().is_none());
     }
 }

@@ -169,7 +169,7 @@ const ROW_BLOCK: usize = 4;
 /// Dense matrix–vector product: `out[j] = row_j(mat) · x` for the
 /// `mat.len() / dim` row-major rows of `mat`.
 ///
-/// Processes [`ROW_BLOCK`] rows per pass so each chunk of `x` is loaded
+/// Processes `ROW_BLOCK` rows per pass so each chunk of `x` is loaded
 /// once per block instead of once per row — this is the "all K
 /// projections in one kernel" path used by the LSH g-functions. Every
 /// row reduces with the same lane/fold schedule as [`dot`], so

@@ -31,6 +31,7 @@ pub mod dense;
 pub mod io;
 pub mod kernels;
 pub mod metric;
+pub mod parallel;
 pub mod stats;
 
 pub use binary::{BinaryDataset, BinaryVec};

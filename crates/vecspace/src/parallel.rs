@@ -1,0 +1,100 @@
+//! Scoped-thread parallel map over an index range.
+//!
+//! Every embarrassingly-parallel fan-out in the workspace has the same
+//! shape — shard `0..n` into contiguous chunks, give each worker its
+//! own scratch state, write results into pre-allocated slots so the
+//! output keeps input order. [`par_map_with`] is that scaffold, shared
+//! by the batch query engines and the exact ground-truth scans so the
+//! chunking/thread-count policy lives in exactly one place.
+
+/// Maps `f` over `0..n`, sharded across scoped threads, returning
+/// results in index order.
+///
+/// `make_state` builds one per-worker scratch value (a reusable query
+/// engine, `()` for pure functions); it runs on the calling thread,
+/// once per worker. `threads` of `None` uses all available cores; the
+/// count is clamped to `[1, n]`, and a single worker runs inline
+/// without spawning. Results are byte-identical to a sequential
+/// `(0..n).map(..)` loop whenever `f` is deterministic per index.
+pub fn par_map_with<T, S, G, F>(n: usize, threads: Option<usize>, mut make_state: G, f: F) -> Vec<T>
+where
+    T: Send,
+    S: Send,
+    G: FnMut() -> S,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+        .clamp(1, n);
+
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    if threads == 1 {
+        let mut state = make_state();
+        for (i, slot) in results.iter_mut().enumerate() {
+            *slot = Some(f(&mut state, i));
+        }
+    } else {
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|scope| {
+            for (ci, slots) in results.chunks_mut(chunk).enumerate() {
+                let mut state = make_state();
+                scope.spawn(move || {
+                    for (off, slot) in slots.iter_mut().enumerate() {
+                        *slot = Some(f(&mut state, ci * chunk + off));
+                    }
+                });
+            }
+        });
+    }
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        for threads in [None, Some(1), Some(3), Some(16)] {
+            let out = par_map_with(37, threads, || (), |_, i| i * 2);
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>(), "{threads:?}");
+        }
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<usize> = par_map_with(0, None, || (), |_, i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn one_state_per_worker() {
+        // Sequential: a single state sees every index.
+        let out = par_map_with(
+            10,
+            Some(1),
+            || 0usize,
+            |count, _| {
+                *count += 1;
+                *count
+            },
+        );
+        assert_eq!(out.last(), Some(&10));
+        // Two workers: each chunk restarts its own counter.
+        let out = par_map_with(
+            10,
+            Some(2),
+            || 0usize,
+            |count, _| {
+                *count += 1;
+                *count
+            },
+        );
+        assert_eq!(out[..5], [1, 2, 3, 4, 5]);
+        assert_eq!(out[5..], [1, 2, 3, 4, 5]);
+    }
+}

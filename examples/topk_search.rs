@@ -1,0 +1,68 @@
+//! Top-k nearest-neighbor search: build a multi-radius index family
+//! over clustered vectors, query the k nearest neighbors, and inspect
+//! the radius-schedule walk (early exits, HLL level skips, exact
+//! fallbacks).
+//!
+//! ```text
+//! cargo run --release --example topk_search
+//! ```
+
+use hybrid_lsh::datagen::{benchmark_mixture, ground_truth_topk};
+use hybrid_lsh::prelude::*;
+
+fn main() {
+    // 1. Data: the benchmark mixture — a near-duplicate mega-cluster,
+    //    medium clusters, diffuse background. k-NN neighborhoods range
+    //    from ultra-dense to isolated, so every schedule mechanism
+    //    (early exit, skip, fallback) gets exercised.
+    let (n, dim, base_r, k) = (12_000, 24, 1.5, 10);
+    let (mut data, _) = benchmark_mixture(dim, n, base_r, 42);
+    let q_rows: Vec<usize> = (0..8).map(|i| i * (n / 8)).collect();
+    let queries = data.split_off_rows(&q_rows);
+    println!("generated {} points in {dim} dims, {} held-out queries", data.len(), queries.len());
+
+    // 2. Build the top-k index: one hybrid rNNR index per radius level
+    //    r, 2r, 4r, 8r (all levels share one copy of the data), each
+    //    level's p-stable hash width tuned to its own radius. Freeze
+    //    for read-optimised serving.
+    let schedule = RadiusSchedule::doubling(base_r, 4);
+    let index = TopKIndex::build(data, schedule, |_, r| {
+        IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
+            .tables(20)
+            .hash_len(6)
+            .seed(42)
+            .cost_model(CostModel::from_ratio(6.0))
+    })
+    .freeze();
+    println!(
+        "built {} levels at radii {:?}\n",
+        schedule.levels(),
+        schedule.radii().collect::<Vec<f64>>()
+    );
+
+    // 3. Query the k nearest neighbors, one query at a time.
+    for qi in 0..queries.len() {
+        let out = index.query_topk(queries.row(qi), k);
+        let r = &out.report;
+        println!(
+            "query {qi}: k-th distance {:.3} | levels run {} / skipped {}{}{}",
+            out.neighbors.last().map(|nb| nb.dist).unwrap_or(f64::NAN),
+            r.levels_executed,
+            r.levels_skipped,
+            if r.early_exit { ", early exit" } else { "" },
+            if r.exact_fallback { ", exact fallback" } else { "" },
+        );
+    }
+
+    // 4. Batch path: sharded over all cores, byte-identical results.
+    let qs: Vec<Vec<f32>> = (0..queries.len()).map(|i| queries.row(i).to_vec()).collect();
+    let batch = index.query_topk_batch(&qs, k);
+    for (qi, out) in batch.iter().enumerate() {
+        assert_eq!(out.neighbors, index.query_topk(queries.row(qi), k).neighbors);
+    }
+
+    // 5. Score against the exact ground truth with the harness metric.
+    let truth = ground_truth_topk(index.data(), &queries, &L2, k);
+    let recall = hlsh_bench::experiment::recall_at_k(&batch, &truth);
+    println!("\nmean recall@{k} over {} queries: {recall:.3}", batch.len());
+}

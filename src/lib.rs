@@ -6,10 +6,13 @@
 //! * [`index`] / [`HybridLshIndex`] / [`IndexBuilder`] — the hybrid
 //!   r-near-neighbor-reporting index (per-bucket HyperLogLog sketches,
 //!   per-query cost-based choice between LSH search and a linear scan);
+//! * [`TopKIndex`] / [`TopKEngine`] — k-nearest-neighbor queries via
+//!   the classic reduction to rNNR over a geometric [`RadiusSchedule`],
+//!   with HLL-driven level skipping and an exact-scan fallback;
 //! * [`families`] — the LSH families: bit sampling (Hamming),
 //!   SimHash (cosine), p-stable projections (L1/L2), MinHash (Jaccard);
 //! * [`hll`] — mergeable HyperLogLog sketches;
-//! * [`vec`] — vector types, metrics and data-set containers;
+//! * [`vec`](mod@vec) — vector types, metrics and data-set containers;
 //! * [`probe`] — multi-probe LSH and covering LSH extensions;
 //! * [`datagen`] — synthetic analogs of the paper's four evaluation
 //!   data sets plus exact ground truth.
@@ -52,15 +55,17 @@ pub use hlsh_probe as probe;
 pub use hlsh_vec as vec;
 
 pub use hlsh_core::{
-    BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, QueryEngine,
-    QueryOutput, Strategy, VerifyMode,
+    BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, Neighbor,
+    QueryEngine, QueryOutput, RadiusSchedule, Strategy, TopKEngine, TopKIndex, TopKOutput,
+    VerifyMode,
 };
 
 /// One-line import for applications.
 pub mod prelude {
     pub use hlsh_core::{
-        BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, QueryEngine,
-        QueryOutput, QueryReport, Strategy, VerifyMode,
+        BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, Neighbor,
+        QueryEngine, QueryOutput, QueryReport, RadiusSchedule, Strategy, TopKEngine, TopKIndex,
+        TopKOutput, TopKReport, VerifyMode,
     };
     pub use hlsh_families::{
         k_paper, k_safe, BitSampling, LshFamily, MinHash, PStableL1, PStableL2, PaperParams,

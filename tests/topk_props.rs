@@ -1,0 +1,109 @@
+//! Property tests for the top-k subsystem.
+//!
+//! The two contracts the ISSUE pins down: (1) `query_topk` with
+//! `k = n` degenerates to an exact full sort of the data set by
+//! `(distance, id)`; (2) batch top-k is byte-identical to the
+//! sequential per-query loop on any thread count (the top-k mirror of
+//! `store_parity.rs`'s batch-equivalence property).
+
+use hybrid_lsh::datagen::benchmark_mixture;
+use hybrid_lsh::prelude::*;
+use hybrid_lsh::Strategy;
+use proptest::prelude::*;
+
+type MixtureTopK = TopKIndex<DenseDataset, PStableL2, L2>;
+
+/// A small deterministic mixture index plus its held-out queries.
+fn build(n: usize, dim: usize, levels: usize, seed: u64) -> (MixtureTopK, Vec<Vec<f32>>) {
+    let base_r = 1.2;
+    let (mut data, _) = benchmark_mixture(dim, n, base_r, seed);
+    let q_rows: Vec<usize> = (0..8).map(|i| i * (n / 8)).collect();
+    let queries_ds = data.split_off_rows(&q_rows);
+    let queries: Vec<Vec<f32>> =
+        (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
+    let index = TopKIndex::build(data, RadiusSchedule::doubling(base_r, levels), |_, r| {
+        IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
+            .tables(8)
+            .hash_len(5)
+            .seed(seed)
+            .cost_model(CostModel::from_ratio(4.0))
+    });
+    (index, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `k = n` must return every point, exactly sorted by `(dist, id)`
+    /// — byte-identical distances to a scalar reference sort, no LSH
+    /// approximation anywhere (the exact fallback guarantees it).
+    #[test]
+    fn k_equals_n_is_a_full_exact_sort(
+        n in 60usize..220,
+        dim in 3usize..10,
+        levels in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let (index, queries) = build(n, dim, levels, seed);
+        let data = index.data();
+        for q in queries.iter().take(3) {
+            let out = index.query_topk(q, index.len());
+            prop_assert_eq!(out.neighbors.len(), index.len());
+            // Reference: exact distances, sorted by (dist, id).
+            let mut reference: Vec<(u32, f64)> = (0..data.len())
+                .map(|i| (i as u32, L2.distance(data.row(i), q)))
+                .collect();
+            reference.sort_unstable_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            for (rank, (n_out, &(id, dist))) in out.neighbors.iter().zip(&reference).enumerate() {
+                prop_assert_eq!(n_out.id, id, "rank {}", rank);
+                prop_assert_eq!(n_out.dist.to_bits(), dist.to_bits(), "rank {}", rank);
+            }
+        }
+    }
+
+    /// Batch sharding must not change a single byte of any result,
+    /// whatever the thread count — the mirror of `store_parity.rs`'s
+    /// batch-equivalence property for rNNR.
+    #[test]
+    fn batch_topk_ids_match_sequential_loop(
+        n in 80usize..300,
+        k in 1usize..20,
+        levels in 2usize..5,
+        seed in 0u64..500,
+        threads in 1usize..6,
+    ) {
+        let (index, queries) = build(n, 6, levels, seed);
+        let mut engine = TopKEngine::new();
+        let sequential: Vec<TopKOutput> =
+            queries.iter().map(|q| engine.query_topk(&index, q, k)).collect();
+        let batch =
+            index.query_topk_batch_with(&queries, k, Strategy::Hybrid, Some(threads));
+        // Whole-output equality: TopKReport equality excludes wall time.
+        prop_assert_eq!(&batch, &sequential, "{} threads", threads);
+    }
+
+    /// Sanity: for any k, results are sorted, unique, of length
+    /// `min(k, n)`, and the reported distances are the true distances.
+    #[test]
+    fn topk_output_invariants(
+        n in 60usize..200,
+        k in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let (index, queries) = build(n, 5, 3, seed);
+        let data = index.data();
+        for q in queries.iter().take(3) {
+            let out = index.query_topk(q, k);
+            prop_assert_eq!(out.neighbors.len(), k.min(index.len()));
+            let mut seen = std::collections::HashSet::new();
+            for w in out.neighbors.windows(2) {
+                prop_assert!(w[0] < w[1], "not strictly (dist, id)-ascending");
+            }
+            for nb in &out.neighbors {
+                prop_assert!(seen.insert(nb.id), "duplicate id {}", nb.id);
+                let true_dist = L2.distance(data.row(nb.id as usize), q);
+                prop_assert_eq!(nb.dist.to_bits(), true_dist.to_bits(), "id {}", nb.id);
+            }
+        }
+    }
+}

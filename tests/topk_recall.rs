@@ -1,0 +1,106 @@
+//! The CI recall gate: top-k quality and batch determinism on a fixed
+//! workload, asserted rather than eyeballed.
+//!
+//! A fixed-seed mixture corpus (n ≈ 6k) is queried through
+//! `query_topk_batch`; recall@10 against the exact ground truth must
+//! stay at or above a pinned threshold, and the batch output must be
+//! byte-identical to a sequential per-query loop on every thread count
+//! and under both verify modes. CI runs this file as a dedicated step
+//! (`cargo test --release -p hybrid-lsh --test topk_recall`), so a
+//! quality regression fails the build like any other test.
+
+use hybrid_lsh::datagen::{benchmark_mixture, ground_truth_topk};
+use hybrid_lsh::prelude::*;
+use hybrid_lsh::{Strategy, VerifyMode};
+
+const N: usize = 6_000;
+const QUERIES: usize = 64;
+const DIM: usize = 16;
+const BASE_R: f64 = 1.4;
+const K: usize = 10;
+const SEED: u64 = 77;
+
+/// The pinned quality floor. Measured on this fixed seed: ≈ 0.97;
+/// the gate leaves headroom for toolchain-level float noise, none for
+/// real regressions.
+const MIN_RECALL_AT_10: f64 = 0.9;
+
+type MixtureTopK<B> = TopKIndex<DenseDataset, PStableL2, L2, B>;
+
+fn setup() -> (MixtureTopK<FrozenStore>, DenseDataset, Vec<Vec<f32>>) {
+    let (mut data, _) = benchmark_mixture(DIM, N, BASE_R, SEED);
+    let q_rows: Vec<usize> = (0..QUERIES).map(|i| i * (N / QUERIES)).collect();
+    let queries_ds = data.split_off_rows(&q_rows);
+    let queries: Vec<Vec<f32>> =
+        (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
+    let index = TopKIndex::build(data, RadiusSchedule::doubling(BASE_R, 4), |_, r| {
+        IndexBuilder::new(PStableL2::new(DIM, 2.0 * r), L2)
+            .tables(20)
+            .hash_len(6)
+            .seed(SEED)
+            .cost_model(CostModel::from_ratio(6.0))
+    })
+    .freeze();
+    (index, queries_ds, queries)
+}
+
+#[test]
+fn recall_gate_on_fixed_mixture() {
+    let (index, queries_ds, queries) = setup();
+    let outputs = index.query_topk_batch(&queries, K);
+    let truth = ground_truth_topk(index.data(), &queries_ds, &L2, K);
+
+    for (qi, out) in outputs.iter().enumerate() {
+        assert_eq!(out.neighbors.len(), K, "query {qi} returned fewer than k neighbors");
+        // Reported distances must be exact and sorted by (dist, id).
+        for w in out.neighbors.windows(2) {
+            assert!(
+                w[0].dist < w[1].dist || (w[0].dist == w[1].dist && w[0].id < w[1].id),
+                "query {qi}: neighbors out of (dist, id) order"
+            );
+        }
+    }
+    // The same metric implementation the benchmark harness reports.
+    let recall = hlsh_bench::experiment::recall_at_k(&outputs, &truth);
+    println!("recall@{K} = {recall:.4} over {} queries (gate: {MIN_RECALL_AT_10})", outputs.len());
+    assert!(recall >= MIN_RECALL_AT_10, "recall@{K} regressed: {recall:.4} < {MIN_RECALL_AT_10}");
+}
+
+#[test]
+fn batch_topk_is_byte_identical_to_sequential_loop() {
+    let (index, _queries_ds, queries) = setup();
+    let mut engine = TopKEngine::new();
+    let sequential: Vec<TopKOutput> =
+        queries.iter().map(|q| engine.query_topk(&index, q, K)).collect();
+    for threads in [Some(1), Some(2), Some(4), None] {
+        let batch = index.query_topk_batch_with(&queries, K, Strategy::Hybrid, threads);
+        // Output equality (wall time excluded from report equality) is
+        // exactly the determinism contract.
+        assert_eq!(batch, sequential, "{threads:?} threads");
+    }
+}
+
+#[test]
+fn verify_modes_agree_on_topk() {
+    let (index, _queries_ds, queries) = setup();
+    let mut kernel = TopKEngine::with_verify_mode(VerifyMode::Kernel);
+    let mut scalar = TopKEngine::with_verify_mode(VerifyMode::Scalar);
+    for (qi, q) in queries.iter().take(16).enumerate() {
+        let a = kernel.query_topk(&index, q, K);
+        let b = scalar.query_topk(&index, q, K);
+        assert_eq!(a.neighbors, b.neighbors, "query {qi}");
+    }
+}
+
+#[test]
+fn schedule_walk_exercises_both_exits() {
+    // The mixture corpus must cover the interesting regimes, or the
+    // gate is vacuous: dense-cluster queries stop early, and at least
+    // some query either climbs past level 0 or skips a level.
+    let (index, _queries_ds, queries) = setup();
+    let outputs = index.query_topk_batch(&queries, K);
+    let early = outputs.iter().filter(|o| o.report.early_exit).count();
+    let deep = outputs.iter().filter(|o| o.report.levels_executed > 1).count();
+    assert!(early > 0, "no query early-exited — schedule too coarse for the corpus");
+    assert!(deep > 0, "no query climbed the ladder — schedule too fine for the corpus");
+}
