@@ -1,0 +1,235 @@
+//! Index-construction throughput: points/s for the per-point
+//! Algorithm 1 baseline vs the blocked build pipeline vs sharded
+//! parallel construction, on the mixture workload.
+//!
+//! ```text
+//! cargo run --release -p hlsh-bench --bin build_throughput -- \
+//!     [--n N] [--dim N] [--tables N] [--k N] [--block N] \
+//!     [--shards N] [--runs N] [--seed N] [--json PATH] [--sweep-shards "1,2,4"]
+//! ```
+//!
+//! Before timing anything the bin asserts the blocked pipeline's
+//! byte-identity contract: the blocked build (and the direct-frozen
+//! build) must produce exactly the same frozen stores as the per-point
+//! baseline on the fixed seed — the same gate CI runs via
+//! `tests/build_parity.rs`. Reported numbers are **medians** over
+//! `--runs` builds; `--json` writes a `BENCH_build.json`-style record.
+
+use std::time::Instant;
+
+use hlsh_bench::experiment::{shard_sweep, ShardSweepRow};
+use hlsh_core::{CostModel, IndexBuilder, ShardAssignment, ShardedIndex};
+use hlsh_datagen::benchmark_mixture;
+use hlsh_families::PStableL2;
+use hlsh_vec::L2;
+
+struct Args {
+    n: usize,
+    dim: usize,
+    tables: usize,
+    k: usize,
+    block: usize,
+    shards: usize,
+    runs: usize,
+    seed: u64,
+    json: Option<String>,
+    sweep_shards: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        n: 20_000,
+        dim: 256,
+        tables: 20,
+        k: 8,
+        block: 256,
+        shards: 4,
+        runs: 5,
+        seed: 29,
+        json: None,
+        sweep_shards: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab_str =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
+        let mut grab = |name: &str| -> usize {
+            grab_str(name).parse().unwrap_or_else(|_| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--n" => out.n = grab("--n"),
+            "--dim" => out.dim = grab("--dim").max(1),
+            "--tables" => out.tables = grab("--tables").max(1),
+            "--k" => out.k = grab("--k").max(1),
+            "--block" => out.block = grab("--block").max(1),
+            "--shards" => out.shards = grab("--shards").max(1),
+            "--runs" => out.runs = grab("--runs").max(1),
+            "--seed" => out.seed = grab("--seed") as u64,
+            "--json" => out.json = Some(grab_str("--json")),
+            "--sweep-shards" => {
+                out.sweep_shards = grab_str("--sweep-shards")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sweep-shards needs integers"))
+                    .collect()
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\nusage: build [--n N] [--dim N] [--tables N] [--k N] [--block N] [--shards N] [--runs N] [--seed N] [--json PATH] [--sweep-shards \"1,2,4\"]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let base_r = 1.5;
+    let (data, _) = benchmark_mixture(args.dim, args.n, base_r, args.seed);
+    let builder = || {
+        IndexBuilder::new(PStableL2::new(args.dim, 2.0 * base_r), L2)
+            .tables(args.tables)
+            .hash_len(args.k)
+            .seed(args.seed)
+            .cost_model(CostModel::from_ratio(6.0)) // fixed: calibration out of the timed path
+    };
+    println!(
+        "mixture n={} dim={} | L={} k={} block={} seed={}\n",
+        args.n, args.dim, args.tables, args.k, args.block, args.seed
+    );
+
+    // Byte-identity gate before any timing: blocked (map and direct
+    // frozen) must equal the per-point baseline, table by table.
+    {
+        let per_point = builder().per_point().sequential().build(data.clone()).freeze();
+        let blocked_map =
+            builder().block_size(args.block).sequential().build(data.clone()).freeze();
+        let blocked_frozen =
+            builder().block_size(args.block).sequential().build_frozen(data.clone());
+        for j in 0..args.tables {
+            assert_eq!(
+                per_point.raw_tables()[j].store(),
+                blocked_map.raw_tables()[j].store(),
+                "blocked MapStore build diverged from per-point at table {j}"
+            );
+            assert_eq!(
+                per_point.raw_tables()[j].store(),
+                blocked_frozen.raw_tables()[j].store(),
+                "direct-frozen build diverged from per-point at table {j}"
+            );
+        }
+        println!(
+            "verified: blocked and direct-frozen builds byte-identical to per-point across {} tables",
+            args.tables
+        );
+    }
+
+    let mut results: Vec<(String, f64, f64)> = Vec::new(); // (id, secs, points/s)
+    let mut measure = |label: String, f: &dyn Fn() -> usize| {
+        let secs = median(
+            (0..args.runs)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(f());
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect(),
+        );
+        let pps = args.n as f64 / secs;
+        println!("{label:<48} {pps:>12.0} points/s   ({secs:.3} s median of {})", args.runs);
+        results.push((label, secs, pps));
+    };
+
+    measure("per-point build (MapStore, 1 thread)".into(), &|| {
+        builder().per_point().sequential().build(data.clone()).len()
+    });
+    measure("per-point build + freeze (1 thread)".into(), &|| {
+        builder().per_point().sequential().build(data.clone()).freeze().len()
+    });
+    measure("blocked build (MapStore, 1 thread)".into(), &|| {
+        builder().block_size(args.block).sequential().build(data.clone()).len()
+    });
+    measure("blocked direct-frozen build (1 thread)".into(), &|| {
+        builder().block_size(args.block).sequential().build_frozen(data.clone()).len()
+    });
+    measure(format!("sharded parallel direct-frozen build ({} shards)", args.shards), &|| {
+        ShardedIndex::build_frozen(
+            data.clone(),
+            ShardAssignment::new(args.seed, args.shards),
+            builder().block_size(args.block),
+        )
+        .len()
+    });
+
+    // Like for like: hashmap-to-hashmap, and frozen-to-frozen (the
+    // serving configuration, where the blocked pipeline also skips the
+    // intermediate hashmap).
+    let speedup = results[2].2 / results[0].2;
+    let frozen_speedup = results[3].2 / results[1].2;
+    println!(
+        "\nblocked vs per-point: {speedup:.2}x points/s (MapStore); {frozen_speedup:.2}x (frozen pipeline vs per-point + freeze)"
+    );
+
+    let sweep: Vec<ShardSweepRow> = if args.sweep_shards.is_empty() {
+        Vec::new()
+    } else {
+        println!("\nshard-count sweep (build + batch query, frozen):");
+        let rows = shard_sweep(
+            args.dim,
+            args.n,
+            256.min(args.n / 4),
+            base_r,
+            args.seed,
+            &args.sweep_shards,
+            args.runs,
+        );
+        for row in &rows {
+            println!(
+                "  shards={:<3} build {:>10.0} points/s   batch {:>9.0} queries/s",
+                row.shards, row.build_points_per_sec, row.batch_queries_per_sec
+            );
+        }
+        rows
+    };
+
+    if let Some(path) = &args.json {
+        let entries: Vec<String> = results
+            .iter()
+            .map(|(id, secs, pps)| {
+                format!(
+                    "    {{ \"id\": \"{id}\", \"secs\": {secs:.4}, \"points_per_sec\": {pps:.1} }}"
+                )
+            })
+            .collect();
+        let sweep_entries: Vec<String> = sweep
+            .iter()
+            .map(|row| {
+                format!(
+                    "    {{ \"shards\": {}, \"build_points_per_sec\": {:.1}, \"batch_queries_per_sec\": {:.1} }}",
+                    row.shards, row.build_points_per_sec, row.batch_queries_per_sec
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"build\",\n  \"command\": \"cargo run --release -p hlsh-bench --bin build_throughput\",\n  \"params\": {{ \"n\": {}, \"dim\": {}, \"tables\": {}, \"k\": {}, \"block\": {}, \"shards\": {}, \"runs\": {}, \"seed\": {} }},\n  \"blocked_vs_per_point_speedup\": {speedup:.3},\n  \"frozen_pipeline_vs_per_point_freeze_speedup\": {frozen_speedup:.3},\n  \"results\": [\n{}\n  ],\n  \"shard_sweep\": [\n{}\n  ]\n}}\n",
+            args.n,
+            args.dim,
+            args.tables,
+            args.k,
+            args.block,
+            args.shards,
+            args.runs,
+            args.seed,
+            entries.join(",\n"),
+            sweep_entries.join(",\n"),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

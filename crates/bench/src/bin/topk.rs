@@ -104,8 +104,12 @@ fn main() {
     })
     .freeze();
     let build_secs = t_build.elapsed().as_secs_f64();
+    // One ladder indexes every point once per level, so points/s is
+    // measured against n·levels insertions — the number CI tracks for
+    // build regressions alongside the query-side timings.
+    let build_points_per_sec = (index.len() * args.levels) as f64 / build_secs;
     println!(
-        "built {} levels (radii {:?}) over n={} in {build_secs:.2} s\n",
+        "built {} levels (radii {:?}) over n={} in {build_secs:.2} s ({build_points_per_sec:.0} points/s across levels)\n",
         args.levels,
         schedule.radii().collect::<Vec<_>>(),
         index.len()
@@ -188,7 +192,7 @@ fn main() {
             .map(|(id, qps)| format!("    {{ \"id\": \"{id}\", \"queries_per_sec\": {qps:.1} }}"))
             .collect();
         let json = format!(
-            "{{\n  \"bench\": \"topk\",\n  \"command\": \"cargo run --release -p hlsh-bench --bin topk\",\n  \"params\": {{ \"n\": {}, \"queries\": {}, \"k\": {}, \"levels\": {}, \"dim\": {dim}, \"base_radius\": {base_r}, \"seed\": {} }},\n  \"recall_at_k\": {recall:.4},\n  \"levels_executed_mean\": {executed_mean:.3},\n  \"levels_skipped_mean\": {skipped_mean:.3},\n  \"early_exit_frac\": {early_frac:.3},\n  \"exact_fallback_frac\": {fallback_frac:.3},\n  \"build_secs\": {build_secs:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"topk\",\n  \"command\": \"cargo run --release -p hlsh-bench --bin topk\",\n  \"params\": {{ \"n\": {}, \"queries\": {}, \"k\": {}, \"levels\": {}, \"dim\": {dim}, \"base_radius\": {base_r}, \"seed\": {} }},\n  \"recall_at_k\": {recall:.4},\n  \"levels_executed_mean\": {executed_mean:.3},\n  \"levels_skipped_mean\": {skipped_mean:.3},\n  \"early_exit_frac\": {early_frac:.3},\n  \"exact_fallback_frac\": {fallback_frac:.3},\n  \"build\": {{ \"secs\": {build_secs:.3}, \"points_per_sec\": {build_points_per_sec:.1}, \"mode\": \"blocked\" }},\n  \"build_secs\": {build_secs:.3},\n  \"results\": [\n{}\n  ]\n}}\n",
             args.n,
             args.queries,
             args.k,

@@ -365,6 +365,100 @@ where
     }
 }
 
+/// One row of the shard-count sweep: construction and batch-query
+/// throughput of a [`ShardedIndex`](hlsh_core::ShardedIndex) at one
+/// shard count, frozen backend, on the mixture workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSweepRow {
+    /// Number of shards.
+    pub shards: usize,
+    /// Median seconds to build all shards (parallel, direct-frozen).
+    pub build_secs: f64,
+    /// Indexed points per second during construction.
+    pub build_points_per_sec: f64,
+    /// Hybrid `query_batch` throughput (median of the runs).
+    pub batch_queries_per_sec: f64,
+}
+
+/// Sweeps shard counts on the mixture workload: for each count, builds
+/// a sharded frozen index (parallel shard construction, blocked
+/// pipeline) and measures hybrid batch-query throughput. The first
+/// row's query outputs are asserted equal across all counts — the
+/// shard-merge determinism contract — before any timing is reported.
+pub fn shard_sweep(
+    dim: usize,
+    n: usize,
+    queries: usize,
+    radius: f64,
+    seed: u64,
+    shard_counts: &[usize],
+    runs: usize,
+) -> Vec<ShardSweepRow> {
+    use hlsh_core::{ShardAssignment, ShardedIndex};
+    use hlsh_families::PStableL2;
+    use hlsh_vec::L2;
+
+    assert!(queries < n, "query count must be below n");
+    let (mut data, _) = hlsh_datagen::benchmark_mixture(dim, n, radius, seed);
+    let q_rows: Vec<usize> = (0..queries).map(|i| i * (n / queries)).collect();
+    let queries_ds = data.split_off_rows(&q_rows);
+    let query_vecs: Vec<Vec<f32>> =
+        (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
+    let builder = || {
+        IndexBuilder::new(PStableL2::new(dim, 2.0 * radius), L2)
+            .tables(20)
+            .hash_len(8)
+            .seed(seed)
+            .cost_model(CostModel::from_ratio(6.0))
+    };
+
+    let mut reference: Option<Vec<Vec<u32>>> = None;
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let assignment = ShardAssignment::new(seed, shards);
+            let build_secs = {
+                let mut secs = Vec::with_capacity(runs);
+                for _ in 0..runs {
+                    let t0 = Instant::now();
+                    std::hint::black_box(
+                        ShardedIndex::build_frozen(data.clone(), assignment, builder()).len(),
+                    );
+                    secs.push(t0.elapsed().as_secs_f64());
+                }
+                secs.sort_by(|a, b| a.total_cmp(b));
+                secs[secs.len() / 2]
+            };
+            let index = ShardedIndex::build_frozen(data.clone(), assignment, builder());
+
+            // Determinism gate: every shard count reports the same ids.
+            let ids: Vec<Vec<u32>> =
+                index.query_batch(&query_vecs, radius).into_iter().map(|o| o.ids).collect();
+            match &reference {
+                None => reference = Some(ids),
+                Some(expect) => {
+                    assert_eq!(expect, &ids, "shard count {shards} changed query outputs")
+                }
+            }
+
+            let mut qps = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let t0 = Instant::now();
+                let outs = index.query_batch(&query_vecs, radius);
+                std::hint::black_box(outs.iter().map(|o| o.ids.len()).sum::<usize>());
+                qps.push(query_vecs.len() as f64 / t0.elapsed().as_secs_f64());
+            }
+            qps.sort_by(|a, b| a.total_cmp(b));
+            ShardSweepRow {
+                shards,
+                build_secs,
+                build_points_per_sec: data.len() as f64 / build_secs,
+                batch_queries_per_sec: qps[qps.len() / 2],
+            }
+        })
+        .collect()
+}
+
 /// Macro-averaged recall@k of top-k outputs against exact top-k ground
 /// truth (the [`hlsh_datagen::ground_truth_topk`] format): per query,
 /// `|reported ∩ truth| / |truth|`, averaged over the query set. Empty
@@ -481,6 +575,19 @@ mod tests {
         // Empty truth counts as full recall; empty inputs are 1.0.
         assert_eq!(recall_at_k(&[out(&[])], &[vec![]]), 1.0);
         assert_eq!(recall_at_k(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn shard_sweep_rows_are_complete_and_deterministic() {
+        let rows = shard_sweep(8, 400, 16, 1.2, 3, &[1, 2, 4], 1);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.build_secs > 0.0);
+            assert!(row.build_points_per_sec > 0.0);
+            assert!(row.batch_queries_per_sec > 0.0);
+        }
+        assert_eq!(rows[0].shards, 1);
+        assert_eq!(rows[2].shards, 4);
     }
 
     #[test]

@@ -70,6 +70,32 @@ impl Bucket {
         }
     }
 
+    /// Inserts a whole run of members at once (the bulk path of the
+    /// blocked build pipeline). Equivalent to — and byte-identical in
+    /// every observable to — inserting the ids one by one with
+    /// [`insert`](Self::insert): HyperLogLog registers are element-wise
+    /// maxima, so materialising the sketch after the extend sees the
+    /// same element set as materialising it mid-stream.
+    pub fn insert_run(&mut self, ids: &[PointId], config: HllConfig, lazy_threshold: usize) {
+        self.members.extend_from_slice(ids);
+        match &mut self.sketch {
+            Some(s) => {
+                for &id in ids {
+                    s.insert(id as u64);
+                }
+            }
+            None => {
+                if self.members.len() >= lazy_threshold {
+                    let mut s = HyperLogLog::new(config);
+                    for &m in &self.members {
+                        s.insert(m as u64);
+                    }
+                    self.sketch = Some(s);
+                }
+            }
+        }
+    }
+
     /// Number of members (bucket size, the `#collisions` contribution).
     #[inline]
     pub fn len(&self) -> usize {

@@ -3,18 +3,46 @@
 use hlsh_families::sampling::rng_stream;
 use hlsh_families::LshFamily;
 use hlsh_hll::HllConfig;
-use hlsh_vec::{Distance, PointSet};
+use hlsh_vec::{Distance, PointId, PointSet};
 
 use crate::cost::CostModel;
 use crate::index::HybridLshIndex;
+use crate::pipeline::{BuildPipeline, DEFAULT_BLOCK};
 use crate::store::FrozenStore;
+
+/// How Algorithm 1 construction walks the data.
+///
+/// Both modes produce byte-identical indexes (same bucket contents,
+/// same sketch registers after a freeze) — asserted by
+/// `tests/build_parity.rs`; [`Blocked`](BuildMode::Blocked) is the
+/// default and the faster path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuildMode {
+    /// The literal per-point loop: for each point, for each table, one
+    /// `bucket_key` + one hashmap insert. Kept as the reference
+    /// baseline (and the `build` bench's comparison arm).
+    PerPoint,
+    /// The staged pipeline: hash `block` points per kernel call, group
+    /// keys, bulk-insert runs (see [`crate::pipeline`]).
+    Blocked {
+        /// Points hashed per kernel call.
+        block: usize,
+    },
+}
+
+impl Default for BuildMode {
+    fn default() -> Self {
+        BuildMode::Blocked { block: DEFAULT_BLOCK }
+    }
+}
 
 /// Configures and builds a [`HybridLshIndex`].
 ///
 /// Defaults follow the paper's experimental setting (§4.1): `L = 50`
 /// tables, HLL precision 7 (`m = 128`), lazy-sketch threshold `m`, and
 /// automatic cost-model calibration on the indexed data when no model
-/// is supplied.
+/// is supplied. Construction runs the blocked pipeline by default
+/// ([`BuildMode`]).
 #[derive(Clone, Debug)]
 pub struct IndexBuilder<F, D> {
     family: F,
@@ -26,6 +54,7 @@ pub struct IndexBuilder<F, D> {
     seed: u64,
     cost: Option<CostModel>,
     parallel: bool,
+    mode: BuildMode,
 }
 
 impl<F, D> IndexBuilder<F, D> {
@@ -41,6 +70,7 @@ impl<F, D> IndexBuilder<F, D> {
             seed: 0,
             cost: None,
             parallel: true,
+            mode: BuildMode::default(),
         }
     }
 
@@ -94,6 +124,69 @@ impl<F, D> IndexBuilder<F, D> {
         self
     }
 
+    /// Selects the construction walk ([`BuildMode::Blocked`] is the
+    /// default).
+    pub fn build_mode(mut self, mode: BuildMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Forces the per-point Algorithm 1 loop (the baseline the blocked
+    /// pipeline is benchmarked against).
+    pub fn per_point(self) -> Self {
+        self.build_mode(BuildMode::PerPoint)
+    }
+
+    /// Sets the blocked pipeline's block size (points per hashing
+    /// kernel call), switching to [`BuildMode::Blocked`] if needed.
+    ///
+    /// # Panics
+    /// `build` panics if `block == 0`.
+    pub fn block_size(self, block: usize) -> Self {
+        self.build_mode(BuildMode::Blocked { block })
+    }
+
+    /// Resolves the cost model exactly as [`build`](Self::build) would
+    /// on `data`: the explicit model if one was supplied, calibration
+    /// otherwise. The sharded builders use this to calibrate once on
+    /// the full data set and hand every shard the same model — a
+    /// prerequisite of shard-merge byte-identity.
+    pub(crate) fn resolve_cost<S>(&self, data: &S) -> CostModel
+    where
+        S: PointSet,
+        D: Distance<S::Point>,
+    {
+        self.cost.unwrap_or_else(|| {
+            if data.len() >= 2 {
+                // The paper calibrates on ~10k points / 100 queries.
+                let sample = 10_000.min(100 * data.len());
+                CostModel::calibrate(data, &self.distance, sample, self.seed)
+            } else {
+                CostModel::from_ratio(1.0)
+            }
+        })
+    }
+
+    /// Samples the `L` g-functions and fixes the HLL configuration —
+    /// the deterministic part of every build path (depends only on the
+    /// builder's seed and knobs, never on the data).
+    fn prepare<P: ?Sized>(&self) -> (Vec<F::GFn>, HllConfig, usize)
+    where
+        F: LshFamily<P>,
+    {
+        assert!(self.l > 0, "need at least one hash table");
+        assert!(self.k > 0, "need at least one atom per g-function");
+        let hll_config = HllConfig::new(self.hll_precision, self.seed ^ 0x48_4C_4C);
+        let lazy_threshold = self.lazy_threshold.unwrap_or_else(|| hll_config.registers());
+        let gfns: Vec<F::GFn> = (0..self.l)
+            .map(|j| {
+                let mut rng = rng_stream(self.seed, j as u64);
+                self.family.sample(self.k, &mut rng)
+            })
+            .collect();
+        (gfns, hll_config, lazy_threshold)
+    }
+
     /// Like [`build`](Self::build) but decides the cost model at the
     /// call site: `Some(model)` uses it, `None` calibrates on the data
     /// (overriding any earlier [`cost_model`](Self::cost_model) call).
@@ -119,30 +212,26 @@ impl<F, D> IndexBuilder<F, D> {
         F::GFn: Send,
         D: Distance<S::Point>,
     {
-        assert!(self.l > 0, "need at least one hash table");
-        assert!(self.k > 0, "need at least one atom per g-function");
+        self.build_mapped(data, None)
+    }
 
-        let hll_config = HllConfig::new(self.hll_precision, self.seed ^ 0x48_4C_4C);
-        let lazy_threshold = self.lazy_threshold.unwrap_or_else(|| hll_config.registers());
-
-        // Sample L independent g-functions from decorrelated streams.
-        let gfns: Vec<F::GFn> = (0..self.l)
-            .map(|j| {
-                let mut rng = rng_stream(self.seed, j as u64);
-                self.family.sample(self.k, &mut rng)
-            })
-            .collect();
-
-        let cost = self.cost.unwrap_or_else(|| {
-            if data.len() >= 2 {
-                // The paper calibrates on ~10k points / 100 queries.
-                let sample = 10_000.min(100 * data.len());
-                CostModel::calibrate(&data, &self.distance, sample, self.seed)
-            } else {
-                CostModel::from_ratio(1.0)
-            }
-        });
-
+    /// [`build`](Self::build) with an optional id renaming: row `i` is
+    /// indexed under id `id_map[i]`. This is the sharded build's
+    /// global-id hook (`pub(crate)`: a renamed index is only coherent
+    /// behind a sharded engine that translates members back to rows).
+    pub(crate) fn build_mapped<S>(
+        self,
+        data: S,
+        id_map: Option<&[PointId]>,
+    ) -> HybridLshIndex<S, F, D>
+    where
+        S: PointSet + Sync,
+        F: LshFamily<S::Point>,
+        F::GFn: Send,
+        D: Distance<S::Point>,
+    {
+        let (gfns, hll_config, lazy_threshold) = self.prepare();
+        let cost = self.resolve_cost(&data);
         HybridLshIndex::construct(
             data,
             self.family,
@@ -153,13 +242,18 @@ impl<F, D> IndexBuilder<F, D> {
             cost,
             self.k,
             self.parallel,
+            self.mode,
+            id_map,
         )
     }
 
-    /// Builds the index and immediately freezes every table into the
-    /// read-optimised CSR arena ([`FrozenStore`]) — the right call for
-    /// build-once/query-many workloads. See
-    /// [`HybridLshIndex::freeze`].
+    /// Builds the index with every table already in the read-optimised
+    /// CSR arena ([`FrozenStore`]) — the right call for
+    /// build-once/query-many workloads. Under the default
+    /// [`BuildMode::Blocked`] the arenas are laid out straight from the
+    /// pipeline's key-grouped runs with no intermediate hashmap; under
+    /// [`BuildMode::PerPoint`] this is `build(..).freeze()`. Both are
+    /// byte-identical. See [`HybridLshIndex::freeze`].
     pub fn build_frozen<S>(self, data: S) -> HybridLshIndex<S, F, D, FrozenStore>
     where
         S: PointSet + Sync,
@@ -167,7 +261,42 @@ impl<F, D> IndexBuilder<F, D> {
         F::GFn: Send,
         D: Distance<S::Point>,
     {
-        self.build(data).freeze()
+        self.build_frozen_mapped(data, None)
+    }
+
+    /// [`build_frozen`](Self::build_frozen) with the sharded build's id
+    /// renaming; see [`build_mapped`](Self::build_mapped).
+    pub(crate) fn build_frozen_mapped<S>(
+        self,
+        data: S,
+        id_map: Option<&[PointId]>,
+    ) -> HybridLshIndex<S, F, D, FrozenStore>
+    where
+        S: PointSet + Sync,
+        F: LshFamily<S::Point>,
+        F::GFn: Send,
+        D: Distance<S::Point>,
+    {
+        match self.mode {
+            BuildMode::PerPoint => self.build_mapped(data, id_map).freeze(),
+            BuildMode::Blocked { block } => {
+                let (gfns, hll_config, lazy_threshold) = self.prepare();
+                let cost = self.resolve_cost(&data);
+                HybridLshIndex::construct_frozen(
+                    data,
+                    self.family,
+                    self.distance,
+                    gfns,
+                    hll_config,
+                    lazy_threshold,
+                    cost,
+                    self.k,
+                    self.parallel,
+                    BuildPipeline::with_block(block),
+                    id_map,
+                )
+            }
+        }
     }
 }
 

@@ -300,6 +300,238 @@ impl QueryEngine {
         }
     }
 
+    /// Like [`query_with_strategy`](Self::query_with_strategy) but the
+    /// output carries each reported id's exact distance, emitted by the
+    /// distance-returning verification kernels instead of being
+    /// recomputed per id afterwards. The id sequence and the report are
+    /// identical to the id-only path; each distance is bit-identical to
+    /// `index.distance().distance(point, q)`.
+    pub fn query_with_strategy_dist<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        strategy: Strategy,
+    ) -> QueryDistOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let t_start = Instant::now();
+        match strategy {
+            Strategy::LinearOnly => {
+                let pairs = linear_arm_dist(index, q, r, self.verify);
+                let total = t_start.elapsed().as_nanos() as u64;
+                QueryDistOutput {
+                    report: QueryReport {
+                        executed: ExecutedArm::Linear,
+                        collisions: 0,
+                        cand_size_estimate: 0.0,
+                        cand_size_actual: None,
+                        output_size: pairs.len(),
+                        hash_nanos: 0,
+                        hll_nanos: 0,
+                        total_nanos: total,
+                    },
+                    pairs,
+                }
+            }
+            Strategy::LshOnly => {
+                let (buckets, collisions, hash_nanos) = index.probe(q);
+                self.lsh_output_dist(
+                    index, q, r, &buckets, collisions, hash_nanos, 0, None, t_start,
+                )
+            }
+            Strategy::Hybrid => {
+                let (buckets, collisions, hash_nanos, cand_estimate, hll_nanos) =
+                    self.probe_and_estimate(index, q);
+                self.hybrid_decision_dist(
+                    index,
+                    q,
+                    r,
+                    &buckets,
+                    collisions,
+                    cand_estimate,
+                    hash_nanos,
+                    hll_nanos,
+                    t_start,
+                )
+            }
+        }
+    }
+
+    /// Distance-returning twin of
+    /// [`query_unless_cand_at_most`](Self::query_unless_cand_at_most):
+    /// same probe/estimate sharing, same skip decision, but an executed
+    /// query's output carries `(id, distance)` pairs — the top-k
+    /// driver's level query.
+    pub fn query_unless_cand_at_most_dist<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        strategy: Strategy,
+        skip_at_most: f64,
+    ) -> Option<QueryDistOutput>
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        if matches!(strategy, Strategy::LinearOnly) {
+            return Some(self.query_with_strategy_dist(index, q, r, strategy));
+        }
+        let t_start = Instant::now();
+        let (buckets, collisions, hash_nanos, cand_estimate, hll_nanos) =
+            self.probe_and_estimate(index, q);
+        if cand_estimate <= skip_at_most {
+            return None;
+        }
+        Some(match strategy {
+            Strategy::LshOnly => self.lsh_output_dist(
+                index,
+                q,
+                r,
+                &buckets,
+                collisions,
+                hash_nanos,
+                hll_nanos,
+                Some(cand_estimate),
+                t_start,
+            ),
+            _ => self.hybrid_decision_dist(
+                index,
+                q,
+                r,
+                &buckets,
+                collisions,
+                cand_estimate,
+                hash_nanos,
+                hll_nanos,
+                t_start,
+            ),
+        })
+    }
+
+    /// Distance-returning twin of [`lsh_output`](Self::lsh_output).
+    #[allow(clippy::too_many_arguments)]
+    fn lsh_output_dist<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        buckets: &[crate::bucket::BucketRef<'_>],
+        collisions: usize,
+        hash_nanos: u64,
+        hll_nanos: u64,
+        estimate: Option<f64>,
+        t_start: Instant,
+    ) -> QueryDistOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let (pairs, cand_actual) = self.lsh_arm_dist(index, q, r, buckets);
+        let total = t_start.elapsed().as_nanos() as u64;
+        QueryDistOutput {
+            report: QueryReport {
+                executed: ExecutedArm::Lsh,
+                collisions,
+                cand_size_estimate: estimate.unwrap_or(cand_actual as f64),
+                cand_size_actual: Some(cand_actual),
+                output_size: pairs.len(),
+                hash_nanos,
+                hll_nanos,
+                total_nanos: total,
+            },
+            pairs,
+        }
+    }
+
+    /// Distance-returning twin of
+    /// [`hybrid_decision`](Self::hybrid_decision).
+    #[allow(clippy::too_many_arguments)]
+    fn hybrid_decision_dist<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        buckets: &[crate::bucket::BucketRef<'_>],
+        collisions: usize,
+        cand_estimate: f64,
+        hash_nanos: u64,
+        hll_nanos: u64,
+        t_start: Instant,
+    ) -> QueryDistOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let prefer_lsh = index.cost_model().prefer_lsh(collisions, cand_estimate, index.len());
+        let (executed, pairs, cand_actual) = if prefer_lsh {
+            let (pairs, cand) = self.lsh_arm_dist(index, q, r, buckets);
+            (ExecutedArm::Lsh, pairs, Some(cand))
+        } else {
+            (ExecutedArm::Linear, linear_arm_dist(index, q, r, self.verify), None)
+        };
+        let total = t_start.elapsed().as_nanos() as u64;
+        QueryDistOutput {
+            report: QueryReport {
+                executed,
+                collisions,
+                cand_size_estimate: cand_estimate,
+                cand_size_actual: cand_actual,
+                output_size: pairs.len(),
+                hash_nanos,
+                hll_nanos,
+                total_nanos: total,
+            },
+            pairs,
+        }
+    }
+
+    /// Distance-returning twin of [`lsh_arm`](Self::lsh_arm): same
+    /// dedup, same filter predicate, distances emitted alongside.
+    fn lsh_arm_dist<S, F, D, B>(
+        &mut self,
+        index: &HybridLshIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        buckets: &[crate::bucket::BucketRef<'_>],
+    ) -> (Vec<(PointId, f64)>, usize)
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        self.seen.clear();
+        self.cands.clear();
+        for b in buckets {
+            for &id in b.members() {
+                if self.seen.insert(id) {
+                    self.cands.push(id);
+                }
+            }
+        }
+        let (data, distance) = (index.data(), index.distance());
+        let mut out = Vec::new();
+        match self.verify {
+            VerifyMode::Kernel => distance.verify_many_dist(data, &self.cands, q, r, &mut out),
+            VerifyMode::Scalar => {
+                hlsh_vec::metric::verify_scalar_dist(distance, data, &self.cands, q, r, &mut out)
+            }
+        }
+        (out, self.cands.len())
+    }
+
     /// The merge accumulator for `index`'s HLL config, cleared and
     /// ready (recreated only when the config changes between indexes).
     fn accumulator<S, F, D, B>(
@@ -360,6 +592,20 @@ impl QueryEngine {
     }
 }
 
+/// One query's distance-annotated result: the usual [`QueryReport`]
+/// plus the reported ids paired with their exact distances (each
+/// bit-identical to a `distance()` call on the same point). Produced by
+/// [`QueryEngine::query_with_strategy_dist`] and consumed by rankers —
+/// the top-k engine feeds these pairs straight into its heap.
+#[derive(Clone, Debug)]
+pub struct QueryDistOutput {
+    /// `(id, distance)` of every reported point, in the same order the
+    /// id-only path reports ids.
+    pub pairs: Vec<(PointId, f64)>,
+    /// Instrumentation (same contract as [`QueryOutput`]).
+    pub report: QueryReport,
+}
+
 /// The brute-force arm: scan every point (batched through the metric's
 /// [`scan_within`](Distance::scan_within) kernel unless scalar mode is
 /// forced).
@@ -380,6 +626,28 @@ where
     match verify {
         VerifyMode::Kernel => distance.scan_within(data, q, r, &mut out),
         VerifyMode::Scalar => hlsh_vec::metric::scan_scalar(distance, data, q, r, &mut out),
+    }
+    out
+}
+
+/// Distance-returning twin of [`linear_arm`].
+fn linear_arm_dist<S, F, D, B>(
+    index: &HybridLshIndex<S, F, D, B>,
+    q: &S::Point,
+    r: f64,
+    verify: VerifyMode,
+) -> Vec<(PointId, f64)>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    let (data, distance) = (index.data(), index.distance());
+    let mut out = Vec::new();
+    match verify {
+        VerifyMode::Kernel => distance.scan_within_dist(data, q, r, &mut out),
+        VerifyMode::Scalar => hlsh_vec::metric::scan_scalar_dist(distance, data, q, r, &mut out),
     }
     out
 }

@@ -1,18 +1,48 @@
 //! The hybrid-LSH index: Algorithm 1 (construction) and Algorithm 2
 //! (hybrid query), generic over the bucket-storage backend.
 
-use hlsh_families::LshFamily;
+use hlsh_families::{GFunction, LshFamily};
 use hlsh_hll::{HllConfig, MergeAccumulator};
 use hlsh_vec::{Distance, PointId, PointSet};
 
 use crate::bucket::BucketRef;
+use crate::builder::BuildMode;
 use crate::cost::{CostEstimate, CostModel};
 use crate::engine::QueryEngine;
 use crate::hasher::FxHashSet;
+use crate::pipeline::BuildPipeline;
 use crate::report::QueryOutput;
 use crate::search::Strategy;
 use crate::store::{BucketStore, FrozenStore, MapStore};
 use crate::table::HashTable;
+
+/// Builds all `L` tables through the blocked pipeline, one table per
+/// work item of the shared parallel scaffold (results in g-function
+/// order, so the table set is deterministic on any thread count).
+fn blocked_tables<G, S, B>(
+    gfns: Vec<G>,
+    data: &S,
+    id_map: Option<&[PointId]>,
+    pipeline: BuildPipeline,
+    config: HllConfig,
+    lazy_threshold: usize,
+    parallel: bool,
+) -> Vec<HashTable<G, B>>
+where
+    S: PointSet + Sync,
+    G: GFunction<S::Point>,
+    B: BucketStore + Send,
+{
+    let threads = if parallel { None } else { Some(1) };
+    let gfns_ref = &gfns;
+    let stores: Vec<B> = hlsh_vec::parallel::par_map_with(
+        gfns.len(),
+        threads,
+        || (),
+        |_, j| pipeline.build_store_mapped(&gfns_ref[j], data, id_map, config, lazy_threshold),
+    );
+    gfns.into_iter().zip(stores).map(|(g, store)| HashTable::from_parts(g, store)).collect()
+}
 
 /// An LSH index over a data set `S`, instrumented with per-bucket
 /// HyperLogLog sketches so that each query can choose between LSH-based
@@ -51,6 +81,16 @@ where
     /// Constructs the index (Algorithm 1). Called by
     /// [`IndexBuilder::build`](crate::IndexBuilder::build); prefer that
     /// entry point.
+    ///
+    /// Under [`BuildMode::Blocked`] each table runs the staged pipeline
+    /// (block-hash → key-group → bulk insert); under
+    /// [`BuildMode::PerPoint`] the literal per-point loop runs instead.
+    /// The two produce byte-identical tables.
+    ///
+    /// `id_map`, when present, renames row `i` to `id_map[i]` in every
+    /// bucket and sketch — the sharded build's global-id hook. A mapped
+    /// index must only be queried through the sharded engines, which
+    /// translate members back to rows.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn construct(
         data: S,
@@ -62,48 +102,71 @@ where
         cost: CostModel,
         k: usize,
         parallel: bool,
+        mode: BuildMode,
+        id_map: Option<&[PointId]>,
     ) -> Self
     where
         S: Sync,
         F::GFn: Send,
     {
-        let mut tables: Vec<HashTable<F::GFn>> = gfns.into_iter().map(HashTable::new).collect();
-        let n = data.len();
+        let tables: Vec<HashTable<F::GFn>> = match mode {
+            BuildMode::Blocked { block } => blocked_tables(
+                gfns,
+                &data,
+                id_map,
+                BuildPipeline::with_block(block),
+                hll_config,
+                lazy_threshold,
+                parallel,
+            ),
+            BuildMode::PerPoint => {
+                let mut tables: Vec<HashTable<F::GFn>> =
+                    gfns.into_iter().map(HashTable::new).collect();
+                let n = data.len();
 
-        // Algorithm 1: for each point, for each table, insert into the
-        // bucket g_i(x) and update its HLL. Tables are independent, so
-        // build shards over tables — no synchronisation on buckets.
-        let threads = if parallel {
-            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-        } else {
-            1
-        };
-        if threads > 1 && tables.len() > 1 {
-            let data_ref = &data;
-            let chunk_size = 1.max(tables.len().div_ceil(threads));
-            std::thread::scope(|scope| {
-                for chunk in tables.chunks_mut(chunk_size) {
-                    scope.spawn(move || {
-                        for table in chunk {
-                            for id in 0..n {
-                                table.insert(
-                                    id as PointId,
-                                    data_ref.point(id),
-                                    hll_config,
-                                    lazy_threshold,
-                                );
-                            }
+                // Algorithm 1 verbatim: for each point, for each table,
+                // insert into the bucket g_i(x) and update its HLL.
+                // Tables are independent, so build shards over tables —
+                // no synchronisation on buckets.
+                let threads = if parallel {
+                    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+                } else {
+                    1
+                };
+                if threads > 1 && tables.len() > 1 {
+                    let data_ref = &data;
+                    let chunk_size = 1.max(tables.len().div_ceil(threads));
+                    std::thread::scope(|scope| {
+                        for chunk in tables.chunks_mut(chunk_size) {
+                            scope.spawn(move || {
+                                for table in chunk {
+                                    for id in 0..n {
+                                        table.insert(
+                                            id_map.map_or(id as PointId, |m| m[id]),
+                                            data_ref.point(id),
+                                            hll_config,
+                                            lazy_threshold,
+                                        );
+                                    }
+                                }
+                            });
                         }
                     });
+                } else {
+                    for table in &mut tables {
+                        for id in 0..n {
+                            table.insert(
+                                id_map.map_or(id as PointId, |m| m[id]),
+                                data.point(id),
+                                hll_config,
+                                lazy_threshold,
+                            );
+                        }
+                    }
                 }
-            });
-        } else {
-            for table in &mut tables {
-                for id in 0..n {
-                    table.insert(id as PointId, data.point(id), hll_config, lazy_threshold);
-                }
+                tables
             }
-        }
+        };
 
         Self { data, family, distance, tables, hll_config, lazy_threshold, cost, k }
     }
@@ -153,6 +216,34 @@ where
     F: LshFamily<S::Point>,
     D: Distance<S::Point>,
 {
+    /// Constructs a frozen index directly: the blocked pipeline's
+    /// key-grouped runs become each table's CSR arena with no
+    /// intermediate hashmap. Byte-identical to
+    /// [`construct`](HybridLshIndex::construct) + `freeze()`. Called by
+    /// [`IndexBuilder::build_frozen`](crate::IndexBuilder::build_frozen).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn construct_frozen(
+        data: S,
+        family: F,
+        distance: D,
+        gfns: Vec<F::GFn>,
+        hll_config: HllConfig,
+        lazy_threshold: usize,
+        cost: CostModel,
+        k: usize,
+        parallel: bool,
+        pipeline: BuildPipeline,
+        id_map: Option<&[PointId]>,
+    ) -> Self
+    where
+        S: Sync,
+        F::GFn: Send,
+    {
+        let tables =
+            blocked_tables(gfns, &data, id_map, pipeline, hll_config, lazy_threshold, parallel);
+        Self { data, family, distance, tables, hll_config, lazy_threshold, cost, k }
+    }
+
     /// Converts back to the mutable [`MapStore`] backend so streaming
     /// [`insert`](HybridLshIndex::insert) works again.
     pub fn thaw(self) -> HybridLshIndex<S, F, D, MapStore> {

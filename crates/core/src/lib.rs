@@ -74,23 +74,29 @@ pub mod diverse;
 pub mod engine;
 pub mod hasher;
 pub mod index;
+pub mod pipeline;
 pub mod recall;
 pub mod report;
 pub mod schedule;
 pub mod search;
+pub mod sharded;
 pub mod store;
 pub mod table;
 pub mod topk;
 
 pub use bucket::BucketRef;
-pub use builder::IndexBuilder;
+pub use builder::{BuildMode, IndexBuilder};
 pub use cost::{CostEstimate, CostModel};
 pub use diverse::DiverseOutput;
-pub use engine::QueryEngine;
+pub use engine::{QueryDistOutput, QueryEngine};
 pub use index::{HybridLshIndex, IndexStats};
+pub use pipeline::{BuildPipeline, KeyRuns};
 pub use recall::{evaluate_recall, RecallReport};
 pub use report::{QueryOutput, QueryReport};
 pub use schedule::RadiusSchedule;
 pub use search::{Strategy, VerifyMode};
+pub use sharded::{
+    ShardAssignment, ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex,
+};
 pub use store::{BucketStore, FrozenStore, MapStore};
 pub use topk::{BoundedHeap, Neighbor, TopKEngine, TopKIndex, TopKOutput, TopKReport};

@@ -1,0 +1,290 @@
+//! The staged blocked build pipeline.
+//!
+//! Algorithm 1 as written hashes one point at a time: for each point,
+//! for each table, compute `g_j(x)` and insert into a hashmap bucket.
+//! That shape leaves throughput on the table — every hash is a lone
+//! matrix–vector product (too few independent FMA chains to hide
+//! latency) and every insert is a hashmap probe. [`BuildPipeline`]
+//! restructures construction into four stages, per table:
+//!
+//! 1. **block-hash** — hash `block`-sized runs of points through
+//!    [`GFunction::bucket_keys_block`], which on dense data pushes the
+//!    whole block through one point-blocked matrix–matrix kernel
+//!    ([`hlsh_vec::kernels::matmat`]);
+//! 2. **key-group** — sort the `(key, id)` pairs into ascending-key
+//!    runs ([`KeyRuns`]), members of each run in ascending-id
+//!    (= insertion) order;
+//! 3. **bulk insert** — hand each run to the store in one call
+//!    ([`BucketStore::insert_run`] for the hashmap backend,
+//!    [`BucketStore::from_runs`] to lay a [`FrozenStore`] CSR arena out
+//!    directly with no intermediate hashmap);
+//! 4. **HLL update** — sketches materialise per run (a run *is* the
+//!    final bucket), register-identical to incremental per-point
+//!    updates.
+//!
+//! Every stage is deterministic and the resulting tables are
+//! byte-identical to the per-point baseline — asserted by
+//! `tests/build_parity.rs` and CI's build-parity gate. Tables are
+//! independent, so the index builder runs this pipeline for all `L`
+//! tables through [`hlsh_vec::parallel::par_map_with`].
+//!
+//! [`FrozenStore`]: crate::store::FrozenStore
+//! [`BucketStore::from_runs`]: crate::store::BucketStore::from_runs
+//! [`BucketStore::insert_run`]: crate::store::BucketStore::insert_run
+
+use hlsh_families::GFunction;
+use hlsh_hll::HllConfig;
+use hlsh_vec::{PointId, PointSet};
+
+use crate::store::BucketStore;
+
+/// Default number of points hashed per block. Large enough to amortise
+/// the per-block projection buffer, small enough that a block of
+/// `block × dim` floats stays cache-resident next to the `[k × dim]`
+/// projection matrix.
+pub const DEFAULT_BLOCK: usize = 256;
+
+/// A table's `(key, id)` pairs grouped into ascending-key runs: run `j`
+/// holds the members of bucket `keys[j]` in insertion (ascending-id)
+/// order. This is stage 2's output and the input shape of both bulk
+/// store builders.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyRuns {
+    keys: Vec<u64>,
+    /// `offsets[j] .. offsets[j+1]` indexes run `j`'s members in `ids`.
+    offsets: Vec<usize>,
+    ids: Vec<PointId>,
+}
+
+impl KeyRuns {
+    /// Groups per-point keys (index = point id) into runs: sorts the
+    /// `(key, id)` pairs by key — ids stay ascending within each run
+    /// because the sort key breaks ties by id — then splits on key
+    /// boundaries.
+    pub fn group(keys_by_id: Vec<u64>) -> Self {
+        Self::group_mapped(keys_by_id, None)
+    }
+
+    /// Like [`group`](Self::group) but run members are the *mapped* ids
+    /// `id_map[i]` instead of the row indexes `i` — the sharded build's
+    /// hook: a shard hashes its local rows but stores the points'
+    /// **global** ids, so bucket members, collision counts and sketch
+    /// element hashes all stay byte-identical to the unsharded index.
+    /// `id_map` must be ascending (shard owner lists are), which keeps
+    /// each run's members in ascending order.
+    ///
+    /// # Panics
+    /// Panics if a mapping is supplied with `id_map.len() !=
+    /// keys_by_id.len()`.
+    pub fn group_mapped(keys_by_id: Vec<u64>, id_map: Option<&[PointId]>) -> Self {
+        if let Some(map) = id_map {
+            assert_eq!(map.len(), keys_by_id.len(), "id map length mismatch");
+        }
+        let mut pairs: Vec<(u64, PointId)> = keys_by_id
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| (key, id_map.map_or(i as PointId, |m| m[i])))
+            .collect();
+        pairs.sort_unstable();
+        let mut keys = Vec::new();
+        let mut offsets = vec![0usize];
+        let mut ids = Vec::with_capacity(pairs.len());
+        for (key, id) in pairs {
+            if keys.last() != Some(&key) {
+                if !ids.is_empty() {
+                    offsets.push(ids.len());
+                }
+                keys.push(key);
+            }
+            ids.push(id);
+        }
+        if !ids.is_empty() {
+            offsets.push(ids.len());
+        }
+        Self { keys, offsets, ids }
+    }
+
+    /// Number of runs (= non-empty buckets).
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether there are no runs.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Total members across all runs.
+    pub fn total_members(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Iterates `(key, members)` in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[PointId])> + '_ {
+        self.keys
+            .iter()
+            .enumerate()
+            .map(|(j, &key)| (key, &self.ids[self.offsets[j]..self.offsets[j + 1]]))
+    }
+}
+
+/// Stages 1–4 of the blocked build, configured by block size.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BuildPipeline {
+    block: usize,
+}
+
+impl Default for BuildPipeline {
+    fn default() -> Self {
+        Self { block: DEFAULT_BLOCK }
+    }
+}
+
+impl BuildPipeline {
+    /// Pipeline with the default block size ([`DEFAULT_BLOCK`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pipeline with an explicit block size.
+    ///
+    /// # Panics
+    /// Panics if `block == 0`.
+    pub fn with_block(block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        Self { block }
+    }
+
+    /// Points hashed per kernel call.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Stage 1: hashes every point of `data` through `g`, block at a
+    /// time. `keys[id] = g(point_id)`, bit-identical to a per-point
+    /// `bucket_key` loop.
+    pub fn hash_points<G, S>(&self, g: &G, data: &S) -> Vec<u64>
+    where
+        S: PointSet + ?Sized,
+        G: GFunction<S::Point>,
+    {
+        let n = data.len();
+        let mut keys = vec![0u64; n];
+        let mut start = 0;
+        while start < n {
+            let end = (start + self.block).min(n);
+            g.bucket_keys_block(data, start, &mut keys[start..end]);
+            start = end;
+        }
+        keys
+    }
+
+    /// Stages 1–4 for one table: block-hash, key-group, and bulk-build
+    /// the store. Byte-identical to per-point `insert` calls for ids
+    /// `0 .. data.len()` in order (plus a freeze, for the frozen
+    /// backend).
+    pub fn build_store<G, S, B>(
+        &self,
+        g: &G,
+        data: &S,
+        config: HllConfig,
+        lazy_threshold: usize,
+    ) -> B
+    where
+        S: PointSet + ?Sized,
+        G: GFunction<S::Point>,
+        B: BucketStore,
+    {
+        self.build_store_mapped(g, data, None, config, lazy_threshold)
+    }
+
+    /// [`build_store`](Self::build_store) with an id mapping: row `i`
+    /// of `data` is inserted under id `id_map[i]` (see
+    /// [`KeyRuns::group_mapped`]).
+    pub fn build_store_mapped<G, S, B>(
+        &self,
+        g: &G,
+        data: &S,
+        id_map: Option<&[PointId]>,
+        config: HllConfig,
+        lazy_threshold: usize,
+    ) -> B
+    where
+        S: PointSet + ?Sized,
+        G: GFunction<S::Point>,
+        B: BucketStore,
+    {
+        let runs = KeyRuns::group_mapped(self.hash_points(g, data), id_map);
+        B::from_runs(&runs, config, lazy_threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{FrozenStore, MapStore};
+    use hlsh_families::sampling::rng_stream;
+    use hlsh_families::{LshFamily, PStableL2};
+    use hlsh_vec::DenseDataset;
+
+    #[test]
+    fn group_builds_sorted_runs_with_ascending_members() {
+        let keys = vec![7u64, 3, 7, 3, 3, 9, 7];
+        let runs = KeyRuns::group(keys);
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs.total_members(), 7);
+        let collected: Vec<(u64, Vec<PointId>)> =
+            runs.iter().map(|(k, ids)| (k, ids.to_vec())).collect();
+        assert_eq!(
+            collected,
+            vec![(3, vec![1, 3, 4]), (7, vec![0, 2, 6]), (9, vec![5])],
+            "ascending keys, ascending ids per run"
+        );
+    }
+
+    #[test]
+    fn group_of_nothing_is_empty() {
+        let runs = KeyRuns::group(Vec::new());
+        assert!(runs.is_empty());
+        assert_eq!(runs.iter().count(), 0);
+    }
+
+    #[test]
+    fn blocked_store_matches_per_point_store() {
+        let dim = 24;
+        let data = DenseDataset::from_rows(
+            dim,
+            (0..300).map(|i| {
+                (0..dim).map(|j| ((i * dim + j) as f32 * 0.37).sin() * 2.0).collect::<Vec<_>>()
+            }),
+        );
+        let g = PStableL2::new(dim, 1.2).sample(6, &mut rng_stream(17, 0));
+        let config = HllConfig::new(7, 3);
+        let lazy = 8;
+
+        let mut per_point = MapStore::new();
+        for id in 0..data.len() {
+            per_point.insert(
+                hlsh_families::GFunction::bucket_key(&g, hlsh_vec::PointSet::point(&data, id)),
+                id as PointId,
+                config,
+                lazy,
+            );
+        }
+
+        // Block sizes below, straddling and above n all agree.
+        for block in [1usize, 7, 256, 1024] {
+            let pipeline = BuildPipeline::with_block(block);
+            let blocked: MapStore = pipeline.build_store(&g, &data, config, lazy);
+            assert_eq!(per_point.clone().freeze(), blocked.freeze(), "map path, block={block}");
+            let frozen_direct: FrozenStore = pipeline.build_store(&g, &data, config, lazy);
+            assert_eq!(per_point.clone().freeze(), frozen_direct, "frozen path, block={block}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        let _ = BuildPipeline::with_block(0);
+    }
+}

@@ -1,0 +1,1187 @@
+//! Sharded indexes: partition the data across `N` independent indexes
+//! and answer queries by merging per-shard outputs.
+//!
+//! The hybrid rNNR design partitions cleanly: per-shard candidate sets
+//! union to exactly the unsharded candidate set, and per-shard
+//! HyperLogLog sketches merge losslessly (registers are element-wise
+//! maxima). Two properties make the merge *byte-identical* to an
+//! unsharded index over the same data, not merely equivalent in
+//! expectation:
+//!
+//! 1. **Shared randomness, global ids** — every shard samples its
+//!    g-functions and HLL hash from the same builder seed, so a point
+//!    hashes to the same bucket key in its shard as it would in the
+//!    unsharded index; and shard tables store the points' **global**
+//!    ids (the build pipeline's id-mapping hook), so bucket members
+//!    *and sketch element hashes* are exactly the global bucket
+//!    restricted to the shard's points. Without global ids the merged
+//!    registers would encode local row numbers and shard-count-
+//!    dependent estimates would leak into the walk's decisions.
+//! 2. **Global decisions** — Algorithm 2's cost comparison and the
+//!    top-k engine's skip/early-exit decisions run once per query on
+//!    the *merged* statistics (summed collision counts, one
+//!    accumulator over every shard's probed sketches, the global `n`,
+//!    and a cost model calibrated once on the full data), never
+//!    per-shard. Merged registers equal the unsharded registers, so
+//!    every decision matches the unsharded walk bit for bit.
+//!
+//! With both in place, [`ShardedIndex`] reports exactly the unsharded
+//! result set (ids canonically sorted ascending — the shard merge's
+//! natural order; the unsharded LSH arm's first-collision order is not
+//! meaningful across shards), and [`ShardedTopKIndex`] produces
+//! byte-identical `(distance, id)` rankings and reports, because a
+//! bounded heap's content depends only on the *set* of offered
+//! candidates, which is preserved level by level. `tests/
+//! sharded_props.rs` pins both contracts across shard counts, storage
+//! backends and verify modes.
+//!
+//! Shards are built in parallel (one worker per shard via
+//! [`hlsh_vec::parallel::par_map_with`], each running the blocked build
+//! pipeline) and hold disjoint copies of their rows, so the total
+//! resident data equals the unsharded index and each shard is a
+//! self-contained unit ready to migrate to another machine.
+
+use std::time::Instant;
+
+use hlsh_families::LshFamily;
+use hlsh_hll::hash::splitmix64;
+use hlsh_hll::MergeAccumulator;
+use hlsh_vec::parallel::par_map_with;
+use hlsh_vec::{Distance, PointId, PointSet, SubsetPointSet};
+
+use crate::bucket::BucketRef;
+use crate::builder::IndexBuilder;
+use crate::hasher::FxHashSet;
+use crate::index::HybridLshIndex;
+use crate::report::{QueryOutput, QueryReport};
+use crate::schedule::RadiusSchedule;
+use crate::search::{ExecutedArm, Strategy, VerifyMode};
+use crate::store::{BucketStore, FrozenStore, MapStore};
+use crate::topk::{BoundedHeap, Neighbor, TopKIndex, TopKOutput, TopKReport};
+
+/// Deterministic seeded assignment of global point ids to shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardAssignment {
+    seed: u64,
+    shards: usize,
+}
+
+impl ShardAssignment {
+    /// An assignment of points to `shards` shards, mixed by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn new(seed: u64, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self { seed, shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The assignment seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The shard owning global point `id` — a pure function of
+    /// `(seed, shards, id)`, so any party can recompute placements.
+    #[inline]
+    pub fn shard_of(&self, id: PointId) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        (splitmix64(self.seed ^ 0x5348_4152_4431_5458 ^ id as u64) % self.shards as u64) as usize
+    }
+
+    /// Partitions ids `0..n` into per-shard owner lists; list `s` holds
+    /// shard `s`'s global ids in ascending order (which is also each
+    /// shard's local insertion order).
+    pub fn partition(&self, n: usize) -> Vec<Vec<PointId>> {
+        let mut owners: Vec<Vec<PointId>> = vec![Vec::new(); self.shards];
+        for id in 0..n {
+            owners[self.shard_of(id as PointId)].push(id as PointId);
+        }
+        owners
+    }
+}
+
+/// An rNNR index partitioned across `N` shards; see the module docs for
+/// the byte-identity contract.
+pub struct ShardedIndex<S, F, D, B = MapStore>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    shards: Vec<HybridLshIndex<S, F, D, B>>,
+    /// `owners[s][local] = global` (ascending per shard).
+    owners: Vec<Vec<PointId>>,
+    /// `local_of[global] = local` (the shard is implied by the
+    /// assignment); translates global bucket members to rows of their
+    /// shard's slab for verification.
+    local_of: Vec<PointId>,
+    assignment: ShardAssignment,
+    n: usize,
+}
+
+/// Inverts per-shard owner lists into the `global → local` table.
+fn invert_owners(owners: &[Vec<PointId>], n: usize) -> Vec<PointId> {
+    let mut local_of = vec![0 as PointId; n];
+    for ids in owners {
+        for (local, &global) in ids.iter().enumerate() {
+            local_of[global as usize] = local as PointId;
+        }
+    }
+    local_of
+}
+
+/// Clears and returns the engine's merge accumulator for `config`,
+/// recreating it only when the config changes between indexes (the
+/// sharded twin of `QueryEngine::accumulator`, shared by the rNNR and
+/// top-k engines).
+fn ensure_accumulator(
+    slot: &mut Option<MergeAccumulator>,
+    config: hlsh_hll::HllConfig,
+) -> &mut MergeAccumulator {
+    match &mut *slot {
+        Some(acc) if acc.config() == config => acc.clear(),
+        other => *other = Some(MergeAccumulator::new(config)),
+    }
+    slot.as_mut().expect("accumulator just ensured")
+}
+
+/// Collects one shard's deduped candidates from its probed buckets:
+/// `seen` dedups the **global** member ids, `cands` receives the
+/// corresponding shard-local rows (via `local_of`) ready for slab
+/// verification. Shared by the rNNR LSH arm and the top-k level query.
+fn collect_shard_cands(
+    seen: &mut FxHashSet<PointId>,
+    cands: &mut Vec<PointId>,
+    buckets: &[BucketRef<'_>],
+    local_of: &[PointId],
+) {
+    seen.clear();
+    cands.clear();
+    for b in buckets {
+        for &global in b.members() {
+            if seen.insert(global) {
+                cands.push(local_of[global as usize]);
+            }
+        }
+    }
+}
+
+impl<S, F, D> ShardedIndex<S, F, D, MapStore>
+where
+    S: SubsetPointSet + Send + Sync,
+    F: LshFamily<S::Point>,
+    F::GFn: Send,
+    D: Distance<S::Point>,
+{
+    /// Partitions `data` per `assignment` and builds one index per
+    /// shard — in parallel, each through the blocked build pipeline.
+    ///
+    /// The cost model is resolved **once on the full data** (explicit
+    /// model or one calibration) and shared by every shard; the builder
+    /// seed is shared too, so all shards sample identical g-functions.
+    /// Consumes `data`: after the per-shard copies are cut, the
+    /// original is dropped, keeping resident memory at one copy.
+    pub fn build(data: S, assignment: ShardAssignment, builder: IndexBuilder<F, D>) -> Self {
+        Self::build_each(data, assignment, &builder, |b, sub, cost, ids| {
+            b.cost_model(cost).build_mapped(sub, Some(ids))
+        })
+    }
+
+    /// Converts every shard to the read-optimised [`FrozenStore`];
+    /// query results are byte-identical before and after.
+    pub fn freeze(self) -> ShardedIndex<S, F, D, FrozenStore> {
+        ShardedIndex {
+            shards: self.shards.into_iter().map(HybridLshIndex::freeze).collect(),
+            owners: self.owners,
+            local_of: self.local_of,
+            assignment: self.assignment,
+            n: self.n,
+        }
+    }
+}
+
+impl<S, F, D> ShardedIndex<S, F, D, FrozenStore>
+where
+    S: SubsetPointSet + Send + Sync,
+    F: LshFamily<S::Point>,
+    F::GFn: Send,
+    D: Distance<S::Point>,
+{
+    /// Like [`ShardedIndex::build`] but every shard's tables are laid
+    /// out directly as frozen CSR arenas (no intermediate hashmaps).
+    pub fn build_frozen(data: S, assignment: ShardAssignment, builder: IndexBuilder<F, D>) -> Self {
+        Self::build_each(data, assignment, &builder, |b, sub, cost, ids| {
+            b.cost_model(cost).build_frozen_mapped(sub, Some(ids))
+        })
+    }
+
+    /// Converts every shard back to the mutable [`MapStore`] backend.
+    pub fn thaw(self) -> ShardedIndex<S, F, D, MapStore> {
+        ShardedIndex {
+            shards: self.shards.into_iter().map(HybridLshIndex::thaw).collect(),
+            owners: self.owners,
+            local_of: self.local_of,
+            assignment: self.assignment,
+            n: self.n,
+        }
+    }
+}
+
+impl<S, F, D, B> ShardedIndex<S, F, D, B>
+where
+    S: SubsetPointSet + Send + Sync,
+    F: LshFamily<S::Point>,
+    F::GFn: Send,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    /// Shared shard-construction scaffold: partition, resolve the
+    /// global cost model, cut each shard's subset inside its worker and
+    /// build it there.
+    fn build_each(
+        data: S,
+        assignment: ShardAssignment,
+        builder: &IndexBuilder<F, D>,
+        build_one: impl Fn(
+                IndexBuilder<F, D>,
+                S,
+                crate::cost::CostModel,
+                &[PointId],
+            ) -> HybridLshIndex<S, F, D, B>
+            + Sync,
+    ) -> Self
+    where
+        S: Send,
+        HybridLshIndex<S, F, D, B>: Send,
+    {
+        let n = data.len();
+        let owners = assignment.partition(n);
+        let local_of = invert_owners(&owners, n);
+        let cost = builder.resolve_cost(&data);
+        // One worker per shard; nested table-parallelism is pointless
+        // once shards already fan out, so inner builds go sequential
+        // whenever more than one shard exists.
+        let inner_sequential = owners.len() > 1;
+        let data_ref = &data;
+        let owners_ref = &owners;
+        let build_one_ref = &build_one;
+        let shards = par_map_with(
+            owners.len(),
+            None,
+            || (),
+            |_, si| {
+                let sub = data_ref.subset(&owners_ref[si]);
+                let mut b = builder.clone();
+                if inner_sequential {
+                    b = b.sequential();
+                }
+                build_one_ref(b, sub, cost, &owners_ref[si])
+            },
+        );
+        drop(data);
+        Self { shards, owners, local_of, assignment, n }
+    }
+}
+
+impl<S, F, D, B> ShardedIndex<S, F, D, B>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    /// Total indexed points across all shards.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The shard assignment in force.
+    pub fn assignment(&self) -> ShardAssignment {
+        self.assignment
+    }
+
+    /// The per-shard indexes. **Caution:** shard tables store *global*
+    /// ids (so sketches merge byte-identically with the unsharded
+    /// index), which do not index the shard's own data slab — query
+    /// them through the sharded engines, never directly.
+    pub fn shards(&self) -> &[HybridLshIndex<S, F, D, B>] {
+        &self.shards
+    }
+
+    /// Shard `s`'s global ids, ascending (`owners[local] = global`).
+    pub fn global_ids(&self, shard: usize) -> &[PointId] {
+        &self.owners[shard]
+    }
+
+    /// Hybrid query (Algorithm 2 with a global decision); allocates
+    /// fresh scratch. Batch workloads should prefer
+    /// [`query_batch`](Self::query_batch) or a reused
+    /// [`ShardedQueryEngine`].
+    pub fn query(&self, q: &S::Point, r: f64) -> QueryOutput {
+        ShardedQueryEngine::new().query(self, q, r)
+    }
+
+    /// Runs a query under an explicit strategy; see
+    /// [`ShardedQueryEngine::query_with_strategy`].
+    pub fn query_with_strategy(&self, q: &S::Point, r: f64, strategy: Strategy) -> QueryOutput {
+        ShardedQueryEngine::new().query_with_strategy(self, q, r, strategy)
+    }
+}
+
+impl<S, F, D, B> ShardedIndex<S, F, D, B>
+where
+    S: PointSet + Sync,
+    F: LshFamily<S::Point> + Sync,
+    F::GFn: Sync,
+    D: Distance<S::Point> + Sync,
+    B: BucketStore + Sync,
+{
+    /// Answers a batch of hybrid queries, sharded across all available
+    /// cores (each query still fans over every index shard). Outputs
+    /// are in input order, ids ascending per query.
+    pub fn query_batch<Q>(&self, queries: &[Q], r: f64) -> Vec<QueryOutput>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        self.query_batch_with_strategy(queries, r, Strategy::Hybrid, None)
+    }
+
+    /// Batch querying under an explicit strategy and optional thread
+    /// count (`None` = all available cores).
+    pub fn query_batch_with_strategy<Q>(
+        &self,
+        queries: &[Q],
+        r: f64,
+        strategy: Strategy,
+        threads: Option<usize>,
+    ) -> Vec<QueryOutput>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        par_map_with(queries.len(), threads, ShardedQueryEngine::new, |engine, qi| {
+            engine.query_with_strategy(self, queries[qi].as_ref(), r, strategy)
+        })
+    }
+}
+
+/// Reusable scratch for querying a [`ShardedIndex`]: per-shard dedup
+/// set and candidate list plus the *global* merge accumulator.
+#[derive(Debug, Default)]
+pub struct ShardedQueryEngine {
+    seen: FxHashSet<PointId>,
+    cands: Vec<PointId>,
+    acc: Option<MergeAccumulator>,
+    verify: VerifyMode,
+}
+
+impl ShardedQueryEngine {
+    /// Engine with empty scratch and the default kernel verify mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with an explicit S3 verification mode.
+    pub fn with_verify_mode(verify: VerifyMode) -> Self {
+        Self { verify, ..Self::default() }
+    }
+
+    /// The S3 verification mode in force.
+    pub fn verify_mode(&self) -> VerifyMode {
+        self.verify
+    }
+
+    /// Hybrid query with reused scratch.
+    pub fn query<S, F, D, B>(
+        &mut self,
+        index: &ShardedIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+    ) -> QueryOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        self.query_with_strategy(index, q, r, Strategy::Hybrid)
+    }
+
+    /// Runs one query across every shard under `strategy`.
+    ///
+    /// S1 probes all shards, S2 merges every probed sketch into one
+    /// accumulator, the Algorithm 2 decision compares the *global*
+    /// costs once, and the chosen arm then runs on every shard; shard
+    /// outputs are mapped to global ids and reported in ascending-id
+    /// order. The reported id *set* is identical to the unsharded
+    /// index's under the same strategy (see the module docs).
+    pub fn query_with_strategy<S, F, D, B>(
+        &mut self,
+        index: &ShardedIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        strategy: Strategy,
+    ) -> QueryOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let t_start = Instant::now();
+        if matches!(strategy, Strategy::LinearOnly) {
+            let ids = self.linear_arm(index, q, r);
+            let total = t_start.elapsed().as_nanos() as u64;
+            return QueryOutput {
+                report: QueryReport {
+                    executed: ExecutedArm::Linear,
+                    collisions: 0,
+                    cand_size_estimate: 0.0,
+                    cand_size_actual: None,
+                    output_size: ids.len(),
+                    hash_nanos: 0,
+                    hll_nanos: 0,
+                    total_nanos: total,
+                },
+                ids,
+            };
+        }
+
+        // S1 on every shard: global collision count is the sum of the
+        // per-shard bucket sizes (shard buckets partition the global
+        // bucket).
+        let t_hash = Instant::now();
+        let mut per_shard: Vec<Vec<BucketRef<'_>>> = Vec::with_capacity(index.shards.len());
+        let mut collisions = 0usize;
+        for shard in &index.shards {
+            let (buckets, c, _) = shard.probe(q);
+            collisions += c;
+            per_shard.push(buckets);
+        }
+        let hash_nanos = t_hash.elapsed().as_nanos() as u64;
+
+        // S2 — Hybrid only, mirroring the unsharded path (LshOnly
+        // probes without estimating): one merged estimate across every
+        // probed bucket of every shard — register-wise max is
+        // associative, so this equals the unsharded merged sketch byte
+        // for byte.
+        let (cand_estimate, hll_nanos) = if matches!(strategy, Strategy::LshOnly) {
+            (0.0, 0)
+        } else {
+            let t_hll = Instant::now();
+            let config = index.shards[0].hll_config();
+            let acc = ensure_accumulator(&mut self.acc, config);
+            for buckets in &per_shard {
+                for b in buckets {
+                    b.contribute_to(acc);
+                }
+            }
+            (acc.estimate(), t_hll.elapsed().as_nanos() as u64)
+        };
+
+        // Global Algorithm 2 decision (cost model shared by all shards,
+        // resolved once at build time on the full data).
+        let prefer_lsh = match strategy {
+            Strategy::LshOnly => true,
+            _ => index.shards[0].cost_model().prefer_lsh(collisions, cand_estimate, index.n),
+        };
+        let (executed, ids, cand_actual) = if prefer_lsh {
+            let (ids, distinct) = self.lsh_arm(index, q, r, &per_shard);
+            (ExecutedArm::Lsh, ids, Some(distinct))
+        } else {
+            (ExecutedArm::Linear, self.linear_arm(index, q, r), None)
+        };
+        let cand_size_estimate = match (strategy, cand_actual) {
+            // Mirror the unsharded LshOnly report (exact count, no
+            // estimate) so the instrumented fields line up too.
+            (Strategy::LshOnly, Some(actual)) => actual as f64,
+            _ => cand_estimate,
+        };
+        let total = t_start.elapsed().as_nanos() as u64;
+        QueryOutput {
+            report: QueryReport {
+                executed,
+                collisions,
+                cand_size_estimate,
+                cand_size_actual: cand_actual,
+                output_size: ids.len(),
+                hash_nanos,
+                hll_nanos,
+                total_nanos: total,
+            },
+            ids,
+        }
+    }
+
+    /// The LSH arm across shards: per shard, dedup the colliding
+    /// members (global ids), translate them to rows of the shard's own
+    /// dense slab, verify the whole list in one batched kernel call,
+    /// and map accepts back to global ids. Shards are disjoint, so no
+    /// cross-shard dedup is needed; the concatenation is sorted into
+    /// the canonical ascending order. Returns `(ids, distinct
+    /// candidate count)`.
+    fn lsh_arm<S, F, D, B>(
+        &mut self,
+        index: &ShardedIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+        per_shard: &[Vec<BucketRef<'_>>],
+    ) -> (Vec<PointId>, usize)
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let mut out_global = Vec::new();
+        let mut distinct = 0usize;
+        let mut local_out = Vec::new();
+        for (si, buckets) in per_shard.iter().enumerate() {
+            collect_shard_cands(&mut self.seen, &mut self.cands, buckets, &index.local_of);
+            distinct += self.cands.len();
+            let shard = &index.shards[si];
+            let (data, distance) = (shard.data(), shard.distance());
+            local_out.clear();
+            match self.verify {
+                VerifyMode::Kernel => distance.verify_many(data, &self.cands, q, r, &mut local_out),
+                VerifyMode::Scalar => hlsh_vec::metric::verify_scalar(
+                    distance,
+                    data,
+                    &self.cands,
+                    q,
+                    r,
+                    &mut local_out,
+                ),
+            }
+            out_global.extend(local_out.iter().map(|&l| index.owners[si][l as usize]));
+        }
+        out_global.sort_unstable();
+        (out_global, distinct)
+    }
+
+    /// The brute-force arm across shards: scan each shard's slab, map
+    /// to global ids, sort ascending.
+    fn linear_arm<S, F, D, B>(
+        &mut self,
+        index: &ShardedIndex<S, F, D, B>,
+        q: &S::Point,
+        r: f64,
+    ) -> Vec<PointId>
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let mut out_global = Vec::new();
+        let mut local_out = Vec::new();
+        for (si, shard) in index.shards.iter().enumerate() {
+            let (data, distance) = (shard.data(), shard.distance());
+            local_out.clear();
+            match self.verify {
+                VerifyMode::Kernel => distance.scan_within(data, q, r, &mut local_out),
+                VerifyMode::Scalar => {
+                    hlsh_vec::metric::scan_scalar(distance, data, q, r, &mut local_out)
+                }
+            }
+            out_global.extend(local_out.iter().map(|&l| index.owners[si][l as usize]));
+        }
+        out_global.sort_unstable();
+        out_global
+    }
+}
+
+/// A top-k index partitioned across shards: one [`TopKIndex`] (a full
+/// radius-schedule ladder) per shard, walked by a *global* engine.
+///
+/// Per-shard heaps are merged through the same bounded `(distance, id)`
+/// heap the unsharded engine uses — and because every walk decision
+/// (skip, early exit, fallback, arm choice) is made on merged
+/// statistics, the final ranking and report are byte-identical to the
+/// unsharded [`TopKIndex`] over the same data.
+pub struct ShardedTopKIndex<S, F, D, B = MapStore>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    shards: Vec<TopKIndex<S, F, D, B>>,
+    owners: Vec<Vec<PointId>>,
+    local_of: Vec<PointId>,
+    assignment: ShardAssignment,
+    schedule: RadiusSchedule,
+    n: usize,
+}
+
+impl<S, F, D> ShardedTopKIndex<S, F, D, MapStore>
+where
+    S: SubsetPointSet + Send + Sync,
+    F: LshFamily<S::Point>,
+    F::GFn: Send,
+    D: Distance<S::Point>,
+{
+    /// Partitions `data` and builds one schedule ladder per shard, in
+    /// parallel.
+    ///
+    /// `level_builder(level, radius)` configures each level exactly as
+    /// for [`TopKIndex::build`]; it must be `Fn` (not `FnMut`) because
+    /// it is re-invoked per `(shard, level)` from parallel workers.
+    /// Each level's cost model is resolved once on the **full** data
+    /// and shared by that level's builders in every shard, keeping the
+    /// walk's arm decisions byte-identical to the unsharded ladder.
+    pub fn build<M>(
+        data: S,
+        assignment: ShardAssignment,
+        schedule: RadiusSchedule,
+        level_builder: M,
+    ) -> Self
+    where
+        M: Fn(usize, f64) -> IndexBuilder<F, D> + Sync,
+        D: Sync,
+        F: Sync,
+        TopKIndex<S, F, D, MapStore>: Send,
+    {
+        let n = data.len();
+        let owners = assignment.partition(n);
+        let local_of = invert_owners(&owners, n);
+        let level_costs: Vec<crate::cost::CostModel> = schedule
+            .radii()
+            .enumerate()
+            .map(|(li, r)| level_builder(li, r).resolve_cost(&data))
+            .collect();
+        let inner_sequential = owners.len() > 1;
+        let data_ref = &data;
+        let owners_ref = &owners;
+        let level_builder_ref = &level_builder;
+        let level_costs_ref = &level_costs;
+        let shards = par_map_with(
+            owners.len(),
+            None,
+            || (),
+            |_, si| {
+                let sub = data_ref.subset(&owners_ref[si]);
+                TopKIndex::build_mapped(
+                    sub,
+                    schedule,
+                    |li, r| {
+                        let mut b = level_builder_ref(li, r).cost_model(level_costs_ref[li]);
+                        if inner_sequential {
+                            b = b.sequential();
+                        }
+                        b
+                    },
+                    Some(&owners_ref[si]),
+                )
+            },
+        );
+        drop(data);
+        Self { shards, owners, local_of, assignment, schedule, n }
+    }
+
+    /// Freezes every shard's every level into the CSR arena backend.
+    pub fn freeze(self) -> ShardedTopKIndex<S, F, D, FrozenStore> {
+        ShardedTopKIndex {
+            shards: self.shards.into_iter().map(TopKIndex::freeze).collect(),
+            owners: self.owners,
+            local_of: self.local_of,
+            assignment: self.assignment,
+            schedule: self.schedule,
+            n: self.n,
+        }
+    }
+}
+
+impl<S, F, D> ShardedTopKIndex<S, F, D, FrozenStore>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+{
+    /// Converts every shard back to the mutable backend.
+    pub fn thaw(self) -> ShardedTopKIndex<S, F, D, MapStore> {
+        ShardedTopKIndex {
+            shards: self.shards.into_iter().map(TopKIndex::thaw).collect(),
+            owners: self.owners,
+            local_of: self.local_of,
+            assignment: self.assignment,
+            schedule: self.schedule,
+            n: self.n,
+        }
+    }
+}
+
+impl<S, F, D, B> ShardedTopKIndex<S, F, D, B>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    /// Total indexed points across all shards.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The radius schedule shared by every shard.
+    pub fn schedule(&self) -> RadiusSchedule {
+        self.schedule
+    }
+
+    /// The shard assignment in force.
+    pub fn assignment(&self) -> ShardAssignment {
+        self.assignment
+    }
+
+    /// The per-shard ladders. **Caution:** shard tables store *global*
+    /// ids (see [`ShardedIndex::shards`]); query them only through the
+    /// sharded engines.
+    pub fn shards(&self) -> &[TopKIndex<S, F, D, B>] {
+        &self.shards
+    }
+
+    /// Answers one top-k query with fresh scratch.
+    pub fn query_topk(&self, q: &S::Point, k: usize) -> TopKOutput {
+        ShardedTopKEngine::new().query_topk(self, q, k)
+    }
+}
+
+impl<S, F, D, B> ShardedTopKIndex<S, F, D, B>
+where
+    S: PointSet + Send + Sync,
+    F: LshFamily<S::Point> + Sync,
+    F::GFn: Sync,
+    D: Distance<S::Point> + Sync,
+    B: BucketStore + Sync,
+{
+    /// Answers a batch of top-k queries, sharded across all available
+    /// cores; outputs in input order, byte-identical to a sequential
+    /// loop.
+    pub fn query_topk_batch<Q>(&self, queries: &[Q], k: usize) -> Vec<TopKOutput>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        self.query_topk_batch_with(queries, k, Strategy::Hybrid, None)
+    }
+
+    /// Batch top-k under an explicit per-level strategy and optional
+    /// thread count.
+    pub fn query_topk_batch_with<Q>(
+        &self,
+        queries: &[Q],
+        k: usize,
+        strategy: Strategy,
+        threads: Option<usize>,
+    ) -> Vec<TopKOutput>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        par_map_with(queries.len(), threads, ShardedTopKEngine::new, |engine, qi| {
+            engine.query_topk_with(self, queries[qi].as_ref(), k, strategy)
+        })
+    }
+}
+
+/// Reusable scratch for running top-k queries over a
+/// [`ShardedTopKIndex`]: the per-shard rNNR scratch plus the global
+/// cross-level dedup set.
+#[derive(Debug, Default)]
+pub struct ShardedTopKEngine {
+    seen: FxHashSet<PointId>,
+    cands: Vec<PointId>,
+    acc: Option<MergeAccumulator>,
+    reported: FxHashSet<PointId>,
+    verify: VerifyMode,
+}
+
+impl ShardedTopKEngine {
+    /// Engine with empty scratch and the default kernel verify mode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine whose rNNR level queries verify in an explicit
+    /// [`VerifyMode`]; output is identical across modes.
+    pub fn with_verify_mode(verify: VerifyMode) -> Self {
+        Self { verify, ..Self::default() }
+    }
+
+    /// Answers one top-k query under the default per-level
+    /// [`Strategy::Hybrid`].
+    pub fn query_topk<S, F, D, B>(
+        &mut self,
+        index: &ShardedTopKIndex<S, F, D, B>,
+        q: &S::Point,
+        k: usize,
+    ) -> TopKOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        self.query_topk_with(index, q, k, Strategy::Hybrid)
+    }
+
+    /// The global schedule walk — the sharded mirror of
+    /// [`TopKEngine::query_topk_with`](crate::topk::TopKEngine::query_topk_with),
+    /// with every per-level query fanned across shards and every
+    /// decision made on merged statistics. The walk structure (early
+    /// exit, HLL defer + revisit, exact fallback) is kept in lockstep
+    /// with the unsharded engine; `tests/sharded_props.rs` pins the
+    /// byte-identity of outputs and reports.
+    pub fn query_topk_with<S, F, D, B>(
+        &mut self,
+        index: &ShardedTopKIndex<S, F, D, B>,
+        q: &S::Point,
+        k: usize,
+        strategy: Strategy,
+    ) -> TopKOutput
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        let t_start = Instant::now();
+        let n = index.n;
+        let k_eff = k.min(n);
+        let mut report = TopKReport {
+            levels_executed: 0,
+            levels_skipped: 0,
+            early_exit: false,
+            exact_fallback: false,
+            verified: 0,
+            total_nanos: 0,
+        };
+        if k_eff == 0 {
+            report.total_nanos = t_start.elapsed().as_nanos() as u64;
+            return TopKOutput { neighbors: Vec::new(), report };
+        }
+
+        let mut heap = BoundedHeap::new(k_eff);
+        self.reported.clear();
+        let mut covered_r = 0.0_f64;
+        let mut deferred: Vec<usize> = Vec::new();
+
+        for li in 0..index.schedule.levels() {
+            let r = index.schedule.radius(li);
+            if report.levels_executed > 0
+                && heap.is_full()
+                && heap.worst_dist().is_some_and(|w| w <= covered_r)
+            {
+                report.early_exit = true;
+                break;
+            }
+            let skip_at_most = if report.levels_executed > 0 {
+                let m = index.shards[0].levels()[li].hll_config().registers() as f64;
+                self.reported.len() as f64 * (1.0 + 1.04 / m.sqrt())
+            } else {
+                f64::NEG_INFINITY // level 0 always runs
+            };
+            match self.query_level(index, li, q, r, strategy, skip_at_most) {
+                None => {
+                    deferred.push(li);
+                    continue;
+                }
+                Some(pairs) => {
+                    report.levels_executed += 1;
+                    covered_r = r;
+                    for (id, dist) in pairs {
+                        if self.reported.insert(id) {
+                            heap.push(Neighbor { id, dist });
+                        }
+                    }
+                }
+            }
+        }
+
+        if heap.len() < k_eff {
+            // Exact fallback: one distance-returning scan per shard
+            // (the shard slabs partition the data), already-reported
+            // ids filtered out, NaN-distance gaps completed — the
+            // shared scaffold of the unsharded fallback.
+            report.exact_fallback = true;
+            report.levels_skipped = deferred.len();
+            for (si, shard) in index.shards.iter().enumerate() {
+                crate::topk::fallback_scan_into(
+                    shard.data(),
+                    shard.distance(),
+                    q,
+                    self.verify,
+                    &self.reported,
+                    &mut heap,
+                    |local| index.owners[si][local as usize],
+                );
+            }
+        } else if !deferred.is_empty() {
+            // Revisit deferred levels once the heap fills, exactly as
+            // the unsharded walk does (no skip threshold: NEG_INFINITY
+            // forces execution).
+            for li in deferred {
+                let pairs = self
+                    .query_level(
+                        index,
+                        li,
+                        q,
+                        index.schedule.radius(li),
+                        strategy,
+                        f64::NEG_INFINITY,
+                    )
+                    .expect("forced level query always executes");
+                report.levels_executed += 1;
+                for (id, dist) in pairs {
+                    if self.reported.insert(id) {
+                        heap.push(Neighbor { id, dist });
+                    }
+                }
+            }
+        }
+
+        report.verified = self.reported.len();
+        report.total_nanos = t_start.elapsed().as_nanos() as u64;
+        TopKOutput { neighbors: heap.into_sorted_vec(), report }
+    }
+
+    /// One level's rNNR query across every shard: merged probe +
+    /// estimate, global skip and arm decisions, per-shard verification
+    /// with distances, global ids out. `None` = deferred by the HLL
+    /// prediction (mirrors
+    /// [`QueryEngine::query_unless_cand_at_most_dist`](crate::engine::QueryEngine::query_unless_cand_at_most_dist)).
+    #[allow(clippy::too_many_arguments)]
+    fn query_level<S, F, D, B>(
+        &mut self,
+        index: &ShardedTopKIndex<S, F, D, B>,
+        li: usize,
+        q: &S::Point,
+        r: f64,
+        strategy: Strategy,
+        skip_at_most: f64,
+    ) -> Option<Vec<(PointId, f64)>>
+    where
+        S: PointSet,
+        F: LshFamily<S::Point>,
+        D: Distance<S::Point>,
+        B: BucketStore,
+    {
+        if !matches!(strategy, Strategy::LinearOnly) {
+            // Merged S1 + S2 over every shard's level-li index.
+            let mut per_shard: Vec<Vec<BucketRef<'_>>> = Vec::with_capacity(index.shards.len());
+            let mut collisions = 0usize;
+            for shard in &index.shards {
+                let (buckets, c, _) = shard.levels()[li].probe(q);
+                collisions += c;
+                per_shard.push(buckets);
+            }
+            let config = index.shards[0].levels()[li].hll_config();
+            let acc = ensure_accumulator(&mut self.acc, config);
+            for buckets in &per_shard {
+                for b in buckets {
+                    b.contribute_to(acc);
+                }
+            }
+            let cand_estimate = acc.estimate();
+            if cand_estimate <= skip_at_most {
+                return None;
+            }
+            let prefer_lsh = match strategy {
+                Strategy::LshOnly => true,
+                _ => index.shards[0].levels()[li].cost_model().prefer_lsh(
+                    collisions,
+                    cand_estimate,
+                    index.n,
+                ),
+            };
+            if prefer_lsh {
+                let mut out_global = Vec::new();
+                let mut local_out = Vec::new();
+                for (si, buckets) in per_shard.iter().enumerate() {
+                    collect_shard_cands(&mut self.seen, &mut self.cands, buckets, &index.local_of);
+                    let shard = &index.shards[si];
+                    let (data, distance) = (shard.data(), shard.distance());
+                    local_out.clear();
+                    match self.verify {
+                        VerifyMode::Kernel => {
+                            distance.verify_many_dist(data, &self.cands, q, r, &mut local_out)
+                        }
+                        VerifyMode::Scalar => hlsh_vec::metric::verify_scalar_dist(
+                            distance,
+                            data,
+                            &self.cands,
+                            q,
+                            r,
+                            &mut local_out,
+                        ),
+                    }
+                    out_global
+                        .extend(local_out.iter().map(|&(l, d)| (index.owners[si][l as usize], d)));
+                }
+                return Some(out_global);
+            }
+        }
+        // Linear arm (forced or chosen): scan every shard with
+        // distances.
+        let mut out_global = Vec::new();
+        let mut local_out = Vec::new();
+        for (si, shard) in index.shards.iter().enumerate() {
+            let (data, distance) = (shard.data(), shard.distance());
+            local_out.clear();
+            match self.verify {
+                VerifyMode::Kernel => distance.scan_within_dist(data, q, r, &mut local_out),
+                VerifyMode::Scalar => {
+                    hlsh_vec::metric::scan_scalar_dist(distance, data, q, r, &mut local_out)
+                }
+            }
+            out_global.extend(local_out.iter().map(|&(l, d)| (index.owners[si][l as usize], d)));
+        }
+        Some(out_global)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use hlsh_families::PStableL2;
+    use hlsh_vec::{DenseDataset, L2};
+
+    fn grid_data(n: usize) -> DenseDataset {
+        DenseDataset::from_rows(2, (0..n).map(|i| [(i % 17) as f32, (i / 17) as f32 * 0.5]))
+    }
+
+    fn builder() -> IndexBuilder<PStableL2, L2> {
+        IndexBuilder::new(PStableL2::new(2, 2.0), L2)
+            .tables(8)
+            .hash_len(4)
+            .seed(11)
+            .cost_model(CostModel::from_ratio(4.0))
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_total() {
+        let a = ShardAssignment::new(9, 4);
+        let owners = a.partition(100);
+        assert_eq!(owners.len(), 4);
+        let total: usize = owners.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        for (s, ids) in owners.iter().enumerate() {
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "ascending owners");
+            for &id in ids {
+                assert_eq!(a.shard_of(id), s);
+            }
+        }
+        // Same seed → same partition; single shard owns everything.
+        assert_eq!(ShardAssignment::new(9, 4).partition(100), owners);
+        assert_eq!(ShardAssignment::new(9, 1).partition(5)[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = ShardAssignment::new(0, 0);
+    }
+
+    #[test]
+    fn sharded_rnnr_matches_sorted_unsharded_output() {
+        let data = grid_data(300);
+        let unsharded = builder().build(data.clone());
+        for shards in [1usize, 3] {
+            let sharded =
+                ShardedIndex::build(data.clone(), ShardAssignment::new(5, shards), builder());
+            assert_eq!(sharded.len(), 300);
+            for (qi, r) in [(0usize, 1.0), (140, 2.5), (299, 0.2)] {
+                let q = data.row(qi).to_vec();
+                for strategy in Strategy::ALL {
+                    let mut expect = unsharded.query_with_strategy(&q[..], r, strategy).ids;
+                    expect.sort_unstable();
+                    let got = sharded.query_with_strategy(&q[..], r, strategy);
+                    assert_eq!(got.ids, expect, "shards={shards} q={qi} r={r} {strategy}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_topk_matches_unsharded_byte_for_byte() {
+        let data = grid_data(250);
+        let schedule = RadiusSchedule::doubling(0.8, 4);
+        let level_builder = |_li: usize, r: f64| {
+            IndexBuilder::new(PStableL2::new(2, 2.0 * r), L2)
+                .tables(8)
+                .hash_len(4)
+                .seed(7)
+                .cost_model(CostModel::from_ratio(4.0))
+        };
+        let unsharded = TopKIndex::build(data.clone(), schedule, level_builder);
+        for shards in [1usize, 4] {
+            let sharded = ShardedTopKIndex::build(
+                data.clone(),
+                ShardAssignment::new(3, shards),
+                schedule,
+                level_builder,
+            );
+            for qi in (0..250).step_by(31) {
+                let q = data.row(qi).to_vec();
+                let a = unsharded.query_topk(&q[..], 7);
+                let b = sharded.query_topk(&q[..], 7);
+                assert_eq!(a, b, "shards={shards} q={qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential_and_frozen_matches_map() {
+        let data = grid_data(200);
+        let sharded = ShardedIndex::build(data.clone(), ShardAssignment::new(2, 3), builder());
+        let queries: Vec<Vec<f32>> = (0..12).map(|i| data.row(i * 16).to_vec()).collect();
+        let mut engine = ShardedQueryEngine::new();
+        let sequential: Vec<Vec<PointId>> =
+            queries.iter().map(|q| engine.query(&sharded, q, 1.5).ids).collect();
+        for threads in [Some(1), Some(4), None] {
+            let batch = sharded.query_batch_with_strategy(&queries, 1.5, Strategy::Hybrid, threads);
+            for (s, b) in sequential.iter().zip(&batch) {
+                assert_eq!(s, &b.ids, "threads {threads:?}");
+            }
+        }
+        let frozen = sharded.freeze();
+        for (qi, q) in queries.iter().enumerate() {
+            assert_eq!(frozen.query(q, 1.5).ids, sequential[qi], "frozen q={qi}");
+        }
+        let thawed = frozen.thaw();
+        assert_eq!(thawed.query(&queries[0], 1.5).ids, sequential[0]);
+    }
+
+    #[test]
+    fn empty_and_tiny_data_shard_cleanly() {
+        let empty = DenseDataset::new(2);
+        let sharded = ShardedIndex::build(empty, ShardAssignment::new(1, 3), builder());
+        assert!(sharded.is_empty());
+        assert!(sharded.query(&[0.0f32, 0.0][..], 1.0).ids.is_empty());
+
+        // Fewer points than shards: some shards stay empty.
+        let tiny = DenseDataset::from_rows(2, (0..2).map(|i| [i as f32, 0.0]));
+        let sharded = ShardedIndex::build(tiny, ShardAssignment::new(1, 7), builder());
+        assert_eq!(sharded.len(), 2);
+        let mut ids = sharded.query(&[0.0f32, 0.0][..], 1.5).ids;
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

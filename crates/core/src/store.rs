@@ -39,6 +39,42 @@ pub trait BucketStore {
     /// [`FrozenStore::thaw`] first.
     fn insert(&mut self, key: u64, id: PointId, config: HllConfig, lazy_threshold: usize);
 
+    /// Inserts a whole run of members into the bucket for `key` — the
+    /// bulk entry point of the blocked build pipeline, which groups a
+    /// table's `(key, id)` pairs by key before touching the store. The
+    /// default loops [`insert`](Self::insert); [`MapStore`] overrides
+    /// it with one entry lookup per run. Observables are byte-identical
+    /// to the per-id loop either way.
+    ///
+    /// # Panics
+    /// Immutable backends ([`FrozenStore`]) panic — they bulk-build
+    /// through [`from_runs`](Self::from_runs) instead.
+    fn insert_run(&mut self, key: u64, ids: &[PointId], config: HllConfig, lazy_threshold: usize) {
+        for &id in ids {
+            self.insert(key, id, config, lazy_threshold);
+        }
+    }
+
+    /// Builds a whole store from key-grouped runs (the blocked build
+    /// pipeline's terminal stage). The default creates an empty store
+    /// and replays [`insert_run`](Self::insert_run); [`FrozenStore`]
+    /// overrides it to lay out its CSR arena directly from the runs,
+    /// skipping the intermediate hashmap entirely.
+    ///
+    /// The result is byte-identical to per-point inserts of the same
+    /// `(key, id)` sequence (followed by a freeze, for the frozen
+    /// backend).
+    fn from_runs(runs: &crate::pipeline::KeyRuns, config: HllConfig, lazy_threshold: usize) -> Self
+    where
+        Self: Sized,
+    {
+        let mut store = Self::new();
+        for (key, ids) in runs.iter() {
+            store.insert_run(key, ids, config, lazy_threshold);
+        }
+        store
+    }
+
     /// Looks up the bucket for a raw key.
     fn get(&self, key: u64) -> Option<BucketRef<'_>>;
 
@@ -67,6 +103,26 @@ impl BucketStore for MapStore {
 
     fn insert(&mut self, key: u64, id: PointId, config: HllConfig, lazy_threshold: usize) {
         self.buckets.entry(key).or_default().insert(id, config, lazy_threshold);
+    }
+
+    fn insert_run(&mut self, key: u64, ids: &[PointId], config: HllConfig, lazy_threshold: usize) {
+        self.buckets.entry(key).or_default().insert_run(ids, config, lazy_threshold);
+    }
+
+    /// Like the default replay, but the bucket table is reserved up
+    /// front — the run count *is* the final bucket count, so no rehash
+    /// ever happens mid-build.
+    fn from_runs(
+        runs: &crate::pipeline::KeyRuns,
+        config: HllConfig,
+        lazy_threshold: usize,
+    ) -> Self {
+        let mut store = Self::default();
+        store.buckets.reserve(runs.len());
+        for (key, ids) in runs.iter() {
+            store.insert_run(key, ids, config, lazy_threshold);
+        }
+        store
     }
 
     fn get(&self, key: u64) -> Option<BucketRef<'_>> {
@@ -162,7 +218,12 @@ impl MapStore {
 /// kind survives freezing. Because bucket keys are well-mixed hash
 /// outputs, the top-byte prefix table narrows each search to ≈ `B/256`
 /// keys (a handful of probes even for millions of buckets).
-#[derive(Clone, Debug)]
+///
+/// Equality compares the full arena contents — two stores are equal iff
+/// they hold the same buckets with the same members and sketch
+/// registers — which is exactly the byte-identity assertion the blocked
+/// build pipeline's CI gate needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrozenStore {
     keys: Vec<u64>,
     prefix: Vec<u32>,
@@ -277,6 +338,57 @@ impl BucketStore for FrozenStore {
 
     fn insert(&mut self, _key: u64, _id: PointId, _config: HllConfig, _lazy_threshold: usize) {
         panic!("FrozenStore is immutable; thaw() the table back to a MapStore before inserting");
+    }
+
+    /// Lays the CSR arena out directly from the key-grouped runs — the
+    /// blocked build pipeline's zero-hashmap path. Runs arrive in
+    /// ascending key order with members in insertion order, which is
+    /// exactly the layout [`MapStore::freeze`] produces, so the result
+    /// is byte-identical to building a `MapStore` from the same
+    /// `(key, id)` sequence and freezing it.
+    fn from_runs(
+        runs: &crate::pipeline::KeyRuns,
+        config: HllConfig,
+        lazy_threshold: usize,
+    ) -> Self {
+        let nbuckets = runs.len();
+        let mut keys = Vec::with_capacity(nbuckets);
+        let mut offsets = Vec::with_capacity(nbuckets + 1);
+        let mut members = Vec::with_capacity(runs.total_members());
+        let mut sketch_config: Option<HllConfig> = None;
+        let mut sketch_bits = vec![0u64; nbuckets.div_ceil(64)];
+        let mut registers: Vec<u8> = Vec::new();
+        offsets.push(0usize);
+        let mut scratch = hlsh_hll::HyperLogLog::new(config);
+        for (i, (key, ids)) in runs.iter().enumerate() {
+            debug_assert!(keys.last().is_none_or(|&k| k < key), "runs must ascend by key");
+            keys.push(key);
+            members.extend_from_slice(ids);
+            offsets.push(members.len());
+            if ids.len() >= lazy_threshold {
+                if sketch_config.is_none() {
+                    sketch_config = Some(config);
+                }
+                scratch.clear();
+                for &id in ids {
+                    scratch.insert(id as u64);
+                }
+                sketch_bits[i / 64] |= 1u64 << (i % 64);
+                registers.extend_from_slice(scratch.registers());
+            }
+        }
+        let prefix = prefix_table(&keys);
+        let sketch_rank = rank_table(&sketch_bits);
+        FrozenStore {
+            keys,
+            prefix,
+            offsets,
+            members,
+            sketch_config,
+            sketch_bits,
+            sketch_rank,
+            registers,
+        }
     }
 
     fn get(&self, key: u64) -> Option<BucketRef<'_>> {

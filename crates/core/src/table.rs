@@ -22,6 +22,13 @@ impl<G, B: BucketStore> HashTable<G, B> {
         Self { g, store: B::new() }
     }
 
+    /// Assembles a table from a g-function and an already-built store —
+    /// the blocked build pipeline's terminal step, which builds stores
+    /// for all `L` tables in parallel and zips them back together.
+    pub fn from_parts(g: G, store: B) -> Self {
+        Self { g, store }
+    }
+
     /// The table's g-function.
     pub fn g(&self) -> &G {
         &self.g

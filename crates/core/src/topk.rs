@@ -232,7 +232,24 @@ where
     /// `level_builder(level, radius)` returns the fully configured
     /// [`IndexBuilder`] for that level; radius-dependent knobs (hash
     /// width `w`, concatenation width `k`) belong in the closure.
-    pub fn build<M>(data: S, schedule: RadiusSchedule, mut level_builder: M) -> Self
+    pub fn build<M>(data: S, schedule: RadiusSchedule, level_builder: M) -> Self
+    where
+        M: FnMut(usize, f64) -> IndexBuilder<F, D>,
+    {
+        Self::build_mapped(data, schedule, level_builder, None)
+    }
+
+    /// [`build`](Self::build) with the sharded build's id renaming
+    /// applied to every level (see
+    /// [`IndexBuilder::build_mapped`](crate::builder::IndexBuilder)):
+    /// row `i` is indexed under `id_map[i]` in every level's buckets
+    /// and sketches.
+    pub(crate) fn build_mapped<M>(
+        data: S,
+        schedule: RadiusSchedule,
+        mut level_builder: M,
+        id_map: Option<&[PointId]>,
+    ) -> Self
     where
         M: FnMut(usize, f64) -> IndexBuilder<F, D>,
     {
@@ -240,7 +257,7 @@ where
         let levels = schedule
             .radii()
             .enumerate()
-            .map(|(li, r)| level_builder(li, r).build(Arc::clone(&data)))
+            .map(|(li, r)| level_builder(li, r).build_mapped(Arc::clone(&data), id_map))
             .collect();
         Self { data, schedule, levels }
     }
@@ -478,19 +495,26 @@ impl TopKEngine {
             } else {
                 f64::NEG_INFINITY // level 0 always runs
             };
-            let out =
-                match self.engine.query_unless_cand_at_most(level, q, r, strategy, skip_at_most) {
-                    None => {
-                        deferred.push(li);
-                        continue;
-                    }
-                    Some(out) => out,
-                };
+            // Distance-returning level query: every reported id arrives
+            // with the exact distance its verification kernel already
+            // computed, so nothing is recomputed per id below.
+            let out = match self.engine.query_unless_cand_at_most_dist(
+                level,
+                q,
+                r,
+                strategy,
+                skip_at_most,
+            ) {
+                None => {
+                    deferred.push(li);
+                    continue;
+                }
+                Some(out) => out,
+            };
             report.levels_executed += 1;
             covered_r = r;
-            for &id in &out.ids {
+            for &(id, dist) in &out.pairs {
                 if self.reported.insert(id) {
-                    let dist = distance.distance(data.point(id as usize), q);
                     heap.push(Neighbor { id, dist });
                 }
             }
@@ -502,15 +526,22 @@ impl TopKEngine {
             // only happen once the heap is full), so only the rest are
             // scanned — which also covers anything a deferred level
             // would have found, so those levels were skipped outright.
+            // The scan is one distance-returning kernel pass over the
+            // whole set (r = ∞); already-reported ids are filtered out
+            // afterwards (their distances are a negligible fraction of
+            // the pass and the kernel throughput more than pays for
+            // them versus n per-id scalar distance calls).
             report.exact_fallback = true;
             report.levels_skipped = deferred.len();
-            for id in 0..n {
-                let id = id as PointId;
-                if !self.reported.contains(&id) {
-                    let dist = distance.distance(data.point(id as usize), q);
-                    heap.push(Neighbor { id, dist });
-                }
-            }
+            fallback_scan_into(
+                data,
+                distance,
+                q,
+                self.engine.verify_mode(),
+                &self.reported,
+                &mut heap,
+                |local| local,
+            );
         } else if !deferred.is_empty() {
             // The heap filled at deeper levels while earlier levels
             // were deferred on a prediction that can be wrong (sketch
@@ -519,16 +550,15 @@ impl TopKEngine {
             // deferred levels — each was predicted near-empty, so this
             // is cheap, and it restores the no-silent-loss property.
             for li in deferred {
-                let out = self.engine.query_with_strategy(
+                let out = self.engine.query_with_strategy_dist(
                     &index.levels()[li],
                     q,
                     index.schedule.radius(li),
                     strategy,
                 );
                 report.levels_executed += 1;
-                for &id in &out.ids {
+                for &(id, dist) in &out.pairs {
                     if self.reported.insert(id) {
-                        let dist = distance.distance(data.point(id as usize), q);
                         heap.push(Neighbor { id, dist });
                     }
                 }
@@ -538,6 +568,60 @@ impl TopKEngine {
         report.verified = self.reported.len();
         report.total_nanos = t_start.elapsed().as_nanos() as u64;
         TopKOutput { neighbors: heap.into_sorted_vec(), report }
+    }
+}
+
+/// The exact fallback's scan, shared by the unsharded and sharded
+/// engines: one distance-returning full pass (`r = ∞`) over `data`,
+/// offering every unreported row to the heap. Rows the scan's
+/// `d <= r` filter dropped — only possible when the distance is NaN,
+/// nothing else fails at `r = ∞` — appear as gaps in the scan's
+/// ascending row order and are offered via direct `distance()` calls,
+/// so the fallback's exactly-`min(k, n)`-results guarantee holds even
+/// for degenerate (NaN-coordinate) points, exactly as the pre-kernel
+/// per-id loop did ([`Neighbor`]'s `total_cmp` order ranks NaN last).
+/// `to_global` maps a scanned row to its reported id (identity here,
+/// the owner lookup for shards).
+pub(crate) fn fallback_scan_into<S, D>(
+    data: &S,
+    distance: &D,
+    q: &S::Point,
+    verify: VerifyMode,
+    reported: &FxHashSet<PointId>,
+    heap: &mut BoundedHeap,
+    mut to_global: impl FnMut(PointId) -> PointId,
+) where
+    S: PointSet + ?Sized,
+    D: Distance<S::Point>,
+{
+    let n = data.len();
+    let mut pairs = Vec::with_capacity(n);
+    match verify {
+        VerifyMode::Kernel => distance.scan_within_dist(data, q, f64::INFINITY, &mut pairs),
+        VerifyMode::Scalar => {
+            hlsh_vec::metric::scan_scalar_dist(distance, data, q, f64::INFINITY, &mut pairs)
+        }
+    }
+    let mut next = 0 as PointId;
+    let mut offer = |local: PointId, dist: f64, heap: &mut BoundedHeap| {
+        let id = to_global(local);
+        if !reported.contains(&id) {
+            heap.push(Neighbor { id, dist });
+        }
+    };
+    for (local, dist) in pairs {
+        while next < local {
+            let d = distance.distance(data.point(next as usize), q);
+            offer(next, d, heap);
+            next += 1;
+        }
+        offer(local, dist, heap);
+        next = local + 1;
+    }
+    while (next as usize) < n {
+        let d = distance.distance(data.point(next as usize), q);
+        offer(next, d, heap);
+        next += 1;
     }
 }
 
@@ -618,6 +702,40 @@ mod tests {
         assert_eq!(ids, vec![50, 49, 51, 48, 52]);
         assert_eq!(out.neighbors[0].dist, 0.0);
         assert_eq!(out.neighbors[1].dist, 1.0);
+    }
+
+    #[test]
+    fn exact_fallback_keeps_min_k_n_even_with_nan_rows() {
+        // A NaN-coordinate row has NaN distance to everything; the
+        // fallback's ∞-radius scan filter drops it (NaN <= ∞ is
+        // false), so the gap-completion path must offer it anyway —
+        // the min(k, n) guarantee ranks it last via total_cmp, exactly
+        // like the pre-kernel per-id fallback loop did.
+        let mut rows: Vec<[f32; 2]> = (0..12).map(|i| [i as f32, 0.0]).collect();
+        rows[3] = [f32::NAN, 0.0];
+        rows[11] = [f32::NAN, 1.0];
+        let data = DenseDataset::from_rows(2, rows);
+        let index = TopKIndex::build(data, RadiusSchedule::doubling(1.0, 2), |_, r| {
+            IndexBuilder::new(PStableL2::new(2, 2.0 * r), L2)
+                .tables(4)
+                .hash_len(3)
+                .seed(2)
+                .cost_model(CostModel::from_ratio(1e9)) // always the LSH arm
+        });
+        let out = index.query_topk(&[0.0f32, 0.0][..], 12);
+        assert!(out.report.exact_fallback, "report: {:?}", out.report);
+        assert_eq!(out.neighbors.len(), 12, "k = n must return every point");
+        // NaN rows rank last, ties by id.
+        assert_eq!(out.neighbors[10].id, 3);
+        assert_eq!(out.neighbors[11].id, 11);
+        assert!(out.neighbors[10].dist.is_nan() && out.neighbors[11].dist.is_nan());
+        // Scalar verify mode agrees.
+        let scalar = TopKEngine::with_verify_mode(VerifyMode::Scalar).query_topk(
+            &index,
+            &[0.0f32, 0.0][..],
+            12,
+        );
+        assert_eq!(scalar.neighbors.len(), 12);
     }
 
     #[test]

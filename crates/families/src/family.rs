@@ -44,6 +44,30 @@ pub trait GFunction<P: ?Sized>: Send + Sync {
 
     /// Number of concatenated atoms `k`.
     fn k(&self) -> usize;
+
+    /// Hashes the contiguous point range `start .. start + out.len()`
+    /// of `data`, writing the key of point `start + i` to `out[i]` —
+    /// the build-side batch entry point: Algorithm 1 construction hands
+    /// whole blocks of points to each table instead of looping
+    /// point-by-point.
+    ///
+    /// The default is the per-point [`bucket_key`](Self::bucket_key)
+    /// loop. Dense projection families (p-stable, SimHash) override it
+    /// to push the entire block through one point-blocked
+    /// matrix–matrix kernel ([`hlsh_vec::kernels::matmat`]); overrides
+    /// must produce **bit-identical keys** to the default, so blocked
+    /// and per-point builds yield byte-identical indexes.
+    ///
+    /// # Panics
+    /// Panics if `start + out.len()` exceeds `data.len()`.
+    fn bucket_keys_block<S>(&self, data: &S, start: usize, out: &mut [u64])
+    where
+        S: hlsh_vec::PointSet<Point = P> + ?Sized,
+    {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.bucket_key(data.point(start + i));
+        }
+    }
 }
 
 /// Initial state of the atom-combining fold (an FNV-ish offset basis).

@@ -98,6 +98,36 @@ impl GFunction<[f32]> for PStableGFn {
     fn k(&self) -> usize {
         self.shifts.len()
     }
+
+    /// All `B × k` projections of a point block in one [`matmat`]
+    /// kernel call, folded into per-point keys. The kernel reduces each
+    /// (projection, point) pair with the same schedule as the
+    /// per-point matvec, so the keys are bit-identical to a
+    /// [`bucket_key`](GFunction::bucket_key) loop.
+    ///
+    /// [`matmat`]: hlsh_vec::kernels::matmat
+    fn bucket_keys_block<S>(&self, data: &S, start: usize, out: &mut [u64])
+    where
+        S: hlsh_vec::PointSet<Point = [f32]> + ?Sized,
+    {
+        let k = self.shifts.len();
+        let Some(block) = data.dense_block(start, out.len()) else {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.bucket_key(data.point(start + i));
+            }
+            return;
+        };
+        let mut proj = vec![0.0f64; out.len() * k];
+        kernels::matmat(&self.proj, self.dim, block, &mut proj);
+        for (pi, slot) in out.iter_mut().enumerate() {
+            let mut key = COMBINE_SEED;
+            for (j, &p) in proj[pi * k..(pi + 1) * k].iter().enumerate() {
+                let s = ((p + self.shifts[j]) / self.w).floor() as i64;
+                key = combine_step(key, s as u64);
+            }
+            *slot = key;
+        }
+    }
 }
 
 fn sample_gfn(dim: usize, w: f64, stable: Stable, k: usize, rng: &mut StdRng) -> PStableGFn {
@@ -282,6 +312,38 @@ mod tests {
         let atoms = g.atom_values(&x);
         assert_eq!(atoms.len(), 7);
         assert_eq!(g.key_from_atoms(&atoms), g.bucket_key(&x));
+    }
+
+    #[test]
+    fn blocked_keys_match_per_point_keys_bitwise() {
+        use hlsh_vec::{DenseDataset, PointSet};
+        // Block sizes straddling the kernel's 2-point tile, dims
+        // straddling the lane width; both stable distributions.
+        for (dim, n) in [(6usize, 11usize), (24, 16), (33, 5), (64, 4)] {
+            let data = DenseDataset::from_rows(
+                dim,
+                (0..n).map(|i| {
+                    (0..dim).map(|j| ((i * dim + j) as f32 * 0.29).sin() * 2.0).collect::<Vec<_>>()
+                }),
+            );
+            for k in [1usize, 4, 7] {
+                let g2 = PStableL2::new(dim, 1.7).sample(k, &mut rng_stream(13, 0));
+                let g1 = PStableL1::new(dim, 2.3).sample(k, &mut rng_stream(14, 0));
+                for g in [&g2, &g1] {
+                    let mut blocked = vec![0u64; n];
+                    g.bucket_keys_block(&data, 0, &mut blocked);
+                    for (i, &key) in blocked.iter().enumerate() {
+                        assert_eq!(key, g.bucket_key(data.point(i)), "dim={dim} n={n} k={k} i={i}");
+                    }
+                    // A sub-range (unaligned start) must agree too.
+                    if n > 3 {
+                        let mut part = vec![0u64; n - 3];
+                        g.bucket_keys_block(&data, 2, &mut part);
+                        assert_eq!(part[..], blocked[2..n - 1], "sub-range dim={dim} k={k}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

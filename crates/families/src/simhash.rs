@@ -84,6 +84,33 @@ impl GFunction<[f32]> for SimHashGFn {
     fn k(&self) -> usize {
         self.planes.len() / self.dim
     }
+
+    /// All `B × k` sign bits from one point-blocked
+    /// [`matmat`](hlsh_vec::kernels::matmat) pass; bit-identical keys
+    /// to the per-point loop.
+    fn bucket_keys_block<S>(&self, data: &S, start: usize, out: &mut [u64])
+    where
+        S: hlsh_vec::PointSet<Point = [f32]> + ?Sized,
+    {
+        let k = GFunction::k(self);
+        let Some(block) = data.dense_block(start, out.len()) else {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = self.bucket_key(data.point(start + i));
+            }
+            return;
+        };
+        let mut proj = vec![0.0f64; out.len() * k];
+        kernels::matmat(&self.planes, self.dim, block, &mut proj);
+        for (pi, slot) in out.iter_mut().enumerate() {
+            let mut key = 0u64;
+            for (j, &p) in proj[pi * k..(pi + 1) * k].iter().enumerate() {
+                if p >= 0.0 {
+                    key |= 1u64 << j;
+                }
+            }
+            *slot = key;
+        }
+    }
 }
 
 impl LshFamily<[f32]> for SimHash {
@@ -224,6 +251,26 @@ mod tests {
         assert!(d_near < d_far, "near {d_near} vs far {d_far}");
         assert_eq!(fps.len(), 3);
         assert_eq!(fps.bits(), 64);
+    }
+
+    #[test]
+    fn blocked_keys_match_per_point_keys_bitwise() {
+        use hlsh_vec::PointSet;
+        let dim = 19;
+        let n = 10;
+        let data = DenseDataset::from_rows(
+            dim,
+            (0..n)
+                .map(|i| (0..dim).map(|j| ((i * dim + j) as f32 * 0.41).cos()).collect::<Vec<_>>()),
+        );
+        for k in [1usize, 16, 64] {
+            let g = SimHash::new(dim).sample(k, &mut rng_stream(6, 0));
+            let mut blocked = vec![0u64; n];
+            g.bucket_keys_block(&data, 0, &mut blocked);
+            for (i, &key) in blocked.iter().enumerate() {
+                assert_eq!(key, g.bucket_key(data.point(i)), "k={k} i={i}");
+            }
+        }
     }
 
     #[test]

@@ -231,6 +231,17 @@ impl crate::dataset::GrowablePointSet for BinaryDataset {
     }
 }
 
+impl crate::dataset::SubsetPointSet for BinaryDataset {
+    fn subset(&self, ids: &[crate::dataset::PointId]) -> Self {
+        let wpr = self.words_per_row;
+        let mut data = Vec::with_capacity(ids.len() * wpr);
+        for &id in ids {
+            data.extend_from_slice(self.row(id as usize));
+        }
+        Self { bits: self.bits, words_per_row: wpr, data }
+    }
+}
+
 impl PointSet for BinaryDataset {
     type Point = [u64];
 

@@ -42,6 +42,19 @@ pub trait PointSet {
     fn dense_view(&self) -> Option<(&[f32], usize)> {
         None
     }
+
+    /// The contiguous dense storage of points `start .. start + len`,
+    /// if the set has a dense view — the input shape of the
+    /// point-blocked hashing kernel ([`crate::kernels::matmat`]): index
+    /// construction hashes one such block per kernel call instead of
+    /// one point at a time.
+    ///
+    /// # Panics
+    /// Panics if `start + len` exceeds the set's length (via the slice
+    /// bounds of the dense view).
+    fn dense_block(&self, start: usize, len: usize) -> Option<&[f32]> {
+        self.dense_view().map(|(flat, dim)| &flat[start * dim..(start + len) * dim])
+    }
 }
 
 impl<T: PointSet + ?Sized> PointSet for &T {
@@ -93,6 +106,23 @@ pub trait GrowablePointSet: PointSet {
     /// Implementations panic on shape mismatch (wrong dimensionality /
     /// bit width).
     fn push_point(&mut self, p: &Self::Point);
+}
+
+/// A point set that can extract an owned copy of a subset of its rows.
+///
+/// This is the sharding hook: a sharded index partitions global point
+/// ids across shards and materialises each shard's rows contiguously,
+/// so every shard keeps a dense view (and with it the one-to-many
+/// verification and block-hashing kernels). Implemented by
+/// [`crate::DenseDataset`] and [`crate::BinaryDataset`].
+pub trait SubsetPointSet: PointSet + Sized {
+    /// Returns a new set holding exactly the rows `ids`, in the given
+    /// order: row `i` of the result is a copy of row `ids[i]` of
+    /// `self`.
+    ///
+    /// # Panics
+    /// Implementations panic if any id is out of bounds.
+    fn subset(&self, ids: &[PointId]) -> Self;
 }
 
 #[cfg(test)]

@@ -161,6 +161,16 @@ impl crate::dataset::GrowablePointSet for DenseDataset {
     }
 }
 
+impl crate::dataset::SubsetPointSet for DenseDataset {
+    fn subset(&self, ids: &[crate::dataset::PointId]) -> Self {
+        let mut out = DenseDataset::with_capacity(self.dim, ids.len());
+        for &id in ids {
+            out.push(self.row(id as usize));
+        }
+        out
+    }
+}
+
 impl PointSet for DenseDataset {
     type Point = [f32];
 
@@ -348,5 +358,32 @@ mod tests {
         let ds = DenseDataset::from_rows(2, [[1.0f32, 2.0]]);
         assert_eq!(PointSet::len(&ds), 1);
         assert_eq!(PointSet::point(&ds, 0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_block_is_the_contiguous_row_range() {
+        let ds = DenseDataset::from_rows(3, (0..5).map(|i| [i as f32, 0.0, 1.0]));
+        let block = ds.dense_block(1, 3).expect("dense sets have blocks");
+        assert_eq!(block.len(), 9);
+        assert_eq!(&block[0..3], ds.row(1));
+        assert_eq!(&block[6..9], ds.row(4 - 1));
+        assert!(ds.dense_block(0, 0).expect("empty block").is_empty());
+    }
+
+    #[test]
+    fn subset_copies_rows_in_given_order() {
+        use crate::dataset::SubsetPointSet;
+        let ds = DenseDataset::from_rows(2, (0..6).map(|i| [i as f32, -(i as f32)]));
+        let sub = ds.subset(&[4, 0, 5]);
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.dim(), 2);
+        assert_eq!(sub.row(0), ds.row(4));
+        assert_eq!(sub.row(1), ds.row(0));
+        assert_eq!(sub.row(2), ds.row(5));
+        // Subsets stay dense: the kernels keep working on shards.
+        assert!(sub.dense_view().is_some());
+        let empty = ds.subset(&[]);
+        assert_eq!(empty.len(), 0);
+        assert_eq!(empty.dim(), 2);
     }
 }

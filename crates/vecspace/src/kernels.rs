@@ -227,6 +227,95 @@ pub fn matvec_each<F: FnMut(usize, f64)>(mat: &[f32], dim: usize, x: &[f32], mut
     }
 }
 
+/// Points processed per tile by [`matmat`]. Together with `ROW_BLOCK`
+/// (4) this forms a `2 × 4` register tile — 8 independent
+/// lane accumulators, enough parallel FMA chains to hide the FMA
+/// latency that caps [`matvec`]'s four-chain tile at ~1 FMA/cycle
+/// while still fitting the accumulators, the staged point chunks and a
+/// streaming row chunk in a 16-register vector file (a 4 × 4 tile's 16
+/// accumulators spill and measured slower; see `BENCH_build.json`).
+const POINT_BLOCK: usize = 2;
+
+/// Dense matrix–matrix product for a *block of points*:
+/// `out[p·rows + j] = row_j(mat) · point_p` for the `points.len() / dim`
+/// row-major points and the `mat.len() / dim` row-major rows of `mat`.
+///
+/// This is the build-side dual of [`matvec`]: where a query hashes one
+/// point against all `k` projections, index construction hashes a block
+/// of `B` points per table in one pass. The kernel tiles `POINT_BLOCK`
+/// (2) points × `ROW_BLOCK` (4) rows, staging each point's chunk
+/// once per tile and streaming every row chunk across the staged
+/// points, so the 8 independent accumulator chains keep the FMA pipes
+/// full without reloading `mat` per point.
+///
+/// Every `(row, point)` pair reduces with the same lane/fold schedule
+/// as [`dot`], so `out[p·rows + j]` is **bit-identical** to
+/// `dot(row_j, point_p)` — and therefore to a per-point [`matvec`] —
+/// which is what lets the blocked build pipeline produce byte-identical
+/// bucket keys to the per-point baseline.
+///
+/// # Panics
+/// Panics if `mat.len()` or `points.len()` is not a multiple of `dim`,
+/// or `out.len() != rows · npoints`.
+pub fn matmat(mat: &[f32], dim: usize, points: &[f32], out: &mut [f64]) {
+    assert!(dim > 0 && mat.len().is_multiple_of(dim), "matrix shape mismatch");
+    assert!(points.len().is_multiple_of(dim), "point block shape mismatch");
+    let rows = mat.len() / dim;
+    let npts = points.len() / dim;
+    assert_eq!(out.len(), rows * npts, "output length mismatch");
+    let whole = dim - dim % LANES;
+    let mut p = 0;
+    while p + POINT_BLOCK <= npts {
+        let mut r = 0;
+        while r + ROW_BLOCK <= rows {
+            let mut acc = [[[0.0f32; LANES]; ROW_BLOCK]; POINT_BLOCK];
+            let mut i = 0;
+            while i < whole {
+                // Stage each point's chunk once, then stream every row
+                // chunk across all staged points: one load per row
+                // chunk per tile instead of one per (row, point) pair.
+                let mut xs = [[0.0f32; LANES]; POINT_BLOCK];
+                for (pi, x) in xs.iter_mut().enumerate() {
+                    x.copy_from_slice(&points[(p + pi) * dim + i..(p + pi) * dim + i + LANES]);
+                }
+                for rj in 0..ROW_BLOCK {
+                    let row = &mat[(r + rj) * dim + i..(r + rj) * dim + i + LANES];
+                    for (pi, tile) in acc.iter_mut().enumerate() {
+                        let lane = &mut tile[rj];
+                        for l in 0..LANES {
+                            lane[l] += row[l] * xs[pi][l];
+                        }
+                    }
+                }
+                i += LANES;
+            }
+            for (pi, tile) in acc.iter().enumerate() {
+                for (rj, lane) in tile.iter().enumerate() {
+                    let mut sum = fold(*lane);
+                    for t in whole..dim {
+                        sum +=
+                            (mat[(r + rj) * dim + t] as f64) * (points[(p + pi) * dim + t] as f64);
+                    }
+                    out[(p + pi) * rows + (r + rj)] = sum;
+                }
+            }
+            r += ROW_BLOCK;
+        }
+        while r < rows {
+            for pi in 0..POINT_BLOCK {
+                out[(p + pi) * rows + r] =
+                    dot(&mat[r * dim..(r + 1) * dim], &points[(p + pi) * dim..(p + pi + 1) * dim]);
+            }
+            r += 1;
+        }
+        p += POINT_BLOCK;
+    }
+    while p < npts {
+        matvec(mat, dim, &points[p * dim..(p + 1) * dim], &mut out[p * rows..(p + 1) * rows]);
+        p += 1;
+    }
+}
+
 /// Accumulates `Σ (a_i − b_i)²` with a periodic early exit: returns
 /// `None` as soon as a partial sum provably exceeds `exit_bound`,
 /// `Some(total)` otherwise. Partial sums of squares are monotone, so an
@@ -431,6 +520,101 @@ pub fn l1_one_to_many(
     }
 }
 
+// ---------------------------------------------------------------------
+// Distance-returning variants: same accept predicate, bit-identical
+// accepted set and ordering as their id-only counterparts, but they
+// also emit the distance each accept already computed — so callers that
+// rank by distance (top-k) never pay a second per-id distance pass.
+// Rejected candidates (early exit included) emit nothing.
+// ---------------------------------------------------------------------
+
+/// [`l2_one_to_many`] variant emitting `(id, distance)` pairs. The
+/// distance is the fully accumulated `sqrt(l2_sq(row, q))` — bit-
+/// identical to a separate [`l2`] call on the same row.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or an id indexes past the matrix.
+pub fn l2_one_to_many_dist(
+    flat: &[f32],
+    dim: usize,
+    ids: &[PointId],
+    q: &[f32],
+    r: f64,
+    out: &mut Vec<(PointId, f64)>,
+) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r * r);
+    for &id in ids {
+        let start = id as usize * dim;
+        let row = &flat[start..start + dim];
+        if let Some(d2) = l2_sq_within(row, q, exit_bound) {
+            let d = d2.sqrt();
+            if d <= r {
+                out.push((id, d));
+            }
+        }
+    }
+}
+
+/// Full-scan counterpart of [`l2_one_to_many_dist`], in row order.
+///
+/// # Panics
+/// Panics if `q.len() != dim`.
+pub fn l2_scan_dist(flat: &[f32], dim: usize, q: &[f32], r: f64, out: &mut Vec<(PointId, f64)>) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r * r);
+    for (id, row) in flat.chunks_exact(dim).enumerate() {
+        if let Some(d2) = l2_sq_within(row, q, exit_bound) {
+            let d = d2.sqrt();
+            if d <= r {
+                out.push((id as PointId, d));
+            }
+        }
+    }
+}
+
+/// [`l1_one_to_many`] variant emitting `(id, distance)` pairs; the
+/// distance is bit-identical to a separate [`l1`] call.
+///
+/// # Panics
+/// Panics if `q.len() != dim` or an id indexes past the matrix.
+pub fn l1_one_to_many_dist(
+    flat: &[f32],
+    dim: usize,
+    ids: &[PointId],
+    q: &[f32],
+    r: f64,
+    out: &mut Vec<(PointId, f64)>,
+) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r);
+    for &id in ids {
+        let start = id as usize * dim;
+        let row = &flat[start..start + dim];
+        if let Some(d) = l1_within(row, q, exit_bound) {
+            if d <= r {
+                out.push((id, d));
+            }
+        }
+    }
+}
+
+/// Full-scan counterpart of [`l1_one_to_many_dist`], in row order.
+///
+/// # Panics
+/// Panics if `q.len() != dim`.
+pub fn l1_scan_dist(flat: &[f32], dim: usize, q: &[f32], r: f64, out: &mut Vec<(PointId, f64)>) {
+    assert_eq!(q.len(), dim, "query length mismatch");
+    let exit_bound = inflate(r);
+    for (id, row) in flat.chunks_exact(dim).enumerate() {
+        if let Some(d) = l1_within(row, q, exit_bound) {
+            if d <= r {
+                out.push((id as PointId, d));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +791,106 @@ mod tests {
         let mut got = Vec::new();
         l2_one_to_many(&flat, dim, &ids, &q, -1.0, &mut got);
         assert!(got.is_empty(), "negative radius must reject everything");
+    }
+
+    #[test]
+    fn matmat_matches_matvec_bitwise() {
+        // Tile path (2 points × 4 rows), row remainders, and point
+        // remainders must all reduce exactly like the per-point matvec.
+        for (npts, rows, dim) in
+            [(1usize, 1usize, 3usize), (4, 4, 24), (5, 7, 64), (9, 6, 17), (11, 8, 256), (3, 4, 8)]
+        {
+            let mat = wave(rows * dim, 0.6);
+            let pts = wave(npts * dim, 1.9);
+            let mut out = vec![0.0f64; npts * rows];
+            matmat(&mat, dim, &pts, &mut out);
+            for p in 0..npts {
+                let mut per_point = vec![0.0f64; rows];
+                matvec(&mat, dim, &pts[p * dim..(p + 1) * dim], &mut per_point);
+                for (j, &v) in per_point.iter().enumerate() {
+                    assert_eq!(
+                        out[p * rows + j].to_bits(),
+                        v.to_bits(),
+                        "point {p} row {j} of {npts}x{rows}x{dim}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmat_empty_point_block() {
+        let mat = wave(8, 0.0);
+        let mut out: Vec<f64> = Vec::new();
+        matmat(&mat, 4, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn matmat_rejects_bad_output_len() {
+        let mut out = [0.0f64; 3];
+        matmat(&[0.0; 8], 4, &[0.0; 8], &mut out);
+    }
+
+    #[test]
+    fn dist_variants_match_id_variants_and_emit_exact_distances() {
+        let dim = 48;
+        let n = 120;
+        let flat = wave(n * dim, 0.8);
+        let q = wave(dim, 2.9);
+        let ids: Vec<PointId> = (0..n as PointId).collect();
+
+        let mut d2s: Vec<f64> = (0..n).map(|i| l2(&flat[i * dim..(i + 1) * dim], &q)).collect();
+        d2s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for r in [d2s[5], d2s[n / 2], d2s[n - 1], -1.0] {
+            let mut ids_only = Vec::new();
+            l2_one_to_many(&flat, dim, &ids, &q, r, &mut ids_only);
+            let mut pairs = Vec::new();
+            l2_one_to_many_dist(&flat, dim, &ids, &q, r, &mut pairs);
+            assert_eq!(pairs.iter().map(|&(id, _)| id).collect::<Vec<_>>(), ids_only, "r={r}");
+            for &(id, d) in &pairs {
+                let expect = l2(&flat[id as usize * dim..(id as usize + 1) * dim], &q);
+                assert_eq!(d.to_bits(), expect.to_bits(), "l2 dist for id {id}");
+            }
+            let mut scan_pairs = Vec::new();
+            l2_scan_dist(&flat, dim, &q, r, &mut scan_pairs);
+            assert_eq!(scan_pairs, pairs, "scan vs gather at r={r}");
+        }
+
+        let mut d1s: Vec<f64> = (0..n).map(|i| l1(&flat[i * dim..(i + 1) * dim], &q)).collect();
+        d1s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for r in [d1s[5], d1s[n / 2], d1s[n - 1]] {
+            let mut ids_only = Vec::new();
+            l1_one_to_many(&flat, dim, &ids, &q, r, &mut ids_only);
+            let mut pairs = Vec::new();
+            l1_one_to_many_dist(&flat, dim, &ids, &q, r, &mut pairs);
+            assert_eq!(pairs.iter().map(|&(id, _)| id).collect::<Vec<_>>(), ids_only, "r={r}");
+            for &(id, d) in &pairs {
+                let expect = l1(&flat[id as usize * dim..(id as usize + 1) * dim], &q);
+                assert_eq!(d.to_bits(), expect.to_bits(), "l1 dist for id {id}");
+            }
+            let mut scan_pairs = Vec::new();
+            l1_scan_dist(&flat, dim, &q, r, &mut scan_pairs);
+            assert_eq!(scan_pairs, pairs, "l1 scan vs gather at r={r}");
+        }
+    }
+
+    #[test]
+    fn dist_scan_with_infinite_radius_covers_every_row() {
+        // The top-k exact fallback scans with r = ∞ to get every
+        // distance in one kernel pass; nothing may be dropped.
+        let dim = 20;
+        let n = 33;
+        let flat = wave(n * dim, 0.2);
+        let q = wave(dim, 1.1);
+        let mut pairs = Vec::new();
+        l2_scan_dist(&flat, dim, &q, f64::INFINITY, &mut pairs);
+        assert_eq!(pairs.len(), n);
+        for (i, &(id, d)) in pairs.iter().enumerate() {
+            assert_eq!(id as usize, i);
+            assert_eq!(d.to_bits(), l2(&flat[i * dim..(i + 1) * dim], &q).to_bits());
+        }
     }
 
     #[test]

@@ -35,6 +35,6 @@ pub mod parallel;
 pub mod stats;
 
 pub use binary::{BinaryDataset, BinaryVec};
-pub use dataset::{GrowablePointSet, PointId, PointSet};
+pub use dataset::{GrowablePointSet, PointId, PointSet, SubsetPointSet};
 pub use dense::DenseDataset;
 pub use metric::{Cosine, Distance, Hamming, Jaccard, MetricKind, UnitCosine, L1, L2};

@@ -47,6 +47,42 @@ pub trait Distance<P: ?Sized>: Clone + Send + Sync {
     {
         scan_scalar(self, data, q, r, out);
     }
+
+    /// Distance-returning batched verification: like
+    /// [`verify_many`](Self::verify_many) but appends `(id, distance)`
+    /// pairs, emitting the distance the filter already computed. The
+    /// accepted id sequence is identical to `verify_many` and each
+    /// distance is bit-identical to `self.distance(data.point(id), q)`,
+    /// so rankers (the top-k engine) can consume verification output
+    /// directly instead of recomputing every reported neighbor's
+    /// distance per id.
+    fn verify_many_dist<S>(
+        &self,
+        data: &S,
+        ids: &[PointId],
+        q: &P,
+        r: f64,
+        out: &mut Vec<(PointId, f64)>,
+    ) where
+        S: PointSet<Point = P> + ?Sized,
+        Self: Sized,
+    {
+        verify_scalar_dist(self, data, ids, q, r, out);
+    }
+
+    /// Distance-returning full scan: like
+    /// [`scan_within`](Self::scan_within) but appends `(id, distance)`
+    /// pairs in ascending id order, with the same bit-identity contract
+    /// as [`verify_many_dist`](Self::verify_many_dist). Passing
+    /// `r = f64::INFINITY` turns this into a full distance table in one
+    /// kernel pass — the top-k exact fallback's shape.
+    fn scan_within_dist<S>(&self, data: &S, q: &P, r: f64, out: &mut Vec<(PointId, f64)>)
+    where
+        S: PointSet<Point = P> + ?Sized,
+        Self: Sized,
+    {
+        scan_scalar_dist(self, data, q, r, out);
+    }
 }
 
 /// Enumeration of the metrics used in the paper's evaluation, for
@@ -117,6 +153,44 @@ where
     }
 }
 
+/// Distance-returning per-id verification loop backing the trait's
+/// provided `verify_many_dist` default; see [`verify_scalar`].
+pub fn verify_scalar_dist<P, S, D>(
+    d: &D,
+    data: &S,
+    ids: &[PointId],
+    q: &P,
+    r: f64,
+    out: &mut Vec<(PointId, f64)>,
+) where
+    P: ?Sized,
+    S: PointSet<Point = P> + ?Sized,
+    D: Distance<P>,
+{
+    for &id in ids {
+        let dist = d.distance(data.point(id as usize), q);
+        if dist <= r {
+            out.push((id, dist));
+        }
+    }
+}
+
+/// Distance-returning full-scan loop backing the trait's provided
+/// `scan_within_dist` default; see [`verify_scalar`].
+pub fn scan_scalar_dist<P, S, D>(d: &D, data: &S, q: &P, r: f64, out: &mut Vec<(PointId, f64)>)
+where
+    P: ?Sized,
+    S: PointSet<Point = P> + ?Sized,
+    D: Distance<P>,
+{
+    for id in 0..data.len() {
+        let dist = d.distance(data.point(id), q);
+        if dist <= r {
+            out.push((id as PointId, dist));
+        }
+    }
+}
+
 /// Per-row dense filter over listed candidates for metrics without a
 /// dedicated one-to-many kernel: accepts id iff `row_dist(row) <= r`,
 /// where `row_dist` must compute exactly what the metric's
@@ -152,6 +226,40 @@ fn scan_dense_rows(
     }
 }
 
+/// Distance-returning counterpart of [`verify_dense_rows`].
+fn verify_dense_rows_dist(
+    flat: &[f32],
+    dim: usize,
+    ids: &[PointId],
+    r: f64,
+    row_dist: impl Fn(&[f32]) -> f64,
+    out: &mut Vec<(PointId, f64)>,
+) {
+    for &id in ids {
+        let start = id as usize * dim;
+        let dist = row_dist(&flat[start..start + dim]);
+        if dist <= r {
+            out.push((id, dist));
+        }
+    }
+}
+
+/// Distance-returning counterpart of [`scan_dense_rows`].
+fn scan_dense_rows_dist(
+    flat: &[f32],
+    dim: usize,
+    r: f64,
+    row_dist: impl Fn(&[f32]) -> f64,
+    out: &mut Vec<(PointId, f64)>,
+) {
+    for (id, row) in flat.chunks_exact(dim).enumerate() {
+        let dist = row_dist(row);
+        if dist <= r {
+            out.push((id as PointId, dist));
+        }
+    }
+}
+
 /// Manhattan distance over dense vectors.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct L1;
@@ -183,6 +291,32 @@ impl Distance<[f32]> for L1 {
         match data.dense_view() {
             Some((flat, dim)) => kernels::l1_scan(flat, dim, q, r, out),
             None => scan_scalar(self, data, q, r, out),
+        }
+    }
+
+    fn verify_many_dist<S>(
+        &self,
+        data: &S,
+        ids: &[PointId],
+        q: &[f32],
+        r: f64,
+        out: &mut Vec<(PointId, f64)>,
+    ) where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l1_one_to_many_dist(flat, dim, ids, q, r, out),
+            None => verify_scalar_dist(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within_dist<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<(PointId, f64)>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l1_scan_dist(flat, dim, q, r, out),
+            None => scan_scalar_dist(self, data, q, r, out),
         }
     }
 }
@@ -222,6 +356,32 @@ impl Distance<[f32]> for L2 {
         match data.dense_view() {
             Some((flat, dim)) => kernels::l2_scan(flat, dim, q, r, out),
             None => scan_scalar(self, data, q, r, out),
+        }
+    }
+
+    fn verify_many_dist<S>(
+        &self,
+        data: &S,
+        ids: &[PointId],
+        q: &[f32],
+        r: f64,
+        out: &mut Vec<(PointId, f64)>,
+    ) where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l2_one_to_many_dist(flat, dim, ids, q, r, out),
+            None => verify_scalar_dist(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within_dist<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<(PointId, f64)>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => kernels::l2_scan_dist(flat, dim, q, r, out),
+            None => scan_scalar_dist(self, data, q, r, out),
         }
     }
 }
@@ -264,6 +424,41 @@ impl Distance<[f32]> for Cosine {
                 scan_dense_rows(flat, dim, r, |row| kernels::cosine_distance(row, q), out)
             }
             None => scan_scalar(self, data, q, r, out),
+        }
+    }
+
+    fn verify_many_dist<S>(
+        &self,
+        data: &S,
+        ids: &[PointId],
+        q: &[f32],
+        r: f64,
+        out: &mut Vec<(PointId, f64)>,
+    ) where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => verify_dense_rows_dist(
+                flat,
+                dim,
+                ids,
+                r,
+                |row| kernels::cosine_distance(row, q),
+                out,
+            ),
+            None => verify_scalar_dist(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within_dist<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<(PointId, f64)>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => {
+                scan_dense_rows_dist(flat, dim, r, |row| kernels::cosine_distance(row, q), out)
+            }
+            None => scan_scalar_dist(self, data, q, r, out),
         }
     }
 }
@@ -310,6 +505,36 @@ impl Distance<[f32]> for UnitCosine {
                 scan_dense_rows(flat, dim, r, |row| 1.0 - kernels::dot(row, q), out)
             }
             None => scan_scalar(self, data, q, r, out),
+        }
+    }
+
+    fn verify_many_dist<S>(
+        &self,
+        data: &S,
+        ids: &[PointId],
+        q: &[f32],
+        r: f64,
+        out: &mut Vec<(PointId, f64)>,
+    ) where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => {
+                verify_dense_rows_dist(flat, dim, ids, r, |row| 1.0 - kernels::dot(row, q), out)
+            }
+            None => verify_scalar_dist(self, data, ids, q, r, out),
+        }
+    }
+
+    fn scan_within_dist<S>(&self, data: &S, q: &[f32], r: f64, out: &mut Vec<(PointId, f64)>)
+    where
+        S: PointSet<Point = [f32]> + ?Sized,
+    {
+        match data.dense_view() {
+            Some((flat, dim)) => {
+                scan_dense_rows_dist(flat, dim, r, |row| 1.0 - kernels::dot(row, q), out)
+            }
+            None => scan_scalar_dist(self, data, q, r, out),
         }
     }
 }
@@ -402,6 +627,83 @@ mod tests {
         assert_eq!(Jaccard.name(), "Jaccard");
         assert_eq!(MetricKind::Cosine.to_string(), "cosine");
         assert_eq!(MetricKind::L1.to_string(), "L1");
+    }
+
+    #[test]
+    fn dist_verification_matches_id_verification_for_every_metric() {
+        use crate::DenseDataset;
+        let dim = 12;
+        let data = DenseDataset::from_rows(
+            dim,
+            (0..60).map(|i| {
+                (0..dim).map(|j| ((i * dim + j) as f32 * 0.31).sin()).collect::<Vec<f32>>()
+            }),
+        );
+        let q: Vec<f32> = (0..dim).map(|j| (j as f32 * 0.7).cos()).collect();
+        let ids: Vec<PointId> = (0..60).collect();
+
+        fn check<D: Distance<[f32]>>(
+            d: &D,
+            data: &crate::DenseDataset,
+            ids: &[PointId],
+            q: &[f32],
+        ) {
+            // Median distance as the radius: both accepts and rejects.
+            let mut dists: Vec<f64> =
+                ids.iter().map(|&id| d.distance(data.row(id as usize), q)).collect();
+            dists.sort_by(|a, b| a.total_cmp(b));
+            let r = dists[dists.len() / 2];
+            let mut ids_only = Vec::new();
+            d.verify_many(data, ids, q, r, &mut ids_only);
+            let mut pairs = Vec::new();
+            d.verify_many_dist(data, ids, q, r, &mut pairs);
+            assert_eq!(
+                pairs.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                ids_only,
+                "{} verify ids",
+                d.name()
+            );
+            for &(id, dist) in &pairs {
+                assert_eq!(
+                    dist.to_bits(),
+                    d.distance(data.row(id as usize), q).to_bits(),
+                    "{} dist of id {id}",
+                    d.name()
+                );
+            }
+            let mut scan_ids = Vec::new();
+            d.scan_within(data, q, r, &mut scan_ids);
+            let mut scan_pairs = Vec::new();
+            d.scan_within_dist(data, q, r, &mut scan_pairs);
+            assert_eq!(
+                scan_pairs.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                scan_ids,
+                "{} scan ids",
+                d.name()
+            );
+            // r = ∞ covers every row with its exact distance.
+            let mut all = Vec::new();
+            d.scan_within_dist(data, q, f64::INFINITY, &mut all);
+            assert_eq!(all.len(), data.len(), "{} full table", d.name());
+        }
+        check(&L1, &data, &ids, &q);
+        check(&L2, &data, &ids, &q);
+        check(&Cosine, &data, &ids, &q);
+        check(&UnitCosine, &data, &ids, &q);
+    }
+
+    #[test]
+    fn dist_defaults_cover_non_dense_metrics() {
+        use crate::BinaryDataset;
+        let data = BinaryDataset::from_fingerprints(&[0b0001, 0b0011, 0b1111, 0b1000]);
+        let q = [0b0001u64];
+        let ids: Vec<PointId> = vec![0, 1, 2, 3];
+        let mut pairs = Vec::new();
+        Hamming.verify_many_dist(&data, &ids, &q[..], 1.0, &mut pairs);
+        assert_eq!(pairs, vec![(0, 0.0), (1, 1.0)]);
+        let mut scan = Vec::new();
+        Hamming.scan_within_dist(&data, &q[..], 2.0, &mut scan);
+        assert_eq!(scan, vec![(0, 0.0), (1, 1.0), (3, 2.0)]);
     }
 
     /// Triangle inequality spot checks: metric axioms on random-ish data.

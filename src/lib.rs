@@ -55,17 +55,18 @@ pub use hlsh_probe as probe;
 pub use hlsh_vec as vec;
 
 pub use hlsh_core::{
-    BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, Neighbor,
-    QueryEngine, QueryOutput, RadiusSchedule, Strategy, TopKEngine, TopKIndex, TopKOutput,
-    VerifyMode,
+    BucketStore, BuildMode, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore,
+    Neighbor, QueryEngine, QueryOutput, RadiusSchedule, ShardAssignment, ShardedIndex,
+    ShardedTopKIndex, Strategy, TopKEngine, TopKIndex, TopKOutput, VerifyMode,
 };
 
 /// One-line import for applications.
 pub mod prelude {
     pub use hlsh_core::{
-        BucketStore, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore, Neighbor,
-        QueryEngine, QueryOutput, QueryReport, RadiusSchedule, Strategy, TopKEngine, TopKIndex,
-        TopKOutput, TopKReport, VerifyMode,
+        BucketStore, BuildMode, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore,
+        Neighbor, QueryEngine, QueryOutput, QueryReport, RadiusSchedule, ShardAssignment,
+        ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex, Strategy,
+        TopKEngine, TopKIndex, TopKOutput, TopKReport, VerifyMode,
     };
     pub use hlsh_families::{
         k_paper, k_safe, BitSampling, LshFamily, MinHash, PStableL1, PStableL2, PaperParams,
@@ -74,6 +75,6 @@ pub mod prelude {
     pub use hlsh_hll::{HllConfig, HyperLogLog};
     pub use hlsh_vec::{
         BinaryDataset, BinaryVec, Cosine, DenseDataset, Distance, Hamming, Jaccard, PointSet,
-        UnitCosine, L1, L2,
+        SubsetPointSet, UnitCosine, L1, L2,
     };
 }
