@@ -21,6 +21,34 @@
 //! Every generator takes `n` and a seed, so experiments run at any
 //! scale deterministically. `hlsh_vec::io` parses the original files if
 //! a user has them; the harness accepts either source.
+//!
+//! # Example
+//!
+//! Generate the standard benchmark mixture (the corpus the
+//! `throughput`/`topk`/`loadgen` bins and the CI gates all use) and
+//! check an index's answers against exact ground truth:
+//!
+//! ```
+//! use hlsh_datagen::{benchmark_mixture, ground_truth};
+//! use hlsh_vec::{PointSet, L2};
+//!
+//! let radius = 1.5;
+//! let (mut data, cluster_of) = benchmark_mixture(8, 2_000, radius, 42);
+//! assert_eq!(data.len(), 2_000);
+//! assert_eq!(cluster_of.len(), 2_000);        // cluster label per point
+//!
+//! // Same seed ⇒ same corpus, bit for bit (what lets `loadgen`
+//! // regenerate the server's corpus client-side).
+//! let (again, _) = benchmark_mixture(8, 2_000, radius, 42);
+//! assert_eq!(data.row(123), again.row(123));
+//!
+//! // Exact rNNR ground truth via one kernelized scan per query.
+//! let queries = data.split_off_rows(&[0, 500, 1000]);
+//! let truth = ground_truth(&data, &queries, &L2, radius);
+//! assert_eq!(truth.len(), 3);
+//! // The near-duplicate mega-cluster makes *some* query dense.
+//! assert!(truth.iter().any(|ids| !ids.is_empty()));
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

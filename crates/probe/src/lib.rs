@@ -20,6 +20,35 @@
 //!   keeps the table count practical at larger radii, and the same
 //!   per-bucket HLL instrumentation so hybrid decisions work there too
 //!   ([`CoveringLshIndex`]).
+//!
+//! # Example
+//!
+//! Multi-probe trades tables for probes: here 6 tables at 3 probes
+//! each stand in for a larger single-probe index, while the hybrid
+//! cost model still guards against dense queries. Every reported id is
+//! verified, so the output is exact over the probed candidates.
+//!
+//! ```
+//! use hlsh_core::{CostModel, IndexBuilder, Strategy};
+//! use hlsh_families::PStableL2;
+//! use hlsh_probe::multiprobe_query;
+//! use hlsh_vec::{DenseDataset, L2};
+//!
+//! let data = DenseDataset::from_rows(2, (0..300).map(|i| [(i % 20) as f32, (i / 20) as f32]));
+//! let index = IndexBuilder::new(PStableL2::new(2, 2.0), L2)
+//!     .tables(6)
+//!     .hash_len(4)
+//!     .seed(9)
+//!     .cost_model(CostModel::from_ratio(6.0))
+//!     .build(data);
+//!
+//! let q = [5.0f32, 5.0];
+//! let out = multiprobe_query(&index, &q, 1.0, 3, Strategy::Hybrid);
+//! assert!(out.ids.contains(&105)); // the grid point at exactly (5, 5)
+//! assert!(out.ids.iter().all(|&id| {
+//!     hlsh_vec::dense::l2(index.data().row(id as usize), &q) <= 1.0
+//! }));
+//! ```
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -1,0 +1,311 @@
+//! Load generator for a running `serve` process: open/closed-loop
+//! request streams, latency percentiles, throughput, `--json` records.
+//!
+//! ```text
+//! cargo run --release -p hlsh-server --bin loadgen -- \
+//!     [--addr HOST:PORT] [--mode closed|open] [--clients N] [--batch N] \
+//!     [--requests N] [--rate F] [--radius F] [--k N] \
+//!     [--n N] [--dim N] [--seed N] [--queries N] \
+//!     [--warmup N] [--connect-timeout-secs N] [--json PATH]
+//! ```
+//!
+//! Query vectors are drawn from the same `benchmark_mixture` corpus
+//! the server indexes (same `--n/--dim/--seed` ⇒ same points), so the
+//! workload matches the in-process `throughput`/`topk` bench bins and
+//! socket-path numbers are directly comparable to `BENCH_*.json`.
+//!
+//! * **closed loop** (default): each client keeps exactly one request
+//!   in flight — latency is service time, throughput is what the
+//!   admission batcher can coalesce.
+//! * **open loop**: requests fire on a fixed schedule (`--rate`
+//!   requests/s across all clients) and latency is measured from the
+//!   *scheduled* send time, so queueing delay from a falling-behind
+//!   server is charged to the server, not silently absorbed
+//!   (no coordinated omission).
+//!
+//! `--json PATH` writes a `BENCH_serve.json`-style record; `--k N`
+//! adds a top-k phase after the rNNR phase.
+
+use std::time::{Duration, Instant};
+
+use hlsh_datagen::benchmark_mixture;
+use hlsh_server::Client;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Closed,
+    Open,
+}
+
+struct Args {
+    addr: String,
+    mode: Mode,
+    clients: usize,
+    batch: usize,
+    requests: usize,
+    rate: f64,
+    radius: f64,
+    k: usize,
+    n: usize,
+    dim: usize,
+    seed: u64,
+    queries: usize,
+    warmup: usize,
+    connect_timeout_secs: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: "127.0.0.1:7411".into(),
+        mode: Mode::Closed,
+        clients: 2,
+        batch: 64,
+        requests: 32,
+        rate: 100.0,
+        radius: 1.5,
+        k: 10,
+        n: 20_000,
+        dim: 24,
+        seed: 23,
+        queries: 256,
+        warmup: 2,
+        connect_timeout_secs: 120,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab_str =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
+        macro_rules! grab {
+            ($name:literal) => {
+                grab_str($name)
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("{} needs a positive integer", $name))
+            };
+        }
+        macro_rules! grab_f {
+            ($name:literal) => {
+                grab_str($name).parse::<f64>().unwrap_or_else(|_| panic!("{} needs a float", $name))
+            };
+        }
+        match arg.as_str() {
+            "--addr" => out.addr = grab_str("--addr"),
+            "--mode" => {
+                out.mode = match grab_str("--mode").as_str() {
+                    "closed" => Mode::Closed,
+                    "open" => Mode::Open,
+                    other => panic!("--mode must be 'closed' or 'open', got {other:?}"),
+                }
+            }
+            "--clients" => out.clients = grab!("--clients").max(1),
+            "--batch" => out.batch = grab!("--batch").max(1),
+            "--requests" => out.requests = grab!("--requests").max(1),
+            "--rate" => out.rate = grab_f!("--rate").max(0.001),
+            "--radius" => out.radius = grab_f!("--radius"),
+            "--k" => out.k = grab!("--k"),
+            "--n" => out.n = grab!("--n"),
+            "--dim" => out.dim = grab!("--dim").max(1),
+            "--seed" => out.seed = grab!("--seed") as u64,
+            "--queries" => out.queries = grab!("--queries").max(1),
+            "--warmup" => out.warmup = grab!("--warmup"),
+            "--connect-timeout-secs" => {
+                out.connect_timeout_secs = grab!("--connect-timeout-secs") as u64
+            }
+            "--json" => out.json = Some(grab_str("--json")),
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\nusage: loadgen [--addr HOST:PORT] [--mode closed|open] [--clients N] [--batch N] [--requests N] [--rate F] [--radius F] [--k N] [--n N] [--dim N] [--seed N] [--queries N] [--warmup N] [--connect-timeout-secs N] [--json PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(out.queries < out.n, "--queries must be smaller than --n");
+    out
+}
+
+/// Per-phase latency/throughput summary (all microseconds).
+struct PhaseResult {
+    id: String,
+    queries_per_sec: f64,
+    requests_per_sec: f64,
+    p50_us: u64,
+    p90_us: u64,
+    p99_us: u64,
+    max_us: u64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One request issued against the server; returns the answered query
+/// count (consumed so the optimizer can't elide the decode).
+fn issue(client: &mut Client, queries: &[Vec<f32>], radius: f64, k: usize) -> usize {
+    if k > 0 {
+        let out = client.query_topk_batch(queries, k).unwrap_or_else(|e| panic!("topk: {e}"));
+        out.len()
+    } else {
+        let out = client.query_batch(queries, radius).unwrap_or_else(|e| panic!("rnnr: {e}"));
+        out.len()
+    }
+}
+
+/// Runs one phase (`k == 0` ⇒ rNNR, else top-k) and gathers latencies.
+#[allow(clippy::too_many_arguments)]
+fn run_phase(args: &Args, pool: &[Vec<f32>], k: usize) -> PhaseResult {
+    // Each client gets its own connection and pre-cut request batches
+    // (round-robin over the pool so every request differs).
+    let per_client_requests = args.requests;
+    let batches: Vec<Vec<Vec<Vec<f32>>>> = (0..args.clients)
+        .map(|c| {
+            (0..per_client_requests)
+                .map(|i| {
+                    let start = (c * per_client_requests + i) * args.batch;
+                    (0..args.batch).map(|j| pool[(start + j) % pool.len()].clone()).collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let deadline = Duration::from_secs(args.connect_timeout_secs);
+    let mut clients: Vec<Client> = (0..args.clients)
+        .map(|_| {
+            Client::connect_retry(args.addr.as_str(), deadline)
+                .unwrap_or_else(|e| panic!("cannot connect to {}: {e}", args.addr))
+        })
+        .collect();
+
+    // Warmup (connection setup, first-tick effects) outside the clock.
+    for (client, reqs) in clients.iter_mut().zip(&batches) {
+        for req in reqs.iter().take(args.warmup) {
+            issue(client, req, args.radius, k);
+        }
+    }
+
+    // Open-loop spacing: clients share one global schedule, interleaved.
+    let interval = Duration::from_secs_f64(1.0 / args.rate);
+    let start = Instant::now();
+    let latencies: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(&batches)
+            .enumerate()
+            .map(|(c, (client, reqs))| {
+                let (mode, radius, clients) = (args.mode, args.radius, args.clients);
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(reqs.len());
+                    for (i, req) in reqs.iter().enumerate() {
+                        let t0 = if mode == Mode::Open {
+                            // Client c owns schedule slots c, c+C, c+2C…
+                            let slot = start + interval * (c + i * clients) as u32;
+                            let now = Instant::now();
+                            if slot > now {
+                                std::thread::sleep(slot - now);
+                            }
+                            slot // latency from the *scheduled* time
+                        } else {
+                            Instant::now()
+                        };
+                        std::hint::black_box(issue(client, req, radius, k));
+                        lat.push(t0.elapsed().as_micros() as u64);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut all: Vec<u64> = latencies.into_iter().flatten().collect();
+    all.sort_unstable();
+    let total_requests = all.len();
+    let total_queries = total_requests * args.batch;
+    let mode = if args.mode == Mode::Open { "open" } else { "closed" };
+    let what = if k > 0 { format!("topk k={k}") } else { format!("rnnr r={}", args.radius) };
+    PhaseResult {
+        id: format!("{what} {mode} c={} b={}", args.clients, args.batch),
+        queries_per_sec: total_queries as f64 / wall,
+        requests_per_sec: total_requests as f64 / wall,
+        p50_us: percentile(&all, 50.0),
+        p90_us: percentile(&all, 90.0),
+        p99_us: percentile(&all, 99.0),
+        max_us: all.last().copied().unwrap_or(0),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // The same mixture the server indexed; stride rows as the query
+    // pool, matching the bench bins' query selection.
+    let (data, _) = benchmark_mixture(args.dim, args.n, args.radius, args.seed);
+    let stride = args.n / args.queries;
+    let pool: Vec<Vec<f32>> = (0..args.queries).map(|i| data.row(i * stride).to_vec()).collect();
+    drop(data);
+
+    let mut probe =
+        Client::connect_retry(args.addr.as_str(), Duration::from_secs(args.connect_timeout_secs))
+            .unwrap_or_else(|e| panic!("cannot connect to {}: {e}", args.addr));
+    let info = probe.info().unwrap_or_else(|e| panic!("info: {e}"));
+    drop(probe);
+    assert_eq!(
+        info.dim as usize, args.dim,
+        "server indexes dim={} but loadgen generates dim={}",
+        info.dim, args.dim
+    );
+    println!(
+        "server at {}: {} points, dim {}, {} shard(s), {} top-k level(s)",
+        args.addr, info.points, info.dim, info.shards, info.topk_levels
+    );
+
+    let mut results = vec![run_phase(&args, &pool, 0)];
+    if args.k > 0 && info.topk_levels > 0 {
+        results.push(run_phase(&args, &pool, args.k));
+    }
+
+    for r in &results {
+        println!(
+            "{:<34} {:>9.0} queries/s  {:>7.0} req/s   p50 {:>7} µs  p90 {:>7} µs  p99 {:>7} µs  max {:>7} µs",
+            r.id, r.queries_per_sec, r.requests_per_sec, r.p50_us, r.p90_us, r.p99_us, r.max_us
+        );
+    }
+
+    if let Some(path) = &args.json {
+        let mode = if args.mode == Mode::Open { "open" } else { "closed" };
+        let entries: Vec<String> = results
+            .iter()
+            .map(|r| {
+                format!(
+                    "    {{ \"id\": \"{}\", \"queries_per_sec\": {:.1}, \"requests_per_sec\": {:.1}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {} }}",
+                    r.id, r.queries_per_sec, r.requests_per_sec, r.p50_us, r.p90_us, r.p99_us, r.max_us
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\n  \"bench\": \"serve\",\n  \"command\": \"cargo run --release -p hlsh-server --bin loadgen\",\n  \"params\": {{ \"mode\": \"{mode}\", \"clients\": {}, \"batch\": {}, \"requests_per_client\": {}, \"rate\": {:.1}, \"n\": {}, \"dim\": {}, \"seed\": {}, \"radius\": {}, \"k\": {} }},\n  \"server\": {{ \"points\": {}, \"dim\": {}, \"shards\": {}, \"topk_levels\": {} }},\n  \"results\": [\n{}\n  ]\n}}\n",
+            args.clients,
+            args.batch,
+            args.requests,
+            args.rate,
+            args.n,
+            args.dim,
+            args.seed,
+            args.radius,
+            args.k,
+            info.points,
+            info.dim,
+            info.shards,
+            info.topk_levels,
+            entries.join(",\n"),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Build the standard mixture corpus and serve it over TCP.
+//!
+//! ```text
+//! cargo run --release -p hlsh-server --bin serve -- \
+//!     [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] \
+//!     [--shards N] [--levels N] [--no-topk] [--radius F] \
+//!     [--batch-window-us N] [--threads N] [--max-frame-mb N]
+//! ```
+//!
+//! Builds a frozen [`ShardedIndex`] (rNNR) and, unless `--no-topk`, a
+//! frozen [`ShardedTopKIndex`] ladder over the same
+//! `benchmark_mixture` corpus the `throughput`/`topk` bench bins use,
+//! then serves both until killed. Index parameters mirror those bins,
+//! so socket-path numbers from `loadgen` are directly comparable to
+//! the in-process `BENCH_*.json` baselines. Port 0 binds an ephemeral
+//! port; the bound address is printed either way.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hlsh_core::{
+    CostModel, IndexBuilder, RadiusSchedule, ShardAssignment, ShardedIndex, ShardedTopKIndex,
+};
+use hlsh_datagen::benchmark_mixture;
+use hlsh_families::PStableL2;
+use hlsh_server::{ServerConfig, ShardedLshService};
+use hlsh_vec::L2;
+
+struct Args {
+    addr: String,
+    port: u16,
+    n: usize,
+    dim: usize,
+    seed: u64,
+    shards: usize,
+    levels: usize,
+    topk: bool,
+    radius: f64,
+    batch_window_us: u64,
+    threads: Option<usize>,
+    max_frame_mb: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: "127.0.0.1".into(),
+        port: 7411,
+        n: 20_000,
+        dim: 24,
+        seed: 23,
+        shards: 2,
+        levels: 4,
+        topk: true,
+        radius: 1.5,
+        batch_window_us: 100,
+        threads: None,
+        max_frame_mb: 32,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab_str =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
+        let mut grab = |name: &str| -> usize {
+            grab_str(name).parse().unwrap_or_else(|_| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--addr" => out.addr = grab_str("--addr"),
+            "--port" => out.port = grab("--port") as u16,
+            "--n" => out.n = grab("--n"),
+            "--dim" => out.dim = grab("--dim").max(1),
+            "--seed" => out.seed = grab("--seed") as u64,
+            "--shards" => out.shards = grab("--shards").max(1),
+            "--levels" => out.levels = grab("--levels").max(1),
+            "--no-topk" => out.topk = false,
+            "--radius" => {
+                out.radius = grab_str("--radius")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--radius needs a float"))
+            }
+            "--batch-window-us" => out.batch_window_us = grab("--batch-window-us") as u64,
+            "--threads" => out.threads = Some(grab("--threads").max(1)),
+            "--max-frame-mb" => out.max_frame_mb = grab("--max-frame-mb").max(1),
+            other => {
+                eprintln!(
+                    "unknown flag {other:?}\nusage: serve [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let assignment = ShardAssignment::new(args.seed, args.shards);
+    let builder = || {
+        IndexBuilder::new(PStableL2::new(args.dim, 2.0 * args.radius), L2)
+            .tables(20)
+            .hash_len(7)
+            .seed(args.seed)
+            .cost_model(CostModel::from_ratio(6.0))
+    };
+
+    eprintln!(
+        "building mixture corpus n={} dim={} seed={} (shards={}, topk={})…",
+        args.n, args.dim, args.seed, args.shards, args.topk
+    );
+    let (data, _) = benchmark_mixture(args.dim, args.n, args.radius, args.seed);
+    let rnnr = ShardedIndex::build_frozen(data, assignment, builder());
+
+    let topk = args.topk.then(|| {
+        let (data, _) = benchmark_mixture(args.dim, args.n, args.radius, args.seed);
+        let schedule = RadiusSchedule::doubling(args.radius, args.levels);
+        ShardedTopKIndex::build(data, assignment, schedule, |_, r| {
+            IndexBuilder::new(PStableL2::new(args.dim, 2.0 * r), L2)
+                .tables(20)
+                .hash_len(6)
+                .seed(args.seed)
+                .cost_model(CostModel::from_ratio(6.0))
+        })
+        .freeze()
+    });
+
+    let service = Arc::new(ShardedLshService::new(rnnr, topk, args.dim));
+    let config = ServerConfig {
+        max_frame_bytes: args.max_frame_mb * 1024 * 1024,
+        batch_window: Duration::from_micros(args.batch_window_us),
+        batch_threads: args.threads,
+    };
+    let server = hlsh_server::spawn(service, (args.addr.as_str(), args.port), config)
+        .unwrap_or_else(|e| panic!("cannot bind {}:{}: {e}", args.addr, args.port));
+
+    // One parseable line for scripts, flushed past any pipe buffering.
+    use std::io::Write as _;
+    println!(
+        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}us)",
+        server.local_addr(),
+        args.n,
+        args.dim,
+        args.shards,
+        if args.topk { args.levels } else { 0 },
+        args.batch_window_us,
+    );
+    std::io::stdout().flush().ok();
+
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,181 @@
+//! A synchronous, connection-reusing client for the `hlsh` protocol.
+//!
+//! One [`Client`] owns one TCP connection and issues one request at a
+//! time (the protocol is strictly request/response per connection —
+//! concurrency comes from opening more clients, which the server's
+//! admission batcher coalesces back into large batch calls). Results
+//! decode to exactly the types the in-process batch APIs return.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+use hlsh_vec::PointId;
+
+use crate::protocol::{
+    self, decode_response, read_frame, write_frame, ErrorCode, QueryBlock, Request, Response,
+    ServerInfo, WireError,
+};
+
+/// Everything a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, EOF mid-frame).
+    Io(io::Error),
+    /// The server answered with an error frame.
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's diagnostic message.
+        message: String,
+    },
+    /// The server's bytes do not parse, or a response of the wrong
+    /// kind arrived.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error {code:?}: {message}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A synchronous `hlsh` protocol client over one reused connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connects to a server (TCP, `TCP_NODELAY` on).
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Retries [`Client::connect`] until `deadline_in` elapses — the
+    /// standard way to wait for a `serve` process that is still
+    /// building its index.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        deadline_in: Duration,
+    ) -> io::Result<Self> {
+        let deadline = Instant::now() + deadline_in;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Self> {
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Self { reader, writer, max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES })
+    }
+
+    /// Caps the response size this client will accept.
+    pub fn with_max_frame_bytes(mut self, max: usize) -> Self {
+        self.max_frame_bytes = max;
+        self
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &req.encode())?;
+        let (kind, body) = read_frame(&mut self.reader, self.max_frame_bytes)?;
+        let resp = decode_response(kind, &body)?;
+        if let Response::Error { code, message } = resp {
+            return Err(ClientError::Server { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Asks the server what it is serving.
+    pub fn info(&mut self) -> Result<ServerInfo, ClientError> {
+        match self.roundtrip(&Request::Info)? {
+            Response::Info(info) => Ok(info),
+            other => Err(ClientError::Protocol(format!("expected info response, got {other:?}"))),
+        }
+    }
+
+    /// rNNR batch: for each query, the ids within `radius`, ascending —
+    /// byte-identical to the server-side in-process
+    /// [`query_batch`](hlsh_core::ShardedIndex::query_batch) call.
+    ///
+    /// Every query must have the same length; the server validates it
+    /// against the index dimensionality.
+    pub fn query_batch(
+        &mut self,
+        queries: &[Vec<f32>],
+        radius: f64,
+    ) -> Result<Vec<Vec<PointId>>, ClientError> {
+        let dim = queries.first().map_or(0, Vec::len);
+        let req = Request::Rnnr { radius, queries: QueryBlock::pack(queries, dim) };
+        match self.roundtrip(&req)? {
+            Response::Rnnr(out) => {
+                if out.len() != queries.len() {
+                    return Err(ClientError::Protocol(format!(
+                        "sent {} queries, got {} results",
+                        queries.len(),
+                        out.len()
+                    )));
+                }
+                Ok(out)
+            }
+            other => Err(ClientError::Protocol(format!("expected rnnr response, got {other:?}"))),
+        }
+    }
+
+    /// Top-k batch: for each query, the `min(k, n)` nearest
+    /// `(id, distance)` pairs in ascending `(distance, id)` order —
+    /// byte-identical (distances included, bit for bit) to the
+    /// server-side
+    /// [`query_topk_batch`](hlsh_core::ShardedTopKIndex::query_topk_batch)
+    /// call.
+    pub fn query_topk_batch(
+        &mut self,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Result<Vec<Vec<(PointId, f64)>>, ClientError> {
+        let dim = queries.first().map_or(0, Vec::len);
+        let req = Request::TopK { k: k as u32, queries: QueryBlock::pack(queries, dim) };
+        match self.roundtrip(&req)? {
+            Response::TopK(out) => {
+                if out.len() != queries.len() {
+                    return Err(ClientError::Protocol(format!(
+                        "sent {} queries, got {} results",
+                        queries.len(),
+                        out.len()
+                    )));
+                }
+                Ok(out)
+            }
+            other => Err(ClientError::Protocol(format!("expected topk response, got {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,737 @@
+//! The `hlsh` wire protocol: length-prefixed binary frames.
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     len      u32 LE: byte length of everything after this
+//!                        field (header remainder + body); 8 ≤ len ≤
+//!                        the receiver's max-frame limit
+//! 4       4     magic    b"HLSH"
+//! 8       1     version  PROTOCOL_VERSION (currently 1)
+//! 9       1     kind     frame kind (see below)
+//! 10      2     reserved must be zero
+//! 12      len-8 body     kind-specific payload
+//! ```
+//!
+//! All integers are little-endian; `f32`/`f64` are IEEE-754 bit
+//! patterns in little-endian byte order, so vectors and distances
+//! survive the round trip *bit-exactly* — the property the loopback CI
+//! gate pins (socket responses byte-identical to in-process
+//! [`query_batch`](hlsh_core::ShardedIndex::query_batch) results).
+//!
+//! Frame kinds and their bodies are documented on [`Request`] and
+//! [`Response`]; `docs/PROTOCOL.md` in the repository root specifies
+//! the format (including batching semantics and error handling)
+//! precisely enough to write a third-party client. Decoding is total:
+//! every malformed input maps to a [`WireError`], never a panic.
+
+use std::io::{self, Read, Write};
+
+/// Protocol magic, the first four post-length bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"HLSH";
+
+/// Current protocol version; bumped on any incompatible frame change.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on `len` (bytes after the length prefix) a peer accepts.
+/// At d = 1024 this still admits ~8k queries per request frame.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
+
+/// Frame kind bytes. Requests have the high bit clear, responses set
+/// (error frames use `0x7F`, distinct from both ranges).
+pub mod kind {
+    /// r-near-neighbor-reporting batch request.
+    pub const RNNR: u8 = 0x01;
+    /// Top-k batch request.
+    pub const TOPK: u8 = 0x02;
+    /// Server/index metadata request (empty body).
+    pub const INFO: u8 = 0x03;
+    /// rNNR batch response.
+    pub const RNNR_RESP: u8 = 0x81;
+    /// Top-k batch response.
+    pub const TOPK_RESP: u8 = 0x82;
+    /// Metadata response.
+    pub const INFO_RESP: u8 = 0x83;
+    /// Error response.
+    pub const ERROR: u8 = 0x7F;
+}
+
+/// Error codes carried by [`kind::ERROR`] frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The magic bytes were not `b"HLSH"`.
+    BadMagic = 1,
+    /// The version byte is not supported by the receiver.
+    BadVersion = 2,
+    /// The kind byte names no known frame.
+    UnknownKind = 3,
+    /// The body does not parse as its kind's layout.
+    Malformed = 4,
+    /// The declared frame length exceeds the receiver's limit.
+    TooLarge = 5,
+    /// A query vector's dimensionality does not match the index.
+    DimMismatch = 6,
+    /// The request is valid but this server cannot serve it (e.g. a
+    /// top-k request against an rNNR-only deployment).
+    Unsupported = 7,
+    /// The server failed internally while executing the request.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// The code for a raw wire value, if it names one.
+    pub fn from_u16(v: u16) -> Option<Self> {
+        Some(match v {
+            1 => Self::BadMagic,
+            2 => Self::BadVersion,
+            3 => Self::UnknownKind,
+            4 => Self::Malformed,
+            5 => Self::TooLarge,
+            6 => Self::DimMismatch,
+            7 => Self::Unsupported,
+            8 => Self::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// Everything that can go wrong while decoding bytes off the wire.
+///
+/// [`WireError::to_code`] maps each variant to the [`ErrorCode`] a
+/// server reports back; [`WireError::recoverable`] tells the server
+/// whether the connection may live on afterwards or must be dropped
+/// because the stream position is unknowable.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/file error (includes clean EOF between frames).
+    Io(io::Error),
+    /// Bad magic bytes — the peer is not speaking this protocol.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame kind byte.
+    UnknownKind(u8),
+    /// Body bytes do not parse as the declared kind.
+    Malformed(&'static str),
+    /// Declared length is too small to contain the frame header. Kept
+    /// apart from [`WireError::Malformed`] because the declared bytes
+    /// were *not* consumed, so the connection cannot survive.
+    TooShort {
+        /// The length the peer declared (< 8).
+        declared: usize,
+    },
+    /// Declared length exceeds the local frame limit.
+    TooLarge {
+        /// The length the peer declared.
+        declared: usize,
+        /// The local limit it exceeded.
+        limit: usize,
+    },
+}
+
+impl WireError {
+    /// The [`ErrorCode`] a server should answer with.
+    pub fn to_code(&self) -> ErrorCode {
+        match self {
+            WireError::Io(_) => ErrorCode::Internal,
+            WireError::BadMagic => ErrorCode::BadMagic,
+            WireError::BadVersion(_) => ErrorCode::BadVersion,
+            WireError::UnknownKind(_) => ErrorCode::UnknownKind,
+            WireError::Malformed(_) => ErrorCode::Malformed,
+            WireError::TooShort { .. } => ErrorCode::Malformed,
+            WireError::TooLarge { .. } => ErrorCode::TooLarge,
+        }
+    }
+
+    /// Whether the connection's stream position is still trustworthy
+    /// after this error (`false` ⇒ the server must close it: the
+    /// oversized/foreign bytes were never consumed).
+    pub fn recoverable(&self) -> bool {
+        matches!(self, WireError::UnknownKind(_) | WireError::Malformed(_))
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "i/o: {e}"),
+            WireError::BadMagic => write!(f, "bad magic (not an HLSH frame)"),
+            WireError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (this side speaks {PROTOCOL_VERSION})")
+            }
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Malformed(what) => write!(f, "malformed body: {what}"),
+            WireError::TooShort { declared } => {
+                write!(f, "declared frame length {declared} cannot contain the 8-byte header")
+            }
+            WireError::TooLarge { declared, limit } => {
+                write!(f, "frame of {declared} bytes exceeds the {limit}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A batch of query vectors in wire layout: row-major `f32`s.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryBlock {
+    /// Dimensionality of every query.
+    pub dim: u32,
+    /// Row-major `count × dim` matrix; `data.len() = count · dim`.
+    pub data: Vec<f32>,
+}
+
+impl QueryBlock {
+    /// Packs per-query slices into wire layout.
+    ///
+    /// # Panics
+    /// Panics if any query's length differs from `dim`.
+    pub fn pack(queries: &[Vec<f32>], dim: usize) -> Self {
+        let mut data = Vec::with_capacity(queries.len() * dim);
+        for q in queries {
+            assert_eq!(q.len(), dim, "query length must equal dim");
+            data.extend_from_slice(q);
+        }
+        Self { dim: dim as u32, data }
+    }
+
+    /// Number of queries in the block.
+    pub fn count(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.data.len() / self.dim as usize
+        }
+    }
+
+    /// Unpacks the block into one owned vector per query.
+    pub fn rows(&self) -> Vec<Vec<f32>> {
+        self.data.chunks_exact(self.dim.max(1) as usize).map(<[f32]>::to_vec).collect()
+    }
+}
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// [`kind::RNNR`] — report every indexed point within `radius` of
+    /// each query. Body: `radius f64, dim u32, count u32,
+    /// count·dim × f32`.
+    Rnnr {
+        /// The reporting radius.
+        radius: f64,
+        /// The query vectors.
+        queries: QueryBlock,
+    },
+    /// [`kind::TOPK`] — the `k` nearest neighbors of each query.
+    /// Body: `k u32, dim u32, count u32, count·dim × f32`.
+    TopK {
+        /// Neighbors requested per query.
+        k: u32,
+        /// The query vectors.
+        queries: QueryBlock,
+    },
+    /// [`kind::INFO`] — index metadata. Empty body.
+    Info,
+}
+
+/// Index metadata answered to [`Request::Info`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Indexed points.
+    pub points: u64,
+    /// Vector dimensionality the index expects.
+    pub dim: u32,
+    /// Shard count of the serving index.
+    pub shards: u32,
+    /// Radius-schedule levels of the top-k ladder (0 ⇒ top-k requests
+    /// are answered with [`ErrorCode::Unsupported`]).
+    pub topk_levels: u32,
+}
+
+/// A decoded response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// [`kind::RNNR_RESP`] — per query, the ids within the radius in
+    /// ascending order. Body: `count u32`, then per query
+    /// `m u32, m × u32`.
+    Rnnr(Vec<Vec<u32>>),
+    /// [`kind::TOPK_RESP`] — per query, `(id, distance)` pairs in
+    /// ascending `(distance, id)` order. Body: `count u32`, then per
+    /// query `m u32, m × (u32, f64)`.
+    TopK(Vec<Vec<(u32, f64)>>),
+    /// [`kind::INFO_RESP`] — body: `points u64, dim u32, shards u32,
+    /// topk_levels u32`.
+    Info(ServerInfo),
+    /// [`kind::ERROR`] — body: `code u16, msg_len u16, msg_len × u8`
+    /// (UTF-8 diagnostic, never required for correct operation).
+    Error {
+        /// What went wrong.
+        code: ErrorCode,
+        /// Human-readable diagnostic.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Byte-buffer helpers shared by the encoders; all little-endian.
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32s(&mut self, vs: &[f32]) {
+        self.0.reserve(vs.len() * 4);
+        for v in vs {
+            self.0.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Frames `(kind, body)` into one contiguous byte vector ready for a
+/// single `write_all`.
+fn frame(kind: u8, body: &[u8]) -> Vec<u8> {
+    let len = (8 + body.len()) as u32;
+    let mut out = Vec::with_capacity(4 + len as usize);
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&[0, 0]); // reserved
+    out.extend_from_slice(body);
+    out
+}
+
+fn encode_block(e: &mut Enc, b: &QueryBlock) {
+    e.u32(b.dim);
+    e.u32(b.count() as u32);
+    e.f32s(&b.data);
+}
+
+impl Request {
+    /// Encodes the request as one complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        let kind = match self {
+            Request::Rnnr { radius, queries } => {
+                e.f64(*radius);
+                encode_block(&mut e, queries);
+                kind::RNNR
+            }
+            Request::TopK { k, queries } => {
+                e.u32(*k);
+                encode_block(&mut e, queries);
+                kind::TOPK
+            }
+            Request::Info => kind::INFO,
+        };
+        frame(kind, &e.0)
+    }
+}
+
+impl Response {
+    /// Encodes the response as one complete frame.
+    ///
+    /// The encoding is deterministic: identical results produce
+    /// identical bytes, which is what lets the loopback gate compare
+    /// socket answers against in-process batch calls.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        let kind = match self {
+            Response::Rnnr(per_query) => {
+                e.u32(per_query.len() as u32);
+                for ids in per_query {
+                    e.u32(ids.len() as u32);
+                    for &id in ids {
+                        e.u32(id);
+                    }
+                }
+                kind::RNNR_RESP
+            }
+            Response::TopK(per_query) => {
+                e.u32(per_query.len() as u32);
+                for pairs in per_query {
+                    e.u32(pairs.len() as u32);
+                    for &(id, dist) in pairs {
+                        e.u32(id);
+                        e.f64(dist);
+                    }
+                }
+                kind::TOPK_RESP
+            }
+            Response::Info(info) => {
+                e.u64(info.points);
+                e.u32(info.dim);
+                e.u32(info.shards);
+                e.u32(info.topk_levels);
+                kind::INFO_RESP
+            }
+            Response::Error { code, message } => {
+                let msg = message.as_bytes();
+                let take = msg.len().min(u16::MAX as usize);
+                e.u16(*code as u16);
+                e.u16(take as u16);
+                e.0.extend_from_slice(&msg[..take]);
+                kind::ERROR
+            }
+        };
+        frame(kind, &e.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Little-endian cursor over a frame body.
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Malformed(what))?;
+        if end > self.buf.len() {
+            return Err(WireError::Malformed(what));
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn f64(&mut self, what: &'static str) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+    fn finish(&self, what: &'static str) -> Result<(), WireError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed(what))
+        }
+    }
+}
+
+fn decode_block(d: &mut Dec<'_>) -> Result<QueryBlock, WireError> {
+    let dim = d.u32("query block dim")?;
+    let count = d.u32("query block count")?;
+    if dim == 0 && count > 0 {
+        // Zero-dimensional queries would decode to a block whose count
+        // silently collapses to 0, breaking the response-count-equals-
+        // request-count guarantee.
+        return Err(WireError::Malformed("zero-dim query block with nonzero count"));
+    }
+    let bytes = (dim as usize)
+        .checked_mul(count as usize)
+        .and_then(|floats| floats.checked_mul(4))
+        .ok_or(WireError::Malformed("block size"))?;
+    let raw = d.take(bytes, "query block data")?;
+    let data = raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+    Ok(QueryBlock { dim, data })
+}
+
+/// Decodes a request frame body; `kind` is the header's kind byte.
+pub fn decode_request(kind: u8, body: &[u8]) -> Result<Request, WireError> {
+    let mut d = Dec { buf: body, at: 0 };
+    let req = match kind {
+        kind::RNNR => {
+            let radius = d.f64("rnnr radius")?;
+            Request::Rnnr { radius, queries: decode_block(&mut d)? }
+        }
+        kind::TOPK => {
+            let k = d.u32("topk k")?;
+            Request::TopK { k, queries: decode_block(&mut d)? }
+        }
+        kind::INFO => Request::Info,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    d.finish("trailing bytes after request body")?;
+    Ok(req)
+}
+
+/// Decodes a response frame body; `kind` is the header's kind byte.
+pub fn decode_response(kind: u8, body: &[u8]) -> Result<Response, WireError> {
+    let mut d = Dec { buf: body, at: 0 };
+    let resp = match kind {
+        kind::RNNR_RESP => {
+            let count = d.u32("rnnr count")? as usize;
+            let mut per_query = Vec::with_capacity(count.min(body.len() / 4 + 1));
+            for _ in 0..count {
+                let m = d.u32("rnnr result len")? as usize;
+                let raw = d.take(m * 4, "rnnr ids")?;
+                per_query.push(
+                    raw.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                );
+            }
+            Response::Rnnr(per_query)
+        }
+        kind::TOPK_RESP => {
+            let count = d.u32("topk count")? as usize;
+            let mut per_query = Vec::with_capacity(count.min(body.len() / 4 + 1));
+            for _ in 0..count {
+                let m = d.u32("topk result len")? as usize;
+                let mut pairs = Vec::with_capacity(m.min(body.len() / 12 + 1));
+                for _ in 0..m {
+                    let id = d.u32("topk id")?;
+                    let dist = d.f64("topk dist")?;
+                    pairs.push((id, dist));
+                }
+                per_query.push(pairs);
+            }
+            Response::TopK(per_query)
+        }
+        kind::INFO_RESP => Response::Info(ServerInfo {
+            points: d.u64("info points")?,
+            dim: d.u32("info dim")?,
+            shards: d.u32("info shards")?,
+            topk_levels: d.u32("info levels")?,
+        }),
+        kind::ERROR => {
+            let raw = d.u16("error code")?;
+            let code = ErrorCode::from_u16(raw).ok_or(WireError::Malformed("error code"))?;
+            let m = d.u16("error msg len")? as usize;
+            let msg = d.take(m, "error msg")?;
+            let message = String::from_utf8_lossy(msg).into_owned();
+            Response::Error { code, message }
+        }
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    d.finish("trailing bytes after response body")?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Framed I/O
+// ---------------------------------------------------------------------------
+
+/// Reads one frame: returns `(kind, body)` after validating the length
+/// prefix, magic, version and reserved bytes.
+///
+/// A clean EOF *before the first length byte* surfaces as
+/// `WireError::Io` with [`io::ErrorKind::UnexpectedEof`] — callers that
+/// treat end-of-stream as a normal goodbye should match on that. On
+/// [`WireError::TooLarge`] nothing past the length prefix has been
+/// consumed, so the connection must be closed.
+pub fn read_frame<R: Read>(r: &mut R, max_frame_bytes: usize) -> Result<(u8, Vec<u8>), WireError> {
+    let mut len4 = [0u8; 4];
+    r.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > max_frame_bytes {
+        return Err(WireError::TooLarge { declared: len, limit: max_frame_bytes });
+    }
+    if len < 8 {
+        // Not Malformed: the `len` declared bytes were never read, so
+        // the stream position is unknowable and the connection must
+        // close (recoverable() = false).
+        return Err(WireError::TooShort { declared: len });
+    }
+    let mut rest = vec![0u8; len];
+    r.read_exact(&mut rest)?;
+    if rest[0..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if rest[4] != PROTOCOL_VERSION {
+        return Err(WireError::BadVersion(rest[4]));
+    }
+    if rest[6..8] != [0, 0] {
+        return Err(WireError::Malformed("nonzero reserved bytes"));
+    }
+    let kind = rest[5];
+    rest.drain(..8);
+    Ok((kind, rest))
+}
+
+/// Writes one already-encoded frame and flushes.
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(frame: &[u8]) -> (u8, &[u8]) {
+        // [len][magic][ver][kind][res;2][body]
+        (frame[9], &frame[12..])
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let qs = vec![vec![1.0f32, -2.5], vec![0.0, 3.25]];
+        for req in [
+            Request::Rnnr { radius: 1.5, queries: QueryBlock::pack(&qs, 2) },
+            Request::TopK { k: 10, queries: QueryBlock::pack(&qs, 2) },
+            Request::Info,
+        ] {
+            let bytes = req.encode();
+            let (kind, body) = strip(&bytes);
+            assert_eq!(decode_request(kind, body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in [
+            Response::Rnnr(vec![vec![3, 1, 4], vec![], vec![9]]),
+            Response::TopK(vec![vec![(7, 0.125), (2, f64::INFINITY)], vec![]]),
+            Response::Info(ServerInfo { points: 20_000, dim: 24, shards: 4, topk_levels: 4 }),
+            Response::Error { code: ErrorCode::DimMismatch, message: "want 24, got 7".into() },
+        ] {
+            let bytes = resp.encode();
+            let (kind, body) = strip(&bytes);
+            assert_eq!(decode_response(kind, body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn float_bits_survive() {
+        // Distances cross the wire as raw IEEE-754 bits, including the
+        // weird ones.
+        let pairs = vec![(0u32, f64::from_bits(0x7ff8_0000_0000_0001)), (1, -0.0)];
+        let resp = Response::TopK(vec![pairs.clone()]);
+        let bytes = resp.encode();
+        let (kind, body) = strip(&bytes);
+        match decode_response(kind, body).unwrap() {
+            Response::TopK(got) => {
+                for (a, b) in got[0].iter().zip(&pairs) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framed_io_roundtrip() {
+        let req = Request::Rnnr { radius: 2.0, queries: QueryBlock::pack(&[vec![1.0f32; 4]], 4) };
+        let bytes = req.encode();
+        let mut cur = io::Cursor::new(&bytes);
+        let (kind, body) = read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES).unwrap();
+        assert_eq!(kind, kind::RNNR);
+        assert_eq!(decode_request(kind, &body).unwrap(), req);
+        // Stream exhausted: the next read reports a clean EOF.
+        match read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES) {
+            Err(WireError::Io(e)) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            other => panic!("expected eof, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_validation() {
+        let good = Request::Info.encode();
+
+        // Oversized: the length prefix alone triggers rejection.
+        let mut cur = io::Cursor::new(&good);
+        match read_frame(&mut cur, 4) {
+            Err(e @ WireError::TooLarge { declared: 8, limit: 4 }) => assert!(!e.recoverable()),
+            other => panic!("{other:?}"),
+        }
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[4] = b'X';
+        match read_frame(&mut io::Cursor::new(&bad), 1024) {
+            Err(e @ WireError::BadMagic) => assert!(!e.recoverable()),
+            other => panic!("{other:?}"),
+        }
+
+        // Future version.
+        let mut bad = good.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            read_frame(&mut io::Cursor::new(&bad), 1024),
+            Err(WireError::BadVersion(99))
+        ));
+
+        // Nonzero reserved bytes: full frame consumed ⇒ recoverable.
+        let mut bad = good.clone();
+        bad[10] = 1;
+        match read_frame(&mut io::Cursor::new(&bad), 1024) {
+            Err(e @ WireError::Malformed(_)) => assert!(e.recoverable()),
+            other => panic!("{other:?}"),
+        }
+
+        // A length that cannot contain the header: the declared bytes
+        // were never consumed, so this must NOT be recoverable (a
+        // recoverable classification would desync the stream).
+        let mut short = Vec::new();
+        short.extend_from_slice(&4u32.to_le_bytes());
+        short.extend_from_slice(&[0xAA; 4]); // phantom payload, unread
+        match read_frame(&mut io::Cursor::new(&short), 1024) {
+            Err(e @ WireError::TooShort { declared: 4 }) => {
+                assert!(!e.recoverable());
+                assert_eq!(e.to_code(), ErrorCode::Malformed);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Unknown kind decodes the frame but not the request; the error
+        // is recoverable (the body was fully consumed).
+        let mut odd = good.clone();
+        odd[9] = 0x42;
+        let (kind, body) = read_frame(&mut io::Cursor::new(&odd), 1024).unwrap();
+        match decode_request(kind, &body) {
+            Err(e @ WireError::UnknownKind(0x42)) => assert!(e.recoverable()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_are_malformed_not_panics() {
+        let qs = vec![vec![1.0f32, 2.0]];
+        let full = Request::Rnnr { radius: 1.0, queries: QueryBlock::pack(&qs, 2) }.encode();
+        let body = &full[12..];
+        for cut in 0..body.len() {
+            match decode_request(kind::RNNR, &body[..cut]) {
+                Err(WireError::Malformed(_)) => {}
+                other => panic!("cut={cut}: {other:?}"),
+            }
+        }
+        // A block whose dim·count overflows usize must not allocate.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&1.0f64.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_request(kind::RNNR, &evil), Err(WireError::Malformed(_))));
+        // dim = 0 with nonzero count would collapse to a 0-query block
+        // and break response-count = request-count; reject at decode.
+        let mut zero_dim = Vec::new();
+        zero_dim.extend_from_slice(&1.0f64.to_le_bytes());
+        zero_dim.extend_from_slice(&0u32.to_le_bytes());
+        zero_dim.extend_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(decode_request(kind::RNNR, &zero_dim), Err(WireError::Malformed(_))));
+    }
+}

@@ -1,0 +1,426 @@
+//! The threaded TCP server and its admission batcher.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  acceptor thread ──► one reader thread per connection
+//!                          │  decode frame → Job{kind, queries, reply}
+//!                          ▼
+//!                    admission queue (Mutex<VecDeque> + Condvar)
+//!                          │
+//!                    batcher thread: wait for work, sleep one
+//!                    admission window, drain EVERYTHING queued,
+//!                    group by (kind, radius | k), and run ONE
+//!                    query_batch / query_topk_batch call per group
+//!                          │  split outputs back per job
+//!                          ▼
+//!                    reply channels → reader threads encode + write
+//! ```
+//!
+//! The batcher is what turns many small concurrent requests into the
+//! big batches the in-process engines are built for: one
+//! [`query_batch`](hlsh_core::ShardedIndex::query_batch) call shards
+//! its combined queries over scoped threads (and, on a sharded
+//! service, fans each query across index shards), so socket clients
+//! inherit the whole PR 1–4 execution stack without any async runtime.
+//!
+//! Batching never changes an answer: queries are independent, outputs
+//! are split back in submission order, and the response encoding is
+//! deterministic — `tests/server_loopback.rs` pins socket responses
+//! byte-identical to in-process batch calls.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hlsh_vec::PointId;
+
+use crate::protocol::{
+    self, decode_request, read_frame, write_frame, ErrorCode, Request, Response, ServerInfo,
+    WireError,
+};
+
+/// What a server serves: batch entry points over some index.
+///
+/// The two required methods mirror the in-process batch APIs —
+/// [`ShardedIndex::query_batch`](hlsh_core::ShardedIndex::query_batch)
+/// and [`ShardedTopKIndex::query_topk_batch`](hlsh_core::ShardedTopKIndex::query_topk_batch)
+/// — and the byte-identity contract is inherited from them: whatever a
+/// service returns here is exactly what clients decode.
+pub trait QueryService: Send + Sync + 'static {
+    /// Index metadata for [`Request::Info`] and dimension validation.
+    fn info(&self) -> ServerInfo;
+
+    /// Ids within `radius` of each query, ascending per query.
+    /// `threads` is the scoped-thread budget (`None` = all cores).
+    fn rnnr_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f64,
+        threads: Option<usize>,
+    ) -> Vec<Vec<PointId>>;
+
+    /// The `min(k, n)` nearest `(id, distance)` pairs per query in
+    /// ascending `(distance, id)` order, or `None` if this deployment
+    /// has no top-k ladder.
+    fn topk_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: Option<usize>,
+    ) -> Option<Vec<Vec<(PointId, f64)>>>;
+}
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Largest accepted frame (`len` field) in bytes; larger requests
+    /// are answered with [`ErrorCode::TooLarge`] and the connection is
+    /// closed (the payload is never read).
+    pub max_frame_bytes: usize,
+    /// How long the batcher lingers after the first pending request
+    /// before draining the queue, letting concurrent requests join the
+    /// same tick. Zero drains immediately.
+    pub batch_window: Duration,
+    /// Thread budget handed to the underlying batch calls
+    /// (`None` = all available cores).
+    pub batch_threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame_bytes: protocol::DEFAULT_MAX_FRAME_BYTES,
+            batch_window: Duration::from_micros(100),
+            batch_threads: None,
+        }
+    }
+}
+
+/// One admitted request waiting for the next batcher tick.
+struct Job {
+    queries: Vec<Vec<f32>>,
+    kind: JobKind,
+    reply: mpsc::Sender<Response>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum JobKind {
+    /// Radius keyed by bit pattern so NaN can't split/merge groups
+    /// unpredictably (decode guarantees a finite f64 either way).
+    Rnnr {
+        radius_bits: u64,
+    },
+    TopK {
+        k: u32,
+    },
+}
+
+/// State shared by the acceptor, readers and batcher.
+struct Shared {
+    service: Arc<dyn QueryService>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Clones of the live connections (keyed by an id so readers can
+    /// deregister on exit), shut down to unblock readers.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Connection-id source for `conns`.
+    conn_seq: AtomicU64,
+    /// Batch executions since startup (one per drained group).
+    ticks: AtomicU64,
+    /// Requests admitted since startup.
+    admitted: AtomicU64,
+}
+
+/// A running server; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `(batch ticks, admitted requests)` since startup. A tick count
+    /// well below the request count means the admission batcher is
+    /// coalescing concurrent requests as intended.
+    pub fn batch_stats(&self) -> (u64, u64) {
+        (self.shared.ticks.load(Ordering::Relaxed), self.shared.admitted.load(Ordering::Relaxed))
+    }
+
+    /// Stops accepting, closes every connection and joins all threads.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor with a throwaway connection; it re-checks
+        // the flag before handling anything.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock every reader parked in read_exact.
+        for c in self.shared.conns.lock().unwrap().values() {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        // Wake the batcher.
+        self.shared.queue_cv.notify_all();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and spawns the acceptor + batcher threads.
+///
+/// Use port 0 for an ephemeral port and read it back from
+/// [`ServerHandle::local_addr`].
+pub fn spawn<A: ToSocketAddrs>(
+    service: Arc<dyn QueryService>,
+    addr: A,
+    config: ServerConfig,
+) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        service,
+        config,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+        conn_seq: AtomicU64::new(0),
+        ticks: AtomicU64::new(0),
+        admitted: AtomicU64::new(0),
+    });
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || accept_loop(listener, shared))
+    };
+    let batcher = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || batch_loop(shared))
+    };
+    Ok(ServerHandle { addr, shared, threads: vec![acceptor, batcher] })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    // Reader threads are detached: shutdown() closes their sockets,
+    // which ends their read loops; the final reader drops its Arc.
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        // Register a clone so shutdown() can unblock the reader; the
+        // reader deregisters itself on exit, so a long-lived server
+        // does not accumulate dead fds.
+        let conn_id = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(conn_id, clone);
+        }
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let _ = connection_loop(stream, &shared);
+            shared.conns.lock().unwrap().remove(&conn_id);
+        });
+    }
+}
+
+/// Reads frames off one connection until EOF, error or shutdown.
+fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let (kind, body) = match read_frame(&mut reader, shared.config.max_frame_bytes) {
+            Ok(f) => f,
+            Err(WireError::Io(_)) => return Ok(()), // EOF / reset: goodbye
+            Err(e) => {
+                let resp = Response::Error { code: e.to_code(), message: e.to_string() };
+                let _ = write_frame(&mut writer, &resp.encode());
+                if e.recoverable() {
+                    continue;
+                }
+                return Ok(()); // stream position unknowable
+            }
+        };
+        let resp = match decode_request(kind, &body) {
+            Ok(req) => handle_request(req, shared),
+            // Request-level decode errors consumed the whole body, so
+            // the connection stays usable.
+            Err(e) => Response::Error { code: e.to_code(), message: e.to_string() },
+        };
+        write_frame(&mut writer, &resp.encode())?;
+    }
+}
+
+/// Validates one request and either answers it inline (info, errors)
+/// or admits it to the batch queue and waits for the tick's result.
+fn handle_request(req: Request, shared: &Shared) -> Response {
+    let info = shared.service.info();
+    let (kind, queries) = match req {
+        Request::Info => return Response::Info(info),
+        Request::Rnnr { radius, queries } => {
+            if !radius.is_finite() || radius < 0.0 {
+                return Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!("radius must be finite and non-negative, got {radius}"),
+                };
+            }
+            (JobKind::Rnnr { radius_bits: radius.to_bits() }, queries)
+        }
+        Request::TopK { k, queries } => {
+            if info.topk_levels == 0 {
+                return Response::Error {
+                    code: ErrorCode::Unsupported,
+                    message: "this server has no top-k ladder".into(),
+                };
+            }
+            (JobKind::TopK { k }, queries)
+        }
+    };
+    if queries.count() == 0 {
+        // Nothing to batch (and no dimension to check); answer the
+        // degenerate request inline.
+        return match kind {
+            JobKind::Rnnr { .. } => Response::Rnnr(Vec::new()),
+            JobKind::TopK { .. } => Response::TopK(Vec::new()),
+        };
+    }
+    if queries.dim != info.dim {
+        return Response::Error {
+            code: ErrorCode::DimMismatch,
+            message: format!("index dimension is {}, request carries {}", info.dim, queries.dim),
+        };
+    }
+    let queries = queries.rows();
+
+    let (tx, rx) = mpsc::channel();
+    {
+        // The shutdown check shares the queue lock with the batcher's
+        // final clear: either this job lands before the clear (its
+        // sender is dropped there, recv errors below) or the flag is
+        // already visible here — a job can never be enqueued after the
+        // batcher exited, which would strand this thread in recv().
+        let mut q = shared.queue.lock().unwrap();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Response::Error {
+                code: ErrorCode::Internal,
+                message: "server is shutting down".into(),
+            };
+        }
+        q.push_back(Job { queries, kind, reply: tx });
+    }
+    shared.admitted.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+    match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => Response::Error {
+            code: ErrorCode::Internal,
+            message: "server shut down before the batch ran".into(),
+        },
+    }
+}
+
+/// The admission batcher: one iteration = wait for work, linger one
+/// window, drain the whole queue, execute one batch call per
+/// `(kind, radius | k)` group, scatter the results.
+fn batch_loop(shared: Arc<Shared>) {
+    loop {
+        let mut q = shared.queue.lock().unwrap();
+        while q.is_empty() && !shared.shutdown.load(Ordering::SeqCst) {
+            let (guard, _) = shared.queue_cv.wait_timeout(q, Duration::from_millis(50)).unwrap();
+            q = guard;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Fail any stragglers cleanly: dropping their senders makes
+            // handle_request report Internal.
+            q.clear();
+            return;
+        }
+        drop(q);
+        // Admission window: let concurrent requests join this tick.
+        if !shared.config.batch_window.is_zero() {
+            std::thread::sleep(shared.config.batch_window);
+        }
+        let jobs: Vec<Job> = shared.queue.lock().unwrap().drain(..).collect();
+        run_tick(jobs, &shared);
+    }
+}
+
+/// Groups drained jobs by kind key (preserving admission order within
+/// a group), runs one batch call per group and splits results back.
+fn run_tick(mut jobs: Vec<Job>, shared: &Shared) {
+    while !jobs.is_empty() {
+        let key = jobs[0].kind;
+        let (group, rest): (Vec<Job>, Vec<Job>) = jobs.into_iter().partition(|j| j.kind == key);
+        jobs = rest;
+        shared.ticks.fetch_add(1, Ordering::Relaxed);
+
+        // Move the queries out of the owned jobs — no per-tick copy of
+        // the (potentially many-MiB) query data on the hot path.
+        let mut group = group;
+        let mut counts = Vec::with_capacity(group.len());
+        let mut combined: Vec<Vec<f32>> = Vec::new();
+        for j in &mut group {
+            counts.push(j.queries.len());
+            combined.append(&mut j.queries);
+        }
+        let threads = shared.config.batch_threads;
+        match key {
+            JobKind::Rnnr { radius_bits } => {
+                let all =
+                    shared.service.rnnr_batch(&combined, f64::from_bits(radius_bits), threads);
+                scatter(group, counts, all, Response::Rnnr);
+            }
+            JobKind::TopK { k } => {
+                match shared.service.topk_batch(&combined, k as usize, threads) {
+                    Some(all) => scatter(group, counts, all, Response::TopK),
+                    None => {
+                        for job in group {
+                            let _ = job.reply.send(Response::Error {
+                                code: ErrorCode::Unsupported,
+                                message: "this server has no top-k ladder".into(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Splits one combined batch result back into per-job responses.
+fn scatter<T>(
+    group: Vec<Job>,
+    counts: Vec<usize>,
+    mut all: Vec<T>,
+    wrap: impl Fn(Vec<T>) -> Response,
+) {
+    debug_assert_eq!(all.len(), counts.iter().sum::<usize>());
+    for (job, count) in group.into_iter().zip(counts).rev() {
+        let part = all.split_off(all.len().saturating_sub(count));
+        // Ignore a closed reply channel: the client hung up mid-batch.
+        let _ = job.reply.send(wrap(part));
+    }
+}

@@ -1,0 +1,106 @@
+//! [`QueryService`] implementations bridging the wire to the
+//! in-process batch engines.
+
+use hlsh_core::{FrozenStore, ShardedIndex, ShardedTopKIndex, Strategy};
+use hlsh_families::LshFamily;
+use hlsh_vec::{Distance, PointId, PointSet};
+
+use crate::protocol::ServerInfo;
+use crate::server::QueryService;
+
+/// The standard deployment: a frozen [`ShardedIndex`] for rNNR traffic
+/// plus (optionally) a frozen [`ShardedTopKIndex`] ladder for top-k
+/// traffic, both over the same data and dimensionality.
+///
+/// Requests route through the sharded batch entry points, so one
+/// admission-batcher tick fans its combined queries over scoped
+/// threads *and* every query over the index shards — exactly the
+/// in-process execution stack, which is why socket responses are
+/// byte-identical to calling
+/// [`query_batch`](ShardedIndex::query_batch) /
+/// [`query_topk_batch`](ShardedTopKIndex::query_topk_batch) directly.
+pub struct ShardedLshService<S, F, D>
+where
+    S: PointSet<Point = [f32]>,
+    F: LshFamily<[f32]>,
+    D: Distance<[f32]>,
+{
+    rnnr: ShardedIndex<S, F, D, FrozenStore>,
+    topk: Option<ShardedTopKIndex<S, F, D, FrozenStore>>,
+    dim: u32,
+}
+
+impl<S, F, D> ShardedLshService<S, F, D>
+where
+    S: PointSet<Point = [f32]>,
+    F: LshFamily<[f32]>,
+    D: Distance<[f32]>,
+{
+    /// Wraps frozen sharded indexes for serving. `dim` is the vector
+    /// dimensionality requests are validated against.
+    pub fn new(
+        rnnr: ShardedIndex<S, F, D, FrozenStore>,
+        topk: Option<ShardedTopKIndex<S, F, D, FrozenStore>>,
+        dim: usize,
+    ) -> Self {
+        if let Some(t) = &topk {
+            assert_eq!(t.len(), rnnr.len(), "rNNR and top-k indexes must cover the same data");
+        }
+        Self { rnnr, topk, dim: dim as u32 }
+    }
+
+    /// The rNNR index being served.
+    pub fn rnnr_index(&self) -> &ShardedIndex<S, F, D, FrozenStore> {
+        &self.rnnr
+    }
+
+    /// The top-k ladder being served, if any.
+    pub fn topk_index(&self) -> Option<&ShardedTopKIndex<S, F, D, FrozenStore>> {
+        self.topk.as_ref()
+    }
+}
+
+impl<S, F, D> QueryService for ShardedLshService<S, F, D>
+where
+    S: PointSet<Point = [f32]> + Send + Sync + 'static,
+    F: LshFamily<[f32]> + Sync + 'static,
+    F::GFn: Send + Sync,
+    D: Distance<[f32]> + Send + Sync + 'static,
+{
+    fn info(&self) -> ServerInfo {
+        ServerInfo {
+            points: self.rnnr.len() as u64,
+            dim: self.dim,
+            shards: self.rnnr.assignment().shards() as u32,
+            topk_levels: self.topk.as_ref().map_or(0, |t| t.schedule().levels() as u32),
+        }
+    }
+
+    fn rnnr_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f64,
+        threads: Option<usize>,
+    ) -> Vec<Vec<PointId>> {
+        self.rnnr
+            .query_batch_with_strategy(queries, radius, Strategy::Hybrid, threads)
+            .into_iter()
+            .map(|o| o.ids)
+            .collect()
+    }
+
+    fn topk_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: Option<usize>,
+    ) -> Option<Vec<Vec<(PointId, f64)>>> {
+        let topk = self.topk.as_ref()?;
+        Some(
+            topk.query_topk_batch_with(queries, k, Strategy::Hybrid, threads)
+                .into_iter()
+                .map(|o| o.neighbors.iter().map(|n| (n.id, n.dist)).collect())
+                .collect(),
+        )
+    }
+}

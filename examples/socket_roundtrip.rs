@@ -1,0 +1,73 @@
+//! Serve a sharded index over a loopback socket and query it with the
+//! sync client — demonstrating that network answers are byte-identical
+//! to in-process batch calls.
+//!
+//! ```text
+//! cargo run --release --example socket_roundtrip
+//! ```
+//!
+//! For a standalone deployment use the `serve` and `loadgen` binaries
+//! instead (`README.md` → "Serving over the network").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hybrid_lsh::prelude::*;
+use hybrid_lsh::server::{Client, ServerConfig, ShardedLshService};
+
+fn main() {
+    // A small mixture corpus, sharded in two, frozen for serving.
+    let dim = 16;
+    let r = 1.5;
+    let (data, _) = hybrid_lsh::datagen::benchmark_mixture(dim, 4_000, r, 5);
+    let queries: Vec<Vec<f32>> = (0..8).map(|i| data.row(i * 500).to_vec()).collect();
+    let builder = |radius: f64| {
+        IndexBuilder::new(PStableL2::new(dim, 2.0 * radius), L2)
+            .tables(12)
+            .hash_len(6)
+            .seed(5)
+            .cost_model(CostModel::from_ratio(6.0))
+    };
+    let assignment = ShardAssignment::new(5, 2);
+    let rnnr = ShardedIndex::build_frozen(data.clone(), assignment, builder(r));
+    let topk =
+        ShardedTopKIndex::build(data, assignment, RadiusSchedule::doubling(r, 3), |_, radius| {
+            builder(radius)
+        })
+        .freeze();
+
+    // The in-process reference answers.
+    let expect_rnnr: Vec<Vec<u32>> =
+        rnnr.query_batch(&queries, r).into_iter().map(|o| o.ids).collect();
+    let expect_topk = topk.query_topk_batch(&queries, 5);
+
+    // Serve on an ephemeral loopback port…
+    let service = Arc::new(ShardedLshService::new(rnnr, Some(topk), dim));
+    let mut server =
+        hybrid_lsh::server::spawn(service, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    println!("serving on {}", server.local_addr());
+
+    // …and ask the same questions over the wire.
+    let mut client = Client::connect_retry(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let info = client.info().unwrap();
+    println!("server reports {} points, {} shards", info.points, info.shards);
+
+    let got_rnnr = client.query_batch(&queries, r).unwrap();
+    assert_eq!(got_rnnr, expect_rnnr, "socket rNNR must equal in-process query_batch");
+    println!("rNNR  : {} queries byte-identical to in-process query_batch", queries.len());
+
+    let got_topk = client.query_topk_batch(&queries, 5).unwrap();
+    for (g, e) in got_topk.iter().zip(&expect_topk) {
+        assert_eq!(g.len(), e.neighbors.len());
+        for (a, b) in g.iter().zip(&e.neighbors) {
+            assert_eq!(a.0, b.id);
+            assert_eq!(a.1.to_bits(), b.dist.to_bits(), "distances must match bit for bit");
+        }
+    }
+    println!("top-k : {} queries byte-identical to in-process query_topk_batch", queries.len());
+
+    for (qi, ids) in got_rnnr.iter().enumerate().take(3) {
+        println!("query {qi}: {} neighbors within r={r}", ids.len());
+    }
+    server.shutdown();
+}

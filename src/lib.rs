@@ -15,7 +15,10 @@
 //! * [`vec`](mod@vec) — vector types, metrics and data-set containers;
 //! * [`probe`] — multi-probe LSH and covering LSH extensions;
 //! * [`datagen`] — synthetic analogs of the paper's four evaluation
-//!   data sets plus exact ground truth.
+//!   data sets plus exact ground truth;
+//! * [`server`] — the TCP serving layer: length-prefixed wire
+//!   protocol, admission-batching server, sync client (see
+//!   `docs/PROTOCOL.md` and the `serve`/`loadgen` binaries).
 //!
 //! # Quickstart
 //!
@@ -52,6 +55,7 @@ pub use hlsh_datagen as datagen;
 pub use hlsh_families as families;
 pub use hlsh_hll as hll;
 pub use hlsh_probe as probe;
+pub use hlsh_server as server;
 pub use hlsh_vec as vec;
 
 pub use hlsh_core::{

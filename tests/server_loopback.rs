@@ -1,0 +1,275 @@
+//! CI gate: the serving layer over a real loopback socket.
+//!
+//! Pins the network determinism contract: responses decoded from the
+//! wire are **byte-identical** to the in-process
+//! `query_batch`/`query_topk_batch` calls on the same index — ids,
+//! order, and `f64` distance bit patterns — regardless of how the
+//! admission batcher slices concurrent traffic. Also exercises the
+//! failure surface a third-party client will hit: error frames
+//! (dimension mismatch, malformed body, unknown kind, bad version) and
+//! oversized-request rejection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hybrid_lsh::prelude::*;
+use hybrid_lsh::server::{
+    spawn, Client, ClientError, ErrorCode, QueryService, ServerConfig, ServerHandle,
+    ShardedLshService,
+};
+
+const DIM: usize = 16;
+const RADIUS: f64 = 1.5;
+
+type Service = ShardedLshService<DenseDataset, PStableL2, L2>;
+
+/// The standard fixture: a sharded frozen rNNR index + top-k ladder
+/// over a fixed-seed mixture, the in-process reference outputs, and a
+/// server on an ephemeral loopback port.
+struct Fixture {
+    service: Arc<Service>,
+    queries: Vec<Vec<f32>>,
+    server: ServerHandle,
+}
+
+fn fixture(config: ServerConfig) -> Fixture {
+    let (data, _) = hybrid_lsh::datagen::benchmark_mixture(DIM, 3_000, RADIUS, 11);
+    let queries: Vec<Vec<f32>> = (0..24).map(|i| data.row(i * 125).to_vec()).collect();
+    let builder = |radius: f64| {
+        IndexBuilder::new(PStableL2::new(DIM, 2.0 * radius), L2)
+            .tables(10)
+            .hash_len(5)
+            .seed(11)
+            .cost_model(CostModel::from_ratio(6.0))
+    };
+    let assignment = ShardAssignment::new(11, 2);
+    let rnnr = ShardedIndex::build_frozen(data.clone(), assignment, builder(RADIUS));
+    let topk =
+        ShardedTopKIndex::build(data, assignment, RadiusSchedule::doubling(RADIUS, 3), |_, r| {
+            builder(r)
+        })
+        .freeze();
+    let service = Arc::new(ShardedLshService::new(rnnr, Some(topk), DIM));
+    let server = spawn(Arc::clone(&service) as Arc<dyn QueryService>, "127.0.0.1:0", config)
+        .expect("bind loopback");
+    Fixture { service, queries, server }
+}
+
+fn connect(server: &ServerHandle) -> Client {
+    Client::connect_retry(server.local_addr(), Duration::from_secs(10)).expect("connect")
+}
+
+#[test]
+fn rnnr_responses_byte_identical_to_in_process_batch() {
+    let mut fx = fixture(ServerConfig::default());
+    let expect: Vec<Vec<u32>> = fx
+        .service
+        .rnnr_index()
+        .query_batch(&fx.queries, RADIUS)
+        .into_iter()
+        .map(|o| o.ids)
+        .collect();
+    assert!(expect.iter().any(|ids| !ids.is_empty()), "fixture must produce non-trivial output");
+
+    let mut client = connect(&fx.server);
+    // The whole batch in one request, then the same queries one by one
+    // over the reused connection: identical either way.
+    assert_eq!(client.query_batch(&fx.queries, RADIUS).unwrap(), expect);
+    for (qi, q) in fx.queries.iter().enumerate() {
+        let one = client.query_batch(std::slice::from_ref(q), RADIUS).unwrap();
+        assert_eq!(one, vec![expect[qi].clone()], "query {qi} diverged over the socket");
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn topk_responses_byte_identical_including_distance_bits() {
+    let mut fx = fixture(ServerConfig::default());
+    let k = 7;
+    let expect = fx.service.topk_index().unwrap().query_topk_batch(&fx.queries, k);
+
+    let mut client = connect(&fx.server);
+    let got = client.query_topk_batch(&fx.queries, k).unwrap();
+    assert_eq!(got.len(), expect.len());
+    for (qi, (g, e)) in got.iter().zip(&expect).enumerate() {
+        assert_eq!(g.len(), e.neighbors.len(), "query {qi} neighbor count");
+        for (a, b) in g.iter().zip(&e.neighbors) {
+            assert_eq!(a.0, b.id, "query {qi} id");
+            assert_eq!(a.1.to_bits(), b.dist.to_bits(), "query {qi} distance bits");
+        }
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_are_coalesced_without_changing_answers() {
+    // A generous admission window guarantees genuinely concurrent
+    // requests land in one tick, exercising the group/scatter path.
+    let mut fx =
+        fixture(ServerConfig { batch_window: Duration::from_millis(20), ..Default::default() });
+    let expect: Vec<Vec<u32>> = fx
+        .service
+        .rnnr_index()
+        .query_batch(&fx.queries, RADIUS)
+        .into_iter()
+        .map(|o| o.ids)
+        .collect();
+    let k = 5;
+    let expect_topk = fx.service.topk_index().unwrap().query_topk_batch(&fx.queries, k);
+
+    std::thread::scope(|scope| {
+        for (qi, q) in fx.queries.iter().enumerate() {
+            let addr = fx.server.local_addr();
+            let expect_ids = &expect[qi];
+            let expect_nb = &expect_topk[qi].neighbors;
+            scope.spawn(move || {
+                let mut client =
+                    Client::connect_retry(addr, Duration::from_secs(10)).expect("connect");
+                let ids = client.query_batch(std::slice::from_ref(q), RADIUS).unwrap();
+                assert_eq!(&ids[0], expect_ids, "concurrent rnnr query {qi}");
+                let nb = client.query_topk_batch(std::slice::from_ref(q), k).unwrap();
+                assert_eq!(nb[0].len(), expect_nb.len());
+                for (a, b) in nb[0].iter().zip(expect_nb) {
+                    assert_eq!((a.0, a.1.to_bits()), (b.id, b.dist.to_bits()));
+                }
+            });
+        }
+    });
+
+    let (ticks, admitted) = fx.server.batch_stats();
+    assert_eq!(admitted, 2 * fx.queries.len() as u64);
+    assert!(ticks >= 2, "at least one tick per request kind");
+    assert!(
+        ticks < admitted,
+        "admission batcher never coalesced: {ticks} ticks for {admitted} requests"
+    );
+    fx.server.shutdown();
+}
+
+#[test]
+fn info_and_error_frames() {
+    let mut fx = fixture(ServerConfig::default());
+    let mut client = connect(&fx.server);
+
+    let info = client.info().unwrap();
+    assert_eq!(info.points, 3_000);
+    assert_eq!(info.dim, DIM as u32);
+    assert_eq!(info.shards, 2);
+    assert_eq!(info.topk_levels, 3);
+
+    // Dimension mismatch → typed error frame, connection stays usable.
+    let wrong = vec![vec![0.0f32; DIM + 3]];
+    match client.query_batch(&wrong, RADIUS) {
+        Err(ClientError::Server { code: ErrorCode::DimMismatch, message }) => {
+            assert!(message.contains("16"), "diagnostic should name the index dim: {message}")
+        }
+        other => panic!("expected DimMismatch, got {other:?}"),
+    }
+
+    // A nonsensical radius is rejected as malformed.
+    match client.query_batch(&[vec![0.0f32; DIM]], f64::NAN) {
+        Err(ClientError::Server { code: ErrorCode::Malformed, .. }) => {}
+        other => panic!("expected Malformed for NaN radius, got {other:?}"),
+    }
+
+    // An empty batch short-circuits to an empty response.
+    assert_eq!(client.query_batch(&[], RADIUS).unwrap(), Vec::<Vec<u32>>::new());
+
+    // The connection survived every error above.
+    assert_eq!(client.info().unwrap().points, 3_000);
+    fx.server.shutdown();
+}
+
+/// Speaks raw bytes to the server to exercise frame-level rejection.
+fn raw_exchange(server: &ServerHandle, bytes: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream.write_all(bytes).expect("write");
+    // Half-close: the server drains our frames, replies, sees EOF and
+    // closes, so read_to_end returns promptly with every response.
+    stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut out = Vec::new();
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+/// Decodes `(code, kind)` of the first frame in `bytes`, asserting it
+/// is an error frame.
+fn first_error_code(bytes: &[u8]) -> ErrorCode {
+    assert!(bytes.len() >= 14, "expected at least one error frame, got {} bytes", bytes.len());
+    assert_eq!(&bytes[4..8], b"HLSH");
+    assert_eq!(bytes[9], 0x7F, "expected an error frame, kind was {:#04x}", bytes[9]);
+    let code = u16::from_le_bytes([bytes[12], bytes[13]]);
+    ErrorCode::from_u16(code).expect("valid error code")
+}
+
+#[test]
+fn oversized_requests_are_rejected_and_connection_closed() {
+    let mut fx = fixture(ServerConfig { max_frame_bytes: 4 * 1024, ..ServerConfig::default() });
+
+    // Declare a frame far past the limit; send nothing else. The
+    // server must answer TooLarge without reading the phantom payload,
+    // then close (read_to_end returning proves the close).
+    let mut evil = Vec::new();
+    evil.extend_from_slice(&(50 * 1024 * 1024u32).to_le_bytes());
+    let reply = raw_exchange(&fx.server, &evil);
+    assert_eq!(first_error_code(&reply), ErrorCode::TooLarge);
+
+    // A well-formed client on the same server still works after the
+    // rejection.
+    let mut client = connect(&fx.server);
+    assert_eq!(client.info().unwrap().points, 3_000);
+    fx.server.shutdown();
+}
+
+#[test]
+fn frame_level_garbage_gets_typed_errors() {
+    let mut fx = fixture(ServerConfig::default());
+
+    // Valid length, wrong magic.
+    let mut bad_magic = hybrid_lsh::server::Request::Info.encode();
+    bad_magic[4] = b'X';
+    assert_eq!(first_error_code(&raw_exchange(&fx.server, &bad_magic)), ErrorCode::BadMagic);
+
+    // Unsupported version.
+    let mut bad_version = hybrid_lsh::server::Request::Info.encode();
+    bad_version[8] = 9;
+    assert_eq!(first_error_code(&raw_exchange(&fx.server, &bad_version)), ErrorCode::BadVersion);
+
+    // Unknown kind: recoverable — the server answers and keeps the
+    // connection; a follow-up Info on the same socket must succeed.
+    let mut unknown = hybrid_lsh::server::Request::Info.encode();
+    unknown[9] = 0x5A;
+    let mut follow_up = unknown.clone();
+    follow_up[9] = 0x03; // Info
+    let mut both = unknown;
+    both.extend_from_slice(&follow_up);
+    let reply = raw_exchange(&fx.server, &both);
+    assert_eq!(first_error_code(&reply), ErrorCode::UnknownKind);
+    // The second frame in the reply stream is the Info response.
+    let first_len = 4 + u32::from_le_bytes(reply[0..4].try_into().unwrap()) as usize;
+    assert!(reply.len() > first_len, "no second response after recoverable error");
+    assert_eq!(reply[first_len + 9], 0x83, "expected INFO_RESP after recoverable error");
+
+    // Truncated body: declared rNNR frame whose body is empty.
+    let mut malformed = hybrid_lsh::server::Request::Info.encode();
+    malformed[9] = 0x01; // RNNR with no radius/block
+    assert_eq!(first_error_code(&raw_exchange(&fx.server, &malformed)), ErrorCode::Malformed);
+
+    // A frame declaring len < 8 leaves its declared bytes unread, so
+    // the server must answer Malformed and CLOSE — if it kept reading,
+    // the phantom bytes would desync the stream and the trailing valid
+    // Info frame would be misparsed instead of ignored.
+    let mut desync = Vec::new();
+    desync.extend_from_slice(&4u32.to_le_bytes());
+    desync.extend_from_slice(&[0xAA; 4]);
+    desync.extend_from_slice(&hybrid_lsh::server::Request::Info.encode());
+    let reply = raw_exchange(&fx.server, &desync);
+    assert_eq!(first_error_code(&reply), ErrorCode::Malformed);
+    let first_len = 4 + u32::from_le_bytes(reply[0..4].try_into().unwrap()) as usize;
+    assert_eq!(reply.len(), first_len, "connection must close after a too-short frame");
+
+    fx.server.shutdown();
+}
