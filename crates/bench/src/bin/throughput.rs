@@ -12,10 +12,8 @@
 
 use std::time::Instant;
 
-use hlsh_core::{CostModel, IndexBuilder, QueryEngine, Strategy, VerifyMode};
+use hlsh_core::{MixturePreset, QueryEngine, Strategy, VerifyMode};
 use hlsh_datagen::benchmark_mixture;
-use hlsh_families::PStableL2;
-use hlsh_vec::L2;
 
 struct Args {
     n: usize,
@@ -60,8 +58,10 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let dim = 24;
-    let r = 1.5;
+    // The shared serving preset: identical builder parameters to the
+    // `serve` binary, so socket-path numbers stay comparable.
+    let preset = MixturePreset { n: args.n, seed: args.seed, ..MixturePreset::default() };
+    let (dim, r) = (preset.dim, preset.radius);
 
     let (mut data, _) = benchmark_mixture(dim, args.n, r, args.seed);
     let q_rows: Vec<usize> = (0..args.queries).map(|i| i * (args.n / args.queries)).collect();
@@ -69,21 +69,11 @@ fn main() {
     let queries: Vec<Vec<f32>> =
         (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
 
-    let index = IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
-        .tables(20)
-        .hash_len(7)
-        .seed(args.seed)
-        .cost_model(CostModel::from_ratio(6.0))
-        .build(data);
+    let index = preset.rnnr_builder().build(data);
     let frozen = {
         let (mut data2, _) = benchmark_mixture(dim, args.n, r, args.seed);
         data2.split_off_rows(&q_rows);
-        IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
-            .tables(20)
-            .hash_len(7)
-            .seed(args.seed)
-            .cost_model(CostModel::from_ratio(6.0))
-            .build_frozen(data2)
+        preset.rnnr_builder().build_frozen(data2)
     };
 
     // Correctness gate: every path must report identical ids.

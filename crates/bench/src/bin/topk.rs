@@ -18,11 +18,8 @@
 use std::time::Instant;
 
 use hlsh_bench::experiment::recall_at_k;
-use hlsh_core::{
-    CostModel, IndexBuilder, RadiusSchedule, Strategy, TopKEngine, TopKIndex, TopKOutput,
-};
+use hlsh_core::{MixturePreset, Strategy, TopKEngine, TopKIndex, TopKOutput};
 use hlsh_datagen::{benchmark_mixture, ground_truth_topk};
-use hlsh_families::PStableL2;
 use hlsh_vec::L2;
 
 struct Args {
@@ -84,9 +81,16 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let dim = 24;
-    let base_r = 1.5;
-    let schedule = RadiusSchedule::doubling(base_r, args.levels);
+    // The shared serving preset: identical builder parameters to the
+    // `serve` binary, so socket-path numbers stay comparable.
+    let preset = MixturePreset {
+        n: args.n,
+        seed: args.seed,
+        levels: args.levels,
+        ..MixturePreset::default()
+    };
+    let (dim, base_r) = (preset.dim, preset.radius);
+    let schedule = preset.schedule();
 
     let (mut data, _) = benchmark_mixture(dim, args.n, base_r, args.seed);
     let q_rows: Vec<usize> = (0..args.queries).map(|i| i * (args.n / args.queries)).collect();
@@ -95,14 +99,7 @@ fn main() {
         (0..queries_ds.len()).map(|i| queries_ds.row(i).to_vec()).collect();
 
     let t_build = Instant::now();
-    let index = TopKIndex::build(data, schedule, |_, r| {
-        IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
-            .tables(20)
-            .hash_len(6)
-            .seed(args.seed)
-            .cost_model(CostModel::from_ratio(6.0))
-    })
-    .freeze();
+    let index = TopKIndex::build(data, schedule, |_, r| preset.level_builder(r)).freeze();
     let build_secs = t_build.elapsed().as_secs_f64();
     // One ladder indexes every point once per level, so points/s is
     // measured against n·levels insertions — the number CI tracks for

@@ -318,6 +318,33 @@ where
         &self.tables
     }
 
+    /// The lazy-sketch threshold in force (buckets at or above this
+    /// size carry a materialised HLL). Persisted by the snapshot format
+    /// so a loaded index makes identical sketch decisions on thaw +
+    /// re-insert.
+    pub fn lazy_threshold(&self) -> usize {
+        self.lazy_threshold
+    }
+
+    /// Reassembles an index from already-built tables and parameters —
+    /// the snapshot loader's entry point. The caller (the snapshot
+    /// module) is responsible for the cross-table invariants: every
+    /// table's g-function has width `k`, and sketched buckets use
+    /// `hll_config`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        data: S,
+        family: F,
+        distance: D,
+        tables: Vec<HashTable<F::GFn, B>>,
+        hll_config: HllConfig,
+        lazy_threshold: usize,
+        cost: CostModel,
+        k: usize,
+    ) -> Self {
+        Self { data, family, distance, tables, hll_config, lazy_threshold, cost, k }
+    }
+
     /// Hybrid query (Algorithm 2): estimate costs, pick the cheaper
     /// arm, report every indexed point within distance `r` of `q`.
     ///

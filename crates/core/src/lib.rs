@@ -65,7 +65,10 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the snapshot mmap wrapper is the one module
+// allowed to opt in to `unsafe` (see `snapshot::mmap`'s module docs for
+// the confined obligations). Everything else stays unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod bucket;
 pub mod builder;
@@ -75,11 +78,13 @@ pub mod engine;
 pub mod hasher;
 pub mod index;
 pub mod pipeline;
+pub mod presets;
 pub mod recall;
 pub mod report;
 pub mod schedule;
 pub mod search;
 pub mod sharded;
+pub mod snapshot;
 pub mod store;
 pub mod table;
 pub mod topk;
@@ -91,12 +96,17 @@ pub use diverse::DiverseOutput;
 pub use engine::{QueryDistOutput, QueryEngine};
 pub use index::{HybridLshIndex, IndexStats};
 pub use pipeline::{BuildPipeline, KeyRuns};
+pub use presets::MixturePreset;
 pub use recall::{evaluate_recall, RecallReport};
 pub use report::{QueryOutput, QueryReport};
 pub use schedule::RadiusSchedule;
 pub use search::{Strategy, VerifyMode};
 pub use sharded::{
     ShardAssignment, ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex,
+};
+pub use snapshot::{
+    load_snapshot, read_manifest, save_snapshot, LoadMode, LoadedSnapshot, SnapshotError,
+    SnapshotManifest,
 };
 pub use store::{BucketStore, FrozenStore, MapStore};
 pub use topk::{BoundedHeap, Neighbor, TopKEngine, TopKIndex, TopKOutput, TopKReport};

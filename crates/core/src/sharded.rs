@@ -234,6 +234,31 @@ where
             n: self.n,
         }
     }
+
+    /// Reassembles a sharded index from already-built shards and their
+    /// persisted owner lists — the snapshot loader's entry point.
+    /// `local_of` is recomputed from `owners`, which is the one
+    /// direction that is always consistent.
+    ///
+    /// # Panics
+    /// Panics if the shapes disagree: shard count vs assignment, owner
+    /// list lengths vs shard sizes, or owner ids out of `0..n`.
+    pub(crate) fn assemble(
+        shards: Vec<HybridLshIndex<S, F, D, FrozenStore>>,
+        owners: Vec<Vec<PointId>>,
+        assignment: ShardAssignment,
+        n: usize,
+    ) -> Self {
+        assert_eq!(shards.len(), assignment.shards(), "one shard index per assignment shard");
+        assert_eq!(owners.len(), shards.len(), "one owner list per shard");
+        assert_eq!(owners.iter().map(Vec::len).sum::<usize>(), n, "owner lists must cover 0..n");
+        for (shard, ids) in shards.iter().zip(&owners) {
+            assert_eq!(shard.len(), ids.len(), "shard size must match its owner list");
+            assert!(ids.iter().all(|&g| (g as usize) < n), "owner id out of range");
+        }
+        let local_of = invert_owners(&owners, n);
+        Self { shards, owners, local_of, assignment, n }
+    }
 }
 
 impl<S, F, D, B> ShardedIndex<S, F, D, B>
@@ -722,6 +747,33 @@ where
             n: self.n,
         }
     }
+
+    /// Reassembles a sharded ladder from already-built per-shard
+    /// ladders and their persisted owner lists — the snapshot loader's
+    /// entry point. `local_of` is recomputed from `owners`.
+    ///
+    /// # Panics
+    /// Panics if the shapes disagree: shard count vs assignment, ladder
+    /// sizes or schedules vs their owner lists, or owner ids out of
+    /// `0..n`.
+    pub(crate) fn assemble(
+        shards: Vec<TopKIndex<S, F, D, FrozenStore>>,
+        owners: Vec<Vec<PointId>>,
+        assignment: ShardAssignment,
+        schedule: RadiusSchedule,
+        n: usize,
+    ) -> Self {
+        assert_eq!(shards.len(), assignment.shards(), "one ladder per assignment shard");
+        assert_eq!(owners.len(), shards.len(), "one owner list per shard");
+        assert_eq!(owners.iter().map(Vec::len).sum::<usize>(), n, "owner lists must cover 0..n");
+        for (shard, ids) in shards.iter().zip(&owners) {
+            assert_eq!(shard.len(), ids.len(), "ladder size must match its owner list");
+            assert_eq!(shard.schedule(), schedule, "every ladder shares the schedule");
+            assert!(ids.iter().all(|&g| (g as usize) < n), "owner id out of range");
+        }
+        let local_of = invert_owners(&owners, n);
+        Self { shards, owners, local_of, assignment, schedule, n }
+    }
 }
 
 impl<S, F, D, B> ShardedTopKIndex<S, F, D, B>
@@ -756,6 +808,12 @@ where
     /// sharded engines.
     pub fn shards(&self) -> &[TopKIndex<S, F, D, B>] {
         &self.shards
+    }
+
+    /// The global ids owned by `shard`, in that shard's local row order
+    /// (mirrors [`ShardedIndex::global_ids`]).
+    pub fn global_ids(&self, shard: usize) -> &[PointId] {
+        &self.owners[shard]
     }
 
     /// Answers one top-k query with fresh scratch.

@@ -1,0 +1,267 @@
+//! Family and distance codecs: how each LSH family pins its parameters
+//! and sampled g-functions into the param block.
+//!
+//! The snapshot **never re-samples** hash functions: a g-function's
+//! projections and shifts are serialised verbatim, because byte-equal
+//! g-functions are the first link in the query-determinism chain (the
+//! builder's RNG seed is not retained by a built index). Decoding is
+//! total — every constructor precondition (positive dims, `k ≤ 64` for
+//! sign families, shape consistency) is checked explicitly and mapped
+//! to a typed error before any panicking constructor runs, so a corrupt
+//! file can never trip an assert.
+
+use hlsh_families::pstable::PStableGFn;
+use hlsh_families::simhash::SimHashGFn;
+use hlsh_families::{LshFamily, PStableL1, PStableL2, SimHash};
+use hlsh_vec::{Cosine, Distance, L1, L2};
+
+use super::format::{ParamReader, ParamWriter};
+use super::{SnapshotError, MAX_DIM, MAX_K};
+
+/// An LSH family the snapshot format can persist. The tag is written to
+/// the param block; a loader instantiated for a different family
+/// rejects the file with [`SnapshotError::FamilyMismatch`].
+pub trait SnapshotFamily: LshFamily<[f32]> + PartialEq {
+    /// Family discriminant in the param block (1 = p-stable L2,
+    /// 2 = p-stable L1, 3 = SimHash). Never reuse a retired value.
+    const TAG: u8;
+
+    /// Writes the family's own parameters (not a g-function's).
+    fn encode_params(&self, w: &mut ParamWriter);
+
+    /// Decodes and validates family parameters.
+    fn decode_params(r: &mut ParamReader) -> Result<Self, SnapshotError>
+    where
+        Self: Sized;
+
+    /// Writes one sampled g-function verbatim.
+    fn encode_gfn(g: &Self::GFn, w: &mut ParamWriter);
+
+    /// Decodes and validates one g-function.
+    fn decode_gfn(r: &mut ParamReader) -> Result<Self::GFn, SnapshotError>;
+
+    /// The `(dim, k)` shape of a g-function, so the loader can check
+    /// every table against the index-level parameters before assembly.
+    fn gfn_shape(g: &Self::GFn) -> (usize, usize);
+}
+
+/// A distance function the snapshot format can name. Distances carry no
+/// state (unit structs), so only the tag is persisted; a loader
+/// instantiated for a different metric rejects the file with
+/// [`SnapshotError::DistanceMismatch`].
+pub trait SnapshotDistance: Distance<[f32]> + Default {
+    /// Distance discriminant in the param block (1 = L2, 2 = L1,
+    /// 3 = cosine). Never reuse a retired value.
+    const TAG: u8;
+}
+
+impl SnapshotDistance for L2 {
+    const TAG: u8 = 1;
+}
+
+impl SnapshotDistance for L1 {
+    const TAG: u8 = 2;
+}
+
+impl SnapshotDistance for Cosine {
+    const TAG: u8 = 3;
+}
+
+fn decode_dim(r: &mut ParamReader) -> Result<usize, SnapshotError> {
+    let dim = r.u32()? as usize;
+    if dim == 0 || dim > MAX_DIM {
+        return Err(SnapshotError::Malformed("dimensionality out of range"));
+    }
+    Ok(dim)
+}
+
+fn decode_width(r: &mut ParamReader) -> Result<f64, SnapshotError> {
+    let w = r.f64()?;
+    if !(w.is_finite() && w > 0.0) {
+        return Err(SnapshotError::Malformed("slot width must be positive and finite"));
+    }
+    Ok(w)
+}
+
+fn encode_pstable_gfn(g: &PStableGFn, w: &mut ParamWriter) {
+    let (dim, proj, shifts, width) = g.parts();
+    w.u32(dim as u32);
+    w.f64(width);
+    w.f32_slice(proj);
+    w.f64_slice(shifts);
+}
+
+fn decode_pstable_gfn(r: &mut ParamReader) -> Result<PStableGFn, SnapshotError> {
+    let dim = decode_dim(r)?;
+    let width = decode_width(r)?;
+    let proj = r.f32_vec()?;
+    let shifts = r.f64_vec()?;
+    if shifts.is_empty() || shifts.len() > MAX_K {
+        return Err(SnapshotError::Malformed("g-function width out of range"));
+    }
+    if shifts.len().checked_mul(dim) != Some(proj.len()) {
+        return Err(SnapshotError::Malformed("g-function projection shape mismatch"));
+    }
+    Ok(PStableGFn::from_parts(dim, proj, shifts, width))
+}
+
+impl SnapshotFamily for PStableL2 {
+    const TAG: u8 = 1;
+
+    fn encode_params(&self, w: &mut ParamWriter) {
+        w.u32(self.dim() as u32);
+        w.f64(self.w());
+    }
+
+    fn decode_params(r: &mut ParamReader) -> Result<Self, SnapshotError> {
+        let dim = decode_dim(r)?;
+        let width = decode_width(r)?;
+        Ok(Self::new(dim, width))
+    }
+
+    fn encode_gfn(g: &PStableGFn, w: &mut ParamWriter) {
+        encode_pstable_gfn(g, w);
+    }
+
+    fn decode_gfn(r: &mut ParamReader) -> Result<PStableGFn, SnapshotError> {
+        decode_pstable_gfn(r)
+    }
+
+    fn gfn_shape(g: &PStableGFn) -> (usize, usize) {
+        let (dim, _, shifts, _) = g.parts();
+        (dim, shifts.len())
+    }
+}
+
+impl SnapshotFamily for PStableL1 {
+    const TAG: u8 = 2;
+
+    fn encode_params(&self, w: &mut ParamWriter) {
+        w.u32(self.dim() as u32);
+        w.f64(self.w());
+    }
+
+    fn decode_params(r: &mut ParamReader) -> Result<Self, SnapshotError> {
+        let dim = decode_dim(r)?;
+        let width = decode_width(r)?;
+        Ok(Self::new(dim, width))
+    }
+
+    fn encode_gfn(g: &PStableGFn, w: &mut ParamWriter) {
+        encode_pstable_gfn(g, w);
+    }
+
+    fn decode_gfn(r: &mut ParamReader) -> Result<PStableGFn, SnapshotError> {
+        decode_pstable_gfn(r)
+    }
+
+    fn gfn_shape(g: &PStableGFn) -> (usize, usize) {
+        let (dim, _, shifts, _) = g.parts();
+        (dim, shifts.len())
+    }
+}
+
+impl SnapshotFamily for SimHash {
+    const TAG: u8 = 3;
+
+    fn encode_params(&self, w: &mut ParamWriter) {
+        w.u32(self.dim() as u32);
+    }
+
+    fn decode_params(r: &mut ParamReader) -> Result<Self, SnapshotError> {
+        Ok(Self::new(decode_dim(r)?))
+    }
+
+    fn encode_gfn(g: &SimHashGFn, w: &mut ParamWriter) {
+        let (dim, planes) = g.parts();
+        w.u32(dim as u32);
+        w.f32_slice(planes);
+    }
+
+    fn decode_gfn(r: &mut ParamReader) -> Result<SimHashGFn, SnapshotError> {
+        let dim = decode_dim(r)?;
+        let planes = r.f32_vec()?;
+        if planes.is_empty() || !planes.len().is_multiple_of(dim) {
+            return Err(SnapshotError::Malformed("g-function plane shape mismatch"));
+        }
+        if planes.len() / dim > 64 {
+            return Err(SnapshotError::Malformed("sign-family g-function wider than 64 bits"));
+        }
+        Ok(SimHashGFn::from_parts(dim, planes))
+    }
+
+    fn gfn_shape(g: &SimHashGFn) -> (usize, usize) {
+        let (dim, planes) = g.parts();
+        (dim, planes.len() / dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsh_families::sampling::rng_stream;
+
+    fn round_trip_gfn<F: SnapshotFamily>(family: &F, k: usize) -> F::GFn {
+        let mut rng = rng_stream(7, 0);
+        let g = family.sample(k, &mut rng);
+        let mut w = ParamWriter::new();
+        F::encode_gfn(&g, &mut w);
+        let bytes = w.into_bytes();
+        let mut r = ParamReader::new(&bytes);
+        let back = F::decode_gfn(&mut r).expect("round trip");
+        r.finish().expect("fully consumed");
+        back
+    }
+
+    #[test]
+    fn pstable_gfn_round_trips_verbatim() {
+        let family = PStableL2::new(12, 3.5);
+        let g = round_trip_gfn(&family, 5);
+        assert_eq!(PStableL2::gfn_shape(&g), (12, 5));
+        // Byte-identical re-encode: serialisation is verbatim.
+        let mut w1 = ParamWriter::new();
+        PStableL2::encode_gfn(&g, &mut w1);
+        let mut w2 = ParamWriter::new();
+        PStableL2::encode_gfn(&round_trip_gfn(&family, 5), &mut w2);
+        assert_eq!(w1.into_bytes(), w2.into_bytes());
+    }
+
+    #[test]
+    fn simhash_gfn_round_trips_and_rejects_bad_shapes() {
+        let family = SimHash::new(8);
+        let g = round_trip_gfn(&family, 6);
+        assert_eq!(SimHash::gfn_shape(&g), (8, 6));
+
+        // A plane buffer that is not a multiple of dim is rejected.
+        let mut w = ParamWriter::new();
+        w.u32(8);
+        w.f32_slice(&[1.0; 9]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            SimHash::decode_gfn(&mut ParamReader::new(&bytes)),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn family_params_round_trip_and_validate() {
+        let f = PStableL1::new(16, 2.25);
+        let mut w = ParamWriter::new();
+        f.encode_params(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(PStableL1::decode_params(&mut ParamReader::new(&bytes)).expect("decode"), f);
+
+        // Zero dimensionality and non-positive widths map to typed
+        // errors, not constructor panics.
+        let mut w = ParamWriter::new();
+        w.u32(0);
+        w.f64(2.0);
+        let bytes = w.into_bytes();
+        assert!(PStableL1::decode_params(&mut ParamReader::new(&bytes)).is_err());
+        let mut w = ParamWriter::new();
+        w.u32(4);
+        w.f64(-1.0);
+        let bytes = w.into_bytes();
+        assert!(PStableL1::decode_params(&mut ParamReader::new(&bytes)).is_err());
+    }
+}

@@ -1,0 +1,308 @@
+//! Snapshot loader: total validation first, infallible assembly after.
+//!
+//! Several in-memory constructors downstream of the loader enforce
+//! their invariants with asserts (`HllConfig::new`, `CostModel`,
+//! `RadiusSchedule`, the `assemble` hooks). A corrupt file must never
+//! reach them, so this module checks **every** precondition explicitly
+//! and maps violations to typed [`SnapshotError`]s — loading is total,
+//! in the same spirit as the wire protocol's frame decoder. The one
+//! documented exception: under [`LoadMode::Mmap`] the per-section CRCs
+//! are skipped (checksumming would fault in every page and forfeit the
+//! lazy cold start), so bit rot inside member or register arrays is
+//! caught by the OS page checksums or not at all — use
+//! [`LoadMode::MmapVerify`] or [`LoadMode::Read`] when that matters.
+
+use std::fs::File;
+use std::path::Path;
+use std::sync::Arc;
+
+use hlsh_hll::HllConfig;
+use hlsh_vec::{DenseDataset, PointId, Section};
+
+use super::codec::{SnapshotDistance, SnapshotFamily};
+use super::format::{crc32, DirEntry, Header, ParamReader, DIR_ENTRY_LEN, HEADER_LEN};
+use super::params::RawParams;
+use super::source::SnapshotSource;
+use super::{LoadMode, SnapshotError, SnapshotManifest, TopKManifest};
+use crate::index::HybridLshIndex;
+use crate::schedule::RadiusSchedule;
+use crate::sharded::{ShardAssignment, ShardedIndex, ShardedTopKIndex};
+use crate::store::FrozenStore;
+use crate::table::HashTable;
+use crate::topk::TopKIndex;
+
+/// Everything a snapshot reconstructs: the sharded radius index, the
+/// sharded top-k ladder when one was saved, and the manifest the file
+/// declared.
+pub struct LoadedSnapshot<F, D>
+where
+    F: SnapshotFamily,
+    D: SnapshotDistance,
+{
+    /// The sharded r-near-neighbor-reporting index.
+    pub rnnr: ShardedIndex<DenseDataset, F, D, FrozenStore>,
+    /// The sharded top-k ladder, when the snapshot carried one.
+    pub topk: Option<ShardedTopKIndex<DenseDataset, F, D, FrozenStore>>,
+    /// The scalar parameters the file declared.
+    pub manifest: SnapshotManifest,
+}
+
+/// Validated preamble: header, param bytes and directory bytes, each
+/// checked against its CRC. Shared by the loader and the manifest
+/// reader; works over either source.
+fn read_preamble(
+    src: &mut SnapshotSource,
+    file_len: u64,
+) -> Result<(Header, Vec<u8>, Vec<u8>), SnapshotError> {
+    let header = Header::decode(&src.bytes(0, HEADER_LEN)?)?;
+    if header.total_len != file_len {
+        return if file_len < header.total_len {
+            Err(SnapshotError::Truncated)
+        } else {
+            Err(SnapshotError::Malformed("file length disagrees with header"))
+        };
+    }
+    let param_len = usize::try_from(header.param_len).map_err(|_| SnapshotError::Truncated)?;
+    let param = src.bytes(header.param_off, param_len)?;
+    if crc32(&param) != header.param_crc {
+        return Err(SnapshotError::ChecksumMismatch("param block"));
+    }
+    let dir_len = header.dir_count as usize * DIR_ENTRY_LEN;
+    let dir = src.bytes(header.dir_off, dir_len)?;
+    if crc32(&dir) != header.dir_crc {
+        return Err(SnapshotError::ChecksumMismatch("directory"));
+    }
+    Ok((header, param, dir))
+}
+
+fn manifest_of(raw: &RawParams) -> SnapshotManifest {
+    SnapshotManifest {
+        family_tag: raw.family_tag,
+        distance_tag: raw.distance_tag,
+        n: raw.n,
+        dim: raw.dim,
+        seed: raw.seed,
+        shards: raw.shards,
+        tables: raw.rnnr.tables,
+        k: raw.rnnr.k,
+        topk: raw.topk.as_ref().map(|tk| TopKManifest {
+            base: tk.base,
+            ratio: tk.ratio,
+            levels: tk.levels.len(),
+        }),
+    }
+}
+
+/// Reads only the scalar parameters of a snapshot — no sections are
+/// touched and no family/distance type is needed, so a server can
+/// fail fast when CLI parameters disagree with the file before paying
+/// for a load.
+pub fn read_manifest(path: &Path) -> Result<SnapshotManifest, SnapshotError> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut src = SnapshotSource::read(file);
+    let (_, param, _) = read_preamble(&mut src, file_len)?;
+    let mut r = ParamReader::new(&param);
+    // The g-function area follows the scalars; the manifest stops early
+    // by design, so no `finish()` here.
+    Ok(manifest_of(&RawParams::decode(&mut r)?))
+}
+
+fn next_entry<'a>(it: &mut std::slice::Iter<'a, DirEntry>) -> Result<&'a DirEntry, SnapshotError> {
+    it.next().ok_or(SnapshotError::Malformed("directory ended before the section schema"))
+}
+
+/// Reads the seven arrays of one frozen store and revalidates the CSR
+/// structural invariants via `FrozenStore::from_sections`.
+fn load_store(
+    src: &mut SnapshotSource,
+    it: &mut std::slice::Iter<'_, DirEntry>,
+    hll: HllConfig,
+) -> Result<FrozenStore, SnapshotError> {
+    let keys: Section<u64> = src.section(next_entry(it)?)?;
+    let prefix: Section<u32> = src.section(next_entry(it)?)?;
+    let offsets: Section<u64> = src.section(next_entry(it)?)?;
+    let members: Section<PointId> = src.section(next_entry(it)?)?;
+    let bits: Section<u64> = src.section(next_entry(it)?)?;
+    let rank: Section<u32> = src.section(next_entry(it)?)?;
+    let regs: Section<u8> = src.section(next_entry(it)?)?;
+    FrozenStore::from_sections(keys, prefix, offsets, members, Some(hll), bits, rank, regs)
+        .map_err(SnapshotError::Malformed)
+}
+
+/// Loads a snapshot written by [`save_snapshot`](super::save_snapshot).
+///
+/// The type parameters select the expected family and distance; a file
+/// written for different ones is rejected with
+/// [`SnapshotError::FamilyMismatch`] / [`DistanceMismatch`]. Queries
+/// against the returned indexes are byte-identical to queries against
+/// the indexes that were saved, in every [`LoadMode`].
+///
+/// [`DistanceMismatch`]: SnapshotError::DistanceMismatch
+pub fn load_snapshot<F, D>(
+    path: &Path,
+    mode: LoadMode,
+) -> Result<LoadedSnapshot<F, D>, SnapshotError>
+where
+    F: SnapshotFamily,
+    D: SnapshotDistance,
+{
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut src = match mode {
+        LoadMode::Read => SnapshotSource::read(file),
+        LoadMode::Mmap => SnapshotSource::mmap(&file, file_len, false)?,
+        LoadMode::MmapVerify => SnapshotSource::mmap(&file, file_len, true)?,
+    };
+    let (header, param, dir) = read_preamble(&mut src, file_len)?;
+
+    // --- params: scalars, then every g-function, fully consumed ---
+    let mut r = ParamReader::new(&param);
+    let raw = RawParams::decode(&mut r)?;
+    if raw.distance_tag != D::TAG {
+        return Err(SnapshotError::DistanceMismatch { expected: D::TAG, found: raw.distance_tag });
+    }
+    if raw.family_tag != F::TAG {
+        return Err(SnapshotError::FamilyMismatch { expected: F::TAG, found: raw.family_tag });
+    }
+    if raw.expected_sections() != header.dir_count as usize {
+        return Err(SnapshotError::Malformed("directory entry count disagrees with parameters"));
+    }
+    let decode_family = |blob: &[u8]| -> Result<F, SnapshotError> {
+        let mut fr = ParamReader::new(blob);
+        let family = F::decode_params(&mut fr)?;
+        fr.finish()?;
+        Ok(family)
+    };
+    let family = decode_family(&raw.rnnr.family)?;
+    let level_families = match &raw.topk {
+        Some(tk) => {
+            tk.levels.iter().map(|g| decode_family(&g.family)).collect::<Result<Vec<_>, _>>()?
+        }
+        None => Vec::new(),
+    };
+    let decode_gfn = |r: &mut ParamReader, k: usize| -> Result<F::GFn, SnapshotError> {
+        let g = F::decode_gfn(r)?;
+        if F::gfn_shape(&g) != (raw.dim, k) {
+            return Err(SnapshotError::Malformed("g-function shape disagrees with parameters"));
+        }
+        Ok(g)
+    };
+    let mut rnnr_gfns: Vec<Vec<F::GFn>> = Vec::with_capacity(raw.shards);
+    for _ in 0..raw.shards {
+        let gfns = (0..raw.rnnr.tables)
+            .map(|_| decode_gfn(&mut r, raw.rnnr.k))
+            .collect::<Result<Vec<_>, _>>()?;
+        rnnr_gfns.push(gfns);
+    }
+    let mut topk_gfns: Vec<Vec<Vec<F::GFn>>> = Vec::new();
+    if let Some(tk) = &raw.topk {
+        for _ in 0..raw.shards {
+            let mut per_level = Vec::with_capacity(tk.levels.len());
+            for g in &tk.levels {
+                per_level.push(
+                    (0..g.tables)
+                        .map(|_| decode_gfn(&mut r, g.k))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            topk_gfns.push(per_level);
+        }
+    }
+    r.finish()?;
+
+    // --- sections, in the writer's fixed order ---
+    let entries = dir
+        .chunks(DIR_ENTRY_LEN)
+        .map(|c| DirEntry::decode(c, header.total_len))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut it = entries.iter();
+    let hll = raw.rnnr.hll_config();
+    let cost = raw.rnnr.cost_model();
+    let has_topk = raw.topk.is_some();
+    let mut owners_all: Vec<Vec<PointId>> = Vec::with_capacity(raw.shards);
+    let mut data_secs: Vec<Section<f32>> = Vec::with_capacity(raw.shards);
+    let mut seen = vec![false; raw.n];
+    let mut rnnr_shards = Vec::with_capacity(raw.shards);
+    for gfns in rnnr_gfns {
+        let owners_sec: Section<PointId> = src.section(next_entry(&mut it)?)?;
+        let owners = owners_sec.to_vec();
+        for &g in &owners {
+            if (g as usize) >= raw.n || std::mem::replace(&mut seen[g as usize], true) {
+                return Err(SnapshotError::Malformed("owner lists do not partition the ids"));
+            }
+        }
+        let mut data_sec: Section<f32> = src.section(next_entry(&mut it)?)?;
+        if owners.len().checked_mul(raw.dim) != Some(data_sec.len()) {
+            return Err(SnapshotError::Malformed("data section size disagrees with owner list"));
+        }
+        // When a ladder shares this shard, promote an owned buffer to a
+        // shared backing so both indexes clone the same allocation.
+        if has_topk && !data_sec.is_shared() {
+            data_sec = Section::shared(Arc::new(data_sec.into_vec()));
+        }
+        let tables = gfns
+            .into_iter()
+            .map(|g| Ok(HashTable::from_parts(g, load_store(&mut src, &mut it, hll)?)))
+            .collect::<Result<Vec<_>, SnapshotError>>()?;
+        rnnr_shards.push(HybridLshIndex::assemble(
+            DenseDataset::from_section(data_sec.clone(), raw.dim),
+            family.clone(),
+            D::default(),
+            tables,
+            hll,
+            raw.rnnr.lazy,
+            cost,
+            raw.rnnr.k,
+        ));
+        owners_all.push(owners);
+        data_secs.push(data_sec);
+    }
+    if !seen.into_iter().all(|b| b) {
+        return Err(SnapshotError::Malformed("owner lists do not cover the ids"));
+    }
+
+    let assignment = ShardAssignment::new(raw.seed, raw.shards);
+    let mut topk_index = None;
+    if let Some(tk) = &raw.topk {
+        let schedule = RadiusSchedule::new(tk.base, tk.ratio, tk.levels.len());
+        let mut ladders = Vec::with_capacity(raw.shards);
+        for (s, per_level) in topk_gfns.into_iter().enumerate() {
+            let data = Arc::new(DenseDataset::from_section(data_secs[s].clone(), raw.dim));
+            let mut levels = Vec::with_capacity(tk.levels.len());
+            for (group, (gfns, lvl_family)) in
+                tk.levels.iter().zip(per_level.into_iter().zip(&level_families))
+            {
+                let tables = gfns
+                    .into_iter()
+                    .map(|g| {
+                        Ok(HashTable::from_parts(
+                            g,
+                            load_store(&mut src, &mut it, group.hll_config())?,
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, SnapshotError>>()?;
+                levels.push(HybridLshIndex::assemble(
+                    Arc::clone(&data),
+                    lvl_family.clone(),
+                    D::default(),
+                    tables,
+                    group.hll_config(),
+                    group.lazy,
+                    group.cost_model(),
+                    group.k,
+                ));
+            }
+            ladders.push(TopKIndex::assemble(data, schedule, levels));
+        }
+        topk_index = Some(ShardedTopKIndex::assemble(
+            ladders,
+            owners_all.clone(),
+            assignment,
+            schedule,
+            raw.n,
+        ));
+    }
+    let rnnr = ShardedIndex::assemble(rnnr_shards, owners_all, assignment, raw.n);
+    Ok(LoadedSnapshot { rnnr, topk: topk_index, manifest: manifest_of(&raw) })
+}

@@ -1,0 +1,302 @@
+//! The param-block schema: everything needed to reconstruct a sharded
+//! index *except* the flat arrays (which live in page-aligned sections)
+//! and the g-functions (which follow the scalars in the same block).
+//!
+//! Field order is pinned by `docs/SNAPSHOT.md` and deliberately puts
+//! every fixed-size scalar group **before** the variable g-function
+//! area, so [`read_manifest`](super::read_manifest) can stop early
+//! without knowing the family type. Family-specific parameters are
+//! length-prefixed blobs for the same reason.
+
+use hlsh_hll::HllConfig;
+
+use super::format::{ParamReader, ParamWriter};
+use super::{SnapshotError, MAX_DIM, MAX_K, MAX_LEVELS, MAX_SHARDS, MAX_TABLES};
+use crate::cost::CostModel;
+
+/// The shared parameter group of one hybrid index (the radius index, or
+/// one level of a top-k ladder): family parameters plus everything the
+/// builder would otherwise have derived at build time. The cost model
+/// is persisted (not re-derived) because it may have been calibrated
+/// from timings — re-deriving it could flip per-query arm decisions and
+/// break the byte-identity contract.
+#[derive(Clone, Debug, PartialEq)]
+pub(super) struct GroupParams {
+    /// Opaque family-parameter blob ([`SnapshotFamily`] encoded).
+    ///
+    /// [`SnapshotFamily`]: super::SnapshotFamily
+    pub family: Vec<u8>,
+    /// Number of hash tables `L`.
+    pub tables: usize,
+    /// Concatenation width `k` of every g-function.
+    pub k: usize,
+    /// HLL precision (validated `4..=16`).
+    pub precision: u8,
+    /// HLL element-hash seed.
+    pub hll_seed: u64,
+    /// Lazy-sketch threshold (buckets at or above this size carry a
+    /// materialised sketch).
+    pub lazy: usize,
+    /// Cost-model `α` (per-collision cost).
+    pub alpha: f64,
+    /// Cost-model `β` for scanned points.
+    pub beta_scan: f64,
+    /// Cost-model `β` for candidate points.
+    pub beta_cand: f64,
+}
+
+impl GroupParams {
+    pub(super) fn encode(&self, w: &mut ParamWriter) {
+        w.blob(&self.family);
+        w.u32(self.tables as u32);
+        w.u32(self.k as u32);
+        w.u8(self.precision);
+        w.u64(self.hll_seed);
+        w.u64(self.lazy as u64);
+        w.f64(self.alpha);
+        w.f64(self.beta_scan);
+        w.f64(self.beta_cand);
+    }
+
+    pub(super) fn decode(r: &mut ParamReader) -> Result<Self, SnapshotError> {
+        let family = r.blob()?.to_vec();
+        let tables = r.u32()? as usize;
+        if tables == 0 || tables > MAX_TABLES {
+            return Err(SnapshotError::Malformed("table count out of range"));
+        }
+        let k = r.u32()? as usize;
+        if k == 0 || k > MAX_K {
+            return Err(SnapshotError::Malformed("hash width out of range"));
+        }
+        let precision = r.u8()?;
+        if !(4..=16).contains(&precision) {
+            return Err(SnapshotError::Malformed("HLL precision out of range"));
+        }
+        let hll_seed = r.u64()?;
+        let lazy = usize::try_from(r.u64()?)
+            .map_err(|_| SnapshotError::Malformed("lazy threshold out of range"))?;
+        let [alpha, beta_scan, beta_cand] = [r.f64()?, r.f64()?, r.f64()?];
+        for c in [alpha, beta_scan, beta_cand] {
+            if !(c.is_finite() && c > 0.0) {
+                return Err(SnapshotError::Malformed(
+                    "cost coefficients must be positive and finite",
+                ));
+            }
+        }
+        Ok(Self { family, tables, k, precision, hll_seed, lazy, alpha, beta_scan, beta_cand })
+    }
+
+    /// The validated HLL configuration (safe: precision was checked).
+    pub(super) fn hll_config(&self) -> HllConfig {
+        HllConfig::new(self.precision, self.hll_seed)
+    }
+
+    /// The validated cost model (safe: coefficients were checked).
+    pub(super) fn cost_model(&self) -> CostModel {
+        CostModel::new_split(self.alpha, self.beta_scan, self.beta_cand)
+    }
+}
+
+/// The top-k extension of the param block: the radius schedule plus one
+/// parameter group per level.
+#[derive(Clone, Debug, PartialEq)]
+pub(super) struct TopKParams {
+    /// Smallest schedule radius.
+    pub base: f64,
+    /// Geometric growth factor (validated `> 1`).
+    pub ratio: f64,
+    /// One group per schedule level, ascending radius.
+    pub levels: Vec<GroupParams>,
+}
+
+/// The decoded scalar prefix of the param block — everything before the
+/// g-function area.
+#[derive(Clone, Debug, PartialEq)]
+pub(super) struct RawParams {
+    /// [`SnapshotDistance::TAG`](super::SnapshotDistance::TAG).
+    pub distance_tag: u8,
+    /// [`SnapshotFamily::TAG`](super::SnapshotFamily::TAG).
+    pub family_tag: u8,
+    /// Total indexed points across shards.
+    pub n: usize,
+    /// Dimensionality of every point.
+    pub dim: usize,
+    /// Shard-assignment hash seed.
+    pub seed: u64,
+    /// Number of shards.
+    pub shards: usize,
+    /// The radius (r-NNR) index parameters.
+    pub rnnr: GroupParams,
+    /// Top-k ladder parameters, when one was snapshotted.
+    pub topk: Option<TopKParams>,
+}
+
+impl RawParams {
+    pub(super) fn encode(&self, w: &mut ParamWriter) {
+        w.u8(self.distance_tag);
+        w.u8(self.family_tag);
+        w.u64(self.n as u64);
+        w.u32(self.dim as u32);
+        w.u64(self.seed);
+        w.u32(self.shards as u32);
+        self.rnnr.encode(w);
+        match &self.topk {
+            None => w.u8(0),
+            Some(tk) => {
+                w.u8(1);
+                w.f64(tk.base);
+                w.f64(tk.ratio);
+                w.u32(tk.levels.len() as u32);
+                for level in &tk.levels {
+                    level.encode(w);
+                }
+            }
+        }
+    }
+
+    pub(super) fn decode(r: &mut ParamReader) -> Result<Self, SnapshotError> {
+        let distance_tag = r.u8()?;
+        let family_tag = r.u8()?;
+        let n = usize::try_from(r.u64()?)
+            .ok()
+            .filter(|&n| n <= u32::MAX as usize)
+            .ok_or(SnapshotError::Malformed("point count exceeds the id space"))?;
+        let dim = r.u32()? as usize;
+        if dim == 0 || dim > MAX_DIM {
+            return Err(SnapshotError::Malformed("dimensionality out of range"));
+        }
+        let seed = r.u64()?;
+        let shards = r.u32()? as usize;
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(SnapshotError::Malformed("shard count out of range"));
+        }
+        let rnnr = GroupParams::decode(r)?;
+        let topk = match r.u8()? {
+            0 => None,
+            1 => {
+                let base = r.f64()?;
+                if !(base.is_finite() && base > 0.0) {
+                    return Err(SnapshotError::Malformed(
+                        "schedule base radius must be positive and finite",
+                    ));
+                }
+                let ratio = r.f64()?;
+                if !(ratio.is_finite() && ratio > 1.0) {
+                    return Err(SnapshotError::Malformed("schedule ratio must exceed 1"));
+                }
+                let levels = r.u32()? as usize;
+                if levels == 0 || levels > MAX_LEVELS {
+                    return Err(SnapshotError::Malformed("schedule level count out of range"));
+                }
+                let levels =
+                    (0..levels).map(|_| GroupParams::decode(r)).collect::<Result<Vec<_>, _>>()?;
+                Some(TopKParams { base, ratio, levels })
+            }
+            _ => return Err(SnapshotError::Malformed("invalid top-k presence flag")),
+        };
+        Ok(Self { distance_tag, family_tag, n, dim, seed, shards, rnnr, topk })
+    }
+
+    /// Number of directory entries this parameter set implies: per shard
+    /// an owner list, a data section, and seven store sections per table
+    /// of the radius index and of every top-k level.
+    pub(super) fn expected_sections(&self) -> usize {
+        let per_shard_topk: usize =
+            self.topk.iter().flat_map(|tk| tk.levels.iter()).map(|g| 7 * g.tables).sum();
+        self.shards * (2 + 7 * self.rnnr.tables + per_shard_topk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(tables: usize) -> GroupParams {
+        GroupParams {
+            family: vec![1, 2, 3],
+            tables,
+            k: 7,
+            precision: 7,
+            hll_seed: 99,
+            lazy: 64,
+            alpha: 1.0,
+            beta_scan: 6.0,
+            beta_cand: 6.0,
+        }
+    }
+
+    #[test]
+    fn params_round_trip_with_and_without_topk() {
+        for topk in
+            [None, Some(TopKParams { base: 0.5, ratio: 2.0, levels: vec![group(4), group(5)] })]
+        {
+            let raw = RawParams {
+                distance_tag: 1,
+                family_tag: 1,
+                n: 1000,
+                dim: 32,
+                seed: 42,
+                shards: 3,
+                rnnr: group(10),
+                topk,
+            };
+            let mut w = ParamWriter::new();
+            raw.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ParamReader::new(&bytes);
+            assert_eq!(RawParams::decode(&mut r).expect("round trip"), raw);
+            r.finish().expect("fully consumed");
+        }
+    }
+
+    #[test]
+    fn expected_sections_counts_every_array() {
+        let raw = RawParams {
+            distance_tag: 1,
+            family_tag: 1,
+            n: 10,
+            dim: 4,
+            seed: 0,
+            shards: 2,
+            rnnr: group(3),
+            topk: Some(TopKParams { base: 1.0, ratio: 2.0, levels: vec![group(2), group(2)] }),
+        };
+        // Per shard: owners + data + 7·3 (rnnr) + 7·(2+2) (topk) = 51.
+        assert_eq!(raw.expected_sections(), 2 * 51);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range_scalars() {
+        let encode = |f: &dyn Fn(&mut ParamWriter)| {
+            let mut w = ParamWriter::new();
+            f(&mut w);
+            w.into_bytes()
+        };
+        // Zero shards.
+        let bytes = encode(&|w| {
+            w.u8(1);
+            w.u8(1);
+            w.u64(10);
+            w.u32(4);
+            w.u64(0);
+            w.u32(0);
+        });
+        assert!(matches!(
+            RawParams::decode(&mut ParamReader::new(&bytes)),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // Non-finite cost coefficient.
+        let mut bad = group(3);
+        bad.alpha = f64::NAN;
+        let bytes = encode(&|w| bad.encode(w));
+        assert!(matches!(
+            GroupParams::decode(&mut ParamReader::new(&bytes)),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // Invalid HLL precision.
+        let mut bad = group(3);
+        bad.precision = 3;
+        let bytes = encode(&|w| bad.encode(w));
+        assert!(GroupParams::decode(&mut ParamReader::new(&bytes)).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! Snapshot writer: one streaming pass over the flat arrays, then a
+//! seek back to fill in the directory and header.
+//!
+//! The writer first verifies every cross-index invariant the loader
+//! will rely on (shards agree on parameters, the top-k ladder was built
+//! over the same partition and data as the radius index), so a file
+//! that saves successfully always round-trips. Sections are streamed in
+//! fixed-size chunks with their CRC computed on the encoded bytes — the
+//! file is never buffered whole in memory.
+
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use hlsh_vec::DenseDataset;
+
+use super::codec::{SnapshotDistance, SnapshotFamily};
+use super::format::{
+    crc32, page_align, Crc32, DirEntry, Header, ParamWriter, DIR_ENTRY_LEN, HEADER_LEN,
+};
+use super::params::{GroupParams, RawParams, TopKParams};
+use super::source::Pod;
+use super::{SnapshotError, MAX_LEVELS, MAX_SHARDS, MAX_TABLES};
+use crate::index::HybridLshIndex;
+use crate::sharded::{ShardedIndex, ShardedTopKIndex};
+use crate::store::FrozenStore;
+
+/// What [`save_snapshot`] wrote, for logging and benchmarks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SaveStats {
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Number of page-aligned sections written.
+    pub sections: usize,
+}
+
+/// Elements encoded per write chunk (64 Ki elements, ≤ 512 KiB).
+const CHUNK: usize = 64 * 1024;
+
+struct SectionWriter {
+    out: BufWriter<File>,
+    cursor: u64,
+    entries: Vec<DirEntry>,
+}
+
+impl SectionWriter {
+    fn pad_to(&mut self, target: u64) -> Result<(), SnapshotError> {
+        const ZEROS: [u8; 4096] = [0u8; 4096];
+        let mut gap = (target - self.cursor) as usize;
+        while gap > 0 {
+            let step = gap.min(ZEROS.len());
+            self.out.write_all(&ZEROS[..step])?;
+            gap -= step;
+        }
+        self.cursor = target;
+        Ok(())
+    }
+
+    /// Streams one section: pad to the next page boundary, then encode
+    /// `elems` little-endian in chunks while folding the CRC.
+    fn section<T: Pod>(&mut self, elems: &[T]) -> Result<(), SnapshotError> {
+        let offset = page_align(self.cursor);
+        self.pad_to(offset)?;
+        let mut crc = Crc32::new();
+        let mut buf = Vec::with_capacity(CHUNK.min(elems.len()) * T::SIZE);
+        for chunk in elems.chunks(CHUNK) {
+            buf.clear();
+            for &e in chunk {
+                e.to_le(&mut buf);
+            }
+            crc.update(&buf);
+            self.out.write_all(&buf)?;
+        }
+        let byte_len = (elems.len() * T::SIZE) as u64;
+        self.cursor = offset + byte_len;
+        self.entries.push(DirEntry {
+            offset,
+            byte_len,
+            elem_size: T::SIZE as u32,
+            crc: crc.finish(),
+        });
+        Ok(())
+    }
+
+    /// The seven flat arrays of one frozen store, in schema order.
+    fn store(&mut self, store: &FrozenStore) -> Result<(), SnapshotError> {
+        let (keys, prefix, offsets, members, bits, rank, regs, _) = store.sections();
+        self.section::<u64>(keys)?;
+        self.section::<u32>(prefix)?;
+        self.section::<u64>(offsets)?;
+        self.section::<u32>(members)?;
+        self.section::<u64>(bits)?;
+        self.section::<u32>(rank)?;
+        self.section::<u8>(regs)
+    }
+}
+
+/// Extracts one index's parameter group, checking the per-table sketch
+/// configs agree with the index-level one.
+fn group_of<S, F, D>(
+    ix: &HybridLshIndex<S, F, D, FrozenStore>,
+) -> Result<GroupParams, SnapshotError>
+where
+    S: hlsh_vec::PointSet,
+    F: SnapshotFamily + hlsh_families::LshFamily<S::Point>,
+    D: hlsh_vec::Distance<S::Point>,
+{
+    for table in ix.raw_tables() {
+        let (.., config) = table.store().sections();
+        if config.is_some_and(|c| c != ix.hll_config()) {
+            return Err(SnapshotError::Inconsistent(
+                "table sketch config disagrees with the index HLL config",
+            ));
+        }
+    }
+    let mut fw = ParamWriter::new();
+    // The family-parameter codec is only defined over [f32] points, but
+    // `ix` may hold `DenseDataset` or `Arc<DenseDataset>`; the family
+    // value itself is point-type independent.
+    SnapshotFamily::encode_params(ix.family(), &mut fw);
+    Ok(GroupParams {
+        family: fw.into_bytes(),
+        tables: ix.tables(),
+        k: ix.k(),
+        precision: ix.hll_config().precision(),
+        hll_seed: ix.hll_config().seed(),
+        lazy: ix.lazy_threshold(),
+        alpha: ix.cost_model().alpha(),
+        beta_scan: ix.cost_model().beta(),
+        beta_cand: ix.cost_model().beta_cand(),
+    })
+}
+
+/// Serialises a sharded radius index — and optionally the sharded top-k
+/// ladder built over the **same** data and partition — to `path` in the
+/// versioned format of `docs/SNAPSHOT.md`.
+///
+/// Shard data is stored once: when `topk` is given, the writer verifies
+/// it shares the radius index's assignment, owner lists and per-shard
+/// rows, and the loader reconstructs both indexes over one shared copy.
+/// Returns [`SnapshotError::Inconsistent`] if the two indexes disagree
+/// (e.g. they were built from different builds of the data).
+pub fn save_snapshot<F, D>(
+    path: &Path,
+    rnnr: &ShardedIndex<DenseDataset, F, D, FrozenStore>,
+    topk: Option<&ShardedTopKIndex<DenseDataset, F, D, FrozenStore>>,
+) -> Result<SaveStats, SnapshotError>
+where
+    F: SnapshotFamily,
+    D: SnapshotDistance,
+{
+    let shards = rnnr.shards();
+    let n = rnnr.len();
+    let assignment = rnnr.assignment();
+    let first = shards.first().ok_or(SnapshotError::Inconsistent("index has no shards"))?;
+    if n > u32::MAX as usize {
+        return Err(SnapshotError::Inconsistent("point count exceeds the id space"));
+    }
+    if shards.len() > MAX_SHARDS {
+        return Err(SnapshotError::Inconsistent("shard count exceeds the format cap"));
+    }
+    let dim = first.data().dim();
+    let rnnr_group = group_of(first)?;
+    if rnnr_group.tables > MAX_TABLES {
+        return Err(SnapshotError::Inconsistent("table count exceeds the format cap"));
+    }
+    for shard in shards {
+        if shard.data().dim() != dim
+            || group_of(shard)? != rnnr_group
+            || shard.family() != first.family()
+        {
+            return Err(SnapshotError::Inconsistent("shards disagree on index parameters"));
+        }
+    }
+
+    // Cross-check the ladder against the radius index before promising
+    // the loader it can share one data copy between them.
+    let mut topk_raw = None;
+    if let Some(tk) = topk {
+        if tk.assignment() != assignment || tk.len() != n {
+            return Err(SnapshotError::Inconsistent(
+                "top-k index partitioned differently from the radius index",
+            ));
+        }
+        if tk.schedule().levels() > MAX_LEVELS {
+            return Err(SnapshotError::Inconsistent("schedule level count exceeds the format cap"));
+        }
+        for (s, shard) in tk.shards().iter().enumerate() {
+            if tk.global_ids(s) != rnnr.global_ids(s) {
+                return Err(SnapshotError::Inconsistent(
+                    "top-k owner lists differ from the radius index",
+                ));
+            }
+            if shard.data() != shards[s].data() {
+                return Err(SnapshotError::Inconsistent(
+                    "top-k shard data differs from the radius index",
+                ));
+            }
+        }
+        let reference = tk.shards().first().expect("assignment implies at least one shard");
+        let mut level_groups = Vec::with_capacity(tk.schedule().levels());
+        for (l, level) in reference.levels().iter().enumerate() {
+            let g = group_of(level)?;
+            if g.tables > MAX_TABLES {
+                return Err(SnapshotError::Inconsistent("table count exceeds the format cap"));
+            }
+            for shard in tk.shards() {
+                if group_of(&shard.levels()[l])? != g
+                    || shard.levels()[l].family() != level.family()
+                {
+                    return Err(SnapshotError::Inconsistent(
+                        "top-k shards disagree on level parameters",
+                    ));
+                }
+            }
+            level_groups.push(g);
+        }
+        topk_raw = Some(TopKParams {
+            base: tk.schedule().base(),
+            ratio: tk.schedule().ratio(),
+            levels: level_groups,
+        });
+    }
+
+    let raw = RawParams {
+        distance_tag: D::TAG,
+        family_tag: F::TAG,
+        n,
+        dim,
+        seed: assignment.seed(),
+        shards: shards.len(),
+        rnnr: rnnr_group,
+        topk: topk_raw,
+    };
+    let dir_count = raw.expected_sections();
+
+    // Scalars first, then every g-function verbatim, in section order.
+    let mut pw = ParamWriter::new();
+    raw.encode(&mut pw);
+    for shard in shards {
+        for table in shard.raw_tables() {
+            F::encode_gfn(table.g(), &mut pw);
+        }
+    }
+    if let Some(tk) = topk {
+        for shard in tk.shards() {
+            for level in shard.levels() {
+                for table in level.raw_tables() {
+                    F::encode_gfn(table.g(), &mut pw);
+                }
+            }
+        }
+    }
+    let param = pw.into_bytes();
+
+    let param_off = HEADER_LEN as u64;
+    let param_len = param.len() as u64;
+    let dir_off = param_off + param_len;
+    let dir_len = (dir_count * DIR_ENTRY_LEN) as u64;
+
+    let file = File::create(path)?;
+    let mut sw = SectionWriter {
+        out: BufWriter::new(file),
+        cursor: 0,
+        entries: Vec::with_capacity(dir_count),
+    };
+    // Header and directory are written last (their CRCs depend on the
+    // streamed sections); reserve their space with zeros for now.
+    sw.out.write_all(&[0u8; HEADER_LEN])?;
+    sw.out.write_all(&param)?;
+    sw.cursor = dir_off;
+    sw.pad_to(dir_off + dir_len)?;
+
+    for (s, shard) in shards.iter().enumerate() {
+        sw.section::<u32>(rnnr.global_ids(s))?;
+        sw.section::<f32>(shard.data().as_flat())?;
+        for table in shard.raw_tables() {
+            sw.store(table.store())?;
+        }
+    }
+    if let Some(tk) = topk {
+        for shard in tk.shards() {
+            for level in shard.levels() {
+                for table in level.raw_tables() {
+                    sw.store(table.store())?;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(sw.entries.len(), dir_count);
+
+    let total_len = sw.cursor;
+    let mut dir_bytes = Vec::with_capacity(dir_len as usize);
+    for entry in &sw.entries {
+        dir_bytes.extend_from_slice(&entry.encode());
+    }
+    let header = Header {
+        total_len,
+        param_off,
+        param_len,
+        dir_off,
+        dir_count: dir_count as u32,
+        param_crc: crc32(&param),
+        dir_crc: crc32(&dir_bytes),
+    };
+    sw.out.seek(SeekFrom::Start(0))?;
+    sw.out.write_all(&header.encode())?;
+    sw.out.seek(SeekFrom::Start(dir_off))?;
+    sw.out.write_all(&dir_bytes)?;
+    sw.out.flush()?;
+    Ok(SaveStats { bytes: total_len, sections: dir_count })
+}

@@ -1,0 +1,185 @@
+//! The [`SnapshotSource`] abstraction: one loader, two byte suppliers.
+//!
+//! * [`SnapshotSource::Read`] — buffered `pread`-style reads into owned
+//!   vectors, decoding little-endian explicitly (works on any host) and
+//!   verifying every section's CRC.
+//! * [`SnapshotSource::Mmap`] — the whole file mapped once; sections
+//!   become zero-copy [`Section::shared`] views into the mapping.
+//!   Per-section CRC verification is **off by default** here, because
+//!   checksumming would fault in every page and forfeit the lazy cold
+//!   start that is the point of mapping; the header, param block and
+//!   directory are always verified, and `verify: true` opts back into
+//!   full checksumming for paranoid loads.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::Arc;
+
+use hlsh_vec::Section;
+
+use super::format::{crc32, DirEntry};
+use super::mmap::{Mmap, MmapSection};
+use super::SnapshotError;
+
+mod sealed {
+    /// Seals [`Pod`](super::Pod) to the four primitive element types
+    /// the snapshot format uses — the soundness of the mmap cast
+    /// depends on no other type ever implementing it.
+    pub trait Sealed {}
+    impl Sealed for u8 {}
+    impl Sealed for u32 {}
+    impl Sealed for u64 {}
+    impl Sealed for f32 {}
+}
+
+/// A plain-old-data section element: fixed size, valid for every bit
+/// pattern, with an explicit little-endian codec for the buffered read
+/// path. Sealed to `u8`/`u32`/`u64`/`f32` (the only element types the
+/// format defines); [`PointId`](hlsh_vec::PointId) is `u32`.
+pub trait Pod: Copy + Send + Sync + std::fmt::Debug + 'static + sealed::Sealed {
+    /// Element size in bytes (= `size_of::<Self>()`, pinned on disk).
+    const SIZE: usize;
+
+    /// Decodes one element from exactly [`SIZE`](Self::SIZE) bytes.
+    fn from_le(bytes: &[u8]) -> Self;
+
+    /// Appends the element's little-endian encoding to `out`.
+    fn to_le(self, out: &mut Vec<u8>);
+}
+
+impl Pod for u8 {
+    const SIZE: usize = 1;
+    fn from_le(bytes: &[u8]) -> Self {
+        bytes[0]
+    }
+    fn to_le(self, out: &mut Vec<u8>) {
+        out.push(self);
+    }
+}
+
+impl Pod for u32 {
+    const SIZE: usize = 4;
+    fn from_le(bytes: &[u8]) -> Self {
+        u32::from_le_bytes(bytes.try_into().expect("4-byte element"))
+    }
+    fn to_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Pod for u64 {
+    const SIZE: usize = 8;
+    fn from_le(bytes: &[u8]) -> Self {
+        u64::from_le_bytes(bytes.try_into().expect("8-byte element"))
+    }
+    fn to_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+impl Pod for f32 {
+    const SIZE: usize = 4;
+    fn from_le(bytes: &[u8]) -> Self {
+        f32::from_le_bytes(bytes.try_into().expect("4-byte element"))
+    }
+    fn to_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+}
+
+/// Where a loader's bytes come from; see the module docs for the two
+/// variants' verification contracts.
+#[derive(Debug)]
+pub enum SnapshotSource {
+    /// Buffered reads into owned arrays (always CRC-verified).
+    Read(File),
+    /// Zero-copy views into one shared mapping.
+    Mmap {
+        /// The mapped file.
+        map: Arc<Mmap>,
+        /// Whether to checksum every section despite the paging cost.
+        verify: bool,
+    },
+}
+
+impl SnapshotSource {
+    /// A buffered-read source over `file`.
+    pub fn read(file: File) -> Self {
+        SnapshotSource::Read(file)
+    }
+
+    /// Maps `file` (of known `total_len` bytes) and serves zero-copy
+    /// sections from the mapping.
+    pub fn mmap(file: &File, total_len: u64, verify: bool) -> Result<Self, SnapshotError> {
+        Ok(SnapshotSource::Mmap { map: Arc::new(Mmap::map(file, total_len)?), verify })
+    }
+
+    /// Whether sections come back borrowing a shared mapping.
+    pub fn is_mmap(&self) -> bool {
+        matches!(self, SnapshotSource::Mmap { .. })
+    }
+
+    /// Reads `len` raw bytes at `offset` into an owned buffer — used
+    /// for the header, param block and directory, which are always
+    /// materialised and verified whatever the section path.
+    pub fn bytes(&mut self, offset: u64, len: usize) -> Result<Vec<u8>, SnapshotError> {
+        match self {
+            SnapshotSource::Read(file) => {
+                file.seek(SeekFrom::Start(offset))?;
+                let mut buf = vec![0u8; len];
+                file.read_exact(&mut buf).map_err(|e| {
+                    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                        SnapshotError::Truncated
+                    } else {
+                        SnapshotError::Io(e)
+                    }
+                })?;
+                Ok(buf)
+            }
+            SnapshotSource::Mmap { map, .. } => {
+                let offset = usize::try_from(offset).map_err(|_| SnapshotError::Truncated)?;
+                let end = offset.checked_add(len).ok_or(SnapshotError::Truncated)?;
+                let bytes = map.as_bytes().get(offset..end).ok_or(SnapshotError::Truncated)?;
+                Ok(bytes.to_vec())
+            }
+        }
+    }
+
+    /// Materialises one directory section as a typed [`Section`].
+    ///
+    /// The entry's element size must match `T` (the caller walks the
+    /// directory against the format's fixed section schema). Empty
+    /// sections come back owned regardless of source.
+    pub fn section<T: Pod>(&mut self, entry: &DirEntry) -> Result<Section<T>, SnapshotError> {
+        if entry.elem_size as usize != T::SIZE {
+            return Err(SnapshotError::Malformed("section element size disagrees with schema"));
+        }
+        let byte_len = usize::try_from(entry.byte_len).map_err(|_| SnapshotError::Truncated)?;
+        let count = byte_len / T::SIZE;
+        if count == 0 {
+            return Ok(Section::new());
+        }
+        match self {
+            SnapshotSource::Read(_) => {
+                let bytes = self.bytes(entry.offset, byte_len)?;
+                if crc32(&bytes) != entry.crc {
+                    return Err(SnapshotError::ChecksumMismatch("section"));
+                }
+                Ok(Section::Owned(bytes.chunks_exact(T::SIZE).map(T::from_le).collect()))
+            }
+            SnapshotSource::Mmap { map, verify } => {
+                if *verify {
+                    let offset =
+                        usize::try_from(entry.offset).map_err(|_| SnapshotError::Truncated)?;
+                    let end = offset.checked_add(byte_len).ok_or(SnapshotError::Truncated)?;
+                    let bytes = map.as_bytes().get(offset..end).ok_or(SnapshotError::Truncated)?;
+                    if crc32(bytes) != entry.crc {
+                        return Err(SnapshotError::ChecksumMismatch("section"));
+                    }
+                }
+                let view = MmapSection::<T>::new(Arc::clone(map), entry.offset, count)?;
+                Ok(Section::shared(Arc::new(view)))
+            }
+        }
+    }
+}

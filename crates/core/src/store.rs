@@ -19,10 +19,24 @@
 //! index must resume streaming ingestion.
 
 use hlsh_hll::{HllConfig, SketchRef};
-use hlsh_vec::PointId;
+use hlsh_vec::{PointId, Section};
 
 use crate::bucket::{Bucket, BucketRef};
 use crate::hasher::FxHashMap;
+
+/// Borrowed view of a [`FrozenStore`]'s seven flat arrays plus its
+/// sketch config, in on-disk section order (keys, prefix, offsets,
+/// members, presence bitmap, rank table, register slab).
+pub(crate) type StoreSections<'a> = (
+    &'a Section<u64>,
+    &'a Section<u32>,
+    &'a Section<u64>,
+    &'a Section<PointId>,
+    &'a Section<u64>,
+    &'a Section<u32>,
+    &'a Section<u8>,
+    Option<HllConfig>,
+);
 
 /// Storage of a hash table's buckets, keyed by the 64-bit bucket key.
 pub trait BucketStore {
@@ -163,12 +177,12 @@ impl MapStore {
         let mut sketch_config: Option<HllConfig> = None;
         let mut sketch_bits = vec![0u64; entries.len().div_ceil(64)];
         let mut registers: Vec<u8> = Vec::new();
-        offsets.push(0usize);
+        offsets.push(0u64);
         for (i, (key, bucket)) in entries.into_iter().enumerate() {
             let (bucket_members, sketch) = bucket.into_parts();
             keys.push(key);
             members.extend_from_slice(&bucket_members);
-            offsets.push(members.len());
+            offsets.push(members.len() as u64);
             if let Some(s) = sketch {
                 match sketch_config {
                     None => sketch_config = Some(s.config()),
@@ -183,14 +197,14 @@ impl MapStore {
         let prefix = prefix_table(&keys);
         let sketch_rank = rank_table(&sketch_bits);
         FrozenStore {
-            keys,
-            prefix,
-            offsets,
-            members,
+            keys: keys.into(),
+            prefix: prefix.into(),
+            offsets: offsets.into(),
+            members: members.into(),
             sketch_config,
-            sketch_bits,
-            sketch_rank,
-            registers,
+            sketch_bits: sketch_bits.into(),
+            sketch_rank: sketch_rank.into(),
+            registers: registers.into(),
         }
     }
 }
@@ -204,7 +218,7 @@ impl MapStore {
 /// ```text
 /// keys:         [u64; B]          sorted bucket keys
 /// prefix:       [u32; 257]        key range per top byte (search accelerator)
-/// offsets:      [usize; B + 1]    member-slab extents per bucket
+/// offsets:      [u64; B + 1]      member-slab extents per bucket
 /// members:      [PointId; M]      one contiguous slab
 /// sketch_bits:  [u64; ⌈B/64⌉]     presence bitmap: bucket i sketched?
 /// sketch_rank:  [u32; ⌈B/64⌉]     popcount prefix sums for O(1) rank
@@ -222,19 +236,25 @@ impl MapStore {
 /// Equality compares the full arena contents — two stores are equal iff
 /// they hold the same buckets with the same members and sketch
 /// registers — which is exactly the byte-identity assertion the blocked
-/// build pipeline's CI gate needs.
+/// build pipeline's CI gate needs. (A [`Section`] compares by contents,
+/// so an mmap-loaded store equals the owned store that wrote it.)
+///
+/// Every array is a [`Section`]: heap-owned after a build or a buffered
+/// snapshot read, borrowed zero-copy from the mapping after an mmap
+/// snapshot load. `offsets` is pinned to `u64` (not `usize`) because it
+/// is persisted verbatim in the snapshot format.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FrozenStore {
-    keys: Vec<u64>,
-    prefix: Vec<u32>,
-    offsets: Vec<usize>,
-    members: Vec<PointId>,
+    keys: Section<u64>,
+    prefix: Section<u32>,
+    offsets: Section<u64>,
+    members: Section<PointId>,
     /// Config shared by every packed sketch; `None` iff no bucket is
     /// sketched (then `registers` is empty and the bitmap all-zero).
     sketch_config: Option<HllConfig>,
-    sketch_bits: Vec<u64>,
-    sketch_rank: Vec<u32>,
-    registers: Vec<u8>,
+    sketch_bits: Section<u64>,
+    sketch_rank: Section<u32>,
+    registers: Section<u8>,
 }
 
 fn prefix_table(keys: &[u64]) -> Vec<u32> {
@@ -291,7 +311,7 @@ impl FrozenStore {
 
     fn bucket_at(&self, i: usize) -> BucketRef<'_> {
         BucketRef::from_parts(
-            &self.members[self.offsets[i]..self.offsets[i + 1]],
+            &self.members[self.offsets[i] as usize..self.offsets[i + 1] as usize],
             self.sketch_at(i),
         )
     }
@@ -303,7 +323,8 @@ impl FrozenStore {
         let mut buckets = FxHashMap::default();
         buckets.reserve(self.keys.len());
         for (i, &key) in self.keys.iter().enumerate() {
-            let members = self.members[self.offsets[i]..self.offsets[i + 1]].to_vec();
+            let members =
+                self.members[self.offsets[i] as usize..self.offsets[i + 1] as usize].to_vec();
             let sketch = self.sketch_at(i).map(|s| s.to_owned());
             buckets.insert(key, Bucket::from_parts(members, sketch));
         }
@@ -320,19 +341,120 @@ impl FrozenStore {
     pub fn sketch_slab_bytes(&self) -> usize {
         self.registers.len()
     }
+
+    /// The seven flat arrays plus the sketch config, in on-disk section
+    /// order — the snapshot writer's view of the arena.
+    pub(crate) fn sections(&self) -> StoreSections<'_> {
+        (
+            &self.keys,
+            &self.prefix,
+            &self.offsets,
+            &self.members,
+            &self.sketch_bits,
+            &self.sketch_rank,
+            &self.registers,
+            self.sketch_config,
+        )
+    }
+
+    /// Reassembles an arena from its seven flat arrays (the snapshot
+    /// loader's entry point), verifying every structural invariant the
+    /// query paths rely on so no lookup can panic even if the arrays
+    /// came from a corrupt file. The checks only touch the small
+    /// metadata arrays (`prefix`, `offsets`, bitmap, rank) — the member
+    /// and register slabs stay untouched, which is what keeps the mmap
+    /// load path lazy.
+    ///
+    /// `sketch_config` is the config every packed sketch uses; it is
+    /// dropped when no bucket is sketched (empty register slab), which
+    /// restores the `None` ⟺ empty-slab invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_sections(
+        keys: Section<u64>,
+        prefix: Section<u32>,
+        offsets: Section<u64>,
+        members: Section<PointId>,
+        sketch_config: Option<HllConfig>,
+        sketch_bits: Section<u64>,
+        sketch_rank: Section<u32>,
+        registers: Section<u8>,
+    ) -> Result<Self, &'static str> {
+        let nbuckets = keys.len();
+        if prefix.len() != 257 {
+            return Err("prefix table must have 257 entries");
+        }
+        if offsets.len() != nbuckets + 1 {
+            return Err("offset array length must be bucket count + 1");
+        }
+        if offsets.first() != Some(&0) {
+            return Err("offset array must start at 0");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offset array must be non-decreasing");
+        }
+        if *offsets.last().expect("offsets verified non-empty") != members.len() as u64 {
+            return Err("last offset must equal member slab length");
+        }
+        if prefix.first() != Some(&0) || prefix.windows(2).any(|w| w[0] > w[1]) {
+            return Err("prefix table must be a non-decreasing prefix sum from 0");
+        }
+        if prefix.last() != Some(&(nbuckets as u32)) {
+            return Err("prefix table must end at the bucket count");
+        }
+        let words = nbuckets.div_ceil(64);
+        if sketch_bits.len() != words || sketch_rank.len() != words {
+            return Err("presence bitmap and rank table must have one word per 64 buckets");
+        }
+        if sketch_rank.as_slice() != rank_table(&sketch_bits).as_slice() {
+            return Err("rank table disagrees with presence bitmap");
+        }
+        if !nbuckets.is_multiple_of(64) {
+            if let Some(&last) = sketch_bits.last() {
+                if last >> (nbuckets % 64) != 0 {
+                    return Err("presence bitmap has bits beyond the bucket count");
+                }
+            }
+        }
+        let sketched: u64 = sketch_bits.iter().map(|w| w.count_ones() as u64).sum();
+        match sketch_config {
+            Some(c) if sketched > 0 => {
+                if registers.len() as u64 != sketched * c.registers() as u64 {
+                    return Err("register slab length must be sketched buckets × register count");
+                }
+            }
+            _ => {
+                if sketched > 0 {
+                    return Err("presence bitmap set without a sketch config");
+                }
+                if !registers.is_empty() {
+                    return Err("register slab must be empty when no bucket is sketched");
+                }
+            }
+        }
+        Ok(Self {
+            keys,
+            prefix,
+            offsets,
+            members,
+            sketch_config: if sketched > 0 { sketch_config } else { None },
+            sketch_bits,
+            sketch_rank,
+            registers,
+        })
+    }
 }
 
 impl BucketStore for FrozenStore {
     fn new() -> Self {
         Self {
-            keys: Vec::new(),
-            prefix: vec![0; 257],
-            offsets: vec![0],
-            members: Vec::new(),
+            keys: Section::new(),
+            prefix: vec![0; 257].into(),
+            offsets: vec![0].into(),
+            members: Section::new(),
             sketch_config: None,
-            sketch_bits: Vec::new(),
-            sketch_rank: Vec::new(),
-            registers: Vec::new(),
+            sketch_bits: Section::new(),
+            sketch_rank: Section::new(),
+            registers: Section::new(),
         }
     }
 
@@ -358,13 +480,13 @@ impl BucketStore for FrozenStore {
         let mut sketch_config: Option<HllConfig> = None;
         let mut sketch_bits = vec![0u64; nbuckets.div_ceil(64)];
         let mut registers: Vec<u8> = Vec::new();
-        offsets.push(0usize);
+        offsets.push(0u64);
         let mut scratch = hlsh_hll::HyperLogLog::new(config);
         for (i, (key, ids)) in runs.iter().enumerate() {
             debug_assert!(keys.last().is_none_or(|&k| k < key), "runs must ascend by key");
             keys.push(key);
             members.extend_from_slice(ids);
-            offsets.push(members.len());
+            offsets.push(members.len() as u64);
             if ids.len() >= lazy_threshold {
                 if sketch_config.is_none() {
                     sketch_config = Some(config);
@@ -380,14 +502,14 @@ impl BucketStore for FrozenStore {
         let prefix = prefix_table(&keys);
         let sketch_rank = rank_table(&sketch_bits);
         FrozenStore {
-            keys,
-            prefix,
-            offsets,
-            members,
+            keys: keys.into(),
+            prefix: prefix.into(),
+            offsets: offsets.into(),
+            members: members.into(),
             sketch_config,
-            sketch_bits,
-            sketch_rank,
-            registers,
+            sketch_bits: sketch_bits.into(),
+            sketch_rank: sketch_rank.into(),
+            registers: registers.into(),
         }
     }
 
@@ -407,14 +529,16 @@ impl BucketStore for FrozenStore {
 
     /// Exact heap bytes of the arena: the seven flat arrays, nothing
     /// else — there are no per-bucket allocations left to estimate.
+    /// Mmap-backed sections report zero: their bytes live in the page
+    /// cache, not this process's heap.
     fn memory_bytes(&self) -> usize {
-        self.keys.capacity() * std::mem::size_of::<u64>()
-            + self.prefix.capacity() * std::mem::size_of::<u32>()
-            + self.offsets.capacity() * std::mem::size_of::<usize>()
-            + self.members.capacity() * std::mem::size_of::<PointId>()
-            + self.sketch_bits.capacity() * std::mem::size_of::<u64>()
-            + self.sketch_rank.capacity() * std::mem::size_of::<u32>()
-            + self.registers.capacity()
+        self.keys.heap_capacity() * std::mem::size_of::<u64>()
+            + self.prefix.heap_capacity() * std::mem::size_of::<u32>()
+            + self.offsets.heap_capacity() * std::mem::size_of::<u64>()
+            + self.members.heap_capacity() * std::mem::size_of::<PointId>()
+            + self.sketch_bits.heap_capacity() * std::mem::size_of::<u64>()
+            + self.sketch_rank.heap_capacity() * std::mem::size_of::<u32>()
+            + self.registers.heap_capacity()
     }
 }
 
@@ -529,13 +653,13 @@ mod tests {
         let frozen = populated_map().freeze();
         let m = cfg().registers();
         assert_eq!(frozen.sketch_slab_bytes(), m);
-        let expected = frozen.keys.capacity() * std::mem::size_of::<u64>()
-            + frozen.prefix.capacity() * std::mem::size_of::<u32>()
-            + frozen.offsets.capacity() * std::mem::size_of::<usize>()
-            + frozen.members.capacity() * std::mem::size_of::<PointId>()
-            + frozen.sketch_bits.capacity() * std::mem::size_of::<u64>()
-            + frozen.sketch_rank.capacity() * std::mem::size_of::<u32>()
-            + frozen.registers.capacity();
+        let expected = frozen.keys.heap_capacity() * std::mem::size_of::<u64>()
+            + frozen.prefix.heap_capacity() * std::mem::size_of::<u32>()
+            + frozen.offsets.heap_capacity() * std::mem::size_of::<u64>()
+            + frozen.members.heap_capacity() * std::mem::size_of::<PointId>()
+            + frozen.sketch_bits.heap_capacity() * std::mem::size_of::<u64>()
+            + frozen.sketch_rank.heap_capacity() * std::mem::size_of::<u32>()
+            + frozen.registers.heap_capacity();
         assert_eq!(frozen.memory_bytes(), expected);
 
         // The sketched bucket's view borrows straight from the slab.
@@ -552,6 +676,73 @@ mod tests {
             sketched.estimate().to_bits(),
             "estimates must be byte-identical, not merely close"
         );
+    }
+
+    #[test]
+    fn from_sections_round_trips_and_rejects_malformed() {
+        let frozen = populated_map().freeze();
+        let (keys, prefix, offsets, members, bits, rank, regs, config) = {
+            let (k, p, o, m, b, r, g, c) = frozen.sections();
+            (k.clone(), p.clone(), o.clone(), m.clone(), b.clone(), r.clone(), g.clone(), c)
+        };
+        let rebuilt = FrozenStore::from_sections(
+            keys.clone(),
+            prefix.clone(),
+            offsets.clone(),
+            members.clone(),
+            config,
+            bits.clone(),
+            rank.clone(),
+            regs.clone(),
+        )
+        .expect("faithful sections reassemble");
+        assert_eq!(rebuilt, frozen);
+
+        // Each structural invariant is enforced, never panicked on.
+        let bad_prefix = FrozenStore::from_sections(
+            keys.clone(),
+            vec![0u32; 13].into(),
+            offsets.clone(),
+            members.clone(),
+            config,
+            bits.clone(),
+            rank.clone(),
+            regs.clone(),
+        );
+        assert!(bad_prefix.is_err());
+        let truncated_offsets = FrozenStore::from_sections(
+            keys.clone(),
+            prefix.clone(),
+            offsets[..offsets.len() - 1].to_vec().into(),
+            members.clone(),
+            config,
+            bits.clone(),
+            rank.clone(),
+            regs.clone(),
+        );
+        assert!(truncated_offsets.is_err());
+        let short_slab = FrozenStore::from_sections(
+            keys.clone(),
+            prefix.clone(),
+            offsets.clone(),
+            members[..members.len() - 1].to_vec().into(),
+            config,
+            bits.clone(),
+            rank.clone(),
+            regs.clone(),
+        );
+        assert!(short_slab.is_err());
+        let bad_rank = FrozenStore::from_sections(
+            keys,
+            prefix,
+            offsets,
+            members,
+            config,
+            bits,
+            vec![7u32; rank.len()].into(),
+            regs,
+        );
+        assert!(bad_rank.is_err());
     }
 
     #[test]

@@ -287,6 +287,25 @@ where
             levels: self.levels.into_iter().map(HybridLshIndex::thaw).collect(),
         }
     }
+
+    /// Reassembles a ladder from already-built levels — the snapshot
+    /// loader's entry point. Every level must index `data` (the loader
+    /// hands each level the same `Arc`).
+    ///
+    /// # Panics
+    /// Panics if the level count disagrees with the schedule or a level
+    /// indexes a different data handle.
+    pub(crate) fn assemble(
+        data: Arc<S>,
+        schedule: RadiusSchedule,
+        levels: Vec<HybridLshIndex<Arc<S>, F, D, FrozenStore>>,
+    ) -> Self {
+        assert_eq!(levels.len(), schedule.levels(), "one level per schedule radius");
+        for level in &levels {
+            assert!(Arc::ptr_eq(level.data(), &data), "levels must share the ladder's data");
+        }
+        Self { data, schedule, levels }
+    }
 }
 
 impl<S, F, D, B> TopKIndex<S, F, D, B>

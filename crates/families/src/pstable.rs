@@ -80,6 +80,29 @@ impl PStableGFn {
         debug_assert_eq!(values.len(), self.shifts.len());
         combine_atoms(values.iter().map(|&v| v as u64))
     }
+
+    /// Reassembles a g-function from its sampled parts (the snapshot
+    /// loader's entry point — persisted snapshots store the projection
+    /// matrix and shifts verbatim so loading never re-runs the sampler).
+    ///
+    /// # Panics
+    /// Panics if the shapes are inconsistent (`proj` is not a
+    /// `shifts.len() × dim` matrix), `dim == 0`, `shifts` is empty, or
+    /// `w <= 0`.
+    pub fn from_parts(dim: usize, proj: Vec<f32>, shifts: Vec<f64>, w: f64) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(!shifts.is_empty(), "k must be positive");
+        assert!(w > 0.0, "slot width must be positive");
+        assert_eq!(proj.len(), shifts.len() * dim, "projection matrix must be k × dim");
+        Self { dim, proj, shifts, w }
+    }
+
+    /// The sampled parts `(dim, proj, shifts, w)`: the row-major
+    /// `[k × dim]` projection matrix and the per-atom shifts. Inverse of
+    /// [`from_parts`](Self::from_parts).
+    pub fn parts(&self) -> (usize, &[f32], &[f64], f64) {
+        (self.dim, &self.proj, &self.shifts, self.w)
+    }
 }
 
 impl GFunction<[f32]> for PStableGFn {

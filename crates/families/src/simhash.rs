@@ -65,6 +65,29 @@ impl SimHashGFn {
     pub fn margin(&self, j: usize, p: &[f32]) -> f64 {
         kernels::dot(self.plane(j), p)
     }
+
+    /// Reassembles a g-function from its sampled hyperplanes (the
+    /// snapshot loader's entry point — persisted snapshots store the
+    /// plane matrix verbatim so loading never re-runs the sampler).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`, `planes` is not a non-empty `k × dim`
+    /// matrix, or `k > 64`.
+    pub fn from_parts(dim: usize, planes: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimensionality must be positive");
+        assert!(
+            !planes.is_empty() && planes.len().is_multiple_of(dim),
+            "planes must be a non-empty k × dim matrix"
+        );
+        assert!(planes.len() / dim <= 64, "SimHash keys are capped at 64 bits");
+        Self { dim, planes }
+    }
+
+    /// The sampled parts `(dim, planes)`: the row-major `[k × dim]`
+    /// hyperplane matrix. Inverse of [`from_parts`](Self::from_parts).
+    pub fn parts(&self) -> (usize, &[f32]) {
+        (self.dim, &self.planes)
+    }
 }
 
 impl GFunction<[f32]> for SimHashGFn {

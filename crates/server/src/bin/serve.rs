@@ -1,26 +1,33 @@
-//! Build the standard mixture corpus and serve it over TCP.
+//! Build (or cold-start from a snapshot) the standard mixture corpus
+//! index and serve it over TCP.
 //!
 //! ```text
 //! cargo run --release -p hlsh-server --bin serve -- \
 //!     [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] \
 //!     [--shards N] [--levels N] [--no-topk] [--radius F] \
-//!     [--batch-window-us N] [--threads N] [--max-frame-mb N]
+//!     [--batch-window-us N] [--threads N] [--max-frame-mb N] \
+//!     [--snapshot-save PATH] [--snapshot-load PATH [--mmap]]
 //! ```
 //!
-//! Builds a frozen [`ShardedIndex`] (rNNR) and, unless `--no-topk`, a
-//! frozen [`ShardedTopKIndex`] ladder over the same
-//! `benchmark_mixture` corpus the `throughput`/`topk` bench bins use,
-//! then serves both until killed. Index parameters mirror those bins,
-//! so socket-path numbers from `loadgen` are directly comparable to
-//! the in-process `BENCH_*.json` baselines. Port 0 binds an ephemeral
-//! port; the bound address is printed either way.
+//! Builds a frozen `ShardedIndex` (rNNR) and, unless `--no-topk`, a
+//! frozen `ShardedTopKIndex` ladder over the same
+//! `benchmark_mixture` corpus the `throughput`/`topk` bench bins use
+//! (all of them share [`MixturePreset`]), then serves both until
+//! killed. Port 0 binds an ephemeral port; the bound address is
+//! printed either way.
+//!
+//! `--snapshot-save PATH` writes the built indexes to a snapshot
+//! before serving. `--snapshot-load PATH` skips the build entirely and
+//! cold-starts from the file — milliseconds instead of a full rebuild;
+//! add `--mmap` for the zero-copy path. The manifest is checked
+//! against the CLI parameters *before* any section is read, so a
+//! stale or mismatched file fails fast with a parameter-by-parameter
+//! message instead of silently serving the wrong index.
 
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use hlsh_core::{
-    CostModel, IndexBuilder, RadiusSchedule, ShardAssignment, ShardedIndex, ShardedTopKIndex,
-};
+use hlsh_core::{load_snapshot, read_manifest, save_snapshot, LoadMode, MixturePreset};
 use hlsh_datagen::benchmark_mixture;
 use hlsh_families::PStableL2;
 use hlsh_server::{ServerConfig, ShardedLshService};
@@ -29,32 +36,28 @@ use hlsh_vec::L2;
 struct Args {
     addr: String,
     port: u16,
-    n: usize,
-    dim: usize,
-    seed: u64,
-    shards: usize,
-    levels: usize,
+    preset: MixturePreset,
     topk: bool,
-    radius: f64,
     batch_window_us: u64,
     threads: Option<usize>,
     max_frame_mb: usize,
+    snapshot_save: Option<String>,
+    snapshot_load: Option<String>,
+    mmap: bool,
 }
 
 fn parse_args() -> Args {
     let mut out = Args {
         addr: "127.0.0.1".into(),
         port: 7411,
-        n: 20_000,
-        dim: 24,
-        seed: 23,
-        shards: 2,
-        levels: 4,
+        preset: MixturePreset::default(),
         topk: true,
-        radius: 1.5,
         batch_window_us: 100,
         threads: None,
         max_frame_mb: 32,
+        snapshot_save: None,
+        snapshot_load: None,
+        mmap: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -66,63 +69,92 @@ fn parse_args() -> Args {
         match arg.as_str() {
             "--addr" => out.addr = grab_str("--addr"),
             "--port" => out.port = grab("--port") as u16,
-            "--n" => out.n = grab("--n"),
-            "--dim" => out.dim = grab("--dim").max(1),
-            "--seed" => out.seed = grab("--seed") as u64,
-            "--shards" => out.shards = grab("--shards").max(1),
-            "--levels" => out.levels = grab("--levels").max(1),
+            "--n" => out.preset.n = grab("--n"),
+            "--dim" => out.preset.dim = grab("--dim").max(1),
+            "--seed" => out.preset.seed = grab("--seed") as u64,
+            "--shards" => out.preset.shards = grab("--shards").max(1),
+            "--levels" => out.preset.levels = grab("--levels").max(1),
             "--no-topk" => out.topk = false,
             "--radius" => {
-                out.radius = grab_str("--radius")
+                out.preset.radius = grab_str("--radius")
                     .parse()
                     .unwrap_or_else(|_| panic!("--radius needs a float"))
             }
             "--batch-window-us" => out.batch_window_us = grab("--batch-window-us") as u64,
             "--threads" => out.threads = Some(grab("--threads").max(1)),
             "--max-frame-mb" => out.max_frame_mb = grab("--max-frame-mb").max(1),
+            "--snapshot-save" => out.snapshot_save = Some(grab_str("--snapshot-save")),
+            "--snapshot-load" => out.snapshot_load = Some(grab_str("--snapshot-load")),
+            "--mmap" => out.mmap = true,
             other => {
                 eprintln!(
-                    "unknown flag {other:?}\nusage: serve [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N]"
+                    "unknown flag {other:?}\nusage: serve [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N] [--snapshot-save PATH] [--snapshot-load PATH [--mmap]]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+    if out.snapshot_save.is_some() && out.snapshot_load.is_some() {
+        eprintln!("--snapshot-save and --snapshot-load are mutually exclusive");
+        std::process::exit(2);
+    }
+    if out.mmap && out.snapshot_load.is_none() {
+        eprintln!("--mmap only makes sense with --snapshot-load");
+        std::process::exit(2);
     }
     out
 }
 
 fn main() {
     let args = parse_args();
-    let assignment = ShardAssignment::new(args.seed, args.shards);
-    let builder = || {
-        IndexBuilder::new(PStableL2::new(args.dim, 2.0 * args.radius), L2)
-            .tables(20)
-            .hash_len(7)
-            .seed(args.seed)
-            .cost_model(CostModel::from_ratio(6.0))
+    let preset = args.preset;
+
+    let (rnnr, topk) = if let Some(path) = &args.snapshot_load {
+        // Fail fast on parameter disagreement before reading sections.
+        let manifest = read_manifest(path.as_ref())
+            .unwrap_or_else(|e| fatal(&format!("cannot read snapshot manifest {path}: {e}")));
+        if let Err(mismatches) = preset.check_manifest(&manifest, args.topk) {
+            fatal(&format!("snapshot {path} disagrees with CLI parameters: {mismatches}"));
+        }
+        let mode = if args.mmap { LoadMode::Mmap } else { LoadMode::Read };
+        let t0 = Instant::now();
+        let loaded = load_snapshot::<PStableL2, L2>(path.as_ref(), mode)
+            .unwrap_or_else(|e| fatal(&format!("cannot load snapshot {path}: {e}")));
+        eprintln!(
+            "cold-started from {path} in {:.1} ms ({mode:?}, n={}, shards={})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            loaded.manifest.n,
+            loaded.manifest.shards,
+        );
+        // A carried ladder is dropped under --no-topk.
+        (loaded.rnnr, loaded.topk.filter(|_| args.topk))
+    } else {
+        eprintln!(
+            "building mixture corpus n={} dim={} seed={} (shards={}, topk={})…",
+            preset.n, preset.dim, preset.seed, preset.shards, args.topk
+        );
+        let (data, _) = benchmark_mixture(preset.dim, preset.n, preset.radius, preset.seed);
+        let rnnr = preset.build_rnnr(data);
+        let topk = args.topk.then(|| {
+            let (data, _) = benchmark_mixture(preset.dim, preset.n, preset.radius, preset.seed);
+            preset.build_topk(data)
+        });
+        if let Some(path) = &args.snapshot_save {
+            let t0 = Instant::now();
+            let stats = save_snapshot(path.as_ref(), &rnnr, topk.as_ref())
+                .unwrap_or_else(|e| fatal(&format!("cannot save snapshot {path}: {e}")));
+            eprintln!(
+                "saved snapshot {path}: {} bytes, {} sections, {:.1} ms",
+                stats.bytes,
+                stats.sections,
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        (rnnr, topk)
     };
 
-    eprintln!(
-        "building mixture corpus n={} dim={} seed={} (shards={}, topk={})…",
-        args.n, args.dim, args.seed, args.shards, args.topk
-    );
-    let (data, _) = benchmark_mixture(args.dim, args.n, args.radius, args.seed);
-    let rnnr = ShardedIndex::build_frozen(data, assignment, builder());
-
-    let topk = args.topk.then(|| {
-        let (data, _) = benchmark_mixture(args.dim, args.n, args.radius, args.seed);
-        let schedule = RadiusSchedule::doubling(args.radius, args.levels);
-        ShardedTopKIndex::build(data, assignment, schedule, |_, r| {
-            IndexBuilder::new(PStableL2::new(args.dim, 2.0 * r), L2)
-                .tables(20)
-                .hash_len(6)
-                .seed(args.seed)
-                .cost_model(CostModel::from_ratio(6.0))
-        })
-        .freeze()
-    });
-
-    let service = Arc::new(ShardedLshService::new(rnnr, topk, args.dim));
+    let topk_levels = topk.as_ref().map(|t| t.schedule().levels()).unwrap_or(0);
+    let service = Arc::new(ShardedLshService::new(rnnr, topk, preset.dim));
     let config = ServerConfig {
         max_frame_bytes: args.max_frame_mb * 1024 * 1024,
         batch_window: Duration::from_micros(args.batch_window_us),
@@ -136,10 +168,10 @@ fn main() {
     println!(
         "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}us)",
         server.local_addr(),
-        args.n,
-        args.dim,
-        args.shards,
-        if args.topk { args.levels } else { 0 },
+        preset.n,
+        preset.dim,
+        preset.shards,
+        topk_levels,
         args.batch_window_us,
     );
     std::io::stdout().flush().ok();
@@ -148,4 +180,9 @@ fn main() {
     loop {
         std::thread::park();
     }
+}
+
+fn fatal(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }

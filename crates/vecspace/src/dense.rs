@@ -6,12 +6,18 @@
 //! optimised brute-force implementation would.
 
 use crate::dataset::PointSet;
+use crate::section::Section;
 
 /// A dense data set of `n` points in `R^d`, stored row-major in one
-/// contiguous `Vec<f32>`.
+/// contiguous flat buffer.
+///
+/// The buffer is a [`Section`], so it is either heap-owned (the normal
+/// case) or borrowed zero-copy from a shared backing such as a
+/// memory-mapped snapshot; mutating methods copy a shared backing out
+/// on first write.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DenseDataset {
-    data: Vec<f32>,
+    data: Section<f32>,
     dim: usize,
 }
 
@@ -22,13 +28,13 @@ impl DenseDataset {
     /// Panics if `dim == 0`.
     pub fn new(dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { data: Vec::new(), dim }
+        Self { data: Section::new(), dim }
     }
 
     /// Creates an empty data set with room for `n` points.
     pub fn with_capacity(dim: usize, n: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
-        Self { data: Vec::with_capacity(dim * n), dim }
+        Self { data: Vec::with_capacity(dim * n).into(), dim }
     }
 
     /// Builds a data set from a flat row-major buffer.
@@ -36,6 +42,16 @@ impl DenseDataset {
     /// # Panics
     /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
     pub fn from_flat(data: Vec<f32>, dim: usize) -> Self {
+        Self::from_section(data.into(), dim)
+    }
+
+    /// Builds a data set from a flat row-major [`Section`], which may
+    /// borrow a shared backing (e.g. a memory-mapped snapshot section)
+    /// instead of owning its rows.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dim` or `dim == 0`.
+    pub fn from_section(data: Section<f32>, dim: usize) -> Self {
         assert!(dim > 0, "dimensionality must be positive");
         assert!(
             data.len().is_multiple_of(dim),
@@ -68,7 +84,7 @@ impl DenseDataset {
     /// Panics if `point.len() != self.dim()`.
     pub fn push(&mut self, point: &[f32]) {
         assert_eq!(point.len(), self.dim, "point dimensionality mismatch");
-        self.data.extend_from_slice(point);
+        self.data.to_mut().extend_from_slice(point);
     }
 
     /// Number of points.
@@ -109,6 +125,12 @@ impl DenseDataset {
         &self.data
     }
 
+    /// The underlying storage section — exposes whether the rows are
+    /// heap-owned or borrowed from a shared (e.g. mmap) backing.
+    pub fn section(&self) -> &Section<f32> {
+        &self.data
+    }
+
     /// Removes the points with the given (sorted, unique) indexes and
     /// returns them as a new data set, preserving order. Used to split a
     /// query set off a data set the way the paper does ("randomly remove
@@ -128,13 +150,13 @@ impl DenseDataset {
         let mut next = indexes.iter().copied().peekable();
         for (i, row) in self.data.chunks_exact(self.dim).enumerate() {
             if next.peek() == Some(&i) {
-                removed.data.extend_from_slice(row);
+                removed.data.to_mut().extend_from_slice(row);
                 next.next();
             } else {
                 kept.extend_from_slice(row);
             }
         }
-        self.data = kept;
+        self.data = kept.into();
         removed
     }
 
@@ -142,7 +164,7 @@ impl DenseDataset {
     /// are left untouched. Useful before cosine-distance experiments.
     pub fn normalize_l2(&mut self) {
         let dim = self.dim;
-        for row in self.data.chunks_exact_mut(dim) {
+        for row in self.data.to_mut().chunks_exact_mut(dim) {
             let norm = crate::kernels::norm(row);
             if norm > 0.0 {
                 let inv = (1.0 / norm) as f32;
@@ -285,6 +307,23 @@ mod tests {
     #[should_panic(expected = "not a multiple")]
     fn from_flat_rejects_ragged() {
         let _ = DenseDataset::from_flat(vec![0.0; 10], 4);
+    }
+
+    #[test]
+    fn from_section_shared_backing_reads_and_cows() {
+        use crate::section::SliceBacking;
+        use std::sync::Arc;
+        let backing: Arc<dyn SliceBacking<f32>> = Arc::new(vec![1.0f32, 2.0, 3.0, 4.0]);
+        let mut ds = DenseDataset::from_section(Section::shared(backing), 2);
+        assert_eq!(ds.len(), 2);
+        assert!(ds.section().is_shared());
+        assert_eq!(ds.row(1), &[3.0, 4.0]);
+        // Equality is by contents, regardless of backing.
+        assert_eq!(ds, DenseDataset::from_flat(vec![1.0, 2.0, 3.0, 4.0], 2));
+        // First mutation copies the rows out of the shared backing.
+        ds.push(&[5.0, 6.0]);
+        assert!(!ds.section().is_shared());
+        assert_eq!(ds.len(), 3);
     }
 
     #[test]

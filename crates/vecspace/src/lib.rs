@@ -32,9 +32,11 @@ pub mod io;
 pub mod kernels;
 pub mod metric;
 pub mod parallel;
+pub mod section;
 pub mod stats;
 
 pub use binary::{BinaryDataset, BinaryVec};
 pub use dataset::{GrowablePointSet, PointId, PointSet, SubsetPointSet};
 pub use dense::DenseDataset;
 pub use metric::{Cosine, Distance, Hamming, Jaccard, MetricKind, UnitCosine, L1, L2};
+pub use section::{Section, SliceBacking};

@@ -18,7 +18,10 @@
 //!   data sets plus exact ground truth;
 //! * [`server`] — the TCP serving layer: length-prefixed wire
 //!   protocol, admission-batching server, sync client (see
-//!   `docs/PROTOCOL.md` and the `serve`/`loadgen` binaries).
+//!   `docs/PROTOCOL.md` and the `serve`/`loadgen` binaries);
+//! * [`save_snapshot`] / [`load_snapshot`] — the versioned on-disk
+//!   snapshot format: cold-start a server from a file in milliseconds,
+//!   buffered or zero-copy `mmap` (see `docs/SNAPSHOT.md`).
 //!
 //! # Quickstart
 //!
@@ -59,18 +62,20 @@ pub use hlsh_server as server;
 pub use hlsh_vec as vec;
 
 pub use hlsh_core::{
-    BucketStore, BuildMode, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore,
-    Neighbor, QueryEngine, QueryOutput, RadiusSchedule, ShardAssignment, ShardedIndex,
-    ShardedTopKIndex, Strategy, TopKEngine, TopKIndex, TopKOutput, VerifyMode,
+    load_snapshot, read_manifest, save_snapshot, BucketStore, BuildMode, CostModel, FrozenStore,
+    HybridLshIndex, IndexBuilder, LoadMode, LoadedSnapshot, MapStore, Neighbor, QueryEngine,
+    QueryOutput, RadiusSchedule, ShardAssignment, ShardedIndex, ShardedTopKIndex, SnapshotError,
+    SnapshotManifest, Strategy, TopKEngine, TopKIndex, TopKOutput, VerifyMode,
 };
 
 /// One-line import for applications.
 pub mod prelude {
     pub use hlsh_core::{
-        BucketStore, BuildMode, CostModel, FrozenStore, HybridLshIndex, IndexBuilder, MapStore,
-        Neighbor, QueryEngine, QueryOutput, QueryReport, RadiusSchedule, ShardAssignment,
-        ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex, Strategy,
-        TopKEngine, TopKIndex, TopKOutput, TopKReport, VerifyMode,
+        load_snapshot, read_manifest, save_snapshot, BucketStore, BuildMode, CostModel,
+        FrozenStore, HybridLshIndex, IndexBuilder, LoadMode, LoadedSnapshot, MapStore, Neighbor,
+        QueryEngine, QueryOutput, QueryReport, RadiusSchedule, ShardAssignment, ShardedIndex,
+        ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex, SnapshotError, SnapshotManifest,
+        Strategy, TopKEngine, TopKIndex, TopKOutput, TopKReport, VerifyMode,
     };
     pub use hlsh_families::{
         k_paper, k_safe, BitSampling, LshFamily, MinHash, PStableL1, PStableL2, PaperParams,

@@ -211,6 +211,73 @@ fn kernel_and_scalar_verify_modes_agree_on_mixture() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Snapshot round trip is one more backend-parity claim: the
+    /// frozen stores that come back from disk — via buffered read and
+    /// via zero-copy mmap — must answer `query_batch` and
+    /// `query_topk_batch` byte-identically to the in-memory index that
+    /// was saved, for arbitrary mixture corpora and shard counts.
+    #[test]
+    fn snapshot_round_trip_preserves_query_and_topk_batches(
+        n in 120usize..320,
+        shards_idx in 0usize..3,
+        seed in 0u64..400,
+        k in 1usize..16,
+    ) {
+        let dim = 8;
+        let r = 1.3;
+        let shards = [1usize, 2, 4][shards_idx];
+        let (data, _) = hybrid_lsh::datagen::benchmark_mixture(dim, n, r, seed);
+        let queries: Vec<Vec<f32>> = (0..n).step_by(31).map(|i| data.row(i).to_vec()).collect();
+        let builder = |s: u64| {
+            IndexBuilder::new(PStableL2::new(dim, 2.0 * r), L2)
+                .tables(4)
+                .hash_len(4)
+                .seed(s)
+                .lazy_threshold(8)
+                .cost_model(CostModel::from_ratio(3.0))
+        };
+        let assignment = ShardAssignment::new(seed ^ 0x5A, shards);
+        let rnnr = ShardedIndex::build_frozen(data.clone(), assignment, builder(seed));
+        let topk = ShardedTopKIndex::build(
+            data,
+            assignment,
+            RadiusSchedule::doubling(0.9, 2),
+            |li, _| builder(seed.wrapping_add(li as u64)),
+        )
+        .freeze();
+        let expect_rnnr = rnnr.query_batch(&queries, r);
+        let expect_topk = topk.query_topk_batch(&queries, k);
+
+        let dir = std::env::temp_dir().join("hlsh-snapshot-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("parity-{}-{seed}-{n}-{shards}.hlsh", std::process::id()));
+        hybrid_lsh::save_snapshot(&path, &rnnr, Some(&topk)).expect("save");
+
+        for mode in [hybrid_lsh::LoadMode::Read, hybrid_lsh::LoadMode::Mmap] {
+            let loaded =
+                hybrid_lsh::load_snapshot::<PStableL2, L2>(&path, mode).expect("load");
+            let got_rnnr = loaded.rnnr.query_batch(&queries, r);
+            for (qi, (e, g)) in expect_rnnr.iter().zip(&got_rnnr).enumerate() {
+                prop_assert_eq!(&e.ids, &g.ids, "{:?} query {}", mode, qi);
+                // Everything but the wall-clock timing fields.
+                prop_assert_eq!(e.report.executed, g.report.executed, "{:?} query {}", mode, qi);
+                prop_assert_eq!(e.report.collisions, g.report.collisions, "{:?} query {}", mode, qi);
+                prop_assert_eq!(
+                    e.report.cand_size_estimate.to_bits(),
+                    g.report.cand_size_estimate.to_bits(),
+                    "{:?} query {}", mode, qi
+                );
+            }
+            let ladder = loaded.topk.expect("ladder round-trips");
+            prop_assert_eq!(&expect_topk, &ladder.query_topk_batch(&queries, k), "{:?}", mode);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
 #[test]
 fn frozen_index_thaws_back_to_streaming() {
     let (map_index, frozen_index, queries, r) = mixture_setup();
