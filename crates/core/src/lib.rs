@@ -105,8 +105,8 @@ pub use sharded::{
     ShardAssignment, ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex,
 };
 pub use snapshot::{
-    load_snapshot, read_manifest, save_snapshot, LoadMode, LoadedSnapshot, SnapshotError,
-    SnapshotManifest,
+    load_snapshot, read_layout, read_manifest, save_snapshot, LoadMode, LoadPlan, LoadedSnapshot,
+    SnapshotError, SnapshotLayout, SnapshotManifest, StorageProfile,
 };
 pub use store::{BucketStore, FrozenStore, MapStore};
 pub use topk::{BoundedHeap, Neighbor, TopKEngine, TopKIndex, TopKOutput, TopKReport};

@@ -1,0 +1,588 @@
+//! The v2 section codecs: LEB128 varints and delta-varints, hand-rolled
+//! with no dependencies.
+//!
+//! Two codecs cover the arrays that dominate a v1 snapshot's size:
+//!
+//! * [`SectionEncoding::Varint`] — one LEB128 varint per element.
+//!   Wins on small-valued arrays (bucket member ids, owner lists),
+//!   where most `u32` values fit in one or two bytes.
+//! * [`SectionEncoding::DeltaVarint`] — the first element as a varint,
+//!   then the (non-negative) difference between consecutive elements.
+//!   Wins on monotone arrays (CSR offsets, prefix tables, sketch rank
+//!   tables), whose deltas are tiny even when the values are not.
+//!
+//! [`plan`] picks the cheapest encoding per section with a hysteresis
+//! margin, so sections that barely compress (e.g. the 64-bit hash-key
+//! arrays) stay [`Raw`](SectionEncoding::Raw) and keep the zero-copy
+//! mmap path. Decoding is **total**: truncation mid-varint, overlong or
+//! overflowing varints, out-of-range elements, delta overflow and
+//! trailing bytes all map to typed [`SnapshotError`]s, and the output
+//! allocation is bounded by the directory's `raw_len / elem_size <=
+//! enc_len` invariant — a corrupt file can never demand more memory
+//! than its own size.
+
+use super::format::SectionEncoding;
+use super::source::Pod;
+use super::SnapshotError;
+
+/// Longest legal encoding of a `u64` (9 × 7 payload bits + 1).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Number of bytes [`push_varint`] emits for `v`.
+pub fn varint_len(v: u64) -> usize {
+    // ceil(bits / 7), with 1 byte minimum for zero.
+    (64 - v.leading_zeros()).div_ceil(7).max(1) as usize
+}
+
+/// Appends the LEB128 encoding of `v` to `out`: 7 payload bits per
+/// byte, least-significant group first, high bit set on every byte but
+/// the last.
+pub fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7F) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// A bounds-checked LEB128 reader over an encoded payload.
+#[derive(Debug)]
+pub struct VarintReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> VarintReader<'a> {
+    /// A reader over the whole payload.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Decodes one varint. Truncation mid-varint, encodings longer than
+    /// [`MAX_VARINT_LEN`] and values overflowing 64 bits are all typed
+    /// errors.
+    pub fn read(&mut self) -> Result<u64, SnapshotError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or(SnapshotError::Truncated)?;
+            self.pos += 1;
+            if shift == 63 && (b & 0x7F) > 1 {
+                return Err(SnapshotError::Malformed("varint overflows 64 bits"));
+            }
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(SnapshotError::Malformed("varint longer than 10 bytes"));
+            }
+        }
+    }
+}
+
+/// Picks the cheapest on-disk encoding for a section, returning it with
+/// the resulting payload length in bytes.
+///
+/// Encodings are only considered when they beat raw by more than 1/16
+/// (6.25%): a section that barely compresses is worth more as a
+/// zero-copy mmap view than as a few saved kilobytes. `f32` and `u8`
+/// sections are always raw ([`Pod::to_u64`] is `None` for them), and
+/// [`SectionEncoding::DeltaVarint`] is only considered for
+/// non-decreasing sequences (deltas are unsigned).
+pub fn plan<T: Pod>(elems: &[T]) -> (SectionEncoding, u64) {
+    let raw_len = (elems.len() * T::SIZE) as u64;
+    let Some(first) = elems.first().and_then(|e| e.to_u64()) else {
+        return (SectionEncoding::Raw, raw_len);
+    };
+    let mut varint_total = 0u64;
+    let mut delta_total = varint_len(first) as u64;
+    let mut monotone = true;
+    let mut prev = first;
+    for (i, e) in elems.iter().enumerate() {
+        let v = e.to_u64().expect("integer sections are uniformly typed");
+        varint_total += varint_len(v) as u64;
+        if i > 0 {
+            if v < prev {
+                monotone = false;
+            } else if monotone {
+                delta_total += varint_len(v - prev) as u64;
+            }
+        }
+        prev = v;
+    }
+    let mut best = (SectionEncoding::Raw, raw_len);
+    // Hysteresis: encoded only if enc * 16 <= raw * 15.
+    let beats_raw = |enc: u64| enc.saturating_mul(16) <= raw_len.saturating_mul(15);
+    if beats_raw(varint_total) && varint_total < best.1 {
+        best = (SectionEncoding::Varint, varint_total);
+    }
+    if monotone && beats_raw(delta_total) && delta_total < best.1 {
+        best = (SectionEncoding::DeltaVarint, delta_total);
+    }
+    if monotone {
+        let (_, ef_total) = elias_fano_params(elems.len() as u64, prev);
+        // `ef_total >= n` keeps the directory's anti-OOM invariant
+        // (every element costs at least one encoded byte) intact.
+        if ef_total >= elems.len() as u64 && beats_raw(ef_total) && ef_total < best.1 {
+            best = (SectionEncoding::EliasFano, ef_total);
+        }
+    }
+    best
+}
+
+/// Elias-Fano shape for `n` non-decreasing elements ending at `last`:
+/// the low-bit width `l` and the exact encoded payload length in bytes.
+///
+/// The payload is `1` byte of `l`, then `ceil(n·l / 8)` bytes holding
+/// each element's low `l` bits as an LSB-first bitstream, then
+/// `ceil((n + (last >> l)) / 8)` bytes of high-bit bitmap with bit
+/// `(v_i >> l) + i` set for element `i` (the last element's bit is the
+/// bitmap's final bit).
+pub fn elias_fano_params(n: u64, last: u64) -> (u32, u64) {
+    debug_assert!(n > 0);
+    let ratio = last / n;
+    let l = if ratio >= 1 { 63 - ratio.leading_zeros() } else { 0 };
+    let low_bytes = (n * l as u64).div_ceil(8);
+    let high_bits = n + (last >> l);
+    (l, 1 + low_bytes + high_bits.div_ceil(8))
+}
+
+/// One-shot Elias-Fano encoding of a non-empty, non-decreasing integer
+/// section (the planner only picks the codec for such sections).
+pub fn encode_elias_fano<T: Pod>(elems: &[T]) -> Vec<u8> {
+    let to = |e: &T| e.to_u64().expect("encoded sections have integer elements");
+    let n = elems.len() as u64;
+    let last = to(elems.last().expect("elias-fano sections are non-empty"));
+    let (l, enc_len) = elias_fano_params(n, last);
+    let mut out = vec![0u8; enc_len as usize];
+    out[0] = l as u8;
+    let low_bytes = (n * l as u64).div_ceil(8) as usize;
+    let (low, high) = out[1..].split_at_mut(low_bytes);
+
+    let mask = if l == 0 { 0 } else { (1u64 << l) - 1 };
+    let mut acc: u128 = 0;
+    let mut bits = 0usize;
+    let mut li = 0usize;
+    for (i, e) in elems.iter().enumerate() {
+        let v = to(e);
+        debug_assert!(i == 0 || v >= to(&elems[i - 1]), "elias-fano input must be non-decreasing");
+        if l > 0 {
+            acc |= ((v & mask) as u128) << bits;
+            bits += l as usize;
+            while bits >= 8 {
+                low[li] = acc as u8;
+                acc >>= 8;
+                li += 1;
+                bits -= 8;
+            }
+        }
+        let h = (v >> l) + i as u64;
+        high[(h / 8) as usize] |= 1 << (h % 8);
+    }
+    if bits > 0 {
+        low[li] = acc as u8;
+    }
+    out
+}
+
+/// Decodes a complete Elias-Fano payload into exactly `count` elements.
+/// Total: a truncated low or high region, stray high bits beyond the
+/// `count`-th element, a high value overflowing 64 bits after the shift,
+/// out-of-range elements and trailing bytes are all typed errors.
+pub fn decode_elias_fano<T: Pod>(bytes: &[u8], count: usize) -> Result<Vec<T>, SnapshotError> {
+    let l = *bytes.first().ok_or(SnapshotError::Truncated)? as u32;
+    if l > 63 {
+        return Err(SnapshotError::Malformed("elias-fano low width exceeds 63 bits"));
+    }
+    let low_bytes = (count as u64 * l as u64).div_ceil(8);
+    if (bytes.len() as u64) < 1 + low_bytes {
+        return Err(SnapshotError::Truncated);
+    }
+    let (low, high) = bytes[1..].split_at(low_bytes as usize);
+
+    let mask = if l == 0 { 0u64 } else { (1u64 << l) - 1 };
+    let mut lows = Vec::with_capacity(count);
+    let mut acc: u128 = 0;
+    let mut bits = 0usize;
+    let mut li = 0usize;
+    for _ in 0..count {
+        while bits < l as usize {
+            acc |= (low[li] as u128) << bits;
+            li += 1;
+            bits += 8;
+        }
+        lows.push(acc as u64 & mask);
+        acc >>= l;
+        bits -= l as usize;
+    }
+
+    let mut out = Vec::with_capacity(count);
+    let mut idx = 0usize;
+    let mut last_bit = 0u64;
+    for (byte_i, &byte) in high.iter().enumerate() {
+        let mut b = byte;
+        while b != 0 {
+            let p = byte_i as u64 * 8 + b.trailing_zeros() as u64;
+            b &= b - 1;
+            if idx == count {
+                return Err(SnapshotError::Malformed("elias-fano high bits past the last element"));
+            }
+            let h = p - idx as u64;
+            if l > 0 && h > (u64::MAX >> l) {
+                return Err(SnapshotError::Malformed("elias-fano element overflows 64 bits"));
+            }
+            let value = (h << l) | lows[idx];
+            out.push(
+                T::from_u64(value)
+                    .ok_or(SnapshotError::Malformed("encoded element out of range for its type"))?,
+            );
+            last_bit = p;
+            idx += 1;
+        }
+    }
+    if idx != count {
+        return Err(SnapshotError::Truncated);
+    }
+    // Exact consumption: the last set bit must land in the final byte,
+    // so a payload with appended bytes never decodes.
+    if last_bit / 8 + 1 != high.len() as u64 {
+        return Err(SnapshotError::Malformed("trailing bytes in encoded section"));
+    }
+    Ok(out)
+}
+
+/// Streaming encoder for one section: feed element chunks in order, get
+/// encoded bytes out. Chunked so the writer never buffers a whole
+/// section's encoding (state carries across chunk boundaries).
+/// Varint codecs only — Elias-Fano needs the whole section at once
+/// ([`encode_elias_fano`]).
+#[derive(Debug)]
+pub struct SectionEncoder {
+    encoding: SectionEncoding,
+    prev: u64,
+    started: bool,
+}
+
+impl SectionEncoder {
+    /// An encoder for one section. `encoding` must be a varint codec
+    /// (raw sections stream through the plain little-endian path;
+    /// Elias-Fano encodes whole sections via [`encode_elias_fano`]).
+    pub fn new(encoding: SectionEncoding) -> Self {
+        debug_assert!(matches!(encoding, SectionEncoding::Varint | SectionEncoding::DeltaVarint));
+        Self { encoding, prev: 0, started: false }
+    }
+
+    /// Appends the encoding of `elems` (the next chunk of the section)
+    /// to `out`.
+    pub fn extend<T: Pod>(&mut self, elems: &[T], out: &mut Vec<u8>) {
+        for e in elems {
+            let v = e.to_u64().expect("encoded sections have integer elements");
+            match self.encoding {
+                SectionEncoding::Varint => push_varint(out, v),
+                SectionEncoding::DeltaVarint => {
+                    if self.started {
+                        push_varint(out, v - self.prev);
+                    } else {
+                        push_varint(out, v);
+                    }
+                    self.prev = v;
+                }
+                SectionEncoding::Raw | SectionEncoding::EliasFano => {
+                    unreachable!("checked in new")
+                }
+            }
+            self.started = true;
+        }
+    }
+}
+
+/// One-shot encoding of a whole section (tests and small callers; the
+/// writer streams through [`SectionEncoder`] instead).
+pub fn encode_section<T: Pod>(elems: &[T], encoding: SectionEncoding) -> Vec<u8> {
+    if encoding == SectionEncoding::EliasFano {
+        return encode_elias_fano(elems);
+    }
+    let mut out = Vec::new();
+    let mut enc = SectionEncoder::new(encoding);
+    enc.extend(elems, &mut out);
+    out
+}
+
+/// Decodes a complete encoded payload into exactly `count` owned
+/// elements.
+///
+/// Total: every malformed payload — truncated mid-varint, elements out
+/// of the target type's range, delta accumulation overflowing, or
+/// trailing bytes after the last element — maps to a typed error. The
+/// caller guarantees `count <= bytes.len()` via the directory
+/// invariant; it is re-checked here so the function is safe in
+/// isolation.
+pub fn decode_section<T: Pod>(
+    bytes: &[u8],
+    count: usize,
+    encoding: SectionEncoding,
+) -> Result<Vec<T>, SnapshotError> {
+    debug_assert_ne!(encoding, SectionEncoding::Raw);
+    if count > bytes.len() {
+        return Err(SnapshotError::Malformed("encoded section over-declares its decoded length"));
+    }
+    if encoding == SectionEncoding::EliasFano {
+        return decode_elias_fano(bytes, count);
+    }
+    let mut r = VarintReader::new(bytes);
+    let mut out = Vec::with_capacity(count);
+    let mut acc = 0u64;
+    for i in 0..count {
+        let v = r.read()?;
+        let value = match encoding {
+            SectionEncoding::Varint => v,
+            SectionEncoding::DeltaVarint => {
+                if i == 0 {
+                    acc = v;
+                } else {
+                    acc = acc
+                        .checked_add(v)
+                        .ok_or(SnapshotError::Malformed("delta-varint sum overflows 64 bits"))?;
+                }
+                acc
+            }
+            SectionEncoding::Raw | SectionEncoding::EliasFano => {
+                unreachable!("handled above")
+            }
+        };
+        out.push(
+            T::from_u64(value)
+                .ok_or(SnapshotError::Malformed("encoded element out of range for its type"))?,
+        );
+    }
+    if r.position() != bytes.len() {
+        return Err(SnapshotError::Malformed("trailing bytes in encoded section"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_known_bytes() {
+        // The worked example from docs/SNAPSHOT.md: 300 = 0b10_0101100.
+        let mut out = Vec::new();
+        push_varint(&mut out, 300);
+        assert_eq!(out, [0xAC, 0x02]);
+        assert_eq!(varint_len(300), 2);
+
+        for (v, len) in [(0u64, 1), (127, 1), (128, 2), (16_383, 2), (16_384, 3), (u64::MAX, 10)] {
+            assert_eq!(varint_len(v), len, "varint_len({v})");
+            let mut out = Vec::new();
+            push_varint(&mut out, v);
+            assert_eq!(out.len(), len);
+            let mut r = VarintReader::new(&out);
+            assert_eq!(r.read().expect("round trip"), v);
+            assert_eq!(r.position(), out.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_overflow_and_overlength() {
+        // Truncated mid-varint: continuation bit set, no next byte.
+        let mut r = VarintReader::new(&[0x80]);
+        assert!(matches!(r.read(), Err(SnapshotError::Truncated)));
+
+        // u64::MAX + 1 territory: 10th byte > 1.
+        let mut bytes = vec![0xFF; 9];
+        bytes.push(0x02);
+        let mut r = VarintReader::new(&bytes);
+        assert!(matches!(r.read(), Err(SnapshotError::Malformed(_))));
+
+        // 11 bytes of continuation.
+        let bytes = vec![0x80; 11];
+        let mut r = VarintReader::new(&bytes);
+        assert!(matches!(r.read(), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn plan_prefers_the_right_codec() {
+        // Small values: plain varint wins.
+        let members: Vec<u32> = (0..1000).map(|i| i % 97).collect();
+        let (enc, len) = plan(&members);
+        assert_eq!(enc, SectionEncoding::Varint);
+        assert_eq!(len, 1000);
+
+        // Monotone with large values: delta wins.
+        let offsets: Vec<u64> = (0..1000u64).map(|i| 1 << 40 | (i * 13)).collect();
+        let (enc, len) = plan(&offsets);
+        assert_eq!(enc, SectionEncoding::DeltaVarint);
+        assert!(len < 8 * 1000 / 2, "delta should crush monotone arrays, got {len}");
+
+        // Sorted full-range hashes: deltas average ~54 bits, so both
+        // varint codecs lose to raw — Elias-Fano's fixed-width low bits
+        // plus unary high bits win (~log2(u/n) + 2 bits per key).
+        let keys: Vec<u64> = (0..1000u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let (enc, len) = plan(&sorted);
+        assert_eq!(enc, SectionEncoding::EliasFano);
+        assert!(len < 8000 * 15 / 16, "elias-fano must beat raw with margin, got {len}");
+
+        // UNsorted full-range hashes: nothing applies, raw stays.
+        let (enc, len) = plan(&keys);
+        assert_eq!((enc, len), (SectionEncoding::Raw, 8000));
+
+        // f32 and u8 sections are never encoded.
+        assert_eq!(plan(&[1.0f32; 64]), (SectionEncoding::Raw, 256));
+        assert_eq!(plan(&[3u8; 64]), (SectionEncoding::Raw, 64));
+        // Empty sections are raw.
+        assert_eq!(plan::<u32>(&[]), (SectionEncoding::Raw, 0));
+    }
+
+    #[test]
+    fn sections_round_trip_and_plan_len_is_exact() {
+        let members: Vec<u32> = (0..5000).map(|i| (i * 7) % 1103).collect();
+        let (enc, len) = plan(&members);
+        let bytes = encode_section(&members, enc);
+        assert_eq!(bytes.len() as u64, len);
+        assert_eq!(decode_section::<u32>(&bytes, members.len(), enc).expect("decode"), members);
+
+        let offsets: Vec<u64> = (0..5000u64)
+            .scan(0, |s, i| {
+                *s += i % 31;
+                Some(*s)
+            })
+            .collect();
+        let (enc, len) = plan(&offsets);
+        assert_eq!(enc, SectionEncoding::DeltaVarint);
+        let bytes = encode_section(&offsets, enc);
+        assert_eq!(bytes.len() as u64, len);
+        assert_eq!(decode_section::<u64>(&bytes, offsets.len(), enc).expect("decode"), offsets);
+
+        // Chunked encoding matches one-shot encoding across boundaries.
+        let mut chunked = Vec::new();
+        let mut se = SectionEncoder::new(SectionEncoding::DeltaVarint);
+        for chunk in offsets.chunks(77) {
+            se.extend(chunk, &mut chunked);
+        }
+        assert_eq!(chunked, bytes);
+    }
+
+    #[test]
+    fn decode_is_total() {
+        let values: Vec<u32> = (0..100).map(|i| i * 1000).collect();
+        let bytes = encode_section(&values, SectionEncoding::Varint);
+
+        // Truncation at every cut is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_section::<u32>(&bytes[..cut], values.len(), SectionEncoding::Varint)
+                    .is_err(),
+                "cut at {cut}"
+            );
+        }
+        // Wrong count: too few leaves trailing bytes, too many truncates.
+        assert!(matches!(
+            decode_section::<u32>(&bytes, values.len() - 1, SectionEncoding::Varint),
+            Err(SnapshotError::Malformed("trailing bytes in encoded section"))
+        ));
+        assert!(decode_section::<u32>(&bytes, values.len() + 1, SectionEncoding::Varint).is_err());
+
+        // An element past u32::MAX is out of range for a u32 section.
+        let mut big = Vec::new();
+        push_varint(&mut big, u32::MAX as u64 + 1);
+        assert!(matches!(
+            decode_section::<u32>(&big, 1, SectionEncoding::Varint),
+            Err(SnapshotError::Malformed("encoded element out of range for its type"))
+        ));
+
+        // Delta accumulation overflowing u64 is caught.
+        let mut overflow = Vec::new();
+        push_varint(&mut overflow, u64::MAX);
+        push_varint(&mut overflow, 1);
+        assert!(matches!(
+            decode_section::<u64>(&overflow, 2, SectionEncoding::DeltaVarint),
+            Err(SnapshotError::Malformed("delta-varint sum overflows 64 bits"))
+        ));
+
+        // The count > bytes.len() guard fires before any allocation.
+        assert!(decode_section::<u32>(&[0x01], usize::MAX, SectionEncoding::Varint).is_err());
+    }
+
+    #[test]
+    fn elias_fano_round_trips_and_plan_len_is_exact() {
+        // Sorted uniform u64 hashes: the codec's home turf.
+        let mut keys: Vec<u64> =
+            (0..4096u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        keys.sort_unstable();
+        let (enc, len) = plan(&keys);
+        assert_eq!(enc, SectionEncoding::EliasFano);
+        let bytes = encode_section(&keys, enc);
+        assert_eq!(bytes.len() as u64, len, "planned length must be exact");
+        assert_eq!(decode_section::<u64>(&bytes, keys.len(), enc).expect("decode"), keys);
+
+        // Duplicates, zeros, small values, u32 elements, l = 0.
+        for values in [
+            vec![0u64],
+            vec![0, 0, 0, 5, 5, u32::MAX as u64],
+            vec![7; 300],
+            (0..50).map(|i| i * i).collect(),
+            vec![u64::MAX],
+            vec![0, u64::MAX / 2, u64::MAX],
+        ] {
+            let bytes = encode_elias_fano(&values);
+            assert_eq!(
+                decode_elias_fano::<u64>(&bytes, values.len()).expect("round trip"),
+                values,
+                "values {values:?}"
+            );
+        }
+        let small: Vec<u32> = (0..1000).map(|i| i * 3).collect();
+        let bytes = encode_elias_fano(&small);
+        assert_eq!(decode_elias_fano::<u32>(&bytes, small.len()).expect("u32"), small);
+    }
+
+    #[test]
+    fn elias_fano_decode_is_total() {
+        let mut keys: Vec<u64> =
+            (0..512u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        keys.sort_unstable();
+        let bytes = encode_elias_fano(&keys);
+
+        // Truncation at every cut is an error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(decode_elias_fano::<u64>(&bytes[..cut], keys.len()).is_err(), "cut at {cut}");
+        }
+        // Wrong counts are errors (the regions no longer line up).
+        assert!(decode_elias_fano::<u64>(&bytes, keys.len() - 1).is_err());
+        assert!(decode_elias_fano::<u64>(&bytes, keys.len() + 1).is_err());
+        // Appended bytes never decode.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_elias_fano::<u64>(&padded, keys.len()),
+            Err(SnapshotError::Malformed(_))
+        ));
+        // A low width past 63 bits is malformed, not a shift panic.
+        let mut bad = bytes.clone();
+        bad[0] = 64;
+        assert!(matches!(
+            decode_elias_fano::<u64>(&bad, keys.len()),
+            Err(SnapshotError::Malformed("elias-fano low width exceeds 63 bits"))
+        ));
+        // A high bit implying a value past 64 bits is caught.
+        let wide = vec![62u8, 0xFF, 0xFF];
+        assert!(decode_elias_fano::<u64>(&wide, 1).is_err());
+        // u32 range check applies after reassembly.
+        let big = encode_elias_fano(&[u32::MAX as u64 + 1]);
+        assert!(matches!(
+            decode_elias_fano::<u32>(&big, 1),
+            Err(SnapshotError::Malformed("encoded element out of range for its type"))
+        ));
+    }
+}

@@ -12,29 +12,102 @@ use super::SnapshotError;
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"HLSHSNAP";
 
-/// Current format version. Bump on any layout change; loaders reject
-/// other versions outright (no migration machinery yet — see the
-/// compatibility policy in `docs/SNAPSHOT.md`).
-pub const VERSION: u32 = 1;
+/// Current format version, written by [`save_snapshot`]. The loader is
+/// version-dispatched and still reads [`VERSION_V1`] files; see the
+/// compatibility policy in `docs/SNAPSHOT.md`.
+///
+/// [`save_snapshot`]: super::save_snapshot
+pub const VERSION: u32 = 2;
+
+/// The original format version: raw page-aligned sections only, 24-byte
+/// directory entries, g-functions repeated per shard in the param
+/// block. Still written by [`save_snapshot_v1`](super::save_snapshot_v1)
+/// for compatibility tests and benchmarks.
+pub const VERSION_V1: u32 = 1;
 
 /// Endianness canary, written little-endian. A loader that reads it
 /// back as anything but this value is mis-decoding the file.
 pub const ENDIAN_TAG: u32 = 0x0A0B_0C0D;
 
-/// Section alignment: every section offset is a multiple of this, so a
-/// page-aligned mmap base makes every section slice aligned for any
-/// element type up to 8 bytes.
+/// The format's page-size floor. In v1 every section offset is a
+/// multiple of this; in v2 it is the alignment floor for *large* raw
+/// sections (the writer aligns them to the runtime page size, which is
+/// always a multiple of 4096 on supported hosts), so a page-aligned
+/// mmap base keeps every raw section slice aligned for any element type
+/// up to 8 bytes.
 pub const PAGE: u64 = 4096;
+
+/// v2 alignment for raw sections smaller than one page: enough for any
+/// element type, without burning most of a page on padding per section.
+pub const RAW_ALIGN: u64 = 64;
+
+/// Raw sections at or above this many bytes are page-aligned in v2 (so
+/// the mmap path wastes no partial pages on them); smaller ones are
+/// [`RAW_ALIGN`]-aligned.
+pub const RAW_PAGE_ALIGN_MIN: u64 = PAGE;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 64;
 
-/// Size of one directory entry in bytes.
-pub const DIR_ENTRY_LEN: usize = 24;
+/// Size of one v2 directory entry in bytes.
+pub const DIR_ENTRY_LEN: usize = 32;
+
+/// Size of one v1 directory entry in bytes.
+pub const DIR_ENTRY_LEN_V1: usize = 24;
 
 /// Rounds `v` up to the next multiple of [`PAGE`].
 pub fn page_align(v: u64) -> u64 {
     v.div_ceil(PAGE) * PAGE
+}
+
+/// Rounds `v` up to the next multiple of `align` (a power of two).
+pub fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    v.div_ceil(align) * align
+}
+
+/// How a section's payload is stored on disk. The tag lives in each v2
+/// directory entry; v1 files are all-[`Raw`](SectionEncoding::Raw).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SectionEncoding {
+    /// Verbatim little-endian elements — the only encoding the
+    /// zero-copy mmap path can serve without materialising.
+    Raw,
+    /// LEB128 varints, one per element (integer element types only).
+    /// Wins on small-valued arrays such as bucket members and owners.
+    Varint,
+    /// First element as a varint, then varint deltas between
+    /// consecutive elements. Wins on sorted/monotone arrays such as
+    /// CSR offsets and prefix tables.
+    DeltaVarint,
+    /// Elias-Fano: fixed-width low bits plus a unary high-bit bitmap.
+    /// Wins on monotone arrays whose deltas are too large for varints
+    /// to beat raw — the sorted 64-bit bucket-key arrays, whose nearly
+    /// uniform spacing costs ~`log2(universe / n) + 2` bits per key.
+    EliasFano,
+}
+
+impl SectionEncoding {
+    /// The on-disk tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            SectionEncoding::Raw => 0,
+            SectionEncoding::Varint => 1,
+            SectionEncoding::DeltaVarint => 2,
+            SectionEncoding::EliasFano => 3,
+        }
+    }
+
+    /// Decodes a tag byte.
+    pub fn from_tag(tag: u8) -> Result<Self, SnapshotError> {
+        match tag {
+            0 => Ok(SectionEncoding::Raw),
+            1 => Ok(SectionEncoding::Varint),
+            2 => Ok(SectionEncoding::DeltaVarint),
+            3 => Ok(SectionEncoding::EliasFano),
+            _ => Err(SnapshotError::Malformed("unknown section encoding tag")),
+        }
+    }
 }
 
 // --- CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) ---
@@ -100,12 +173,14 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 // --- header ---
 
-/// The fixed 64-byte file header.
+/// The fixed 64-byte file header (identical layout in v1 and v2; only
+/// the `version` word and the directory entry size behind `dir_off`
+/// differ).
 ///
 /// ```text
 /// off  size  field
 ///   0     8  magic        b"HLSHSNAP"
-///   8     4  version      u32 (currently 1)
+///   8     4  version      u32 (1 or 2)
 ///  12     4  endian       u32 canary 0x0A0B0C0D
 ///  16     8  total_len    u64, exact file length
 ///  24     8  param_off    u64 (always 64)
@@ -118,6 +193,8 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Header {
+    /// Format version ([`VERSION`] or [`VERSION_V1`]).
+    pub version: u32,
     /// Exact file length in bytes.
     pub total_len: u64,
     /// Byte offset of the parameter block.
@@ -135,12 +212,22 @@ pub struct Header {
 }
 
 impl Header {
+    /// Size in bytes of one directory entry under this header's format
+    /// version.
+    pub fn dir_entry_len(&self) -> usize {
+        if self.version == VERSION_V1 {
+            DIR_ENTRY_LEN_V1
+        } else {
+            DIR_ENTRY_LEN
+        }
+    }
+
     /// Serialises the header to its 64-byte form (computing the
     /// trailing header CRC).
     pub fn encode(&self) -> [u8; HEADER_LEN] {
         let mut out = [0u8; HEADER_LEN];
         out[0..8].copy_from_slice(&MAGIC);
-        out[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        out[8..12].copy_from_slice(&self.version.to_le_bytes());
         out[12..16].copy_from_slice(&ENDIAN_TAG.to_le_bytes());
         out[16..24].copy_from_slice(&self.total_len.to_le_bytes());
         out[24..32].copy_from_slice(&self.param_off.to_le_bytes());
@@ -169,8 +256,9 @@ impl Header {
         if bytes[0..8] != MAGIC {
             return Err(SnapshotError::BadMagic);
         }
-        if le_u32(8) != VERSION {
-            return Err(SnapshotError::BadVersion(le_u32(8)));
+        let version = le_u32(8);
+        if !(version == VERSION_V1 || version == VERSION) {
+            return Err(SnapshotError::BadVersion(version));
         }
         if le_u32(12) != ENDIAN_TAG {
             return Err(SnapshotError::BadEndian);
@@ -179,6 +267,7 @@ impl Header {
             return Err(SnapshotError::ChecksumMismatch("header"));
         }
         let header = Self {
+            version,
             total_len: le_u64(16),
             param_off: le_u64(24),
             param_len: le_u64(32),
@@ -187,7 +276,7 @@ impl Header {
             param_crc: le_u32(52),
             dir_crc: le_u32(56),
         };
-        let dir_len = header.dir_count as u64 * DIR_ENTRY_LEN as u64;
+        let dir_len = header.dir_count as u64 * header.dir_entry_len() as u64;
         if header.param_off != HEADER_LEN as u64
             || header.dir_off != header.param_off + header.param_len
             || header.dir_off + dir_len > header.total_len
@@ -200,40 +289,152 @@ impl Header {
 
 // --- section directory ---
 
-/// One directory entry describing a page-aligned section.
+/// One directory entry describing a section's on-disk form.
+///
+/// The 32-byte v2 layout:
+///
+/// ```text
+/// off  size  field
+///   0     8  offset     u64, byte offset of the on-disk payload
+///   8     8  raw_len    u64, decoded payload length in bytes
+///  16     8  enc_len    u64, on-disk payload length (= raw_len if Raw)
+///  24     1  elem_size  u8 (1, 4 or 8)
+///  25     1  encoding   u8 SectionEncoding tag
+///  26     2  reserved   u16, must be 0
+///  28     4  crc        u32 CRC-32 over the on-disk payload bytes
+/// ```
+///
+/// v1 entries (24 bytes: offset, byte_len, elem_size as `u32`, crc) are
+/// parsed by [`decode_v1`](DirEntry::decode_v1) into the same struct
+/// with `enc_len == raw_len` and [`SectionEncoding::Raw`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DirEntry {
-    /// Byte offset of the section (a multiple of [`PAGE`]).
+    /// Byte offset of the on-disk payload. Raw sections are aligned
+    /// ([`PAGE`] in v1; in v2, page-aligned when at least
+    /// [`RAW_PAGE_ALIGN_MIN`] bytes, else [`RAW_ALIGN`]); encoded
+    /// sections are packed with no alignment.
     pub offset: u64,
-    /// Exact byte length of the section's payload (padding excluded).
-    pub byte_len: u64,
-    /// Size of one element in bytes (1, 4 or 8).
+    /// Decoded payload length in bytes (a multiple of `elem_size`).
+    pub raw_len: u64,
+    /// On-disk payload length in bytes. Equals `raw_len` for raw
+    /// sections; for encoded sections it is the varint stream length,
+    /// and each element costs at least one encoded byte
+    /// (`raw_len / elem_size <= enc_len`), so a corrupt entry can never
+    /// demand an allocation larger than the file itself.
+    pub enc_len: u64,
+    /// Size of one decoded element in bytes (1, 4 or 8).
     pub elem_size: u32,
-    /// CRC-32 of the payload bytes.
+    /// How the payload is stored on disk.
+    pub encoding: SectionEncoding,
+    /// CRC-32 of the on-disk payload bytes (encoded form for encoded
+    /// sections).
     pub crc: u32,
 }
 
 impl DirEntry {
-    /// Serialises the entry to its 24-byte form.
+    /// Number of decoded elements.
+    pub fn elem_count(&self) -> u64 {
+        self.raw_len / self.elem_size as u64
+    }
+
+    /// Serialises the entry to its 32-byte v2 form.
     pub fn encode(&self) -> [u8; DIR_ENTRY_LEN] {
         let mut out = [0u8; DIR_ENTRY_LEN];
         out[0..8].copy_from_slice(&self.offset.to_le_bytes());
-        out[8..16].copy_from_slice(&self.byte_len.to_le_bytes());
+        out[8..16].copy_from_slice(&self.raw_len.to_le_bytes());
+        out[16..24].copy_from_slice(&self.enc_len.to_le_bytes());
+        out[24] = self.elem_size as u8;
+        out[25] = self.encoding.tag();
+        // bytes 26..28 reserved, zero
+        out[28..32].copy_from_slice(&self.crc.to_le_bytes());
+        out
+    }
+
+    /// Serialises the entry to the 24-byte v1 form (raw sections only —
+    /// v1 has no encoding tag).
+    pub fn encode_v1(&self) -> [u8; DIR_ENTRY_LEN_V1] {
+        debug_assert_eq!(self.encoding, SectionEncoding::Raw);
+        debug_assert_eq!(self.raw_len, self.enc_len);
+        let mut out = [0u8; DIR_ENTRY_LEN_V1];
+        out[0..8].copy_from_slice(&self.offset.to_le_bytes());
+        out[8..16].copy_from_slice(&self.raw_len.to_le_bytes());
         out[16..20].copy_from_slice(&self.elem_size.to_le_bytes());
         out[20..24].copy_from_slice(&self.crc.to_le_bytes());
         out
     }
 
-    /// Parses one entry and checks its structural invariants against
-    /// the file length: page alignment, element divisibility, range.
+    /// Parses one 32-byte v2 entry and checks its structural invariants
+    /// against the file length: alignment (raw sections), element
+    /// divisibility, the decoded-length bound, range.
     pub fn decode(bytes: &[u8], total_len: u64) -> Result<Self, SnapshotError> {
         if bytes.len() < DIR_ENTRY_LEN {
             return Err(SnapshotError::Truncated);
         }
         let entry = Self {
             offset: u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte range")),
-            byte_len: u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte range")),
+            raw_len: u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte range")),
+            enc_len: u64::from_le_bytes(bytes[16..24].try_into().expect("8-byte range")),
+            elem_size: bytes[24] as u32,
+            encoding: SectionEncoding::from_tag(bytes[25])?,
+            crc: u32::from_le_bytes(bytes[28..32].try_into().expect("4-byte range")),
+        };
+        if bytes[26] != 0 || bytes[27] != 0 {
+            return Err(SnapshotError::Malformed("reserved directory bytes not zero"));
+        }
+        if !matches!(entry.elem_size, 1 | 4 | 8) {
+            return Err(SnapshotError::Malformed("unsupported section element size"));
+        }
+        if !entry.raw_len.is_multiple_of(entry.elem_size as u64) {
+            return Err(SnapshotError::Malformed("section length not a multiple of element size"));
+        }
+        match entry.encoding {
+            SectionEncoding::Raw => {
+                if entry.enc_len != entry.raw_len {
+                    return Err(SnapshotError::Malformed(
+                        "raw section declares distinct encoded length",
+                    ));
+                }
+                let align = if entry.raw_len >= RAW_PAGE_ALIGN_MIN { PAGE } else { RAW_ALIGN };
+                if !entry.offset.is_multiple_of(align) {
+                    return Err(SnapshotError::Malformed("raw section offset misaligned"));
+                }
+            }
+            SectionEncoding::Varint | SectionEncoding::DeltaVarint | SectionEncoding::EliasFano => {
+                // Varints are only defined over the integer elements.
+                if !matches!(entry.elem_size, 4 | 8) {
+                    return Err(SnapshotError::Malformed(
+                        "encoded section with non-integer element size",
+                    ));
+                }
+                // Each element costs >= 1 encoded byte: bounds the
+                // decode allocation by the on-disk length.
+                if entry.raw_len / entry.elem_size as u64 > entry.enc_len {
+                    return Err(SnapshotError::Malformed(
+                        "encoded section over-declares its decoded length",
+                    ));
+                }
+            }
+        }
+        let end = entry.offset.checked_add(entry.enc_len);
+        if end.is_none_or(|e| e > total_len) {
+            return Err(SnapshotError::Truncated);
+        }
+        Ok(entry)
+    }
+
+    /// Parses one 24-byte v1 entry (always raw, page-aligned) and
+    /// checks the v1 structural invariants.
+    pub fn decode_v1(bytes: &[u8], total_len: u64) -> Result<Self, SnapshotError> {
+        if bytes.len() < DIR_ENTRY_LEN_V1 {
+            return Err(SnapshotError::Truncated);
+        }
+        let byte_len = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte range"));
+        let entry = Self {
+            offset: u64::from_le_bytes(bytes[0..8].try_into().expect("8-byte range")),
+            raw_len: byte_len,
+            enc_len: byte_len,
             elem_size: u32::from_le_bytes(bytes[16..20].try_into().expect("4-byte range")),
+            encoding: SectionEncoding::Raw,
             crc: u32::from_le_bytes(bytes[20..24].try_into().expect("4-byte range")),
         };
         if !entry.offset.is_multiple_of(PAGE) {
@@ -242,10 +443,10 @@ impl DirEntry {
         if !matches!(entry.elem_size, 1 | 4 | 8) {
             return Err(SnapshotError::Malformed("unsupported section element size"));
         }
-        if !entry.byte_len.is_multiple_of(entry.elem_size as u64) {
+        if !entry.raw_len.is_multiple_of(entry.elem_size as u64) {
             return Err(SnapshotError::Malformed("section length not a multiple of element size"));
         }
-        let end = entry.offset.checked_add(entry.byte_len);
+        let end = entry.offset.checked_add(entry.raw_len);
         if end.is_none_or(|e| e > total_len) {
             return Err(SnapshotError::Truncated);
         }
@@ -393,6 +594,15 @@ impl<'a> ParamReader<'a> {
             .collect())
     }
 
+    /// Takes the unread remainder of the block, consuming it. Used for
+    /// the v2 g-function area, which is stored once and decoded once
+    /// per shard with a fresh reader over these bytes.
+    pub fn take_rest(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
+    }
+
     /// Asserts the block was consumed exactly; trailing bytes mean the
     /// reader and writer disagree on the layout.
     pub fn finish(self) -> Result<(), SnapshotError> {
@@ -422,6 +632,7 @@ mod tests {
     #[test]
     fn header_round_trip_and_rejections() {
         let h = Header {
+            version: VERSION,
             total_len: 8192,
             param_off: 64,
             param_len: 100,
@@ -432,6 +643,13 @@ mod tests {
         };
         let bytes = h.encode();
         assert_eq!(Header::decode(&bytes).expect("round trip"), h);
+
+        // A v1 header round-trips too, with the smaller entry size.
+        let v1 = Header { version: VERSION_V1, ..h };
+        let decoded = Header::decode(&v1.encode()).expect("v1 round trip");
+        assert_eq!(decoded, v1);
+        assert_eq!(decoded.dir_entry_len(), DIR_ENTRY_LEN_V1);
+        assert_eq!(h.dir_entry_len(), DIR_ENTRY_LEN);
 
         let mut bad_magic = bytes;
         bad_magic[0] = b'X';
@@ -453,15 +671,69 @@ mod tests {
 
     #[test]
     fn dir_entry_round_trip_and_rejections() {
-        let e = DirEntry { offset: 8192, byte_len: 24, elem_size: 8, crc: 5 };
+        let e = DirEntry {
+            offset: 8192,
+            raw_len: 8192,
+            enc_len: 8192,
+            elem_size: 8,
+            encoding: SectionEncoding::Raw,
+            crc: 5,
+        };
         assert_eq!(DirEntry::decode(&e.encode(), 1 << 20).expect("round trip"), e);
+        assert_eq!(e.elem_count(), 1024);
 
-        let unaligned = DirEntry { offset: 100, ..e };
+        // Large raw sections must be page-aligned; small ones only need
+        // the 64-byte floor.
+        let unaligned = DirEntry { offset: 8192 + 64, ..e };
         assert!(DirEntry::decode(&unaligned.encode(), 1 << 20).is_err());
-        let ragged = DirEntry { byte_len: 25, ..e };
+        let small = DirEntry { offset: 8192 + 64, raw_len: 24, enc_len: 24, ..e };
+        assert!(DirEntry::decode(&small.encode(), 1 << 20).is_ok());
+        let small_unaligned = DirEntry { offset: 8192 + 32, raw_len: 24, enc_len: 24, ..e };
+        assert!(DirEntry::decode(&small_unaligned.encode(), 1 << 20).is_err());
+
+        let ragged = DirEntry { raw_len: 8193, enc_len: 8193, ..e };
         assert!(DirEntry::decode(&ragged.encode(), 1 << 20).is_err());
-        let overrun = DirEntry { offset: 4096, byte_len: 8192, ..e };
+        let overrun = DirEntry { offset: 4096, raw_len: 8192, enc_len: 8192, ..e };
         assert!(matches!(DirEntry::decode(&overrun.encode(), 8192), Err(SnapshotError::Truncated)));
+        let raw_with_enc = DirEntry { enc_len: 100, ..e };
+        assert!(DirEntry::decode(&raw_with_enc.encode(), 1 << 20).is_err());
+
+        // Encoded sections: unaligned offsets are fine, but an entry
+        // whose decoded length could not possibly fit its encoded bytes
+        // is rejected before any allocation.
+        let enc = DirEntry {
+            offset: 999,
+            raw_len: 800,
+            enc_len: 300,
+            elem_size: 4,
+            encoding: SectionEncoding::Varint,
+            crc: 5,
+        };
+        assert_eq!(DirEntry::decode(&enc.encode(), 1 << 20).expect("round trip"), enc);
+        let oversold = DirEntry { raw_len: 4 * 301, ..enc };
+        assert!(matches!(
+            DirEntry::decode(&oversold.encode(), 1 << 20),
+            Err(SnapshotError::Malformed(_))
+        ));
+        let enc_bytes = DirEntry { elem_size: 1, raw_len: 100, ..enc };
+        assert!(DirEntry::decode(&enc_bytes.encode(), 1 << 20).is_err());
+
+        // Unknown encoding tags and non-zero reserved bytes.
+        let mut bad_tag = enc.encode();
+        bad_tag[25] = 7;
+        assert!(matches!(
+            DirEntry::decode(&bad_tag, 1 << 20),
+            Err(SnapshotError::Malformed("unknown section encoding tag"))
+        ));
+        let mut bad_reserved = enc.encode();
+        bad_reserved[26] = 1;
+        assert!(DirEntry::decode(&bad_reserved, 1 << 20).is_err());
+
+        // v1 entries decode into the same struct, raw by construction.
+        let v1 = DirEntry::decode_v1(&e.encode_v1(), 1 << 20).expect("v1 round trip");
+        assert_eq!(v1, e);
+        let v1_unaligned = DirEntry { offset: 64, raw_len: 24, enc_len: 24, ..e };
+        assert!(DirEntry::decode_v1(&v1_unaligned.encode_v1(), 1 << 20).is_err());
     }
 
     #[test]
@@ -511,5 +783,9 @@ mod tests {
         assert_eq!(page_align(1), 4096);
         assert_eq!(page_align(4096), 4096);
         assert_eq!(page_align(4097), 8192);
+        assert_eq!(align_up(0, 64), 0);
+        assert_eq!(align_up(1, 64), 64);
+        assert_eq!(align_up(64, 64), 64);
+        assert_eq!(align_up(65, 16384), 16384);
     }
 }

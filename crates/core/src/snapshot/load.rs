@@ -7,10 +7,21 @@
 //! and maps violations to typed [`SnapshotError`]s — loading is total,
 //! in the same spirit as the wire protocol's frame decoder. The one
 //! documented exception: under [`LoadMode::Mmap`] the per-section CRCs
-//! are skipped (checksumming would fault in every page and forfeit the
-//! lazy cold start), so bit rot inside member or register arrays is
-//! caught by the OS page checksums or not at all — use
-//! [`LoadMode::MmapVerify`] or [`LoadMode::Read`] when that matters.
+//! of *raw* sections are skipped (checksumming would fault in every
+//! page and forfeit the lazy cold start), so bit rot inside member or
+//! register arrays is caught by the OS page checksums or not at all —
+//! use [`LoadMode::MmapVerify`] or [`LoadMode::Read`] when that
+//! matters. Encoded (v2) sections are decoded — hence checksummed — in
+//! every mode.
+//!
+//! The loader is version-dispatched off the header: v1 files (24-byte
+//! all-raw directory entries, g-functions repeated per shard) and v2
+//! files (per-section encodings, one shared g-function area) both load
+//! through the same section schema, and queries against either are
+//! byte-identical. [`LoadMode::Auto`] resolves to a concrete backend
+//! here: a cheap preamble pass collects [`LayoutStats`], the storage
+//! profile is loaded or probed, and [`plan_load`] picks the backend and
+//! prefetch policy.
 
 use std::fs::File;
 use std::path::Path;
@@ -20,8 +31,13 @@ use hlsh_hll::HllConfig;
 use hlsh_vec::{DenseDataset, PointId, Section};
 
 use super::codec::{SnapshotDistance, SnapshotFamily};
-use super::format::{crc32, DirEntry, Header, ParamReader, DIR_ENTRY_LEN, HEADER_LEN};
+use super::format::{
+    crc32, DirEntry, Header, ParamReader, SectionEncoding, HEADER_LEN, VERSION_V1,
+};
+use super::mmap::mmap_supported;
 use super::params::RawParams;
+use super::plan::{plan_load, LayoutStats, LoadPlan, PlannedBackend};
+use super::profile::StorageProfile;
 use super::source::SnapshotSource;
 use super::{LoadMode, SnapshotError, SnapshotManifest, TopKManifest};
 use crate::index::HybridLshIndex;
@@ -45,11 +61,14 @@ where
     pub topk: Option<ShardedTopKIndex<DenseDataset, F, D, FrozenStore>>,
     /// The scalar parameters the file declared.
     pub manifest: SnapshotManifest,
+    /// The resolved plan when the load ran under [`LoadMode::Auto`]
+    /// (`None` for the explicit modes), for logs.
+    pub plan: Option<LoadPlan>,
 }
 
 /// Validated preamble: header, param bytes and directory bytes, each
-/// checked against its CRC. Shared by the loader and the manifest
-/// reader; works over either source.
+/// checked against its CRC. Shared by the loader, the manifest reader
+/// and the layout reader; works over either source and both versions.
 fn read_preamble(
     src: &mut SnapshotSource,
     file_len: u64,
@@ -67,12 +86,25 @@ fn read_preamble(
     if crc32(&param) != header.param_crc {
         return Err(SnapshotError::ChecksumMismatch("param block"));
     }
-    let dir_len = header.dir_count as usize * DIR_ENTRY_LEN;
+    let dir_len = header.dir_count as usize * header.dir_entry_len();
     let dir = src.bytes(header.dir_off, dir_len)?;
     if crc32(&dir) != header.dir_crc {
         return Err(SnapshotError::ChecksumMismatch("directory"));
     }
     Ok((header, param, dir))
+}
+
+/// Decodes the directory under the header's format version.
+fn decode_entries(header: &Header, dir: &[u8]) -> Result<Vec<DirEntry>, SnapshotError> {
+    dir.chunks(header.dir_entry_len())
+        .map(|c| {
+            if header.version == VERSION_V1 {
+                DirEntry::decode_v1(c, header.total_len)
+            } else {
+                DirEntry::decode(c, header.total_len)
+            }
+        })
+        .collect()
 }
 
 fn manifest_of(raw: &RawParams) -> SnapshotManifest {
@@ -108,35 +140,173 @@ pub fn read_manifest(path: &Path) -> Result<SnapshotManifest, SnapshotError> {
     Ok(manifest_of(&RawParams::decode(&mut r)?))
 }
 
-fn next_entry<'a>(it: &mut std::slice::Iter<'a, DirEntry>) -> Result<&'a DirEntry, SnapshotError> {
-    it.next().ok_or(SnapshotError::Malformed("directory ended before the section schema"))
+/// One section as described by the directory, labelled by its position
+/// in the schema (`shard0/rnnr/t3/members`, `shard1/L2/t0/keys`, ...).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Schema-derived label.
+    pub label: String,
+    /// How the payload is stored on disk.
+    pub encoding: SectionEncoding,
+    /// Decoded payload bytes.
+    pub raw_len: u64,
+    /// On-disk payload bytes.
+    pub enc_len: u64,
+}
+
+/// A snapshot's on-disk shape — directory metadata only, no section
+/// payloads touched. What the `snapshot` bench bin reports per-section
+/// compression from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SnapshotLayout {
+    /// Format version of the file ([`VERSION`](super::format::VERSION)
+    /// or [`VERSION_V1`]).
+    pub version: u32,
+    /// The scalar parameters the file declared.
+    pub manifest: SnapshotManifest,
+    /// Exact file length in bytes.
+    pub file_len: u64,
+    /// Every section in directory (= schema) order.
+    pub sections: Vec<SectionInfo>,
+}
+
+impl SnapshotLayout {
+    /// Aggregates the per-section byte counts into the planner's input.
+    pub fn stats(&self) -> LayoutStats {
+        let mut stats = LayoutStats { total_bytes: self.file_len, ..Default::default() };
+        for s in &self.sections {
+            match s.encoding {
+                SectionEncoding::Raw => stats.raw_section_bytes += s.enc_len,
+                _ => stats.encoded_section_bytes += s.enc_len,
+            }
+        }
+        stats
+    }
+}
+
+/// The seven per-store array names, in schema order.
+const STORE_ARRAYS: [&str; 7] = ["keys", "prefix", "offsets", "members", "bits", "rank", "regs"];
+
+/// Reads a snapshot's directory and labels every section against the
+/// format's fixed schema — cheap (preamble only), version-agnostic, and
+/// family-agnostic like [`read_manifest`].
+pub fn read_layout(path: &Path) -> Result<SnapshotLayout, SnapshotError> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut src = SnapshotSource::read(file);
+    let (header, param, dir) = read_preamble(&mut src, file_len)?;
+    let mut r = ParamReader::new(&param);
+    let raw = RawParams::decode(&mut r)?;
+    let entries = decode_entries(&header, &dir)?;
+    if entries.len() != raw.expected_sections() {
+        return Err(SnapshotError::Malformed("directory entry count disagrees with parameters"));
+    }
+    let mut labels = Vec::with_capacity(entries.len());
+    for s in 0..raw.shards {
+        labels.push(format!("shard{s}/owners"));
+        labels.push(format!("shard{s}/data"));
+        for t in 0..raw.rnnr.tables {
+            for a in STORE_ARRAYS {
+                labels.push(format!("shard{s}/rnnr/t{t}/{a}"));
+            }
+        }
+    }
+    if let Some(tk) = &raw.topk {
+        for s in 0..raw.shards {
+            for (l, g) in tk.levels.iter().enumerate() {
+                for t in 0..g.tables {
+                    for a in STORE_ARRAYS {
+                        labels.push(format!("shard{s}/L{l}/t{t}/{a}"));
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(labels.len(), entries.len());
+    let sections = labels
+        .into_iter()
+        .zip(&entries)
+        .map(|(label, e)| SectionInfo {
+            label,
+            encoding: e.encoding,
+            raw_len: e.raw_len,
+            enc_len: e.enc_len,
+        })
+        .collect();
+    Ok(SnapshotLayout { version: header.version, manifest: manifest_of(&raw), file_len, sections })
+}
+
+/// Resolves [`LoadMode::Auto`] against this file and host: one cheap
+/// preamble pass for the layout statistics, then the cached-or-probed
+/// storage profile, then the pure planner.
+fn resolve_auto(path: &Path, file: &File, file_len: u64) -> Result<LoadPlan, SnapshotError> {
+    let mut probe_src = SnapshotSource::read(file.try_clone()?);
+    let (header, _, dir) = read_preamble(&mut probe_src, file_len)?;
+    let entries = decode_entries(&header, &dir)?;
+    let mut stats = LayoutStats { total_bytes: file_len, ..Default::default() };
+    for e in &entries {
+        match e.encoding {
+            SectionEncoding::Raw => stats.raw_section_bytes += e.enc_len,
+            _ => stats.encoded_section_bytes += e.enc_len,
+        }
+    }
+    let profile = StorageProfile::load_or_probe(path);
+    Ok(plan_load(profile.as_ref(), mmap_supported(), &stats))
+}
+
+/// A cursor over the directory that also yields each entry's position
+/// (the key into the read source's preload stage).
+struct EntryCursor<'a> {
+    entries: &'a [DirEntry],
+    pos: usize,
+}
+
+impl<'a> EntryCursor<'a> {
+    fn next(&mut self) -> Result<(usize, &'a DirEntry), SnapshotError> {
+        let i = self.pos;
+        let entry = self
+            .entries
+            .get(i)
+            .ok_or(SnapshotError::Malformed("directory ended before the section schema"))?;
+        self.pos += 1;
+        Ok((i, entry))
+    }
 }
 
 /// Reads the seven arrays of one frozen store and revalidates the CSR
 /// structural invariants via `FrozenStore::from_sections`.
 fn load_store(
     src: &mut SnapshotSource,
-    it: &mut std::slice::Iter<'_, DirEntry>,
+    cur: &mut EntryCursor<'_>,
     hll: HllConfig,
 ) -> Result<FrozenStore, SnapshotError> {
-    let keys: Section<u64> = src.section(next_entry(it)?)?;
-    let prefix: Section<u32> = src.section(next_entry(it)?)?;
-    let offsets: Section<u64> = src.section(next_entry(it)?)?;
-    let members: Section<PointId> = src.section(next_entry(it)?)?;
-    let bits: Section<u64> = src.section(next_entry(it)?)?;
-    let rank: Section<u32> = src.section(next_entry(it)?)?;
-    let regs: Section<u8> = src.section(next_entry(it)?)?;
+    let (i, e) = cur.next()?;
+    let keys: Section<u64> = src.section(i, e)?;
+    let (i, e) = cur.next()?;
+    let prefix: Section<u32> = src.section(i, e)?;
+    let (i, e) = cur.next()?;
+    let offsets: Section<u64> = src.section(i, e)?;
+    let (i, e) = cur.next()?;
+    let members: Section<PointId> = src.section(i, e)?;
+    let (i, e) = cur.next()?;
+    let bits: Section<u64> = src.section(i, e)?;
+    let (i, e) = cur.next()?;
+    let rank: Section<u32> = src.section(i, e)?;
+    let (i, e) = cur.next()?;
+    let regs: Section<u8> = src.section(i, e)?;
     FrozenStore::from_sections(keys, prefix, offsets, members, Some(hll), bits, rank, regs)
         .map_err(SnapshotError::Malformed)
 }
 
-/// Loads a snapshot written by [`save_snapshot`](super::save_snapshot).
+/// Loads a snapshot written by [`save_snapshot`](super::save_snapshot)
+/// (v2) or [`save_snapshot_v1`](super::save_snapshot_v1).
 ///
 /// The type parameters select the expected family and distance; a file
 /// written for different ones is rejected with
 /// [`SnapshotError::FamilyMismatch`] / [`DistanceMismatch`]. Queries
 /// against the returned indexes are byte-identical to queries against
-/// the indexes that were saved, in every [`LoadMode`].
+/// the indexes that were saved, in every [`LoadMode`] and for both
+/// format versions.
 ///
 /// [`DistanceMismatch`]: SnapshotError::DistanceMismatch
 pub fn load_snapshot<F, D>(
@@ -149,14 +319,32 @@ where
 {
     let file = File::open(path)?;
     let file_len = file.metadata()?.len();
-    let mut src = match mode {
-        LoadMode::Read => SnapshotSource::read(file),
-        LoadMode::Mmap => SnapshotSource::mmap(&file, file_len, false)?,
-        LoadMode::MmapVerify => SnapshotSource::mmap(&file, file_len, true)?,
+    let (mut src, plan) = match mode {
+        LoadMode::Read => (SnapshotSource::read(file), None),
+        LoadMode::Mmap => (SnapshotSource::mmap(&file, file_len, false)?, None),
+        LoadMode::MmapVerify => (SnapshotSource::mmap(&file, file_len, true)?, None),
+        LoadMode::Auto => {
+            let plan = resolve_auto(path, &file, file_len)?;
+            let src = match plan.backend {
+                PlannedBackend::Read => SnapshotSource::read(file),
+                PlannedBackend::Mmap => match SnapshotSource::mmap(&file, file_len, false) {
+                    Ok(src) => src,
+                    // The planner consults `mmap_supported()`, but the
+                    // map call itself can still fail (e.g. exotic file
+                    // length); degrade rather than error.
+                    Err(SnapshotError::MmapUnavailable(_)) => SnapshotSource::read(file),
+                    Err(e) => return Err(e),
+                },
+            };
+            if plan.prefetch {
+                src.advise_prefetch();
+            }
+            (src, Some(plan))
+        }
     };
     let (header, param, dir) = read_preamble(&mut src, file_len)?;
 
-    // --- params: scalars, then every g-function, fully consumed ---
+    // --- params: scalars, then the g-function area, fully consumed ---
     let mut r = ParamReader::new(&param);
     let raw = RawParams::decode(&mut r)?;
     if raw.distance_tag != D::TAG {
@@ -189,34 +377,62 @@ where
         Ok(g)
     };
     let mut rnnr_gfns: Vec<Vec<F::GFn>> = Vec::with_capacity(raw.shards);
-    for _ in 0..raw.shards {
-        let gfns = (0..raw.rnnr.tables)
-            .map(|_| decode_gfn(&mut r, raw.rnnr.k))
-            .collect::<Result<Vec<_>, _>>()?;
-        rnnr_gfns.push(gfns);
-    }
     let mut topk_gfns: Vec<Vec<Vec<F::GFn>>> = Vec::new();
-    if let Some(tk) = &raw.topk {
+    if header.version == VERSION_V1 {
+        // v1: every g-function verbatim — all shards' radius tables,
+        // then all shards' ladder tables.
         for _ in 0..raw.shards {
-            let mut per_level = Vec::with_capacity(tk.levels.len());
-            for g in &tk.levels {
-                per_level.push(
-                    (0..g.tables)
-                        .map(|_| decode_gfn(&mut r, g.k))
-                        .collect::<Result<Vec<_>, _>>()?,
-                );
+            let gfns = (0..raw.rnnr.tables)
+                .map(|_| decode_gfn(&mut r, raw.rnnr.k))
+                .collect::<Result<Vec<_>, _>>()?;
+            rnnr_gfns.push(gfns);
+        }
+        if let Some(tk) = &raw.topk {
+            for _ in 0..raw.shards {
+                let mut per_level = Vec::with_capacity(tk.levels.len());
+                for g in &tk.levels {
+                    per_level.push(
+                        (0..g.tables)
+                            .map(|_| decode_gfn(&mut r, g.k))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                topk_gfns.push(per_level);
             }
-            topk_gfns.push(per_level);
+        }
+        r.finish()?;
+    } else {
+        // v2: the area is stored once (shards carry byte-identical
+        // g-functions — the writer verified it); decode it afresh per
+        // shard so no `Clone` bound is needed on the g-function type.
+        let area = r.take_rest();
+        for _ in 0..raw.shards {
+            let mut ar = ParamReader::new(area);
+            let gfns = (0..raw.rnnr.tables)
+                .map(|_| decode_gfn(&mut ar, raw.rnnr.k))
+                .collect::<Result<Vec<_>, _>>()?;
+            rnnr_gfns.push(gfns);
+            if let Some(tk) = &raw.topk {
+                let mut per_level = Vec::with_capacity(tk.levels.len());
+                for g in &tk.levels {
+                    per_level.push(
+                        (0..g.tables)
+                            .map(|_| decode_gfn(&mut ar, g.k))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    );
+                }
+                topk_gfns.push(per_level);
+            }
+            ar.finish()?;
         }
     }
-    r.finish()?;
 
     // --- sections, in the writer's fixed order ---
-    let entries = dir
-        .chunks(DIR_ENTRY_LEN)
-        .map(|c| DirEntry::decode(c, header.total_len))
-        .collect::<Result<Vec<_>, _>>()?;
-    let mut it = entries.iter();
+    let entries = decode_entries(&header, &dir)?;
+    // One forward pass over the file for the read source (no-op for the
+    // mapping): stage every section's bytes in offset order.
+    src.preload(&entries)?;
+    let mut cur = EntryCursor { entries: &entries, pos: 0 };
     let hll = raw.rnnr.hll_config();
     let cost = raw.rnnr.cost_model();
     let has_topk = raw.topk.is_some();
@@ -225,14 +441,16 @@ where
     let mut seen = vec![false; raw.n];
     let mut rnnr_shards = Vec::with_capacity(raw.shards);
     for gfns in rnnr_gfns {
-        let owners_sec: Section<PointId> = src.section(next_entry(&mut it)?)?;
+        let (i, e) = cur.next()?;
+        let owners_sec: Section<PointId> = src.section(i, e)?;
         let owners = owners_sec.to_vec();
         for &g in &owners {
             if (g as usize) >= raw.n || std::mem::replace(&mut seen[g as usize], true) {
                 return Err(SnapshotError::Malformed("owner lists do not partition the ids"));
             }
         }
-        let mut data_sec: Section<f32> = src.section(next_entry(&mut it)?)?;
+        let (i, e) = cur.next()?;
+        let mut data_sec: Section<f32> = src.section(i, e)?;
         if owners.len().checked_mul(raw.dim) != Some(data_sec.len()) {
             return Err(SnapshotError::Malformed("data section size disagrees with owner list"));
         }
@@ -243,7 +461,7 @@ where
         }
         let tables = gfns
             .into_iter()
-            .map(|g| Ok(HashTable::from_parts(g, load_store(&mut src, &mut it, hll)?)))
+            .map(|g| Ok(HashTable::from_parts(g, load_store(&mut src, &mut cur, hll)?)))
             .collect::<Result<Vec<_>, SnapshotError>>()?;
         rnnr_shards.push(HybridLshIndex::assemble(
             DenseDataset::from_section(data_sec.clone(), raw.dim),
@@ -278,7 +496,7 @@ where
                     .map(|g| {
                         Ok(HashTable::from_parts(
                             g,
-                            load_store(&mut src, &mut it, group.hll_config())?,
+                            load_store(&mut src, &mut cur, group.hll_config())?,
                         ))
                     })
                     .collect::<Result<Vec<_>, SnapshotError>>()?;
@@ -304,5 +522,5 @@ where
         ));
     }
     let rnnr = ShardedIndex::assemble(rnnr_shards, owners_all, assignment, raw.n);
-    Ok(LoadedSnapshot { rnnr, topk: topk_index, manifest: manifest_of(&raw) })
+    Ok(LoadedSnapshot { rnnr, topk: topk_index, manifest: manifest_of(&raw), plan })
 }

@@ -29,11 +29,20 @@ use super::SnapshotError;
 
 #[cfg(all(unix, target_pointer_width = "64"))]
 mod sys {
-    use std::os::raw::{c_int, c_void};
+    use std::os::raw::{c_int, c_long, c_void};
 
     pub const PROT_READ: c_int = 1;
     pub const MAP_PRIVATE: c_int = 2;
     pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+    /// `madvise` advice values — identical on Linux and macOS.
+    pub const MADV_SEQUENTIAL: c_int = 2;
+    pub const MADV_WILLNEED: c_int = 3;
+    /// `sysconf` name for the page size; the value differs per OS, so
+    /// it is only defined where we know it.
+    #[cfg(target_os = "linux")]
+    pub const SC_PAGESIZE: c_int = 30;
+    #[cfg(target_os = "macos")]
+    pub const SC_PAGESIZE: c_int = 29;
 
     extern "C" {
         pub fn mmap(
@@ -45,7 +54,41 @@ mod sys {
             offset: i64,
         ) -> *mut c_void;
         pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+        #[cfg(any(target_os = "linux", target_os = "macos"))]
+        pub fn sysconf(name: c_int) -> c_long;
     }
+}
+
+/// Whether [`Mmap::map`] can succeed on this host (64-bit unix,
+/// little-endian). The load planner falls back to the buffered read
+/// path when it cannot.
+pub fn mmap_supported() -> bool {
+    cfg!(all(unix, target_pointer_width = "64", target_endian = "little"))
+}
+
+/// The runtime page size in bytes, from `sysconf(_SC_PAGESIZE)`, cached
+/// after the first call. Falls back to 4096 when the host does not
+/// expose it (or reports something implausible — the snapshot format's
+/// alignment floor is 4096, so smaller values are rounded up to it).
+pub fn page_size() -> u64 {
+    static CACHED: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        #[cfg(all(
+            unix,
+            target_pointer_width = "64",
+            any(target_os = "linux", target_os = "macos")
+        ))]
+        {
+            // SAFETY: sysconf is a pure query; a negative or zero
+            // return means "unknown" and falls through to the default.
+            let v = unsafe { sys::sysconf(sys::SC_PAGESIZE) };
+            if v >= 4096 && (v as u64).is_power_of_two() {
+                return v as u64;
+            }
+        }
+        4096
+    })
 }
 
 /// A whole snapshot file mapped read-only. Dropping the mapping
@@ -106,6 +149,25 @@ impl Mmap {
     pub fn map(_file: &File, _len: u64) -> Result<Self, SnapshotError> {
         Err(SnapshotError::MmapUnavailable("mmap wrapper requires a 64-bit unix host"))
     }
+
+    /// Advises the kernel to read the whole mapping ahead
+    /// (`MADV_SEQUENTIAL` then `MADV_WILLNEED`), turning demand-paged
+    /// faults into sequential readahead. Best-effort: advice is a hint
+    /// and failures are ignored — the mapping stays correct either way.
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    pub fn advise_prefetch(&self) {
+        // SAFETY: ptr/len describe a live mapping owned by self;
+        // madvise does not invalidate it, and errors are advisory.
+        unsafe {
+            let addr = self.ptr as *mut std::os::raw::c_void;
+            sys::madvise(addr, self.len, sys::MADV_SEQUENTIAL);
+            sys::madvise(addr, self.len, sys::MADV_WILLNEED);
+        }
+    }
+
+    /// No-op stub on hosts without the mmap wrapper.
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    pub fn advise_prefetch(&self) {}
 
     /// The mapped bytes.
     pub fn as_bytes(&self) -> &[u8] {
@@ -201,7 +263,19 @@ mod tests {
         assert!(MmapSection::<u64>::new(Arc::clone(&map), 4096, 1000).is_err());
         assert!(MmapSection::<u64>::new(Arc::clone(&map), 4097, 1).is_err());
 
+        // Prefetch advice is best-effort and must not disturb the data.
+        map.advise_prefetch();
+        assert_eq!(words.slice(), &[0x0102_0304_0506_0708]);
+
         drop((words, floats, map));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_size_is_sane_and_cached() {
+        let ps = page_size();
+        assert!(ps >= 4096, "page size {ps} below the format floor");
+        assert!(ps.is_power_of_two());
+        assert_eq!(page_size(), ps);
     }
 }

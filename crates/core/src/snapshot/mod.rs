@@ -10,17 +10,27 @@
 //! * a param block pinning every scalar the builder would otherwise
 //!   derive — family parameters, table/hash widths, HLL config, lazy
 //!   threshold, the (possibly timing-calibrated) cost model, the shard
-//!   assignment and radius schedule — plus every sampled g-function
-//!   verbatim (see the private `params` module and [`codec`]);
-//! * one page-aligned, CRC-checksummed section per flat array of every
-//!   shard: owner lists, point data, and the seven CSR arrays of each
-//!   frozen bucket store.
+//!   assignment and radius schedule — plus the sampled g-functions
+//!   verbatim (stored **once** in v2; shards carry byte-identical
+//!   g-functions by the shared-randomness invariant — see the private
+//!   `params` module and [`codec`]);
+//! * one CRC-checksummed section per flat array of every shard: owner
+//!   lists, point data, and the seven CSR arrays of each frozen bucket
+//!   store. In the current (v2) format each section carries a
+//!   [`SectionEncoding`](format::SectionEncoding): monotone arrays go
+//!   down as delta varints, small-valued arrays as plain varints, and
+//!   everything else stays raw and aligned so the mmap path can borrow
+//!   it zero-copy (see [`mod@encode`]).
 //!
 //! Two load paths share one [`source::SnapshotSource`] abstraction:
 //! buffered reads into owned arrays ([`LoadMode::Read`]), and zero-copy
-//! `mmap` where sections are borrowed straight from the mapping
+//! `mmap` where raw sections are borrowed straight from the mapping
 //! ([`LoadMode::Mmap`]) so the OS pages data in lazily and cold start
-//! is bounded by metadata parsing, not index size.
+//! is bounded by metadata parsing plus encoded-section decode, not
+//! index size. [`LoadMode::Auto`] picks between them per file and host:
+//! a cached-or-probed [`StorageProfile`] feeds the pure [`plan_load`]
+//! planner, which weighs one buffered forward pass against demand
+//! paging (optionally warmed by `madvise` readahead — see [`mod@plan`]).
 //!
 //! **Determinism contract:** queries against a loaded snapshot are
 //! byte-identical to queries against the index that wrote it — both
@@ -50,16 +60,23 @@
 //! ```
 
 pub mod codec;
+pub mod encode;
 pub mod format;
 mod load;
 pub mod mmap;
 mod params;
+pub mod plan;
+pub mod profile;
 mod save;
 pub mod source;
 
 pub use codec::{SnapshotDistance, SnapshotFamily};
-pub use load::{load_snapshot, read_manifest, LoadedSnapshot};
-pub use save::{save_snapshot, SaveStats};
+pub use load::{
+    load_snapshot, read_layout, read_manifest, LoadedSnapshot, SectionInfo, SnapshotLayout,
+};
+pub use plan::{plan_load, LayoutStats, LoadPlan, PlannedBackend};
+pub use profile::StorageProfile;
+pub use save::{save_snapshot, save_snapshot_v1, SaveStats};
 
 /// Sanity caps on decoded parameters, so a corrupt or adversarial file
 /// cannot drive huge allocations before section CRCs are checked.
@@ -77,17 +94,41 @@ pub(crate) const MAX_LEVELS: usize = 64;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum LoadMode {
     /// Buffered reads into owned arrays; every section's CRC is
-    /// verified. Works on any host, fastest steady-state queries on
-    /// machines where touching a mapping is expensive.
+    /// verified and the file is consumed in one forward pass (sections
+    /// staged in offset order). Works on any host, fastest steady-state
+    /// queries on machines where touching a mapping is expensive.
     Read,
-    /// Zero-copy `mmap`: sections borrow the mapping and the OS pages
-    /// them in on first touch. Per-section CRCs are **skipped** so the
-    /// lazy cold start is preserved; header, params and directory are
-    /// still fully verified.
+    /// Zero-copy `mmap`: raw sections borrow the mapping and the OS
+    /// pages them in on first touch. Raw-section CRCs are **skipped**
+    /// so the lazy cold start is preserved; header, params, directory
+    /// and encoded sections are still fully verified.
     Mmap,
     /// `mmap` with per-section CRC verification — pays a full read of
     /// the file at load, keeps the shared-memory residency benefits.
     MmapVerify,
+    /// Let the load planner choose: a cheap preamble pass collects the
+    /// file's layout statistics, the storage medium's profile is read
+    /// from its sidecar (or probed and cached), and
+    /// [`plan_load`] picks buffered reads, a lazy mapping, or a mapping
+    /// warmed with `madvise` readahead. The resolved plan is reported
+    /// in [`LoadedSnapshot::plan`].
+    Auto,
+}
+
+impl std::str::FromStr for LoadMode {
+    type Err = &'static str;
+
+    /// Parses the CLI spelling: `read`, `mmap`, `mmap-verify` or
+    /// `auto`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "read" => Ok(LoadMode::Read),
+            "mmap" => Ok(LoadMode::Mmap),
+            "mmap-verify" => Ok(LoadMode::MmapVerify),
+            "auto" => Ok(LoadMode::Auto),
+            _ => Err("expected one of: read, mmap, mmap-verify, auto"),
+        }
+    }
 }
 
 /// Scalar parameters a snapshot declares, readable without the index's

@@ -1,0 +1,189 @@
+//! The storage-aware load planner behind [`LoadMode::Auto`]: given a
+//! [`StorageProfile`] and the snapshot's section statistics, pick the
+//! cheapest way to cold-start.
+//!
+//! The planner reasons with a two-term cost model:
+//!
+//! * **Buffered read** — one forward pass over the whole file:
+//!   `total_bytes / seq_bandwidth`. Predictable, works everywhere,
+//!   but every byte lands on the heap.
+//! * **Lazy mmap** — encoded sections are still read and decoded up
+//!   front (`encoded_bytes / seq_bandwidth`), but raw sections fault in
+//!   page by page on first touch. With the kernel's readahead
+//!   amortising roughly [`READAHEAD_PAGES`] pages per fault, that
+//!   costs about `(raw_bytes / (page_size * READAHEAD_PAGES)) *
+//!   rand_read_secs` of latency on top of the transfer time.
+//! * **Mmap with prefetch** — `madvise(SEQUENTIAL + WILLNEED)` turns
+//!   the faults into sequential readahead: roughly the buffered-read
+//!   transfer cost, while keeping the page-cache residency and
+//!   copy-on-write sharing of a mapping.
+//!
+//! The decision degrades gracefully: no mmap support means buffered
+//! reads; no profile means a lazy mapping (v1 behaviour); a
+//! high-latency medium (think network mounts) means buffered reads,
+//! because per-fault latency dominates and `madvise` is advisory at
+//! best there. [`plan_load`] is a pure function of its inputs, so every
+//! branch is unit-tested without touching a disk.
+//!
+//! [`LoadMode::Auto`]: super::LoadMode::Auto
+
+use super::profile::StorageProfile;
+
+/// Pages one page fault effectively pulls in once the kernel's
+/// readahead has ramped up on a forward scan.
+pub const READAHEAD_PAGES: u64 = 16;
+
+/// Random-read latency above which demand paging is written off
+/// entirely and the planner prefers one buffered forward pass.
+pub const HIGH_LATENCY_SECS: f64 = 500e-6;
+
+/// Prefetch budget: if the whole file streams in under this, prefetch
+/// unconditionally — the cold start is transfer-bound either way and
+/// the mapping keeps its residency benefits.
+pub const PREFETCH_BUDGET_SECS: f64 = 0.25;
+
+/// Aggregate section statistics of one snapshot file, as the planner
+/// consumes them (derived from the directory without reading sections).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LayoutStats {
+    /// Exact file length in bytes.
+    pub total_bytes: u64,
+    /// On-disk bytes of raw (mmap-able) section payload.
+    pub raw_section_bytes: u64,
+    /// On-disk bytes of varint/delta-encoded section payload, which is
+    /// fully read and decoded in every mode.
+    pub encoded_section_bytes: u64,
+}
+
+/// Which byte supplier the planner chose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlannedBackend {
+    /// Buffered reads in one forward pass over the file.
+    Read,
+    /// Zero-copy mapping.
+    Mmap,
+}
+
+/// A resolved plan for [`LoadMode::Auto`](super::LoadMode::Auto).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LoadPlan {
+    /// The chosen byte supplier.
+    pub backend: PlannedBackend,
+    /// Whether to issue `madvise(SEQUENTIAL + WILLNEED)` over the
+    /// mapping before section assembly (mmap backend only).
+    pub prefetch: bool,
+    /// One-line human-readable justification, for logs.
+    pub reason: &'static str,
+}
+
+/// Chooses a load plan from the storage profile and the snapshot's
+/// layout statistics. Pure: no I/O, fully unit-tested.
+pub fn plan_load(
+    profile: Option<&StorageProfile>,
+    mmap_available: bool,
+    stats: &LayoutStats,
+) -> LoadPlan {
+    if !mmap_available {
+        return LoadPlan {
+            backend: PlannedBackend::Read,
+            prefetch: false,
+            reason: "zero-copy mapping unavailable on this host",
+        };
+    }
+    let Some(p) = profile else {
+        return LoadPlan {
+            backend: PlannedBackend::Mmap,
+            prefetch: false,
+            reason: "no storage profile; defaulting to lazy mmap",
+        };
+    };
+    if p.rand_read_secs > HIGH_LATENCY_SECS {
+        return LoadPlan {
+            backend: PlannedBackend::Read,
+            prefetch: false,
+            reason: "high random-read latency; one buffered forward pass beats demand paging",
+        };
+    }
+    let bw = p.seq_bytes_per_sec.max(1.0);
+    let stream_secs = stats.total_bytes as f64 / bw;
+    // Lazy mapping defers the raw-byte transfer to query time; what it
+    // cannot defer is the per-fault latency sprinkled over the first
+    // queries. (The transfer itself is paid either way once the data is
+    // touched, so it cancels out of the comparison.)
+    let faults = stats.raw_section_bytes / (p.page_size.max(4096) * READAHEAD_PAGES);
+    let lazy_fault_secs = faults as f64 * p.rand_read_secs;
+    if stream_secs <= PREFETCH_BUDGET_SECS {
+        LoadPlan {
+            backend: PlannedBackend::Mmap,
+            prefetch: true,
+            reason: "mapped with prefetch: whole file streams within budget",
+        }
+    } else if lazy_fault_secs > stream_secs {
+        LoadPlan {
+            backend: PlannedBackend::Mmap,
+            prefetch: true,
+            reason: "mapped with prefetch: sequential readahead beats demand paging",
+        }
+    } else {
+        LoadPlan {
+            backend: PlannedBackend::Mmap,
+            prefetch: false,
+            reason: "mapped lazily: file too large to prefetch within budget",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(total: u64, raw: u64) -> LayoutStats {
+        LayoutStats {
+            total_bytes: total,
+            raw_section_bytes: raw,
+            encoded_section_bytes: total.saturating_sub(raw),
+        }
+    }
+
+    #[test]
+    fn no_mmap_means_read() {
+        let p = StorageProfile { seq_bytes_per_sec: 1e9, rand_read_secs: 1e-5, page_size: 4096 };
+        let plan = plan_load(Some(&p), false, &stats(1 << 25, 1 << 24));
+        assert_eq!(plan.backend, PlannedBackend::Read);
+    }
+
+    #[test]
+    fn no_profile_means_lazy_mmap() {
+        let plan = plan_load(None, true, &stats(1 << 25, 1 << 24));
+        assert_eq!(plan.backend, PlannedBackend::Mmap);
+        assert!(!plan.prefetch);
+    }
+
+    #[test]
+    fn high_latency_medium_means_read() {
+        // A network-mount-ish profile: 2 ms per random read.
+        let p = StorageProfile { seq_bytes_per_sec: 100e6, rand_read_secs: 2e-3, page_size: 4096 };
+        let plan = plan_load(Some(&p), true, &stats(1 << 25, 1 << 24));
+        assert_eq!(plan.backend, PlannedBackend::Read);
+    }
+
+    #[test]
+    fn fast_local_disk_prefetches_small_files() {
+        // NVMe-ish: 2 GB/s, 20 µs random reads, a 40 MB snapshot.
+        let p = StorageProfile { seq_bytes_per_sec: 2e9, rand_read_secs: 20e-6, page_size: 4096 };
+        let plan = plan_load(Some(&p), true, &stats(40 << 20, 30 << 20));
+        assert_eq!(plan.backend, PlannedBackend::Mmap);
+        assert!(plan.prefetch);
+    }
+
+    #[test]
+    fn huge_file_on_modest_disk_stays_lazy() {
+        // 100 MB/s disk, 10 GB file: streaming takes 100 s, faulting in
+        // lazily is far cheaper when only parts get touched.
+        let p =
+            StorageProfile { seq_bytes_per_sec: 100e6, rand_read_secs: 100e-6, page_size: 4096 };
+        let plan = plan_load(Some(&p), true, &stats(10 << 30, 10 << 30));
+        assert_eq!(plan.backend, PlannedBackend::Mmap);
+        assert!(!plan.prefetch);
+    }
+}

@@ -6,7 +6,7 @@
 //!     [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] \
 //!     [--shards N] [--levels N] [--no-topk] [--radius F] \
 //!     [--batch-window-us N] [--threads N] [--max-frame-mb N] \
-//!     [--snapshot-save PATH] [--snapshot-load PATH [--mmap]]
+//!     [--snapshot-save PATH] [--snapshot-load PATH [--load-mode MODE]]
 //! ```
 //!
 //! Builds a frozen `ShardedIndex` (rNNR) and, unless `--no-topk`, a
@@ -18,11 +18,16 @@
 //!
 //! `--snapshot-save PATH` writes the built indexes to a snapshot
 //! before serving. `--snapshot-load PATH` skips the build entirely and
-//! cold-starts from the file — milliseconds instead of a full rebuild;
-//! add `--mmap` for the zero-copy path. The manifest is checked
-//! against the CLI parameters *before* any section is read, so a
-//! stale or mismatched file fails fast with a parameter-by-parameter
-//! message instead of silently serving the wrong index.
+//! cold-starts from the file — milliseconds instead of a full rebuild.
+//! `--load-mode read|mmap|mmap-verify|auto` picks how sections are
+//! materialised (default `read`); `auto` lets the storage-aware load
+//! planner choose from the file's layout and the medium's cached or
+//! probed profile, and the resolved plan is logged. The older `--mmap`
+//! flag is kept as a deprecated alias for `--load-mode mmap`. The
+//! manifest is checked against the CLI parameters *before* any section
+//! is read, so a stale or mismatched file fails fast with a
+//! parameter-by-parameter message instead of silently serving the
+//! wrong index.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -43,6 +48,7 @@ struct Args {
     max_frame_mb: usize,
     snapshot_save: Option<String>,
     snapshot_load: Option<String>,
+    load_mode: Option<LoadMode>,
     mmap: bool,
 }
 
@@ -57,6 +63,7 @@ fn parse_args() -> Args {
         max_frame_mb: 32,
         snapshot_save: None,
         snapshot_load: None,
+        load_mode: None,
         mmap: false,
     };
     let mut it = std::env::args().skip(1);
@@ -85,10 +92,15 @@ fn parse_args() -> Args {
             "--max-frame-mb" => out.max_frame_mb = grab("--max-frame-mb").max(1),
             "--snapshot-save" => out.snapshot_save = Some(grab_str("--snapshot-save")),
             "--snapshot-load" => out.snapshot_load = Some(grab_str("--snapshot-load")),
+            "--load-mode" => {
+                let value = grab_str("--load-mode");
+                out.load_mode =
+                    Some(value.parse().unwrap_or_else(|e| panic!("--load-mode {value:?}: {e}")))
+            }
             "--mmap" => out.mmap = true,
             other => {
                 eprintln!(
-                    "unknown flag {other:?}\nusage: serve [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N] [--snapshot-save PATH] [--snapshot-load PATH [--mmap]]"
+                    "unknown flag {other:?}\nusage: serve [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N] [--snapshot-save PATH] [--snapshot-load PATH [--load-mode read|mmap|mmap-verify|auto]]"
                 );
                 std::process::exit(2);
             }
@@ -98,8 +110,12 @@ fn parse_args() -> Args {
         eprintln!("--snapshot-save and --snapshot-load are mutually exclusive");
         std::process::exit(2);
     }
-    if out.mmap && out.snapshot_load.is_none() {
-        eprintln!("--mmap only makes sense with --snapshot-load");
+    if (out.mmap || out.load_mode.is_some()) && out.snapshot_load.is_none() {
+        eprintln!("--mmap/--load-mode only make sense with --snapshot-load");
+        std::process::exit(2);
+    }
+    if out.mmap && out.load_mode.is_some() {
+        eprintln!("--mmap is a deprecated alias for --load-mode mmap; pass only one of them");
         std::process::exit(2);
     }
     out
@@ -116,7 +132,12 @@ fn main() {
         if let Err(mismatches) = preset.check_manifest(&manifest, args.topk) {
             fatal(&format!("snapshot {path} disagrees with CLI parameters: {mismatches}"));
         }
-        let mode = if args.mmap { LoadMode::Mmap } else { LoadMode::Read };
+        let mode = args.load_mode.unwrap_or(if args.mmap {
+            eprintln!("note: --mmap is deprecated; use --load-mode mmap");
+            LoadMode::Mmap
+        } else {
+            LoadMode::Read
+        });
         let t0 = Instant::now();
         let loaded = load_snapshot::<PStableL2, L2>(path.as_ref(), mode)
             .unwrap_or_else(|e| fatal(&format!("cannot load snapshot {path}: {e}")));
@@ -126,6 +147,12 @@ fn main() {
             loaded.manifest.n,
             loaded.manifest.shards,
         );
+        if let Some(plan) = &loaded.plan {
+            eprintln!(
+                "load plan: {:?} backend, prefetch={} — {}",
+                plan.backend, plan.prefetch, plan.reason
+            );
+        }
         // A carried ladder is dropped under --no-topk.
         (loaded.rnnr, loaded.topk.filter(|_| args.topk))
     } else {

@@ -62,20 +62,22 @@ pub use hlsh_server as server;
 pub use hlsh_vec as vec;
 
 pub use hlsh_core::{
-    load_snapshot, read_manifest, save_snapshot, BucketStore, BuildMode, CostModel, FrozenStore,
-    HybridLshIndex, IndexBuilder, LoadMode, LoadedSnapshot, MapStore, Neighbor, QueryEngine,
-    QueryOutput, RadiusSchedule, ShardAssignment, ShardedIndex, ShardedTopKIndex, SnapshotError,
-    SnapshotManifest, Strategy, TopKEngine, TopKIndex, TopKOutput, VerifyMode,
+    load_snapshot, read_layout, read_manifest, save_snapshot, BucketStore, BuildMode, CostModel,
+    FrozenStore, HybridLshIndex, IndexBuilder, LoadMode, LoadPlan, LoadedSnapshot, MapStore,
+    Neighbor, QueryEngine, QueryOutput, RadiusSchedule, ShardAssignment, ShardedIndex,
+    ShardedTopKIndex, SnapshotError, SnapshotLayout, SnapshotManifest, StorageProfile, Strategy,
+    TopKEngine, TopKIndex, TopKOutput, VerifyMode,
 };
 
 /// One-line import for applications.
 pub mod prelude {
     pub use hlsh_core::{
-        load_snapshot, read_manifest, save_snapshot, BucketStore, BuildMode, CostModel,
-        FrozenStore, HybridLshIndex, IndexBuilder, LoadMode, LoadedSnapshot, MapStore, Neighbor,
-        QueryEngine, QueryOutput, QueryReport, RadiusSchedule, ShardAssignment, ShardedIndex,
-        ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex, SnapshotError, SnapshotManifest,
-        Strategy, TopKEngine, TopKIndex, TopKOutput, TopKReport, VerifyMode,
+        load_snapshot, read_layout, read_manifest, save_snapshot, BucketStore, BuildMode,
+        CostModel, FrozenStore, HybridLshIndex, IndexBuilder, LoadMode, LoadedSnapshot, MapStore,
+        Neighbor, QueryEngine, QueryOutput, QueryReport, RadiusSchedule, ShardAssignment,
+        ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex, SnapshotError,
+        SnapshotManifest, StorageProfile, Strategy, TopKEngine, TopKIndex, TopKOutput, TopKReport,
+        VerifyMode,
     };
     pub use hlsh_families::{
         k_paper, k_safe, BitSampling, LshFamily, MinHash, PStableL1, PStableL2, PaperParams,

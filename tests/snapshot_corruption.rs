@@ -1,20 +1,30 @@
 //! Loader robustness: every way a snapshot file can be damaged —
 //! wrong magic, unknown version, foreign endianness, flipped bytes in
-//! any CRC-protected region, truncation at **every** possible length —
-//! must surface as a typed [`SnapshotError`], never a panic and never
-//! a silently wrong index.
+//! any CRC-protected region, truncation at **every** possible length,
+//! and v2-specific tampering (bit flips in compressed payloads,
+//! mid-varint truncation, encoding tags pointed at the wrong section,
+//! over-declared decoded lengths) — must surface as a typed
+//! [`SnapshotError`], never a panic, an over-allocation, or a silently
+//! wrong index.
 
 use std::path::PathBuf;
 
 use hybrid_lsh::datagen::benchmark_mixture;
-use hybrid_lsh::index::snapshot::format::{DirEntry, Header, DIR_ENTRY_LEN, HEADER_LEN};
+use hybrid_lsh::index::snapshot::format::{
+    crc32, DirEntry, Header, SectionEncoding, DIR_ENTRY_LEN, HEADER_LEN,
+};
 use hybrid_lsh::prelude::*;
-use hybrid_lsh::{LoadMode, SnapshotError};
+use hybrid_lsh::{LoadMode, SnapshotError, StorageProfile};
 
 fn temp_path(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("hlsh-snapshot-tests");
     std::fs::create_dir_all(&dir).expect("temp dir");
     dir.join(format!("corrupt-{}-{}.hlsh", tag, std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(StorageProfile::cache_path(path)).ok();
 }
 
 fn builder(dim: usize, tables: usize, seed: u64) -> IndexBuilder<PStableL2, L2> {
@@ -56,10 +66,29 @@ fn write_minimal_fixture(tag: &str) -> PathBuf {
 
 fn load_all_modes(bytes: &[u8], path: &PathBuf) -> Vec<Result<(), SnapshotError>> {
     std::fs::write(path, bytes).expect("write corrupted copy");
-    [LoadMode::Read, LoadMode::Mmap, LoadMode::MmapVerify]
+    [LoadMode::Read, LoadMode::Mmap, LoadMode::MmapVerify, LoadMode::Auto]
         .into_iter()
         .map(|mode| load_snapshot::<PStableL2, L2>(path, mode).map(|_| ()))
         .collect()
+}
+
+/// Reads directory entry `i` of a pristine v2 file.
+fn entry_at(bytes: &[u8], header: &Header, i: usize) -> DirEntry {
+    let at = header.dir_off as usize + i * DIR_ENTRY_LEN;
+    DirEntry::decode(&bytes[at..at + DIR_ENTRY_LEN], header.total_len).expect("pristine dir entry")
+}
+
+/// Overwrites directory entry `i` with `entry` and re-signs the
+/// directory and header CRCs, so tampering with entry *fields* reaches
+/// the section decoders instead of tripping the directory checksum.
+fn patch_entry(bytes: &mut [u8], header: &Header, i: usize, entry: &DirEntry) {
+    let at = header.dir_off as usize + i * DIR_ENTRY_LEN;
+    bytes[at..at + DIR_ENTRY_LEN].copy_from_slice(&entry.encode());
+    let dir_len = header.dir_count as usize * DIR_ENTRY_LEN;
+    let dir_crc = crc32(&bytes[header.dir_off as usize..header.dir_off as usize + dir_len]);
+    bytes[56..60].copy_from_slice(&dir_crc.to_le_bytes());
+    let header_crc = crc32(&bytes[..60]);
+    bytes[60..64].copy_from_slice(&header_crc.to_le_bytes());
 }
 
 #[test]
@@ -172,7 +201,7 @@ fn section_payload_corruption_is_caught_by_verifying_modes() {
         let at = dir_off + i * DIR_ENTRY_LEN;
         let entry = DirEntry::decode(&pristine[at..at + DIR_ENTRY_LEN], header.total_len)
             .expect("fixture dir entry");
-        if entry.byte_len == 0 {
+        if entry.enc_len == 0 {
             continue;
         }
         let mut bytes = pristine.clone();
@@ -217,6 +246,143 @@ fn truncation_at_every_length_is_a_typed_error_in_every_mode() {
     }
 
     std::fs::remove_file(&fixture).ok();
+}
+
+#[test]
+fn encoded_payload_corruption_is_caught_in_every_mode_including_plain_mmap() {
+    let fixture = write_fixture("encoded-flip");
+    let pristine = std::fs::read(&fixture).expect("read fixture");
+    let header = Header::decode(&pristine).expect("fixture header");
+    let path = temp_path("encoded-flip-mutant");
+
+    // Encoded sections are decoded (hence checksummed) in every load
+    // mode — unlike raw sections, a flipped bit in a varint stream must
+    // be caught even under plain `Mmap`.
+    let mut tested = 0;
+    for i in 0..header.dir_count as usize {
+        let entry = entry_at(&pristine, &header, i);
+        if entry.encoding == SectionEncoding::Raw || entry.enc_len == 0 {
+            continue;
+        }
+        tested += 1;
+        for flip_at in
+            [entry.offset, entry.offset + entry.enc_len / 2, entry.offset + entry.enc_len - 1]
+        {
+            let mut bytes = pristine.clone();
+            bytes[flip_at as usize] ^= 0x10;
+            for res in load_all_modes(&bytes, &path) {
+                assert!(
+                    matches!(
+                        &res,
+                        Err(SnapshotError::ChecksumMismatch(_)) | Err(SnapshotError::Malformed(_))
+                    ),
+                    "section {i} flip at {flip_at}: {res:?}"
+                );
+            }
+        }
+    }
+    assert!(tested > 0, "fixture must contain encoded sections");
+
+    cleanup(&fixture);
+    cleanup(&path);
+}
+
+#[test]
+fn truncation_mid_varint_is_a_typed_error() {
+    let fixture = write_fixture("mid-varint");
+    let pristine = std::fs::read(&fixture).expect("read fixture");
+    let header = Header::decode(&pristine).expect("fixture header");
+    let path = temp_path("mid-varint-mutant");
+
+    // Shorten an encoded section's declared length by one byte and
+    // re-sign its CRC over the shortened payload, so the varint decoder
+    // (not the checksum) sees a stream that ends mid-element.
+    let mut tested = 0;
+    for i in 0..header.dir_count as usize {
+        let entry = entry_at(&pristine, &header, i);
+        // Need strictly more encoded bytes than elements, or the
+        // shortened entry fails the structural length bound instead.
+        if entry.encoding == SectionEncoding::Raw || entry.enc_len <= entry.elem_count() {
+            continue;
+        }
+        tested += 1;
+        let mut bytes = pristine.clone();
+        let cut = DirEntry {
+            enc_len: entry.enc_len - 1,
+            crc: crc32(
+                &pristine[entry.offset as usize..(entry.offset + entry.enc_len - 1) as usize],
+            ),
+            ..entry
+        };
+        patch_entry(&mut bytes, &header, i, &cut);
+        for res in load_all_modes(&bytes, &path) {
+            assert!(
+                matches!(&res, Err(SnapshotError::Truncated) | Err(SnapshotError::Malformed(_))),
+                "section {i}: {res:?}"
+            );
+        }
+    }
+    assert!(tested > 0, "fixture must contain multi-byte varint sections");
+
+    cleanup(&fixture);
+    cleanup(&path);
+}
+
+#[test]
+fn encoding_tag_and_length_tampering_is_rejected() {
+    let fixture = write_fixture("tamper");
+    let pristine = std::fs::read(&fixture).expect("read fixture");
+    let header = Header::decode(&pristine).expect("fixture header");
+    let path = temp_path("tamper-mutant");
+
+    let raw_f32 = (0..header.dir_count as usize)
+        .map(|i| (i, entry_at(&pristine, &header, i)))
+        .find(|(_, e)| e.encoding == SectionEncoding::Raw && e.elem_size == 4 && e.raw_len > 0)
+        .expect("fixture has a raw f32/u32 section");
+    let encoded = (0..header.dir_count as usize)
+        .map(|i| (i, entry_at(&pristine, &header, i)))
+        .find(|(_, e)| e.encoding != SectionEncoding::Raw && e.elem_count() > 1)
+        .expect("fixture has an encoded section");
+
+    // An encoding tag pointed at a section that was written raw: the
+    // bytes cannot parse as the declared element count of varints.
+    let (i, e) = raw_f32;
+    let mut bytes = pristine.clone();
+    patch_entry(&mut bytes, &header, i, &DirEntry { encoding: SectionEncoding::Varint, ..e });
+    for res in load_all_modes(&bytes, &path) {
+        assert!(
+            matches!(&res, Err(SnapshotError::Malformed(_)) | Err(SnapshotError::Truncated)),
+            "raw section retagged varint: {res:?}"
+        );
+    }
+
+    // Over-declared decoded length: the structural bound (>= 1 encoded
+    // byte per element) rejects the entry before any allocation.
+    let (i, e) = encoded;
+    let mut bytes = pristine.clone();
+    let oversold = DirEntry { raw_len: (e.enc_len + 1) * e.elem_size as u64, ..e };
+    patch_entry(&mut bytes, &header, i, &oversold);
+    for res in load_all_modes(&bytes, &path) {
+        assert!(matches!(&res, Err(SnapshotError::Malformed(_))), "oversold length: {res:?}");
+    }
+
+    // A length off by one element in either direction still decodes
+    // structurally but must fail the exact-consumption check.
+    for delta in [-1i64, 1] {
+        let mut bytes = pristine.clone();
+        let skewed =
+            DirEntry { raw_len: (e.raw_len as i64 + delta * e.elem_size as i64) as u64, ..e };
+        patch_entry(&mut bytes, &header, i, &skewed);
+        for res in load_all_modes(&bytes, &path) {
+            assert!(
+                matches!(&res, Err(SnapshotError::Malformed(_)) | Err(SnapshotError::Truncated)),
+                "length skew {delta}: {res:?}"
+            );
+        }
+    }
+
+    cleanup(&fixture);
+    cleanup(&path);
 }
 
 #[test]

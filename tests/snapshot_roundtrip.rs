@@ -1,7 +1,9 @@
 //! Snapshot determinism contract: queries against a loaded snapshot
 //! are byte-identical to queries against the index that wrote it —
-//! both load paths (`Read` and zero-copy `Mmap`), across shard counts
-//! {1, 2, 4}, for both `query_batch` and `query_topk_batch`.
+//! every load mode (`Read`, zero-copy `Mmap`, `MmapVerify`, and the
+//! planner-driven `Auto`), across shard counts {1, 2, 4}, for both
+//! `query_batch` and `query_topk_batch`. The v2 writer picks per-section
+//! encodings, so this suite also pins both varint codecs' decode paths.
 //!
 //! Nothing may be re-sampled or re-derived at load time, so every
 //! g-function, sketch slab, cost coefficient and owner list must
@@ -31,7 +33,14 @@ fn rnnr_builder(dim: usize, seed: u64) -> IndexBuilder<PStableL2, L2> {
         .cost_model(CostModel::from_ratio(4.0))
 }
 
-const MODES: [LoadMode; 3] = [LoadMode::Read, LoadMode::Mmap, LoadMode::MmapVerify];
+const MODES: [LoadMode; 4] = [LoadMode::Read, LoadMode::Mmap, LoadMode::MmapVerify, LoadMode::Auto];
+
+/// Removes a snapshot and the profile sidecar `LoadMode::Auto` caches
+/// next to it.
+fn cleanup(path: &std::path::Path) {
+    std::fs::remove_file(path).ok();
+    std::fs::remove_file(hybrid_lsh::StorageProfile::cache_path(path)).ok();
+}
 
 fn assert_rnnr_identical(
     expect: &[hybrid_lsh::QueryOutput],
@@ -118,7 +127,7 @@ fn rnnr_and_topk_round_trip_byte_identical_across_shards_and_modes() {
             let got_topk = ladder.query_topk_batch(&queries, k);
             assert_eq!(expect_topk, got_topk, "{ctx}: topk batch");
         }
-        std::fs::remove_file(&path).ok();
+        cleanup(&path);
     }
 }
 
@@ -142,7 +151,7 @@ fn rnnr_only_snapshot_round_trips_without_a_ladder() {
         assert!(loaded.topk.is_none());
         assert_rnnr_identical(&expect, &loaded.rnnr.query_batch(&queries, r), &format!("{mode:?}"));
     }
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
 }
 
 /// A second family/metric pair (SimHash under cosine) exercises the
@@ -172,7 +181,7 @@ fn simhash_cosine_snapshot_round_trips() {
         let loaded = load_snapshot::<SimHash, Cosine>(&path, mode).expect("load");
         assert_rnnr_identical(&expect, &loaded.rnnr.query_batch(&queries, r), &format!("{mode:?}"));
     }
-    std::fs::remove_file(&path).ok();
+    cleanup(&path);
 }
 
 /// An mmap-loaded index must stay valid after the loader and its local
