@@ -102,7 +102,8 @@ pub use report::{QueryOutput, QueryReport};
 pub use schedule::RadiusSchedule;
 pub use search::{Strategy, VerifyMode};
 pub use sharded::{
-    ShardAssignment, ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex,
+    ShardAssignment, ShardSummary, ShardedIndex, ShardedQueryEngine, ShardedTopKEngine,
+    ShardedTopKIndex,
 };
 pub use snapshot::{
     load_snapshot, read_layout, read_manifest, save_snapshot, LoadMode, LoadPlan, LoadedSnapshot,

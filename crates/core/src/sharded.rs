@@ -1114,6 +1114,330 @@ impl ShardedTopKEngine {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Distributed hooks
+// ---------------------------------------------------------------------------
+//
+// A shard node in a distributed deployment holds the full sharded index
+// (loaded from the same snapshot every node ships) but answers only for
+// its assigned shard. The methods below expose exactly the per-shard
+// work the in-process engines do — probe + local sketch merge, arm
+// execution, fallback scan — so a remote coordinator that merges the
+// summaries and replays the global decisions reproduces the in-process
+// answers byte for byte. All of them verify in the default
+// [`VerifyMode::Kernel`], matching the engines the serving layer uses.
+
+/// One query's compact S1/S2 summary from one shard: the summed bucket
+/// sizes (S1) and the shard-local merged HyperLogLog registers (S2).
+///
+/// Register-wise `max` over per-shard registers equals the registers of
+/// one accumulator fed every shard's probed buckets — HLL merge is
+/// associative and commutative — so a coordinator that max-merges these
+/// summaries and estimates once reproduces the in-process
+/// [`ShardedQueryEngine`] statistics bit for bit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Sum of probed bucket sizes on this shard (S1 contribution).
+    pub collisions: u64,
+    /// This shard's merged sketch registers, `m = 2^precision` bytes.
+    pub registers: Vec<u8>,
+}
+
+impl<S, F, D, B> ShardedIndex<S, F, D, B>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    /// The HLL configuration shared by every shard's buckets.
+    pub fn hll_config(&self) -> hlsh_hll::HllConfig {
+        self.shards[0].hll_config()
+    }
+
+    /// The cost model shared by every shard (resolved once on the full
+    /// data at build time).
+    pub fn cost_model(&self) -> crate::cost::CostModel {
+        self.shards[0].cost_model()
+    }
+
+    /// One shard's S1/S2 summary for one query: probe the shard's
+    /// tables, sum the bucket sizes, merge the probed sketches.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_summary(&self, shard: usize, q: &S::Point) -> ShardSummary {
+        let mut acc = None;
+        self.shard_summary_with(shard, q, &mut acc)
+    }
+
+    fn shard_summary_with(
+        &self,
+        shard: usize,
+        q: &S::Point,
+        acc_slot: &mut Option<MergeAccumulator>,
+    ) -> ShardSummary {
+        let sh = &self.shards[shard];
+        let (buckets, collisions, _) = sh.probe(q);
+        let acc = ensure_accumulator(acc_slot, sh.hll_config());
+        for b in &buckets {
+            b.contribute_to(acc);
+        }
+        ShardSummary { collisions: collisions as u64, registers: acc.registers().to_vec() }
+    }
+
+    /// One shard's chosen-arm execution for one query: the LSH arm
+    /// (probe → dedup global members → batched kernel verification) or
+    /// the linear arm (full shard scan), either way returning the
+    /// shard's **global** ids within `r`, ascending.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_arm(&self, shard: usize, q: &S::Point, r: f64, lsh: bool) -> Vec<PointId> {
+        let mut seen = FxHashSet::default();
+        let mut cands = Vec::new();
+        self.shard_arm_with(shard, q, r, lsh, &mut seen, &mut cands)
+    }
+
+    fn shard_arm_with(
+        &self,
+        shard: usize,
+        q: &S::Point,
+        r: f64,
+        lsh: bool,
+        seen: &mut FxHashSet<PointId>,
+        cands: &mut Vec<PointId>,
+    ) -> Vec<PointId> {
+        let sh = &self.shards[shard];
+        let (data, distance) = (sh.data(), sh.distance());
+        let mut local_out = Vec::new();
+        if lsh {
+            let (buckets, _, _) = sh.probe(q);
+            collect_shard_cands(seen, cands, &buckets, &self.local_of);
+            distance.verify_many(data, cands, q, r, &mut local_out);
+        } else {
+            distance.scan_within(data, q, r, &mut local_out);
+        }
+        let mut out: Vec<PointId> =
+            local_out.iter().map(|&l| self.owners[shard][l as usize]).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl<S, F, D, B> ShardedIndex<S, F, D, B>
+where
+    S: PointSet + Sync,
+    F: LshFamily<S::Point> + Sync,
+    F::GFn: Sync,
+    D: Distance<S::Point> + Sync,
+    B: BucketStore + Sync,
+{
+    /// [`shard_summary`](Self::shard_summary) over a batch, fanned
+    /// across scoped threads; outputs in input order.
+    pub fn shard_summaries<Q>(
+        &self,
+        shard: usize,
+        queries: &[Q],
+        threads: Option<usize>,
+    ) -> Vec<ShardSummary>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        par_map_with(
+            queries.len(),
+            threads,
+            || None,
+            |acc, qi| self.shard_summary_with(shard, queries[qi].as_ref(), acc),
+        )
+    }
+
+    /// [`shard_arm`](Self::shard_arm) over a batch, fanned across
+    /// scoped threads; outputs in input order.
+    pub fn shard_arm_batch<Q>(
+        &self,
+        shard: usize,
+        queries: &[Q],
+        r: f64,
+        lsh: bool,
+        threads: Option<usize>,
+    ) -> Vec<Vec<PointId>>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        par_map_with(
+            queries.len(),
+            threads,
+            || (FxHashSet::default(), Vec::new()),
+            |(seen, cands), qi| {
+                self.shard_arm_with(shard, queries[qi].as_ref(), r, lsh, seen, cands)
+            },
+        )
+    }
+}
+
+impl<S, F, D, B> ShardedTopKIndex<S, F, D, B>
+where
+    S: PointSet,
+    F: LshFamily<S::Point>,
+    D: Distance<S::Point>,
+    B: BucketStore,
+{
+    /// Level `li`'s HLL configuration (shared by every shard).
+    ///
+    /// # Panics
+    /// Panics if `li` is out of range.
+    pub fn level_hll_config(&self, li: usize) -> hlsh_hll::HllConfig {
+        self.shards[0].levels()[li].hll_config()
+    }
+
+    /// Level `li`'s cost model (resolved once on the full data).
+    ///
+    /// # Panics
+    /// Panics if `li` is out of range.
+    pub fn level_cost_model(&self, li: usize) -> crate::cost::CostModel {
+        self.shards[0].levels()[li].cost_model()
+    }
+
+    fn shard_level_summary_with(
+        &self,
+        shard: usize,
+        li: usize,
+        q: &S::Point,
+        acc_slot: &mut Option<MergeAccumulator>,
+    ) -> ShardSummary {
+        let level = &self.shards[shard].levels()[li];
+        let (buckets, collisions, _) = level.probe(q);
+        let acc = ensure_accumulator(acc_slot, level.hll_config());
+        for b in &buckets {
+            b.contribute_to(acc);
+        }
+        ShardSummary { collisions: collisions as u64, registers: acc.registers().to_vec() }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn shard_level_arm_with(
+        &self,
+        shard: usize,
+        li: usize,
+        q: &S::Point,
+        r: f64,
+        lsh: bool,
+        seen: &mut FxHashSet<PointId>,
+        cands: &mut Vec<PointId>,
+    ) -> Vec<(PointId, f64)> {
+        let sh = &self.shards[shard];
+        let (data, distance) = (sh.data(), sh.distance());
+        let mut local_out = Vec::new();
+        if lsh {
+            let (buckets, _, _) = sh.levels()[li].probe(q);
+            collect_shard_cands(seen, cands, &buckets, &self.local_of);
+            distance.verify_many_dist(data, cands, q, r, &mut local_out);
+        } else {
+            distance.scan_within_dist(data, q, r, &mut local_out);
+        }
+        local_out.iter().map(|&(l, d)| (self.owners[shard][l as usize], d)).collect()
+    }
+}
+
+impl<S, F, D, B> ShardedTopKIndex<S, F, D, B>
+where
+    S: PointSet + Send + Sync,
+    F: LshFamily<S::Point> + Sync,
+    F::GFn: Sync,
+    D: Distance<S::Point> + Sync,
+    B: BucketStore + Sync,
+{
+    /// One shard's S1/S2 summaries against schedule level `li` for a
+    /// batch of queries; outputs in input order.
+    ///
+    /// # Panics
+    /// Panics if `shard` or `li` is out of range.
+    pub fn shard_level_summaries<Q>(
+        &self,
+        shard: usize,
+        li: usize,
+        queries: &[Q],
+        threads: Option<usize>,
+    ) -> Vec<ShardSummary>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        par_map_with(
+            queries.len(),
+            threads,
+            || None,
+            |acc, qi| self.shard_level_summary_with(shard, li, queries[qi].as_ref(), acc),
+        )
+    }
+
+    /// One shard's chosen-arm execution against level `li`: per query,
+    /// the shard's `(global id, distance)` pairs within `r` — in the
+    /// shard-local candidate order the in-process walk offers them
+    /// (first-collision order for the LSH arm, ascending row order for
+    /// the linear arm).
+    ///
+    /// # Panics
+    /// Panics if `shard` or `li` is out of range.
+    pub fn shard_level_arm_batch<Q>(
+        &self,
+        shard: usize,
+        li: usize,
+        queries: &[Q],
+        r: f64,
+        lsh: bool,
+        threads: Option<usize>,
+    ) -> Vec<Vec<(PointId, f64)>>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        par_map_with(
+            queries.len(),
+            threads,
+            || (FxHashSet::default(), Vec::new()),
+            |(seen, cands), qi| {
+                self.shard_level_arm_with(shard, li, queries[qi].as_ref(), r, lsh, seen, cands)
+            },
+        )
+    }
+
+    /// One shard's exact-fallback scan: per query, **every** row the
+    /// shard owns as `(global id, distance)`, ascending by local row,
+    /// NaN-distance gaps completed — the per-shard slice of the walk's
+    /// exact fallback. The coordinator filters already-reported ids,
+    /// exactly as [`ShardedTopKEngine`] does in-process.
+    ///
+    /// # Panics
+    /// Panics if `shard` is out of range.
+    pub fn shard_fallback_scan_batch<Q>(
+        &self,
+        shard: usize,
+        queries: &[Q],
+        threads: Option<usize>,
+    ) -> Vec<Vec<(PointId, f64)>>
+    where
+        Q: AsRef<S::Point> + Sync,
+    {
+        let sh = &self.shards[shard];
+        par_map_with(
+            queries.len(),
+            threads,
+            || (),
+            |_, qi| {
+                crate::topk::fallback_scan_pairs(
+                    sh.data(),
+                    sh.distance(),
+                    queries[qi].as_ref(),
+                    VerifyMode::Kernel,
+                )
+                .into_iter()
+                .map(|(l, d)| (self.owners[shard][l as usize], d))
+                .collect()
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1225,6 +1549,42 @@ mod tests {
         }
         let thawed = frozen.thaw();
         assert_eq!(thawed.query(&queries[0], 1.5).ids, sequential[0]);
+    }
+
+    /// Replays the distributed coordinator's merge protocol in-process:
+    /// max-merged shard summaries must reproduce the engine's global
+    /// statistics, decision and result set exactly.
+    #[test]
+    fn shard_summaries_and_arms_replay_the_global_decision() {
+        let data = grid_data(300);
+        let sharded = ShardedIndex::build(data.clone(), ShardAssignment::new(5, 3), builder());
+        let config = sharded.hll_config();
+        let cost = sharded.cost_model();
+        for (qi, r) in [(0usize, 1.0), (140, 2.5), (299, 0.2)] {
+            let q = data.row(qi).to_vec();
+            let expect = sharded.query(&q[..], r);
+
+            // Coordinator-side merge: sum collisions, max registers.
+            let mut collisions = 0usize;
+            let mut regs = vec![0u8; config.registers()];
+            for si in 0..3 {
+                let s = sharded.shard_summary(si, &q[..]);
+                collisions += s.collisions as usize;
+                for (m, &v) in regs.iter_mut().zip(&s.registers) {
+                    *m = (*m).max(v);
+                }
+            }
+            assert_eq!(collisions, expect.report.collisions, "q={qi}");
+            let est = hlsh_hll::HyperLogLog::from_registers(config, regs).estimate();
+            assert_eq!(est.to_bits(), expect.report.cand_size_estimate.to_bits(), "q={qi}");
+
+            // Global decision + per-shard arms concatenated and sorted.
+            let lsh = cost.prefer_lsh(collisions, est, sharded.len());
+            let mut ids: Vec<PointId> =
+                (0..3).flat_map(|si| sharded.shard_arm(si, &q[..], r, lsh)).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, expect.ids, "q={qi} r={r}");
+        }
     }
 
     #[test]

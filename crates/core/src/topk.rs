@@ -613,6 +613,29 @@ pub(crate) fn fallback_scan_into<S, D>(
     S: PointSet + ?Sized,
     D: Distance<S::Point>,
 {
+    for (local, dist) in fallback_scan_pairs(data, distance, q, verify) {
+        let id = to_global(local);
+        if !reported.contains(&id) {
+            heap.push(Neighbor { id, dist });
+        }
+    }
+}
+
+/// The pair enumeration under [`fallback_scan_into`], split out so a
+/// shard node can ship the full `(local row, distance)` list over the
+/// wire and let a remote coordinator do the `reported` filtering: every
+/// row of `data` exactly once, ascending, NaN-distance gaps completed
+/// by direct `distance()` calls.
+pub(crate) fn fallback_scan_pairs<S, D>(
+    data: &S,
+    distance: &D,
+    q: &S::Point,
+    verify: VerifyMode,
+) -> Vec<(PointId, f64)>
+where
+    S: PointSet + ?Sized,
+    D: Distance<S::Point>,
+{
     let n = data.len();
     let mut pairs = Vec::with_capacity(n);
     match verify {
@@ -621,27 +644,26 @@ pub(crate) fn fallback_scan_into<S, D>(
             hlsh_vec::metric::scan_scalar_dist(distance, data, q, f64::INFINITY, &mut pairs)
         }
     }
+    if pairs.len() == n {
+        // No NaN gaps: the ∞-radius scan already enumerated 0..n
+        // ascending.
+        return pairs;
+    }
+    let mut full = Vec::with_capacity(n);
     let mut next = 0 as PointId;
-    let mut offer = |local: PointId, dist: f64, heap: &mut BoundedHeap| {
-        let id = to_global(local);
-        if !reported.contains(&id) {
-            heap.push(Neighbor { id, dist });
-        }
-    };
     for (local, dist) in pairs {
         while next < local {
-            let d = distance.distance(data.point(next as usize), q);
-            offer(next, d, heap);
+            full.push((next, distance.distance(data.point(next as usize), q)));
             next += 1;
         }
-        offer(local, dist, heap);
+        full.push((local, dist));
         next = local + 1;
     }
     while (next as usize) < n {
-        let d = distance.distance(data.point(next as usize), q);
-        offer(next, d, heap);
+        full.push((next, distance.distance(data.point(next as usize), q)));
         next += 1;
     }
+    full
 }
 
 #[cfg(test)]

@@ -82,6 +82,13 @@ impl MergeAccumulator {
         self.raw_elements
     }
 
+    /// The union sketch's raw registers (`m = 2^precision` bytes) —
+    /// what a shard node ships over the wire so a coordinator can
+    /// max-merge summaries from every shard.
+    pub fn registers(&self) -> &[u8] {
+        self.sketch.registers()
+    }
+
     /// Consumes the accumulator, returning the union sketch.
     pub fn into_sketch(self) -> HyperLogLog {
         self.sketch

@@ -1,11 +1,15 @@
 //! Build (or cold-start from a snapshot) the standard mixture corpus
-//! index and serve it over TCP.
+//! index and serve it over TCP — standalone, as one shard node of a
+//! distributed deployment, or as the coordinator in front of one.
 //!
 //! ```text
 //! cargo run --release -p hlsh-server --bin serve -- \
+//!     [--role standalone|shard|coordinator] \
 //!     [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] \
-//!     [--shards N] [--levels N] [--no-topk] [--radius F] \
-//!     [--batch-window-us N] [--threads N] [--max-frame-mb N] \
+//!     [--shards N | ADDR,ADDR,...] [--shard-id N] [--levels N] \
+//!     [--no-topk] [--radius F] [--batch-window-us N] [--threads N] \
+//!     [--max-frame-mb N] [--shard-deadline-ms N] \
+//!     [--connect-timeout-secs N] \
 //!     [--snapshot-save PATH] [--snapshot-load PATH [--load-mode MODE]]
 //! ```
 //!
@@ -28,6 +32,17 @@
 //! is read, so a stale or mismatched file fails fast with a
 //! parameter-by-parameter message instead of silently serving the
 //! wrong index.
+//!
+//! # Distributed roles
+//!
+//! `--role shard --shard-id I` serves shard `I`: the node builds or
+//! (the intended path) loads the full snapshot and answers the shard
+//! protocol for its slice, plus plain client queries for debugging.
+//! `--role coordinator --shards HOST:PORT,HOST:PORT,...` dials one
+//! shard node per listed address (list position = shard id), then
+//! serves the ordinary client protocol — responses byte-identical to
+//! a standalone server over the same snapshot. `docs/DISTRIBUTED.md`
+//! walks through the full topology.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,32 +50,55 @@ use std::time::{Duration, Instant};
 use hlsh_core::{load_snapshot, read_manifest, save_snapshot, LoadMode, MixturePreset};
 use hlsh_datagen::benchmark_mixture;
 use hlsh_families::PStableL2;
-use hlsh_server::{ServerConfig, ShardedLshService};
+use hlsh_server::{
+    Coordinator, CoordinatorConfig, QueryService, ServerConfig, ShardNodeService, ShardedLshService,
+};
 use hlsh_vec::L2;
 
+#[derive(Clone, Copy, PartialEq)]
+enum Role {
+    Standalone,
+    Shard,
+    Coordinator,
+}
+
 struct Args {
+    role: Role,
     addr: String,
     port: u16,
     preset: MixturePreset,
+    /// Raw `--shards` value: an integer (standalone/shard roles) or a
+    /// comma-separated shard address list (coordinator role).
+    shards_raw: Option<String>,
+    shard_id: Option<u32>,
     topk: bool,
     batch_window_us: u64,
     threads: Option<usize>,
     max_frame_mb: usize,
+    shard_deadline_ms: u64,
+    connect_timeout_secs: u64,
     snapshot_save: Option<String>,
     snapshot_load: Option<String>,
     load_mode: Option<LoadMode>,
     mmap: bool,
 }
 
+const USAGE: &str = "usage: serve [--role standalone|shard|coordinator] [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N|ADDR,ADDR,...] [--shard-id N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N] [--shard-deadline-ms N] [--connect-timeout-secs N] [--snapshot-save PATH] [--snapshot-load PATH [--load-mode read|mmap|mmap-verify|auto]]";
+
 fn parse_args() -> Args {
     let mut out = Args {
+        role: Role::Standalone,
         addr: "127.0.0.1".into(),
         port: 7411,
         preset: MixturePreset::default(),
+        shards_raw: None,
+        shard_id: None,
         topk: true,
         batch_window_us: 100,
         threads: None,
         max_frame_mb: 32,
+        shard_deadline_ms: 5_000,
+        connect_timeout_secs: 30,
         snapshot_save: None,
         snapshot_load: None,
         load_mode: None,
@@ -74,12 +112,24 @@ fn parse_args() -> Args {
             grab_str(name).parse().unwrap_or_else(|_| panic!("{name} needs a positive integer"))
         };
         match arg.as_str() {
+            "--role" => {
+                out.role = match grab_str("--role").as_str() {
+                    "standalone" => Role::Standalone,
+                    "shard" => Role::Shard,
+                    "coordinator" => Role::Coordinator,
+                    other => {
+                        eprintln!("--role {other:?} is not standalone|shard|coordinator");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--addr" => out.addr = grab_str("--addr"),
             "--port" => out.port = grab("--port") as u16,
             "--n" => out.preset.n = grab("--n"),
             "--dim" => out.preset.dim = grab("--dim").max(1),
             "--seed" => out.preset.seed = grab("--seed") as u64,
-            "--shards" => out.preset.shards = grab("--shards").max(1),
+            "--shards" => out.shards_raw = Some(grab_str("--shards")),
+            "--shard-id" => out.shard_id = Some(grab("--shard-id") as u32),
             "--levels" => out.preset.levels = grab("--levels").max(1),
             "--no-topk" => out.topk = false,
             "--radius" => {
@@ -90,6 +140,10 @@ fn parse_args() -> Args {
             "--batch-window-us" => out.batch_window_us = grab("--batch-window-us") as u64,
             "--threads" => out.threads = Some(grab("--threads").max(1)),
             "--max-frame-mb" => out.max_frame_mb = grab("--max-frame-mb").max(1),
+            "--shard-deadline-ms" => out.shard_deadline_ms = grab("--shard-deadline-ms") as u64,
+            "--connect-timeout-secs" => {
+                out.connect_timeout_secs = grab("--connect-timeout-secs") as u64
+            }
             "--snapshot-save" => out.snapshot_save = Some(grab_str("--snapshot-save")),
             "--snapshot-load" => out.snapshot_load = Some(grab_str("--snapshot-load")),
             "--load-mode" => {
@@ -99,9 +153,7 @@ fn parse_args() -> Args {
             }
             "--mmap" => out.mmap = true,
             other => {
-                eprintln!(
-                    "unknown flag {other:?}\nusage: serve [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N] [--snapshot-save PATH] [--snapshot-load PATH [--load-mode read|mmap|mmap-verify|auto]]"
-                );
+                eprintln!("unknown flag {other:?}\n{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -118,11 +170,59 @@ fn parse_args() -> Args {
         eprintln!("--mmap is a deprecated alias for --load-mode mmap; pass only one of them");
         std::process::exit(2);
     }
+    match out.role {
+        Role::Standalone | Role::Shard => {
+            if let Some(raw) = &out.shards_raw {
+                out.preset.shards = raw
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| {
+                        eprintln!(
+                            "--shards must be an integer shard count for this role \
+                             (address lists are for --role coordinator)"
+                        );
+                        std::process::exit(2);
+                    })
+                    .max(1);
+            }
+            if out.role == Role::Shard && out.shard_id.is_none() {
+                eprintln!("--role shard requires --shard-id");
+                std::process::exit(2);
+            }
+            if out.role == Role::Standalone && out.shard_id.is_some() {
+                eprintln!("--shard-id only makes sense with --role shard");
+                std::process::exit(2);
+            }
+        }
+        Role::Coordinator => {
+            let ok = out
+                .shards_raw
+                .as_deref()
+                .is_some_and(|raw| raw.parse::<usize>().is_err() && !raw.is_empty());
+            if !ok {
+                eprintln!(
+                    "--role coordinator requires --shards as a comma-separated address \
+                     list (e.g. --shards 10.0.0.1:7411,10.0.0.2:7411)"
+                );
+                std::process::exit(2);
+            }
+            if out.shard_id.is_some() || out.snapshot_save.is_some() || out.snapshot_load.is_some()
+            {
+                eprintln!(
+                    "--shard-id/--snapshot-save/--snapshot-load do not apply to the \
+                     coordinator role (shard nodes own the snapshots)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     out
 }
 
 fn main() {
     let args = parse_args();
+    if args.role == Role::Coordinator {
+        run_coordinator(&args);
+    }
     let preset = args.preset;
 
     let (rnnr, topk) = if let Some(path) = &args.snapshot_load {
@@ -181,7 +281,19 @@ fn main() {
     };
 
     let topk_levels = topk.as_ref().map(|t| t.schedule().levels()).unwrap_or(0);
-    let service = Arc::new(ShardedLshService::new(rnnr, topk, preset.dim));
+    let shards = rnnr.assignment().shards();
+    let inner = ShardedLshService::new(rnnr, topk, preset.dim);
+    let (service, role_tag): (Arc<dyn QueryService>, String) = match args.role {
+        Role::Standalone => (Arc::new(inner), String::new()),
+        Role::Shard => {
+            let sid = args.shard_id.expect("parse_args requires --shard-id for shard role");
+            if sid as usize >= shards {
+                fatal(&format!("--shard-id {sid} out of range: the index has {shards} shard(s)"));
+            }
+            (Arc::new(ShardNodeService::new(inner, sid)), format!(", role=shard/{sid}"))
+        }
+        Role::Coordinator => unreachable!("coordinator role handled before the build"),
+    };
     let config = ServerConfig {
         max_frame_bytes: args.max_frame_mb * 1024 * 1024,
         batch_window: Duration::from_micros(args.batch_window_us),
@@ -193,17 +305,74 @@ fn main() {
     // One parseable line for scripts, flushed past any pipe buffering.
     use std::io::Write as _;
     println!(
-        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}us)",
+        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}us{})",
         server.local_addr(),
         preset.n,
         preset.dim,
         preset.shards,
         topk_levels,
         args.batch_window_us,
+        role_tag,
     );
     std::io::stdout().flush().ok();
 
     // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Dials the shard fleet and serves the client protocol in front of it.
+fn run_coordinator(args: &Args) -> ! {
+    let addrs: Vec<String> = args
+        .shards_raw
+        .as_deref()
+        .expect("parse_args requires --shards for the coordinator role")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if addrs.is_empty() {
+        fatal("--shards address list is empty");
+    }
+    let config = CoordinatorConfig {
+        shard_deadline: Duration::from_millis(args.shard_deadline_ms),
+        connect_timeout: Duration::from_secs(args.connect_timeout_secs),
+        max_frame_bytes: args.max_frame_mb * 1024 * 1024,
+    };
+    eprintln!("dialing {} shard node(s): {}…", addrs.len(), addrs.join(", "));
+    let t0 = Instant::now();
+    let coordinator = Coordinator::connect(&addrs, config)
+        .unwrap_or_else(|e| fatal(&format!("cannot assemble the shard fleet: {e}")));
+    let info = coordinator.info();
+    eprintln!(
+        "fleet up in {:.1} ms: n={}, dim={}, topk_levels={}",
+        t0.elapsed().as_secs_f64() * 1e3,
+        info.points,
+        info.dim,
+        info.topk_levels,
+    );
+    let server_config = ServerConfig {
+        max_frame_bytes: args.max_frame_mb * 1024 * 1024,
+        batch_window: Duration::from_micros(args.batch_window_us),
+        batch_threads: args.threads,
+    };
+    let server =
+        hlsh_server::spawn(Arc::new(coordinator), (args.addr.as_str(), args.port), server_config)
+            .unwrap_or_else(|e| panic!("cannot bind {}:{}: {e}", args.addr, args.port));
+
+    use std::io::Write as _;
+    println!(
+        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}us, role=coordinator)",
+        server.local_addr(),
+        info.points,
+        info.dim,
+        info.shards,
+        info.topk_levels,
+        args.batch_window_us,
+    );
+    std::io::stdout().flush().ok();
+
     loop {
         std::thread::park();
     }

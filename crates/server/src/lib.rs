@@ -5,7 +5,8 @@
 //! becomes reachable over a socket here. The crate has four parts:
 //!
 //! * [`protocol`] — the versioned, length-prefixed binary wire format
-//!   (`docs/PROTOCOL.md` specifies it byte by byte);
+//!   (`docs/PROTOCOL.md` specifies it byte by byte), including the
+//!   shard-extension frames a distributed deployment speaks;
 //! * [`server`] — a threaded `std::net` TCP server whose **admission
 //!   batcher** coalesces concurrent in-flight requests into one
 //!   [`query_batch`](hlsh_core::ShardedIndex::query_batch) /
@@ -13,9 +14,12 @@
 //!   call per tick, so the existing scoped-thread sharding does the
 //!   heavy lifting (no async runtime, no external dependencies);
 //! * [`service`] — the [`QueryService`] trait plus
-//!   [`ShardedLshService`], which routes requests over
-//!   [`ShardedIndex`](hlsh_core::ShardedIndex) /
-//!   [`ShardedTopKIndex`](hlsh_core::ShardedTopKIndex);
+//!   [`ShardedLshService`] (standalone serving) and
+//!   [`ShardNodeService`] (one node of a distributed deployment);
+//! * [`coordinator`] — the [`Coordinator`], a `QueryService` that fans
+//!   each batch out to remote shard nodes, merges their S1/S2
+//!   summaries, resolves the hybrid decision globally and scatters the
+//!   chosen arm back out (`docs/DISTRIBUTED.md` is the ops guide);
 //! * [`client`] — a synchronous, connection-reusing [`Client`].
 //!
 //! Two binaries ship with the crate: `serve` (build the standard
@@ -69,14 +73,24 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `sockopt` module is the crate's one
+// documented `unsafe` enclave (raw SO_REUSEADDR bind; see its module
+// docs for the confined obligations). Everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod client;
+pub mod coordinator;
 pub mod protocol;
 pub mod server;
 pub mod service;
+pub mod sockopt;
 
 pub use client::{Client, ClientError};
-pub use protocol::{ErrorCode, QueryBlock, Request, Response, ServerInfo, PROTOCOL_VERSION};
-pub use server::{spawn, QueryService, ServerConfig, ServerHandle};
-pub use service::ShardedLshService;
+pub use coordinator::{Coordinator, CoordinatorConfig};
+pub use protocol::{
+    Arm, ErrorCode, QueryBlock, Request, Response, ServerInfo, ShardInfo, ShardLevelInfo,
+    ShardParams, ShardRequest, ShardResponse, ShardSummaryEntry, ShardTarget, PROTOCOL_VERSION,
+};
+pub use server::{spawn, QueryService, ServerConfig, ServerHandle, ServiceError};
+pub use service::{ShardNodeService, ShardedLshService};

@@ -39,7 +39,11 @@ pub const PROTOCOL_VERSION: u8 = 1;
 pub const DEFAULT_MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
 
 /// Frame kind bytes. Requests have the high bit clear, responses set
-/// (error frames use `0x7F`, distinct from both ranges).
+/// (error frames use `0x7F`, distinct from both ranges). Client kinds
+/// live in `0x01..=0x0F`; the **shard extension** — spoken between a
+/// coordinator and its shard backends, see [`ShardRequest`] /
+/// [`ShardResponse`] — occupies `0x10..=0x1F` and mirrors into
+/// `0x90..=0x9F`.
 pub mod kind {
     /// r-near-neighbor-reporting batch request.
     pub const RNNR: u8 = 0x01;
@@ -55,6 +59,29 @@ pub mod kind {
     pub const INFO_RESP: u8 = 0x83;
     /// Error response.
     pub const ERROR: u8 = 0x7F;
+
+    /// Shard metadata/parameters request (empty body).
+    pub const SHARD_INFO: u8 = 0x10;
+    /// Per-query S1/S2 summary request against one shard.
+    pub const SHARD_SUMMARIZE: u8 = 0x11;
+    /// Chosen-arm execution request against one shard.
+    pub const SHARD_EXECUTE: u8 = 0x12;
+    /// Exact-fallback full-scan request against one shard.
+    pub const SHARD_SCAN: u8 = 0x13;
+    /// Shard metadata response.
+    pub const SHARD_INFO_RESP: u8 = 0x90;
+    /// Per-query summary response.
+    pub const SHARD_SUMMARY_RESP: u8 = 0x91;
+    /// Per-query global-id response (rNNR arm execution).
+    pub const SHARD_IDS_RESP: u8 = 0x92;
+    /// Per-query `(id, distance)` response (top-k arm execution and
+    /// fallback scans).
+    pub const SHARD_PAIRS_RESP: u8 = 0x93;
+
+    /// Whether `k` is a shard-extension request kind (`0x10..=0x1F`).
+    pub fn is_shard_request(k: u8) -> bool {
+        (0x10..=0x1F).contains(&k)
+    }
 }
 
 /// Error codes carried by [`kind::ERROR`] frames.
@@ -78,6 +105,10 @@ pub enum ErrorCode {
     Unsupported = 7,
     /// The server failed internally while executing the request.
     Internal = 8,
+    /// A backend this server depends on is unreachable — a coordinator
+    /// answers with this when a shard node is down or misses its
+    /// deadline. The request may succeed once the backend rejoins.
+    Unavailable = 9,
 }
 
 impl ErrorCode {
@@ -92,6 +123,7 @@ impl ErrorCode {
             6 => Self::DimMismatch,
             7 => Self::Unsupported,
             8 => Self::Internal,
+            9 => Self::Unavailable,
             _ => return None,
         })
     }
@@ -282,6 +314,391 @@ pub enum Response {
 }
 
 // ---------------------------------------------------------------------------
+// Shard extension
+// ---------------------------------------------------------------------------
+
+/// Which index a shard-extension request targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardTarget {
+    /// The rNNR index. Wire: `target = 0`, `level` must be 0.
+    Rnnr,
+    /// Level `level` of the top-k ladder. Wire: `target = 1`.
+    TopKLevel(u32),
+}
+
+impl ShardTarget {
+    fn encode(&self, e: &mut Enc) {
+        match self {
+            ShardTarget::Rnnr => {
+                e.u8(0);
+                e.u32(0);
+            }
+            ShardTarget::TopKLevel(li) => {
+                e.u8(1);
+                e.u32(*li);
+            }
+        }
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let tag = d.u8("shard target")?;
+        let level = d.u32("shard target level")?;
+        match (tag, level) {
+            (0, 0) => Ok(ShardTarget::Rnnr),
+            (0, _) => Err(WireError::Malformed("rnnr target carries nonzero level")),
+            (1, li) => Ok(ShardTarget::TopKLevel(li)),
+            _ => Err(WireError::Malformed("shard target tag")),
+        }
+    }
+}
+
+/// Which Algorithm-2 arm a [`ShardRequest::Execute`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Arm {
+    /// Brute-force scan of the shard's slab. Wire: 0.
+    Linear,
+    /// LSH arm: probe, dedup, batched verification. Wire: 1.
+    Lsh,
+}
+
+/// The per-index parameters a coordinator needs to replay the global
+/// decisions: the HLL sketch configuration (to reconstruct estimates
+/// from merged registers) and the cost model (to resolve Algorithm 2).
+/// All `f64`s travel as exact IEEE-754 bits — the decision replay is
+/// bit-exact or it is wrong.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardParams {
+    /// HLL precision (`m = 2^precision` registers); valid range 4..=16.
+    pub hll_precision: u8,
+    /// HLL element-hash seed.
+    pub hll_seed: u64,
+    /// Cost model `α` (duplicate-removal unit cost).
+    pub alpha: f64,
+    /// Cost model `β_scan` (sequential-scan distance cost).
+    pub beta_scan: f64,
+    /// Cost model `β_cand` (random-access distance cost).
+    pub beta_cand: f64,
+}
+
+impl ShardParams {
+    fn encode(&self, e: &mut Enc) {
+        e.u8(self.hll_precision);
+        e.u64(self.hll_seed);
+        e.f64(self.alpha);
+        e.f64(self.beta_scan);
+        e.f64(self.beta_cand);
+    }
+
+    fn decode(d: &mut Dec<'_>) -> Result<Self, WireError> {
+        let p = Self {
+            hll_precision: d.u8("hll precision")?,
+            hll_seed: d.u64("hll seed")?,
+            alpha: d.f64("cost alpha")?,
+            beta_scan: d.f64("cost beta_scan")?,
+            beta_cand: d.f64("cost beta_cand")?,
+        };
+        if !(4..=16).contains(&p.hll_precision) {
+            return Err(WireError::Malformed("hll precision out of 4..=16"));
+        }
+        for v in [p.alpha, p.beta_scan, p.beta_cand] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(WireError::Malformed("cost coefficient not positive finite"));
+            }
+        }
+        Ok(p)
+    }
+}
+
+/// One top-k schedule level's parameters in a [`ShardInfo`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardLevelInfo {
+    /// The level's verification radius (exact bits of the schedule's
+    /// radius; a coordinator echoes these bits back in
+    /// [`ShardRequest::Execute`]).
+    pub radius: f64,
+    /// The level's sketch + cost parameters.
+    pub params: ShardParams,
+}
+
+/// Everything a coordinator learns from a shard at connect time —
+/// answered to [`ShardRequest::Info`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardInfo {
+    /// Which shard of the assignment this node answers for.
+    pub shard_id: u32,
+    /// Total shard count of the assignment.
+    pub shards: u32,
+    /// Global point count `n` (the linear-cost term of Algorithm 2 —
+    /// global, not this shard's share).
+    pub points: u64,
+    /// Vector dimensionality.
+    pub dim: u32,
+    /// rNNR index parameters.
+    pub rnnr: ShardParams,
+    /// Per-level parameters of the top-k ladder; empty ⇒ no ladder.
+    pub levels: Vec<ShardLevelInfo>,
+}
+
+/// One query's S1/S2 summary from one shard: summed probed-bucket
+/// sizes plus the shard-local merged HyperLogLog registers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSummaryEntry {
+    /// Sum of probed bucket sizes on the shard.
+    pub collisions: u64,
+    /// Merged sketch registers (`m` bytes, `m` from the target's
+    /// [`ShardParams::hll_precision`]).
+    pub registers: Vec<u8>,
+}
+
+/// A decoded shard-extension request (coordinator → shard node).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardRequest {
+    /// [`kind::SHARD_INFO`] — shard parameters. Empty body.
+    Info,
+    /// [`kind::SHARD_SUMMARIZE`] — per query, the shard's S1/S2
+    /// summary against `target`. Body: `target (u8, u32)`, query block.
+    Summarize {
+        /// Index to probe.
+        target: ShardTarget,
+        /// The query vectors.
+        queries: QueryBlock,
+    },
+    /// [`kind::SHARD_EXECUTE`] — per query, run `arm` at radius
+    /// `radius` against `target`. Body: `target (u8, u32), arm u8,
+    /// radius f64`, query block.
+    Execute {
+        /// Index to execute against.
+        target: ShardTarget,
+        /// Which arm the global decision chose.
+        arm: Arm,
+        /// Verification radius (for a ladder level, the exact radius
+        /// bits the shard reported in its [`ShardInfo`]).
+        radius: f64,
+        /// The query vectors.
+        queries: QueryBlock,
+    },
+    /// [`kind::SHARD_SCAN`] — per query, every row the shard owns as
+    /// `(global id, distance)` pairs (the top-k exact fallback's
+    /// per-shard slice). Body: query block.
+    Scan {
+        /// The query vectors.
+        queries: QueryBlock,
+    },
+}
+
+/// A decoded shard-extension response (shard node → coordinator).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardResponse {
+    /// [`kind::SHARD_INFO_RESP`] — body: `shard_id u32, shards u32,
+    /// points u64, dim u32, rnnr ShardParams, levels u32,
+    /// levels × (radius f64, ShardParams)` where `ShardParams` is
+    /// `precision u8, seed u64, alpha f64, beta_scan f64,
+    /// beta_cand f64`.
+    Info(ShardInfo),
+    /// [`kind::SHARD_SUMMARY_RESP`] — body: `count u32, m u32`, then
+    /// per query `collisions u64, m × u8` (every entry shares `m`).
+    Summaries(Vec<ShardSummaryEntry>),
+    /// [`kind::SHARD_IDS_RESP`] — body: `count u32`, then per query
+    /// `len u32, len × u32` (the shard's global ids, ascending).
+    Ids(Vec<Vec<u32>>),
+    /// [`kind::SHARD_PAIRS_RESP`] — body: `count u32`, then per query
+    /// `len u32, len × (u32, f64)`.
+    Pairs(Vec<Vec<(u32, f64)>>),
+}
+
+impl ShardRequest {
+    /// Encodes the request as one complete frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        let kind = match self {
+            ShardRequest::Info => kind::SHARD_INFO,
+            ShardRequest::Summarize { target, queries } => {
+                target.encode(&mut e);
+                encode_block(&mut e, queries);
+                kind::SHARD_SUMMARIZE
+            }
+            ShardRequest::Execute { target, arm, radius, queries } => {
+                target.encode(&mut e);
+                e.u8(match arm {
+                    Arm::Linear => 0,
+                    Arm::Lsh => 1,
+                });
+                e.f64(*radius);
+                encode_block(&mut e, queries);
+                kind::SHARD_EXECUTE
+            }
+            ShardRequest::Scan { queries } => {
+                encode_block(&mut e, queries);
+                kind::SHARD_SCAN
+            }
+        };
+        frame(kind, &e.0)
+    }
+}
+
+impl ShardResponse {
+    /// Encodes the response as one complete frame; deterministic, like
+    /// every encoder here.
+    ///
+    /// # Panics
+    /// Panics if summary entries carry different register lengths (the
+    /// encoding shares one `m`; mixed lengths are a programming error,
+    /// not a wire condition).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc(Vec::new());
+        let kind = match self {
+            ShardResponse::Info(info) => {
+                e.u32(info.shard_id);
+                e.u32(info.shards);
+                e.u64(info.points);
+                e.u32(info.dim);
+                info.rnnr.encode(&mut e);
+                e.u32(info.levels.len() as u32);
+                for level in &info.levels {
+                    e.f64(level.radius);
+                    level.params.encode(&mut e);
+                }
+                kind::SHARD_INFO_RESP
+            }
+            ShardResponse::Summaries(entries) => {
+                let m = entries.first().map_or(0, |s| s.registers.len());
+                e.u32(entries.len() as u32);
+                e.u32(m as u32);
+                for s in entries {
+                    assert_eq!(s.registers.len(), m, "summary entries must share one m");
+                    e.u64(s.collisions);
+                    e.0.extend_from_slice(&s.registers);
+                }
+                kind::SHARD_SUMMARY_RESP
+            }
+            ShardResponse::Ids(per_query) => {
+                e.u32(per_query.len() as u32);
+                for ids in per_query {
+                    e.u32(ids.len() as u32);
+                    for &id in ids {
+                        e.u32(id);
+                    }
+                }
+                kind::SHARD_IDS_RESP
+            }
+            ShardResponse::Pairs(per_query) => {
+                e.u32(per_query.len() as u32);
+                for pairs in per_query {
+                    e.u32(pairs.len() as u32);
+                    for &(id, dist) in pairs {
+                        e.u32(id);
+                        e.f64(dist);
+                    }
+                }
+                kind::SHARD_PAIRS_RESP
+            }
+        };
+        frame(kind, &e.0)
+    }
+}
+
+/// Decodes a shard-extension request body; `kind` is the header's kind
+/// byte.
+pub fn decode_shard_request(kind_byte: u8, body: &[u8]) -> Result<ShardRequest, WireError> {
+    let mut d = Dec { buf: body, at: 0 };
+    let req = match kind_byte {
+        kind::SHARD_INFO => ShardRequest::Info,
+        kind::SHARD_SUMMARIZE => {
+            let target = ShardTarget::decode(&mut d)?;
+            ShardRequest::Summarize { target, queries: decode_block(&mut d)? }
+        }
+        kind::SHARD_EXECUTE => {
+            let target = ShardTarget::decode(&mut d)?;
+            let arm = match d.u8("shard arm")? {
+                0 => Arm::Linear,
+                1 => Arm::Lsh,
+                _ => return Err(WireError::Malformed("shard arm tag")),
+            };
+            let radius = d.f64("shard radius")?;
+            ShardRequest::Execute { target, arm, radius, queries: decode_block(&mut d)? }
+        }
+        kind::SHARD_SCAN => ShardRequest::Scan { queries: decode_block(&mut d)? },
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    d.finish("trailing bytes after shard request body")?;
+    Ok(req)
+}
+
+/// Decodes a shard-extension response body; `kind` is the header's
+/// kind byte.
+pub fn decode_shard_response(kind_byte: u8, body: &[u8]) -> Result<ShardResponse, WireError> {
+    let mut d = Dec { buf: body, at: 0 };
+    let resp = match kind_byte {
+        kind::SHARD_INFO_RESP => {
+            let shard_id = d.u32("shard id")?;
+            let shards = d.u32("shard count")?;
+            if shard_id >= shards {
+                return Err(WireError::Malformed("shard id out of range"));
+            }
+            let points = d.u64("shard points")?;
+            let dim = d.u32("shard dim")?;
+            let rnnr = ShardParams::decode(&mut d)?;
+            let levels_len = d.u32("shard levels")? as usize;
+            let mut levels = Vec::with_capacity(levels_len.min(body.len() / 41 + 1));
+            for _ in 0..levels_len {
+                let radius = d.f64("level radius")?;
+                levels.push(ShardLevelInfo { radius, params: ShardParams::decode(&mut d)? });
+            }
+            ShardResponse::Info(ShardInfo { shard_id, shards, points, dim, rnnr, levels })
+        }
+        kind::SHARD_SUMMARY_RESP => {
+            let count = d.u32("summary count")? as usize;
+            let m = d.u32("summary m")? as usize;
+            if m > 1 << 16 {
+                // precision ≤ 16 ⇒ m ≤ 65536; anything larger is not a
+                // sketch this protocol can have produced.
+                return Err(WireError::Malformed("summary register count too large"));
+            }
+            let mut entries = Vec::with_capacity(count.min(body.len() / (8 + m.max(1)) + 1));
+            for _ in 0..count {
+                let collisions = d.u64("summary collisions")?;
+                let registers = d.take(m, "summary registers")?.to_vec();
+                entries.push(ShardSummaryEntry { collisions, registers });
+            }
+            ShardResponse::Summaries(entries)
+        }
+        kind::SHARD_IDS_RESP => {
+            let count = d.u32("ids count")? as usize;
+            let mut per_query = Vec::with_capacity(count.min(body.len() / 4 + 1));
+            for _ in 0..count {
+                let m = d.u32("ids len")? as usize;
+                let raw =
+                    d.take(m.checked_mul(4).ok_or(WireError::Malformed("ids len"))?, "ids")?;
+                per_query.push(
+                    raw.chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect(),
+                );
+            }
+            ShardResponse::Ids(per_query)
+        }
+        kind::SHARD_PAIRS_RESP => {
+            let count = d.u32("pairs count")? as usize;
+            let mut per_query = Vec::with_capacity(count.min(body.len() / 4 + 1));
+            for _ in 0..count {
+                let m = d.u32("pairs len")? as usize;
+                let mut pairs = Vec::with_capacity(m.min(body.len() / 12 + 1));
+                for _ in 0..m {
+                    let id = d.u32("pair id")?;
+                    let dist = d.f64("pair dist")?;
+                    pairs.push((id, dist));
+                }
+                per_query.push(pairs);
+            }
+            ShardResponse::Pairs(per_query)
+        }
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    d.finish("trailing bytes after shard response body")?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
 
@@ -289,6 +706,9 @@ pub enum Response {
 struct Enc(Vec<u8>);
 
 impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
     fn u16(&mut self, v: u16) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
@@ -419,6 +839,9 @@ impl<'a> Dec<'a> {
         let s = &self.buf[self.at..end];
         self.at = end;
         Ok(s)
+    }
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
     }
     fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
@@ -707,6 +1130,197 @@ mod tests {
             Err(e @ WireError::UnknownKind(0x42)) => assert!(e.recoverable()),
             other => panic!("{other:?}"),
         }
+    }
+
+    fn params() -> ShardParams {
+        ShardParams {
+            hll_precision: 10,
+            hll_seed: 0xDEAD_BEEF,
+            alpha: 1.0,
+            beta_scan: 0.1,
+            beta_cand: 0.2,
+        }
+    }
+
+    #[test]
+    fn shard_request_roundtrip() {
+        let qs = vec![vec![1.0f32, -2.5], vec![0.0, 3.25]];
+        for req in [
+            ShardRequest::Info,
+            ShardRequest::Summarize {
+                target: ShardTarget::Rnnr,
+                queries: QueryBlock::pack(&qs, 2),
+            },
+            ShardRequest::Summarize {
+                target: ShardTarget::TopKLevel(3),
+                queries: QueryBlock::pack(&qs, 2),
+            },
+            ShardRequest::Execute {
+                target: ShardTarget::TopKLevel(0),
+                arm: Arm::Lsh,
+                radius: 2.5,
+                queries: QueryBlock::pack(&qs, 2),
+            },
+            ShardRequest::Execute {
+                target: ShardTarget::Rnnr,
+                arm: Arm::Linear,
+                radius: 0.25,
+                queries: QueryBlock::pack(&qs, 2),
+            },
+            ShardRequest::Scan { queries: QueryBlock::pack(&qs, 2) },
+        ] {
+            let bytes = req.encode();
+            let (kind, body) = strip(&bytes);
+            assert!(kind::is_shard_request(kind));
+            assert_eq!(decode_shard_request(kind, body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn shard_response_roundtrip() {
+        for resp in [
+            ShardResponse::Info(ShardInfo {
+                shard_id: 1,
+                shards: 4,
+                points: 60_000,
+                dim: 24,
+                rnnr: params(),
+                levels: vec![
+                    ShardLevelInfo { radius: 0.5, params: params() },
+                    ShardLevelInfo { radius: 1.0, params: params() },
+                ],
+            }),
+            ShardResponse::Summaries(vec![
+                ShardSummaryEntry { collisions: 42, registers: vec![0, 3, 1, 7] },
+                ShardSummaryEntry { collisions: 0, registers: vec![9, 0, 0, 2] },
+            ]),
+            ShardResponse::Summaries(vec![]),
+            ShardResponse::Ids(vec![vec![3, 1, 4], vec![], vec![9]]),
+            ShardResponse::Pairs(vec![vec![(7, 0.125), (2, f64::INFINITY)], vec![]]),
+        ] {
+            let bytes = resp.encode();
+            let (kind, body) = strip(&bytes);
+            assert!(!kind::is_shard_request(kind));
+            assert_eq!(decode_shard_response(kind, body).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn shard_bodies_reject_garbage() {
+        // Truncations of a summarize request all surface as Malformed.
+        let full = ShardRequest::Summarize {
+            target: ShardTarget::Rnnr,
+            queries: QueryBlock::pack(&[vec![1.0f32, 2.0]], 2),
+        }
+        .encode();
+        let body = &full[12..];
+        for cut in 0..body.len() {
+            match decode_shard_request(kind::SHARD_SUMMARIZE, &body[..cut]) {
+                Err(WireError::Malformed(_)) => {}
+                other => panic!("cut={cut}: {other:?}"),
+            }
+        }
+
+        // An rnnr target must not smuggle a ladder level.
+        let mut tampered = body.to_vec();
+        tampered[1] = 7; // level byte of the (tag, level) pair
+        assert!(matches!(
+            decode_shard_request(kind::SHARD_SUMMARIZE, &tampered),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Bad arm tag.
+        let exec = ShardRequest::Execute {
+            target: ShardTarget::Rnnr,
+            arm: Arm::Lsh,
+            radius: 1.0,
+            queries: QueryBlock::pack(&[vec![1.0f32, 2.0]], 2),
+        }
+        .encode();
+        let mut bad_arm = exec[12..].to_vec();
+        bad_arm[5] = 9; // arm byte follows the 5-byte target
+        assert!(matches!(
+            decode_shard_request(kind::SHARD_EXECUTE, &bad_arm),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Info responses validate the decision-replay parameters so a
+        // coordinator can feed them to CostModel/HllConfig unchecked.
+        let mut info = ShardResponse::Info(ShardInfo {
+            shard_id: 0,
+            shards: 1,
+            points: 10,
+            dim: 2,
+            rnnr: params(),
+            levels: vec![],
+        })
+        .encode()[12..]
+            .to_vec();
+        info[20] = 3; // precision byte: below the 4..=16 floor
+        assert!(matches!(
+            decode_shard_response(kind::SHARD_INFO_RESP, &info),
+            Err(WireError::Malformed(_))
+        ));
+        let mut neg = ShardResponse::Info(ShardInfo {
+            shard_id: 0,
+            shards: 1,
+            points: 10,
+            dim: 2,
+            rnnr: ShardParams { alpha: -1.0, ..params() },
+            levels: vec![],
+        });
+        if let ShardResponse::Info(i) = &mut neg {
+            assert!(i.rnnr.alpha < 0.0);
+        }
+        let neg = neg.encode();
+        assert!(matches!(
+            decode_shard_response(kind::SHARD_INFO_RESP, &neg[12..]),
+            Err(WireError::Malformed(_))
+        ));
+
+        // shard_id must index into shards.
+        let mut oob = ShardResponse::Info(ShardInfo {
+            shard_id: 0,
+            shards: 1,
+            points: 10,
+            dim: 2,
+            rnnr: params(),
+            levels: vec![],
+        })
+        .encode()[12..]
+            .to_vec();
+        oob[0] = 5; // shard_id low byte, shards stays 1
+        assert!(matches!(
+            decode_shard_response(kind::SHARD_INFO_RESP, &oob),
+            Err(WireError::Malformed(_))
+        ));
+
+        // A summary header with an absurd register count is rejected
+        // before any allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&1u32.to_le_bytes());
+        huge.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        assert!(matches!(
+            decode_shard_response(kind::SHARD_SUMMARY_RESP, &huge),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Ids length that overflows usize math must not allocate.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&1u32.to_le_bytes());
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_shard_response(kind::SHARD_IDS_RESP, &evil),
+            Err(WireError::Malformed(_))
+        ));
+
+        // Trailing bytes are rejected, not ignored.
+        let mut padded = ShardRequest::Info.encode()[12..].to_vec();
+        padded.push(0);
+        assert!(matches!(
+            decode_shard_request(kind::SHARD_INFO, &padded),
+            Err(WireError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -42,8 +42,53 @@ use hlsh_vec::PointId;
 
 use crate::protocol::{
     self, decode_request, read_frame, write_frame, ErrorCode, Request, Response, ServerInfo,
-    WireError,
+    ShardRequest, ShardResponse, WireError,
 };
+
+/// A service-level failure: what the server encodes into a
+/// [`kind::ERROR`](protocol::kind::ERROR) frame when a batch cannot be
+/// answered. Distinct from [`WireError`], which covers byte-level
+/// decode problems — a `ServiceError` means the request parsed fine
+/// but could not be executed (no top-k ladder, a shard backend down,
+/// an internal failure).
+#[derive(Clone, Debug)]
+pub struct ServiceError {
+    /// The wire code clients see.
+    pub code: ErrorCode,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// A valid request this deployment cannot serve.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Unsupported, message: message.into() }
+    }
+
+    /// A backend dependency is down or timed out.
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Unavailable, message: message.into() }
+    }
+
+    /// The service failed internally.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Internal, message: message.into() }
+    }
+
+    /// The request's parameters don't fit this index (e.g. a ladder
+    /// level out of range).
+    pub fn malformed(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Malformed, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
 
 /// What a server serves: batch entry points over some index.
 ///
@@ -51,7 +96,9 @@ use crate::protocol::{
 /// [`ShardedIndex::query_batch`](hlsh_core::ShardedIndex::query_batch)
 /// and [`ShardedTopKIndex::query_topk_batch`](hlsh_core::ShardedTopKIndex::query_topk_batch)
 /// — and the byte-identity contract is inherited from them: whatever a
-/// service returns here is exactly what clients decode.
+/// service returns here is exactly what clients decode. Errors become
+/// [`kind::ERROR`](protocol::kind::ERROR) frames carrying the
+/// [`ServiceError`]'s code, one per affected request.
 pub trait QueryService: Send + Sync + 'static {
     /// Index metadata for [`Request::Info`] and dimension validation.
     fn info(&self) -> ServerInfo;
@@ -63,17 +110,35 @@ pub trait QueryService: Send + Sync + 'static {
         queries: &[Vec<f32>],
         radius: f64,
         threads: Option<usize>,
-    ) -> Vec<Vec<PointId>>;
+    ) -> Result<Vec<Vec<PointId>>, ServiceError>;
 
     /// The `min(k, n)` nearest `(id, distance)` pairs per query in
-    /// ascending `(distance, id)` order, or `None` if this deployment
-    /// has no top-k ladder.
+    /// ascending `(distance, id)` order;
+    /// [`ServiceError::unsupported`] if this deployment has no top-k
+    /// ladder.
     fn topk_batch(
         &self,
         queries: &[Vec<f32>],
         k: usize,
         threads: Option<usize>,
-    ) -> Option<Vec<Vec<(PointId, f64)>>>;
+    ) -> Result<Vec<Vec<(PointId, f64)>>, ServiceError>;
+
+    /// Answers one shard-extension request (coordinator → shard
+    /// traffic, kinds `0x10..=0x1F`). The default refuses: only shard
+    /// nodes implement this, and a coordinator that accidentally dials
+    /// a plain standalone server gets a typed error instead of silence.
+    ///
+    /// Shard frames bypass the admission batcher — the caller *is* a
+    /// coordinator that already batched an entire client request, so
+    /// lingering for more concurrency would only add latency.
+    fn shard_batch(
+        &self,
+        request: &ShardRequest,
+        threads: Option<usize>,
+    ) -> Result<ShardResponse, ServiceError> {
+        let _ = (request, threads);
+        Err(ServiceError::unsupported("this server is not a shard node"))
+    }
 }
 
 /// Server tuning knobs.
@@ -195,7 +260,11 @@ pub fn spawn<A: ToSocketAddrs>(
     addr: A,
     config: ServerConfig,
 ) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
+    // SO_REUSEADDR so a restarted node can rebind its advertised port
+    // while the previous process's accepted sockets sit in TIME_WAIT —
+    // without it, a shard crash would take the port hostage for ~60s
+    // and "restart the shard" would not be a recovery story.
+    let listener = crate::sockopt::bind_reuseaddr(addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
         service,
@@ -264,13 +333,27 @@ fn connection_loop(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 return Ok(()); // stream position unknowable
             }
         };
-        let resp = match decode_request(kind, &body) {
-            Ok(req) => handle_request(req, shared),
-            // Request-level decode errors consumed the whole body, so
-            // the connection stays usable.
-            Err(e) => Response::Error { code: e.to_code(), message: e.to_string() },
+        // Shard-extension frames are answered inline on the reader
+        // thread, bypassing the admission batcher: the peer is a
+        // coordinator that already coalesced a whole client batch, so
+        // an admission window would only add a round of latency.
+        let resp = if protocol::kind::is_shard_request(kind) {
+            match protocol::decode_shard_request(kind, &body) {
+                Ok(req) => match shared.service.shard_batch(&req, shared.config.batch_threads) {
+                    Ok(resp) => resp.encode(),
+                    Err(e) => Response::Error { code: e.code, message: e.message }.encode(),
+                },
+                Err(e) => Response::Error { code: e.to_code(), message: e.to_string() }.encode(),
+            }
+        } else {
+            match decode_request(kind, &body) {
+                Ok(req) => handle_request(req, shared).encode(),
+                // Request-level decode errors consumed the whole body,
+                // so the connection stays usable.
+                Err(e) => Response::Error { code: e.to_code(), message: e.to_string() }.encode(),
+            }
         };
-        write_frame(&mut writer, &resp.encode())?;
+        write_frame(&mut writer, &resp)?;
     }
 }
 
@@ -389,24 +472,26 @@ fn run_tick(mut jobs: Vec<Job>, shared: &Shared) {
         let threads = shared.config.batch_threads;
         match key {
             JobKind::Rnnr { radius_bits } => {
-                let all =
-                    shared.service.rnnr_batch(&combined, f64::from_bits(radius_bits), threads);
-                scatter(group, counts, all, Response::Rnnr);
+                match shared.service.rnnr_batch(&combined, f64::from_bits(radius_bits), threads) {
+                    Ok(all) => scatter(group, counts, all, Response::Rnnr),
+                    Err(e) => fail_group(group, &e),
+                }
             }
             JobKind::TopK { k } => {
                 match shared.service.topk_batch(&combined, k as usize, threads) {
-                    Some(all) => scatter(group, counts, all, Response::TopK),
-                    None => {
-                        for job in group {
-                            let _ = job.reply.send(Response::Error {
-                                code: ErrorCode::Unsupported,
-                                message: "this server has no top-k ladder".into(),
-                            });
-                        }
-                    }
+                    Ok(all) => scatter(group, counts, all, Response::TopK),
+                    Err(e) => fail_group(group, &e),
                 }
             }
         }
+    }
+}
+
+/// Answers every job in a failed group with the same typed error frame
+/// (e.g. a coordinator whose shard backend went down mid-batch).
+fn fail_group(group: Vec<Job>, e: &ServiceError) {
+    for job in group {
+        let _ = job.reply.send(Response::Error { code: e.code, message: e.message.clone() });
     }
 }
 

@@ -1,12 +1,25 @@
 //! [`QueryService`] implementations bridging the wire to the
 //! in-process batch engines.
+//!
+//! Two deployments live here:
+//!
+//! * [`ShardedLshService`] — the standalone server: answers client
+//!   frames by running the full sharded engines in-process.
+//! * [`ShardNodeService`] — one node of a distributed deployment: the
+//!   same indexes, but *additionally* answering the shard-extension
+//!   frames (`0x10..=0x1F`) a
+//!   [`Coordinator`](crate::coordinator::Coordinator) uses to fan one
+//!   logical query across machines.
 
 use hlsh_core::{FrozenStore, ShardedIndex, ShardedTopKIndex, Strategy};
 use hlsh_families::LshFamily;
 use hlsh_vec::{Distance, PointId, PointSet};
 
-use crate::protocol::ServerInfo;
-use crate::server::QueryService;
+use crate::protocol::{
+    ErrorCode, QueryBlock, ServerInfo, ShardInfo, ShardLevelInfo, ShardParams, ShardRequest,
+    ShardResponse, ShardSummaryEntry, ShardTarget,
+};
+use crate::server::{QueryService, ServiceError};
 
 /// The standard deployment: a frozen [`ShardedIndex`] for rNNR traffic
 /// plus (optionally) a frozen [`ShardedTopKIndex`] ladder for top-k
@@ -58,6 +71,11 @@ where
     pub fn topk_index(&self) -> Option<&ShardedTopKIndex<S, F, D, FrozenStore>> {
         self.topk.as_ref()
     }
+
+    /// The vector dimensionality requests are validated against.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
 }
 
 impl<S, F, D> QueryService for ShardedLshService<S, F, D>
@@ -81,12 +99,13 @@ where
         queries: &[Vec<f32>],
         radius: f64,
         threads: Option<usize>,
-    ) -> Vec<Vec<PointId>> {
-        self.rnnr
+    ) -> Result<Vec<Vec<PointId>>, ServiceError> {
+        Ok(self
+            .rnnr
             .query_batch_with_strategy(queries, radius, Strategy::Hybrid, threads)
             .into_iter()
             .map(|o| o.ids)
-            .collect()
+            .collect())
     }
 
     fn topk_batch(
@@ -94,13 +113,223 @@ where
         queries: &[Vec<f32>],
         k: usize,
         threads: Option<usize>,
-    ) -> Option<Vec<Vec<(PointId, f64)>>> {
-        let topk = self.topk.as_ref()?;
-        Some(
-            topk.query_topk_batch_with(queries, k, Strategy::Hybrid, threads)
-                .into_iter()
-                .map(|o| o.neighbors.iter().map(|n| (n.id, n.dist)).collect())
-                .collect(),
-        )
+    ) -> Result<Vec<Vec<(PointId, f64)>>, ServiceError> {
+        let topk = self
+            .topk
+            .as_ref()
+            .ok_or_else(|| ServiceError::unsupported("this server has no top-k ladder"))?;
+        Ok(topk
+            .query_topk_batch_with(queries, k, Strategy::Hybrid, threads)
+            .into_iter()
+            .map(|o| o.neighbors.iter().map(|n| (n.id, n.dist)).collect())
+            .collect())
+    }
+}
+
+/// One node of a distributed deployment: shard `shard_id` of the
+/// assignment, answering the shard-extension frames a
+/// [`Coordinator`](crate::coordinator::Coordinator) speaks.
+///
+/// Every node loads the **same** snapshot (the full sharded index —
+/// shard tables are small next to the vector slabs, and mmap loading
+/// pages in only what a node touches), but answers summaries and arm
+/// executions *for its assigned shard only*. Because the build is
+/// deterministic from the shared seed, every node agrees on the
+/// assignment, the hash functions and the global ids — which is what
+/// makes the coordinator's merged answers byte-identical to a
+/// single-process run.
+///
+/// Plain client frames still work (delegated to the wrapped
+/// [`ShardedLshService`]), so a shard node can be queried directly for
+/// debugging — handy when bisecting a distributed-vs-local mismatch.
+pub struct ShardNodeService<S, F, D>
+where
+    S: PointSet<Point = [f32]>,
+    F: LshFamily<[f32]>,
+    D: Distance<[f32]>,
+{
+    inner: ShardedLshService<S, F, D>,
+    shard_id: u32,
+}
+
+impl<S, F, D> ShardNodeService<S, F, D>
+where
+    S: PointSet<Point = [f32]>,
+    F: LshFamily<[f32]>,
+    D: Distance<[f32]>,
+{
+    /// Wraps a service as shard `shard_id` of its index's assignment.
+    ///
+    /// # Panics
+    /// Panics if `shard_id` is out of range for the assignment.
+    pub fn new(inner: ShardedLshService<S, F, D>, shard_id: u32) -> Self {
+        let shards = inner.rnnr_index().assignment().shards();
+        assert!(
+            (shard_id as usize) < shards,
+            "shard id {shard_id} out of range for a {shards}-shard assignment"
+        );
+        Self { inner, shard_id }
+    }
+
+    /// The shard this node answers for.
+    pub fn shard_id(&self) -> u32 {
+        self.shard_id
+    }
+
+    /// The wrapped standalone service.
+    pub fn inner(&self) -> &ShardedLshService<S, F, D> {
+        &self.inner
+    }
+
+    /// Validates a query block's dimensionality and unpacks its rows.
+    fn check_rows(&self, queries: &QueryBlock) -> Result<Vec<Vec<f32>>, ServiceError> {
+        let dim = self.inner.dim();
+        if queries.count() > 0 && queries.dim != dim {
+            return Err(ServiceError {
+                code: ErrorCode::DimMismatch,
+                message: format!("index dimension is {dim}, request carries {}", queries.dim),
+            });
+        }
+        Ok(queries.rows())
+    }
+
+    /// Resolves a wire target to a validated ladder level — `None` for
+    /// the rNNR index.
+    fn check_target(&self, target: ShardTarget) -> Result<Option<usize>, ServiceError> {
+        match target {
+            ShardTarget::Rnnr => Ok(None),
+            ShardTarget::TopKLevel(li) => {
+                let levels = self.inner.topk_index().map_or(0, |t| t.schedule().levels() as u32);
+                if levels == 0 {
+                    return Err(ServiceError::unsupported("this shard node has no top-k ladder"));
+                }
+                if li >= levels {
+                    return Err(ServiceError::malformed(format!(
+                        "ladder level {li} out of range ({levels} levels)"
+                    )));
+                }
+                Ok(Some(li as usize))
+            }
+        }
+    }
+}
+
+fn params_of(hll: hlsh_hll::HllConfig, cost: hlsh_core::CostModel) -> ShardParams {
+    ShardParams {
+        hll_precision: hll.precision(),
+        hll_seed: hll.seed(),
+        alpha: cost.alpha(),
+        beta_scan: cost.beta(),
+        beta_cand: cost.beta_cand(),
+    }
+}
+
+impl<S, F, D> QueryService for ShardNodeService<S, F, D>
+where
+    S: PointSet<Point = [f32]> + Send + Sync + 'static,
+    F: LshFamily<[f32]> + Sync + 'static,
+    F::GFn: Send + Sync,
+    D: Distance<[f32]> + Send + Sync + 'static,
+{
+    fn info(&self) -> ServerInfo {
+        self.inner.info()
+    }
+
+    fn rnnr_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f64,
+        threads: Option<usize>,
+    ) -> Result<Vec<Vec<PointId>>, ServiceError> {
+        self.inner.rnnr_batch(queries, radius, threads)
+    }
+
+    fn topk_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: Option<usize>,
+    ) -> Result<Vec<Vec<(PointId, f64)>>, ServiceError> {
+        self.inner.topk_batch(queries, k, threads)
+    }
+
+    fn shard_batch(
+        &self,
+        request: &ShardRequest,
+        threads: Option<usize>,
+    ) -> Result<ShardResponse, ServiceError> {
+        let rnnr = self.inner.rnnr_index();
+        let shard = self.shard_id as usize;
+        match request {
+            ShardRequest::Info => {
+                let levels = match self.inner.topk_index() {
+                    Some(t) => (0..t.schedule().levels())
+                        .map(|li| ShardLevelInfo {
+                            radius: t.schedule().radius(li),
+                            params: params_of(t.level_hll_config(li), t.level_cost_model(li)),
+                        })
+                        .collect(),
+                    None => Vec::new(),
+                };
+                Ok(ShardResponse::Info(ShardInfo {
+                    shard_id: self.shard_id,
+                    shards: rnnr.assignment().shards() as u32,
+                    points: rnnr.len() as u64,
+                    dim: self.inner.dim(),
+                    rnnr: params_of(rnnr.hll_config(), rnnr.cost_model()),
+                    levels,
+                }))
+            }
+            ShardRequest::Summarize { target, queries } => {
+                let rows = self.check_rows(queries)?;
+                let summaries = match self.check_target(*target)? {
+                    None => rnnr.shard_summaries(shard, &rows, threads),
+                    Some(li) => self
+                        .inner
+                        .topk_index()
+                        .expect("check_target verified the ladder exists")
+                        .shard_level_summaries(shard, li, &rows, threads),
+                };
+                Ok(ShardResponse::Summaries(
+                    summaries
+                        .into_iter()
+                        .map(|s| ShardSummaryEntry {
+                            collisions: s.collisions,
+                            registers: s.registers,
+                        })
+                        .collect(),
+                ))
+            }
+            ShardRequest::Execute { target, arm, radius, queries } => {
+                if !radius.is_finite() || *radius < 0.0 {
+                    return Err(ServiceError::malformed(format!(
+                        "radius must be finite and non-negative, got {radius}"
+                    )));
+                }
+                let rows = self.check_rows(queries)?;
+                let lsh = matches!(arm, crate::protocol::Arm::Lsh);
+                match self.check_target(*target)? {
+                    None => Ok(ShardResponse::Ids(
+                        rnnr.shard_arm_batch(shard, &rows, *radius, lsh, threads),
+                    )),
+                    Some(li) => {
+                        let t = self
+                            .inner
+                            .topk_index()
+                            .expect("check_target verified the ladder exists");
+                        Ok(ShardResponse::Pairs(
+                            t.shard_level_arm_batch(shard, li, &rows, *radius, lsh, threads),
+                        ))
+                    }
+                }
+            }
+            ShardRequest::Scan { queries } => {
+                let rows = self.check_rows(queries)?;
+                let t = self.inner.topk_index().ok_or_else(|| {
+                    ServiceError::unsupported("this shard node has no top-k ladder")
+                })?;
+                Ok(ShardResponse::Pairs(t.shard_fallback_scan_batch(shard, &rows, threads)))
+            }
+        }
     }
 }

@@ -1,0 +1,218 @@
+//! Listener binding with `SO_REUSEADDR`.
+//!
+//! When a shard node dies, every connection it had accepted lingers in
+//! `TIME_WAIT` for ~60s, and a plain [`TcpListener::bind`] on the same
+//! `(addr, port)` fails with `EADDRINUSE` until the kernel ages them
+//! out. That would turn "restart the crashed shard on its advertised
+//! port" — the recovery story `docs/DISTRIBUTED.md` documents and the
+//! multi-process test exercises — into a minute-long outage. Setting
+//! `SO_REUSEADDR` *before* the bind allows rebinding over `TIME_WAIT`
+//! remnants (it does **not** allow stealing a port another live
+//! listener holds — that still fails with `EADDRINUSE`).
+//!
+//! The std library exposes no way to set socket options between
+//! `socket()` and `bind()`, so on Linux this module performs the three
+//! raw libc calls itself and hands the finished descriptor to
+//! `TcpListener::from_raw_fd`. This is the server crate's one
+//! `unsafe` enclave (mirroring `hlsh_core::snapshot::mmap`'s pattern:
+//! `deny(unsafe_code)` crate-wide, one documented opt-in). The
+//! obligations are confined to the private `bind_one`:
+//!
+//! - the `extern "C"` signatures match the Linux syscall wrappers'
+//!   ABI (verified against the x86-64/aarch64 kernel ABI constants
+//!   spelled out below);
+//! - the descriptor passed to `from_raw_fd` is freshly created, owned
+//!   and non-negative, so ownership transfer is sound;
+//! - every error path closes the descriptor before returning.
+//!
+//! Non-Linux builds fall back to `TcpListener::bind` — tests that rely
+//! on fast rebinds are Linux-CI-only, and correctness is unaffected.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Binds a listener with `SO_REUSEADDR` set, resolving `addr` like
+/// [`TcpListener::bind`] does: each resolved address is tried in order
+/// and the last error is reported if none binds.
+pub fn bind_reuseaddr<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+    let mut last_err = None;
+    for sa in addr.to_socket_addrs()? {
+        match imp::bind_one(sa) {
+            Ok(l) => return Ok(l),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "could not resolve to any address")
+    }))
+}
+
+#[cfg(target_os = "linux")]
+#[allow(unsafe_code)]
+mod imp {
+    use super::*;
+    use std::os::fd::FromRawFd;
+
+    // Linux ABI constants (identical on x86-64 and aarch64 for this
+    // set; SOL_SOCKET/SO_REUSEADDR would differ on mips/sparc, which
+    // this crate does not target).
+    const AF_INET: i32 = 2;
+    const AF_INET6: i32 = 10;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0x80000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const core::ffi::c_void,
+            len: u32,
+        ) -> i32;
+        fn bind(fd: i32, addr: *const core::ffi::c_void, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// `struct sockaddr_in`: family, port and address in network byte
+    /// order, padded to 16 bytes.
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    /// `struct sockaddr_in6`: family, port (BE), flowinfo, the 16
+    /// address bytes, scope id.
+    #[repr(C)]
+    struct SockaddrIn6 {
+        family: u16,
+        port_be: u16,
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    pub(super) fn bind_one(sa: SocketAddr) -> io::Result<TcpListener> {
+        let domain = match sa {
+            SocketAddr::V4(_) => AF_INET,
+            SocketAddr::V6(_) => AF_INET6,
+        };
+        // SAFETY: plain syscall wrappers with the ABI spelled out in the
+        // module docs; `fd` is owned by this function until transferred
+        // to the TcpListener or closed on an error path.
+        unsafe {
+            let fd = socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let fail = |fd: i32| -> io::Error {
+                let e = io::Error::last_os_error();
+                close(fd);
+                e
+            };
+            let one: i32 = 1;
+            if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, (&one as *const i32).cast(), 4) != 0 {
+                return Err(fail(fd));
+            }
+            let rc = match sa {
+                SocketAddr::V4(v4) => {
+                    let raw = SockaddrIn {
+                        family: AF_INET as u16,
+                        port_be: v4.port().to_be(),
+                        addr_be: u32::from(*v4.ip()).to_be(),
+                        zero: [0; 8],
+                    };
+                    bind(
+                        fd,
+                        (&raw as *const SockaddrIn).cast(),
+                        core::mem::size_of::<SockaddrIn>() as u32,
+                    )
+                }
+                SocketAddr::V6(v6) => {
+                    let raw = SockaddrIn6 {
+                        family: AF_INET6 as u16,
+                        port_be: v6.port().to_be(),
+                        flowinfo: v6.flowinfo(),
+                        addr: v6.ip().octets(),
+                        scope_id: v6.scope_id(),
+                    };
+                    bind(
+                        fd,
+                        (&raw as *const SockaddrIn6).cast(),
+                        core::mem::size_of::<SockaddrIn6>() as u32,
+                    )
+                }
+            };
+            if rc != 0 {
+                return Err(fail(fd));
+            }
+            if listen(fd, BACKLOG) != 0 {
+                return Err(fail(fd));
+            }
+            Ok(TcpListener::from_raw_fd(fd))
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::*;
+
+    pub(super) fn bind_one(sa: SocketAddr) -> io::Result<TcpListener> {
+        TcpListener::bind(sa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn binds_and_accepts() {
+        let listener = bind_reuseaddr("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 5];
+            conn.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let mut c = TcpStream::connect(addr).unwrap();
+        c.write_all(b"hello").unwrap();
+        assert_eq!(&t.join().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn rebind_after_drop_is_immediate() {
+        // With an accepted connection closed server-side first, the
+        // socket enters TIME_WAIT; REUSEADDR lets the same port rebind
+        // at once (a plain bind would EADDRINUSE for ~60s).
+        let listener = bind_reuseaddr("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (conn, _) = listener.accept().unwrap();
+        drop(conn); // server closes first → server holds TIME_WAIT
+        drop(client);
+        drop(listener);
+        let again = bind_reuseaddr(addr).unwrap();
+        assert_eq!(again.local_addr().unwrap().port(), addr.port());
+    }
+
+    #[test]
+    fn live_listener_still_conflicts() {
+        // REUSEADDR must not allow stealing a port that is actively
+        // bound by a live listener.
+        let listener = bind_reuseaddr("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        assert!(bind_reuseaddr(addr).is_err());
+    }
+}
