@@ -5,6 +5,7 @@
 //! cargo run --release -p hlsh-server --bin loadgen -- \
 //!     [--addr HOST:PORT] [--mode closed|open] [--clients N] [--batch N] \
 //!     [--requests N] [--rate F] [--radius F] [--k N] \
+//!     [--sweep-clients A,B,C] [--sweep-requests N] [--sweep-batch N] \
 //!     [--n N] [--dim N] [--seed N] [--queries N] \
 //!     [--warmup N] [--connect-timeout-secs N] [--json PATH]
 //! ```
@@ -25,6 +26,15 @@
 //!
 //! `--json PATH` writes a `BENCH_serve.json`-style record; `--k N`
 //! adds a top-k phase after the rNNR phase.
+//!
+//! `--sweep-clients A,B,C` appends a **connection-scaling sweep**: one
+//! open-loop rNNR phase per listed client count (hundreds of
+//! simultaneous connections are fine — one thread and one socket per
+//! client). Each sweep point issues `--sweep-requests` requests in
+//! total (split across its clients, so every point has the same sample
+//! count for percentile stability) of `--sweep-batch` queries each, at
+//! the shared `--rate` schedule. This is how the reactor's
+//! high-connection behaviour is measured into `BENCH_serve.json`.
 
 use std::time::{Duration, Instant};
 
@@ -37,6 +47,7 @@ enum Mode {
     Open,
 }
 
+#[derive(Clone)]
 struct Args {
     addr: String,
     mode: Mode,
@@ -53,6 +64,9 @@ struct Args {
     warmup: usize,
     connect_timeout_secs: u64,
     json: Option<String>,
+    sweep_clients: Vec<usize>,
+    sweep_requests: usize,
+    sweep_batch: usize,
 }
 
 fn parse_args() -> Args {
@@ -72,6 +86,9 @@ fn parse_args() -> Args {
         warmup: 2,
         connect_timeout_secs: 120,
         json: None,
+        sweep_clients: Vec::new(),
+        sweep_requests: 768,
+        sweep_batch: 16,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -113,9 +130,21 @@ fn parse_args() -> Args {
                 out.connect_timeout_secs = grab!("--connect-timeout-secs") as u64
             }
             "--json" => out.json = Some(grab_str("--json")),
+            "--sweep-clients" => {
+                out.sweep_clients = grab_str("--sweep-clients")
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse::<usize>().ok().filter(|&c| c > 0).unwrap_or_else(|| {
+                            panic!("--sweep-clients needs comma-separated positive integers")
+                        })
+                    })
+                    .collect()
+            }
+            "--sweep-requests" => out.sweep_requests = grab!("--sweep-requests").max(1),
+            "--sweep-batch" => out.sweep_batch = grab!("--sweep-batch").max(1),
             other => {
                 eprintln!(
-                    "unknown flag {other:?}\nusage: loadgen [--addr HOST:PORT] [--mode closed|open] [--clients N] [--batch N] [--requests N] [--rate F] [--radius F] [--k N] [--n N] [--dim N] [--seed N] [--queries N] [--warmup N] [--connect-timeout-secs N] [--json PATH]"
+                    "unknown flag {other:?}\nusage: loadgen [--addr HOST:PORT] [--mode closed|open] [--clients N] [--batch N] [--requests N] [--rate F] [--radius F] [--k N] [--sweep-clients A,B,C] [--sweep-requests N] [--sweep-batch N] [--n N] [--dim N] [--seed N] [--queries N] [--warmup N] [--connect-timeout-secs N] [--json PATH]"
                 );
                 std::process::exit(2);
             }
@@ -270,6 +299,18 @@ fn main() {
         results.push(run_phase(&args, &pool, args.k));
     }
 
+    // Connection-scaling sweep: one open-loop rNNR point per client
+    // count, same total sample count per point.
+    for &c in &args.sweep_clients {
+        let mut sweep = args.clone();
+        sweep.mode = Mode::Open;
+        sweep.clients = c;
+        sweep.batch = args.sweep_batch;
+        sweep.requests = (args.sweep_requests / c).max(3);
+        sweep.warmup = args.warmup.min(1);
+        results.push(run_phase(&sweep, &pool, 0));
+    }
+
     for r in &results {
         println!(
             "{:<34} {:>9.0} queries/s  {:>7.0} req/s   p50 {:>7} µs  p90 {:>7} µs  p99 {:>7} µs  max {:>7} µs",
@@ -288,8 +329,10 @@ fn main() {
                 )
             })
             .collect();
+        let sweep_list =
+            args.sweep_clients.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(", ");
         let json = format!(
-            "{{\n  \"bench\": \"serve\",\n  \"command\": \"cargo run --release -p hlsh-server --bin loadgen\",\n  \"params\": {{ \"mode\": \"{mode}\", \"clients\": {}, \"batch\": {}, \"requests_per_client\": {}, \"rate\": {:.1}, \"n\": {}, \"dim\": {}, \"seed\": {}, \"radius\": {}, \"k\": {} }},\n  \"server\": {{ \"points\": {}, \"dim\": {}, \"shards\": {}, \"topk_levels\": {} }},\n  \"results\": [\n{}\n  ]\n}}\n",
+            "{{\n  \"bench\": \"serve\",\n  \"command\": \"cargo run --release -p hlsh-server --bin loadgen\",\n  \"params\": {{ \"mode\": \"{mode}\", \"clients\": {}, \"batch\": {}, \"requests_per_client\": {}, \"rate\": {:.1}, \"n\": {}, \"dim\": {}, \"seed\": {}, \"radius\": {}, \"k\": {}, \"sweep_clients\": [{sweep_list}], \"sweep_requests\": {}, \"sweep_batch\": {} }},\n  \"server\": {{ \"points\": {}, \"dim\": {}, \"shards\": {}, \"topk_levels\": {} }},\n  \"results\": [\n{}\n  ]\n}}\n",
             args.clients,
             args.batch,
             args.requests,
@@ -299,6 +342,8 @@ fn main() {
             args.seed,
             args.radius,
             args.k,
+            args.sweep_requests,
+            args.sweep_batch,
             info.points,
             info.dim,
             info.shards,

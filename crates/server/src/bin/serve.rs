@@ -7,11 +7,35 @@
 //!     [--role standalone|shard|coordinator] \
 //!     [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] \
 //!     [--shards N | ADDR,ADDR,...] [--shard-id N] [--levels N] \
-//!     [--no-topk] [--radius F] [--batch-window-us N] [--threads N] \
+//!     [--no-topk] [--radius F] [--batch-window-us N] \
+//!     [--max-window-us N] [--max-conns N] [--idle-timeout-ms N] \
+//!     [--deadline-ms N] [--threads N] \
 //!     [--max-frame-mb N] [--shard-deadline-ms N] \
 //!     [--connect-timeout-secs N] \
 //!     [--snapshot-save PATH] [--snapshot-load PATH [--load-mode MODE]]
 //! ```
+//!
+//! # Admission window
+//!
+//! By default the admission batcher's linger **adapts** to the
+//! observed arrival rate (proportional to the inter-arrival EWMA,
+//! capped by `--max-window-us`, default 1000): bursty traffic
+//! coalesces, sparse traffic drains immediately. `--batch-window-us N`
+//! overrides it with a fixed window — `0` drains immediately, and
+//! older invocations that passed `--batch-window-us 100` keep exactly
+//! the pre-adaptive behavior they always had. Nothing is deprecated:
+//! omit the flag to opt into adaptation, pass it to pin the window.
+//!
+//! # Connection governance
+//!
+//! `--max-conns` (default 1024) caps concurrent connections — the
+//! excess get a typed `Busy` error frame and an immediate close.
+//! `--idle-timeout-ms` (default 60000, `0` disables) evicts
+//! connections that stall without progress, including half-written
+//! frames from slow-loris peers. `--deadline-ms` (default `0` = off)
+//! expires requests still queued after that long with a `Deadline`
+//! error frame while keeping their connection alive. `docs/SERVING.md`
+//! is the ops guide for all three.
 //!
 //! Builds a frozen `ShardedIndex` (rNNR) and, unless `--no-topk`, a
 //! frozen `ShardedTopKIndex` ladder over the same
@@ -51,7 +75,8 @@ use hlsh_core::{load_snapshot, read_manifest, save_snapshot, LoadMode, MixturePr
 use hlsh_datagen::benchmark_mixture;
 use hlsh_families::PStableL2;
 use hlsh_server::{
-    Coordinator, CoordinatorConfig, QueryService, ServerConfig, ShardNodeService, ShardedLshService,
+    AdmissionWindow, Coordinator, CoordinatorConfig, QueryService, ServerConfig, ShardNodeService,
+    ShardedLshService,
 };
 use hlsh_vec::L2;
 
@@ -72,7 +97,13 @@ struct Args {
     shards_raw: Option<String>,
     shard_id: Option<u32>,
     topk: bool,
-    batch_window_us: u64,
+    /// `Some(n)` pins a fixed admission window of `n` µs (0 = drain
+    /// immediately); `None` (the default) adapts to the arrival rate.
+    batch_window_us: Option<u64>,
+    max_window_us: u64,
+    max_conns: usize,
+    idle_timeout_ms: u64,
+    deadline_ms: u64,
     threads: Option<usize>,
     max_frame_mb: usize,
     shard_deadline_ms: u64,
@@ -83,7 +114,10 @@ struct Args {
     mmap: bool,
 }
 
-const USAGE: &str = "usage: serve [--role standalone|shard|coordinator] [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N|ADDR,ADDR,...] [--shard-id N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--threads N] [--max-frame-mb N] [--shard-deadline-ms N] [--connect-timeout-secs N] [--snapshot-save PATH] [--snapshot-load PATH [--load-mode read|mmap|mmap-verify|auto]]";
+const USAGE: &str = "usage: serve [--role standalone|shard|coordinator] [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N|ADDR,ADDR,...] [--shard-id N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--max-window-us N] [--max-conns N] [--idle-timeout-ms N] [--deadline-ms N] [--threads N] [--max-frame-mb N] [--shard-deadline-ms N] [--connect-timeout-secs N] [--snapshot-save PATH] [--snapshot-load PATH [--load-mode read|mmap|mmap-verify|auto]]
+  admission window: adaptive by default (linger tracks the arrival rate, capped by --max-window-us, default 1000).
+  --batch-window-us N pins a fixed window instead (0 = drain immediately) — existing scripts passing it behave exactly as before; drop the flag to opt into adaptation. Nothing is deprecated.
+  governance: --max-conns (default 1024) rejects excess connections with a Busy frame; --idle-timeout-ms (default 60000, 0 = off) evicts stalled connections; --deadline-ms (default 0 = off) expires queued requests with a Deadline frame without closing their connection.";
 
 fn parse_args() -> Args {
     let mut out = Args {
@@ -94,7 +128,11 @@ fn parse_args() -> Args {
         shards_raw: None,
         shard_id: None,
         topk: true,
-        batch_window_us: 100,
+        batch_window_us: None,
+        max_window_us: 1_000,
+        max_conns: 1024,
+        idle_timeout_ms: 60_000,
+        deadline_ms: 0,
         threads: None,
         max_frame_mb: 32,
         shard_deadline_ms: 5_000,
@@ -137,7 +175,11 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| panic!("--radius needs a float"))
             }
-            "--batch-window-us" => out.batch_window_us = grab("--batch-window-us") as u64,
+            "--batch-window-us" => out.batch_window_us = Some(grab("--batch-window-us") as u64),
+            "--max-window-us" => out.max_window_us = grab("--max-window-us") as u64,
+            "--max-conns" => out.max_conns = grab("--max-conns").max(1),
+            "--idle-timeout-ms" => out.idle_timeout_ms = grab("--idle-timeout-ms") as u64,
+            "--deadline-ms" => out.deadline_ms = grab("--deadline-ms") as u64,
             "--threads" => out.threads = Some(grab("--threads").max(1)),
             "--max-frame-mb" => out.max_frame_mb = grab("--max-frame-mb").max(1),
             "--shard-deadline-ms" => out.shard_deadline_ms = grab("--shard-deadline-ms") as u64,
@@ -294,24 +336,20 @@ fn main() {
         }
         Role::Coordinator => unreachable!("coordinator role handled before the build"),
     };
-    let config = ServerConfig {
-        max_frame_bytes: args.max_frame_mb * 1024 * 1024,
-        batch_window: Duration::from_micros(args.batch_window_us),
-        batch_threads: args.threads,
-    };
+    let config = server_config(&args);
     let server = hlsh_server::spawn(service, (args.addr.as_str(), args.port), config)
         .unwrap_or_else(|e| panic!("cannot bind {}:{}: {e}", args.addr, args.port));
 
     // One parseable line for scripts, flushed past any pipe buffering.
     use std::io::Write as _;
     println!(
-        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}us{})",
+        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}{})",
         server.local_addr(),
         preset.n,
         preset.dim,
         preset.shards,
         topk_levels,
-        args.batch_window_us,
+        window_tag(&args),
         role_tag,
     );
     std::io::stdout().flush().ok();
@@ -352,29 +390,53 @@ fn run_coordinator(args: &Args) -> ! {
         info.dim,
         info.topk_levels,
     );
-    let server_config = ServerConfig {
-        max_frame_bytes: args.max_frame_mb * 1024 * 1024,
-        batch_window: Duration::from_micros(args.batch_window_us),
-        batch_threads: args.threads,
-    };
-    let server =
-        hlsh_server::spawn(Arc::new(coordinator), (args.addr.as_str(), args.port), server_config)
-            .unwrap_or_else(|e| panic!("cannot bind {}:{}: {e}", args.addr, args.port));
+    let server = hlsh_server::spawn(
+        Arc::new(coordinator),
+        (args.addr.as_str(), args.port),
+        server_config(args),
+    )
+    .unwrap_or_else(|e| panic!("cannot bind {}:{}: {e}", args.addr, args.port));
 
     use std::io::Write as _;
     println!(
-        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}us, role=coordinator)",
+        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}, role=coordinator)",
         server.local_addr(),
         info.points,
         info.dim,
         info.shards,
         info.topk_levels,
-        args.batch_window_us,
+        window_tag(args),
     );
     std::io::stdout().flush().ok();
 
     loop {
         std::thread::park();
+    }
+}
+
+/// Maps parsed flags to the server's config: fixed window if
+/// `--batch-window-us` was given, adaptive (capped by
+/// `--max-window-us`) otherwise, plus the governance knobs.
+fn server_config(args: &Args) -> ServerConfig {
+    ServerConfig {
+        max_frame_bytes: args.max_frame_mb * 1024 * 1024,
+        admission: match args.batch_window_us {
+            Some(us) => AdmissionWindow::Fixed(Duration::from_micros(us)),
+            None => AdmissionWindow::Adaptive { max: Duration::from_micros(args.max_window_us) },
+        },
+        batch_threads: args.threads,
+        max_connections: args.max_conns,
+        idle_timeout: (args.idle_timeout_ms > 0)
+            .then(|| Duration::from_millis(args.idle_timeout_ms)),
+        request_deadline: (args.deadline_ms > 0).then(|| Duration::from_millis(args.deadline_ms)),
+    }
+}
+
+/// The admission window as printed in the listening line.
+fn window_tag(args: &Args) -> String {
+    match args.batch_window_us {
+        Some(us) => format!("{us}us"),
+        None => format!("adaptive(max={}us)", args.max_window_us),
     }
 }
 

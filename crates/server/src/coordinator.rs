@@ -41,7 +41,7 @@
 //! Each shard call runs under a per-request deadline (socket
 //! read/write timeouts). A shard that is down, unreachable or late
 //! fails the *affected client requests* with a typed
-//! [`ErrorCode::Unavailable`](crate::ErrorCode::Unavailable) error frame — never a hang, never a
+//! [`ErrorCode::Unavailable`] error frame — never a hang, never a
 //! silently partial answer — and drops the broken connection. The next
 //! request redials lazily, so a restarted shard rejoins without
 //! coordinator intervention; the rejoin handshake re-validates the
@@ -58,8 +58,8 @@ use hlsh_vec::PointId;
 
 use crate::client::ClientError;
 use crate::protocol::{
-    self, read_frame, write_frame, Arm, QueryBlock, Response, ServerInfo, ShardInfo, ShardRequest,
-    ShardResponse, ShardSummaryEntry, ShardTarget,
+    self, read_frame, write_frame, Arm, ErrorCode, QueryBlock, Response, ServerInfo, ShardInfo,
+    ShardRequest, ShardResponse, ShardSummaryEntry, ShardTarget,
 };
 use crate::server::{QueryService, ServiceError};
 
@@ -67,7 +67,7 @@ use crate::server::{QueryService, ServiceError};
 #[derive(Clone, Copy, Debug)]
 pub struct CoordinatorConfig {
     /// Per-shard-call deadline: a shard that has not answered within
-    /// this window fails the call with [`ErrorCode::Unavailable`](crate::ErrorCode::Unavailable).
+    /// this window fails the call with [`ErrorCode::Unavailable`].
     pub shard_deadline: Duration,
     /// How long [`Coordinator::connect`] keeps retrying unreachable
     /// shards at startup before giving up (covers shard nodes still
@@ -104,9 +104,11 @@ impl ShardConn {
     /// One request/response against this shard, redialing first if the
     /// previous call broke the connection. Transport and protocol
     /// failures drop the connection and surface as
-    /// [`ErrorCode::Unavailable`](crate::ErrorCode::Unavailable); error *frames* (the shard answered,
+    /// [`ErrorCode::Unavailable`]; error *frames* (the shard answered,
     /// just negatively) keep the connection and propagate the shard's
-    /// own code.
+    /// own code — except [`ErrorCode::Busy`],
+    /// which the shard sends while closing, so it is treated as a
+    /// transport failure.
     fn call(&mut self, si: usize, req: &ShardRequest) -> Result<ShardResponse, ServiceError> {
         let unavailable = |addr: &str, e: &dyn std::fmt::Display| -> ServiceError {
             ServiceError::unavailable(format!("shard {si} at {addr}: {e}"))
@@ -128,6 +130,18 @@ impl ShardConn {
         let client = self.client.as_mut().expect("connected above");
         match client.roundtrip(req, self.config.max_frame_bytes) {
             Ok(resp) => Ok(resp),
+            Err(ClientError::Server { code: ErrorCode::Busy, message }) => {
+                // Busy is sent at accept time and the shard closes the
+                // connection right after — the stream is dead, not just
+                // the request. Treat it like a transport failure so the
+                // next call redials instead of writing into a closed
+                // socket.
+                self.client = None;
+                Err(ServiceError::unavailable(format!(
+                    "shard {si} at {} is at its connection limit: {message}",
+                    self.addr
+                )))
+            }
             Err(ClientError::Server { code, message }) => Err(ServiceError {
                 code,
                 message: format!("shard {si} at {}: {message}", self.addr),

@@ -7,8 +7,19 @@
 //! * [`protocol`] — the versioned, length-prefixed binary wire format
 //!   (`docs/PROTOCOL.md` specifies it byte by byte), including the
 //!   shard-extension frames a distributed deployment speaks;
-//! * [`server`] — a threaded `std::net` TCP server whose **admission
-//!   batcher** coalesces concurrent in-flight requests into one
+//! * [`reactor`] — hand-rolled readiness notification (`epoll` on
+//!   Linux, `poll(2)` elsewhere) behind the
+//!   [`Reactor`](reactor::Reactor) trait, no external dependencies;
+//! * [`conn`] — per-connection framing state machines tolerating
+//!   partial reads and writes at any byte boundary, plus request-order
+//!   response slots;
+//! * [`timer`] — the timer wheel driving idle (slow-loris) eviction;
+//! * [`server`] — the event-loop TCP server: one thread multiplexes
+//!   every connection through the reactor, governs admission
+//!   (connection limits with typed [`ErrorCode::Busy`] rejection,
+//!   idle timeouts, per-request deadlines), and its **admission
+//!   batcher** — with an arrival-rate-adaptive window by default —
+//!   coalesces concurrent in-flight requests into one
 //!   [`query_batch`](hlsh_core::ShardedIndex::query_batch) /
 //!   [`query_topk_batch`](hlsh_core::ShardedTopKIndex::query_topk_batch)
 //!   call per tick, so the existing scoped-thread sharding does the
@@ -73,18 +84,21 @@
 //! ```
 
 #![warn(missing_docs)]
-// `deny`, not `forbid`: the `sockopt` module is the crate's one
-// documented `unsafe` enclave (raw SO_REUSEADDR bind; see its module
-// docs for the confined obligations). Everything else stays
-// unsafe-free.
+// `deny`, not `forbid`: the `sockopt` module (raw SO_REUSEADDR bind)
+// and the two syscall shims in `reactor` (epoll / poll) are the
+// crate's documented `unsafe` enclaves — see their module docs for
+// the confined obligations. Everything else stays unsafe-free.
 #![deny(unsafe_code)]
 
 pub mod client;
+pub mod conn;
 pub mod coordinator;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod sockopt;
+pub mod timer;
 
 pub use client::{Client, ClientError};
 pub use coordinator::{Coordinator, CoordinatorConfig};
@@ -92,5 +106,7 @@ pub use protocol::{
     Arm, ErrorCode, QueryBlock, Request, Response, ServerInfo, ShardInfo, ShardLevelInfo,
     ShardParams, ShardRequest, ShardResponse, ShardSummaryEntry, ShardTarget, PROTOCOL_VERSION,
 };
-pub use server::{spawn, QueryService, ServerConfig, ServerHandle, ServiceError};
+pub use server::{
+    spawn, AdmissionWindow, QueryService, ServerConfig, ServerHandle, ServerStats, ServiceError,
+};
 pub use service::{ShardNodeService, ShardedLshService};

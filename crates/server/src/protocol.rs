@@ -109,6 +109,15 @@ pub enum ErrorCode {
     /// answers with this when a shard node is down or misses its
     /// deadline. The request may succeed once the backend rejoins.
     Unavailable = 9,
+    /// The server is at its connection limit. Sent immediately after
+    /// accept, after which the server closes the connection — retry
+    /// against another replica or after a backoff.
+    Busy = 10,
+    /// The request's per-request deadline expired before the batcher
+    /// executed it. Unlike [`ErrorCode::Busy`], this is a per-request
+    /// verdict: the connection stays open and later requests on it are
+    /// served normally.
+    Deadline = 11,
 }
 
 impl ErrorCode {
@@ -124,6 +133,8 @@ impl ErrorCode {
             7 => Self::Unsupported,
             8 => Self::Internal,
             9 => Self::Unavailable,
+            10 => Self::Busy,
+            11 => Self::Deadline,
             _ => return None,
         })
     }

@@ -1,7 +1,9 @@
-//! [`QueryService`] implementations bridging the wire to the
-//! in-process batch engines.
+//! The [`QueryService`] trait and its implementations bridging the
+//! wire to the in-process batch engines.
 //!
-//! Two deployments live here:
+//! The trait (and [`ServiceError`], its failure type) is what the
+//! event-loop server in [`crate::server`] executes against; two
+//! deployments implement it here:
 //!
 //! * [`ShardedLshService`] — the standalone server: answers client
 //!   frames by running the full sharded engines in-process.
@@ -19,7 +21,106 @@ use crate::protocol::{
     ErrorCode, QueryBlock, ServerInfo, ShardInfo, ShardLevelInfo, ShardParams, ShardRequest,
     ShardResponse, ShardSummaryEntry, ShardTarget,
 };
-use crate::server::{QueryService, ServiceError};
+
+/// A service-level failure: what the server encodes into a
+/// [`kind::ERROR`](crate::protocol::kind::ERROR) frame when a batch
+/// cannot be answered. Distinct from
+/// [`WireError`](crate::protocol::WireError), which covers byte-level
+/// decode problems — a `ServiceError` means the
+/// request parsed fine but could not be executed (no top-k ladder, a
+/// shard backend down, an internal failure).
+#[derive(Clone, Debug)]
+pub struct ServiceError {
+    /// The wire code clients see.
+    pub code: ErrorCode,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// A valid request this deployment cannot serve.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Unsupported, message: message.into() }
+    }
+
+    /// A backend dependency is down or timed out.
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Unavailable, message: message.into() }
+    }
+
+    /// The service failed internally.
+    pub fn internal(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Internal, message: message.into() }
+    }
+
+    /// The request's parameters don't fit this index (e.g. a ladder
+    /// level out of range).
+    pub fn malformed(message: impl Into<String>) -> Self {
+        Self { code: ErrorCode::Malformed, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What a server serves: batch entry points over some index.
+///
+/// The two required methods mirror the in-process batch APIs —
+/// [`ShardedIndex::query_batch`](hlsh_core::ShardedIndex::query_batch)
+/// and [`ShardedTopKIndex::query_topk_batch`](hlsh_core::ShardedTopKIndex::query_topk_batch)
+/// — and the byte-identity contract is inherited from them: whatever a
+/// service returns here is exactly what clients decode. Errors become
+/// [`kind::ERROR`](crate::protocol::kind::ERROR) frames carrying the
+/// [`ServiceError`]'s code, one per affected request.
+pub trait QueryService: Send + Sync + 'static {
+    /// Index metadata for [`Request::Info`](crate::protocol::Request::Info)
+    /// and dimension validation.
+    fn info(&self) -> ServerInfo;
+
+    /// Ids within `radius` of each query, ascending per query.
+    /// `threads` is the scoped-thread budget (`None` = all cores).
+    fn rnnr_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f64,
+        threads: Option<usize>,
+    ) -> Result<Vec<Vec<PointId>>, ServiceError>;
+
+    /// The `min(k, n)` nearest `(id, distance)` pairs per query in
+    /// ascending `(distance, id)` order;
+    /// [`ServiceError::unsupported`] if this deployment has no top-k
+    /// ladder.
+    fn topk_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: Option<usize>,
+    ) -> Result<Vec<Vec<(PointId, f64)>>, ServiceError>;
+
+    /// Answers one shard-extension request (coordinator → shard
+    /// traffic, kinds `0x10..=0x1F`). The default refuses: only shard
+    /// nodes implement this, and a coordinator that accidentally dials
+    /// a plain standalone server gets a typed error instead of silence.
+    ///
+    /// Shard frames bypass the admission batcher — the caller *is* a
+    /// coordinator that already batched an entire client request, so
+    /// lingering for more concurrency would only add latency. The
+    /// event loop runs them on detached worker threads so a
+    /// multi-second fan-out never stalls connection I/O.
+    fn shard_batch(
+        &self,
+        request: &ShardRequest,
+        threads: Option<usize>,
+    ) -> Result<ShardResponse, ServiceError> {
+        let _ = (request, threads);
+        Err(ServiceError::unsupported("this server is not a shard node"))
+    }
+}
 
 /// The standard deployment: a frozen [`ShardedIndex`] for rNNR traffic
 /// plus (optionally) a frozen [`ShardedTopKIndex`] ladder for top-k

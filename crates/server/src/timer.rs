@@ -1,0 +1,215 @@
+//! A hashed timer wheel driving idle-connection eviction.
+//!
+//! The event loop needs thousands of identical coarse timeouts ("evict
+//! this connection if it stays silent for `idle_timeout`") that are
+//! rescheduled on every byte of progress. A sorted structure would pay
+//! O(log n) per reschedule on the hottest path in the server; the
+//! wheel pays O(1) amortized for schedule *and* cancellation:
+//!
+//! * **schedule** drops the entry into the slot its deadline hashes to
+//!   (`ticks ahead mod slot count`, with an overflow round counter for
+//!   deadlines beyond one revolution);
+//! * **cancellation is lazy** — rescheduling a connection just bumps
+//!   its generation counter; the stale entry stays in the wheel and is
+//!   discarded when its slot comes around and the generations no
+//!   longer match. Nothing is ever searched for.
+//!
+//! Precision is one tick (the wheel's granularity): a timer fires in
+//! the first [`TimerWheel::advance`] at or after its deadline's tick
+//! boundary, never before its deadline. That is exactly right for
+//! slow-loris eviction, where "60s ± 250ms" is indistinguishable from
+//! "60s".
+
+use std::time::{Duration, Instant};
+
+/// One scheduled timeout: fires for `(token, gen)` once `rounds`
+/// revolutions of the wheel have passed.
+struct Entry {
+    token: u64,
+    gen: u64,
+    rounds: u32,
+}
+
+/// A fixed-size hashed timer wheel. See the module docs for the
+/// design; the server holds one and feeds its tick boundary into the
+/// reactor's wait timeout.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    granularity: Duration,
+    /// The slot index the next `advance` tick will drain.
+    cursor: usize,
+    /// The instant up to which ticks have been processed.
+    horizon: Instant,
+    /// Live entries (stale generations included — they still occupy
+    /// wheel memory until their slot is drained).
+    pending: usize,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets that each span `granularity`,
+    /// starting its clock at `now`.
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero or `granularity` is zero — a wheel
+    /// that cannot make progress is a configuration bug, not a
+    /// runtime condition.
+    pub fn new(granularity: Duration, slots: usize, now: Instant) -> Self {
+        assert!(slots > 0, "a timer wheel needs at least one slot");
+        assert!(!granularity.is_zero(), "timer wheel granularity must be non-zero");
+        Self {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            granularity,
+            cursor: 0,
+            horizon: now,
+            pending: 0,
+        }
+    }
+
+    /// Schedules `(token, gen)` to fire at `deadline`. A deadline at
+    /// or before the processed horizon fires on the very next
+    /// `advance`.
+    pub fn schedule(&mut self, token: u64, gen: u64, deadline: Instant) {
+        let ahead = deadline.saturating_duration_since(self.horizon);
+        // Round up: a timer must never fire before its deadline, so it
+        // belongs to the tick boundary at or after it.
+        let ticks = ahead.as_nanos().div_ceil(self.granularity.as_nanos()).max(1);
+        // Tick t (1-based) drains slot (cursor + t - 1) mod n, so an
+        // entry due in `ticks` ticks lands t-1 slots ahead of the
+        // cursor with one round per full revolution already skipped.
+        let n = self.slots.len() as u128;
+        let slot = (self.cursor as u128 + (ticks - 1) % n) % n;
+        let rounds = ((ticks - 1) / n).min(u32::MAX as u128) as u32;
+        self.slots[slot as usize].push(Entry { token, gen, rounds });
+        self.pending += 1;
+    }
+
+    /// Processes every tick boundary between the horizon and `now`,
+    /// appending each expired `(token, gen)` to `expired`. Stale
+    /// generations are the *caller's* to detect (compare against the
+    /// connection's current generation) — the wheel reports everything
+    /// whose slot and round came up.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<(u64, u64)>) {
+        while now.saturating_duration_since(self.horizon) >= self.granularity {
+            self.horizon += self.granularity;
+            let slot = &mut self.slots[self.cursor];
+            let mut i = 0;
+            while i < slot.len() {
+                if slot[i].rounds == 0 {
+                    let e = slot.swap_remove(i);
+                    expired.push((e.token, e.gen));
+                    self.pending -= 1;
+                } else {
+                    slot[i].rounds -= 1;
+                    i += 1;
+                }
+            }
+            self.cursor = (self.cursor + 1) % self.slots.len();
+        }
+    }
+
+    /// The next instant `advance` could expire something, or `None` if
+    /// the wheel is empty. Conservative by up to one revolution for
+    /// multi-round entries — the event loop sleeps until the next tick
+    /// boundary, which is the wheel's precision anyway.
+    pub fn next_wake(&self, now: Instant) -> Option<Instant> {
+        if self.pending == 0 {
+            return None;
+        }
+        let boundary = self.horizon + self.granularity;
+        Some(boundary.max(now))
+    }
+
+    /// Entries still in the wheel, stale generations included.
+    pub fn len(&self) -> usize {
+        self.pending
+    }
+
+    /// Whether the wheel holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel, now: Instant) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        w.advance(now, &mut out);
+        out
+    }
+
+    #[test]
+    fn fires_at_or_after_deadline_never_before() {
+        let t0 = Instant::now();
+        let gran = Duration::from_millis(10);
+        let mut w = TimerWheel::new(gran, 8, t0);
+        w.schedule(1, 0, t0 + Duration::from_millis(25));
+        // 24ms: before the deadline — nothing may fire.
+        assert!(drain(&mut w, t0 + Duration::from_millis(24)).is_empty());
+        // 30ms: first tick boundary ≥ 25ms.
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(30)), vec![(1, 0)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_use_rounds() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 4, t0);
+        // 95ms ≈ 10 ticks = 2 revolutions + 2 ticks on a 4-slot wheel.
+        w.schedule(7, 3, t0 + Duration::from_millis(95));
+        assert!(drain(&mut w, t0 + Duration::from_millis(90)).is_empty());
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(110)), vec![(7, 3)]);
+    }
+
+    #[test]
+    fn lazy_cancellation_reports_stale_generation() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        // The reschedule pattern: old generation stays in the wheel,
+        // the caller schedules a new one and ignores the stale firing.
+        w.schedule(1, 0, t0 + Duration::from_millis(20));
+        w.schedule(1, 1, t0 + Duration::from_millis(40));
+        let first = drain(&mut w, t0 + Duration::from_millis(30));
+        assert_eq!(first, vec![(1, 0)], "stale generation fires and is the caller's to skip");
+        let second = drain(&mut w, t0 + Duration::from_millis(50));
+        assert_eq!(second, vec![(1, 1)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_tick() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        w.schedule(5, 0, t0); // already due
+        assert_eq!(drain(&mut w, t0 + Duration::from_millis(10)), vec![(5, 0)]);
+    }
+
+    #[test]
+    fn next_wake_tracks_pending_state() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(10), 8, t0);
+        assert_eq!(w.next_wake(t0), None);
+        w.schedule(1, 0, t0 + Duration::from_millis(15));
+        let wake = w.next_wake(t0).expect("pending entry implies a wake");
+        assert!(wake <= t0 + Duration::from_millis(10));
+        let mut out = Vec::new();
+        w.advance(t0 + Duration::from_millis(20), &mut out);
+        assert_eq!(w.next_wake(t0 + Duration::from_millis(20)), None);
+    }
+
+    #[test]
+    fn many_interleaved_timers_all_fire_exactly_once() {
+        let t0 = Instant::now();
+        let mut w = TimerWheel::new(Duration::from_millis(5), 16, t0);
+        for i in 0..500u64 {
+            w.schedule(i, 0, t0 + Duration::from_millis(1 + (i % 200)));
+        }
+        let mut fired = drain(&mut w, t0 + Duration::from_millis(250));
+        fired.sort_unstable();
+        fired.dedup();
+        assert_eq!(fired.len(), 500, "every timer fires exactly once");
+        assert!(w.is_empty());
+    }
+}

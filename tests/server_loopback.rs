@@ -107,8 +107,10 @@ fn topk_responses_byte_identical_including_distance_bits() {
 fn concurrent_clients_are_coalesced_without_changing_answers() {
     // A generous admission window guarantees genuinely concurrent
     // requests land in one tick, exercising the group/scatter path.
-    let mut fx =
-        fixture(ServerConfig { batch_window: Duration::from_millis(20), ..Default::default() });
+    let mut fx = fixture(ServerConfig {
+        admission: hybrid_lsh::server::AdmissionWindow::Fixed(Duration::from_millis(20)),
+        ..Default::default()
+    });
     let expect: Vec<Vec<u32>> = fx
         .service
         .rnnr_index()
