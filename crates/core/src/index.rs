@@ -178,8 +178,11 @@ where
     /// insert and one HLL update per table. Available when the data
     /// set type supports appends and the store is the mutable
     /// [`MapStore`] (a frozen index must [`thaw`](Self::thaw) first).
-    /// Deletion is intentionally absent — a HyperLogLog sketch cannot
-    /// retract an element (rebuild the index to shrink it).
+    /// Deletion is intentionally absent here — a HyperLogLog sketch
+    /// cannot retract an element. For a corpus that shrinks as well as
+    /// grows, use the LSM-style
+    /// [`SegmentedIndex`](crate::segmented::SegmentedIndex), which
+    /// layers tombstones and segment merges on top of this index.
     pub fn insert(&mut self, p: &S::Point) -> PointId
     where
         S: hlsh_vec::GrowablePointSet,

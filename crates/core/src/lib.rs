@@ -83,6 +83,7 @@ pub mod recall;
 pub mod report;
 pub mod schedule;
 pub mod search;
+pub mod segmented;
 pub mod sharded;
 pub mod snapshot;
 pub mod store;
@@ -101,6 +102,9 @@ pub use recall::{evaluate_recall, RecallReport};
 pub use report::{QueryOutput, QueryReport};
 pub use schedule::RadiusSchedule;
 pub use search::{Strategy, VerifyMode};
+pub use segmented::{
+    MutationError, SegmentedIndex, SegmentedQueryEngine, SegmentedTopKEngine, SegmentedTopKIndex,
+};
 pub use sharded::{
     ShardAssignment, ShardSummary, ShardedIndex, ShardedQueryEngine, ShardedTopKEngine,
     ShardedTopKIndex,

@@ -12,12 +12,13 @@
 use crate::builder::IndexBuilder;
 use crate::cost::CostModel;
 use crate::schedule::RadiusSchedule;
+use crate::segmented::{SegmentedIndex, SegmentedTopKIndex};
 use crate::sharded::{ShardAssignment, ShardedIndex, ShardedTopKIndex};
 use crate::snapshot::codec::{SnapshotDistance, SnapshotFamily};
 use crate::snapshot::SnapshotManifest;
 use crate::store::FrozenStore;
 use hlsh_families::PStableL2;
-use hlsh_vec::{DenseDataset, L2};
+use hlsh_vec::{DenseDataset, PointId, L2};
 
 /// The standard mixture-workload serving configuration: an L2
 /// p-stable family over the `benchmark_mixture` corpus, sharded, with
@@ -100,6 +101,28 @@ impl MixturePreset {
             self.level_builder(r)
         })
         .freeze()
+    }
+
+    /// Builds the LSM-segmented (living) rNNR index over `data` with
+    /// global ids `0..n` — same parameters as [`build_rnnr`]
+    /// (same seed, assignment, cost model), so its answers are
+    /// byte-identical to the frozen build until the first mutation,
+    /// and byte-identical to a rebuild on the survivors after.
+    ///
+    /// [`build_rnnr`]: Self::build_rnnr
+    pub fn build_live_rnnr(&self, data: DenseDataset) -> SegmentedIndex<PStableL2, L2> {
+        let ids: Vec<PointId> = (0..data.len() as PointId).collect();
+        SegmentedIndex::build_bulk(data, &ids, self.assignment(), self.rnnr_builder())
+    }
+
+    /// Builds the LSM-segmented (living) top-k ladder over `data` with
+    /// global ids `0..n`; the living twin of
+    /// [`build_topk`](Self::build_topk).
+    pub fn build_live_topk(&self, data: DenseDataset) -> SegmentedTopKIndex<PStableL2, L2> {
+        let ids: Vec<PointId> = (0..data.len() as PointId).collect();
+        SegmentedTopKIndex::build_bulk(data, &ids, self.assignment(), self.schedule(), |_, r| {
+            self.level_builder(r)
+        })
     }
 
     /// Fails fast when a snapshot's manifest disagrees with this

@@ -142,8 +142,8 @@ fn invert_owners(owners: &[Vec<PointId>], n: usize) -> Vec<PointId> {
 /// Clears and returns the engine's merge accumulator for `config`,
 /// recreating it only when the config changes between indexes (the
 /// sharded twin of `QueryEngine::accumulator`, shared by the rNNR and
-/// top-k engines).
-fn ensure_accumulator(
+/// top-k engines here and by the segmented engines).
+pub(crate) fn ensure_accumulator(
     slot: &mut Option<MergeAccumulator>,
     config: hlsh_hll::HllConfig,
 ) -> &mut MergeAccumulator {

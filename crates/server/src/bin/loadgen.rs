@@ -7,7 +7,8 @@
 //!     [--requests N] [--rate F] [--radius F] [--k N] \
 //!     [--sweep-clients A,B,C] [--sweep-requests N] [--sweep-batch N] \
 //!     [--n N] [--dim N] [--seed N] [--queries N] \
-//!     [--warmup N] [--connect-timeout-secs N] [--json PATH]
+//!     [--warmup N] [--connect-timeout-secs N] [--json PATH] \
+//!     [--churn N [--churn-batch N]]
 //! ```
 //!
 //! Query vectors are drawn from the same `benchmark_mixture` corpus
@@ -35,11 +36,32 @@
 //! count for percentile stability) of `--sweep-batch` queries each, at
 //! the shared `--rate` schedule. This is how the reactor's
 //! high-connection behaviour is measured into `BENCH_serve.json`.
+//!
+//! # Churn mode
+//!
+//! `--churn N` (against a `serve --live` process with matching
+//! `--n/--dim/--seed/--radius`) replaces the latency phases with a
+//! mutation workload: `N` insert/delete frames of `--churn-batch` ops
+//! each, chosen by a seeded deterministic stream, while a second
+//! connection issues queries concurrently. The generator mirrors every
+//! mutation locally, and when the churn drains it rebuilds the
+//! surviving corpus from scratch in process and asserts the server's
+//! rNNR and top-k answers over the whole query pool are
+//! **byte-identical** to the rebuild (distances compared bit for bit).
+//! On success it prints a `churn verify: OK` line (what CI greps for);
+//! any divergence panics with the offending query. `--json PATH`
+//! writes a churn record instead of the latency record.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
+use hlsh_core::{
+    MixturePreset, SegmentedIndex, SegmentedQueryEngine, SegmentedTopKEngine, SegmentedTopKIndex,
+    Strategy,
+};
 use hlsh_datagen::benchmark_mixture;
-use hlsh_server::Client;
+use hlsh_server::{Client, ServerInfo};
+use hlsh_vec::{DenseDataset, PointId};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -67,6 +89,8 @@ struct Args {
     sweep_clients: Vec<usize>,
     sweep_requests: usize,
     sweep_batch: usize,
+    churn: usize,
+    churn_batch: usize,
 }
 
 fn parse_args() -> Args {
@@ -89,6 +113,8 @@ fn parse_args() -> Args {
         sweep_clients: Vec::new(),
         sweep_requests: 768,
         sweep_batch: 16,
+        churn: 0,
+        churn_batch: 8,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -142,9 +168,11 @@ fn parse_args() -> Args {
             }
             "--sweep-requests" => out.sweep_requests = grab!("--sweep-requests").max(1),
             "--sweep-batch" => out.sweep_batch = grab!("--sweep-batch").max(1),
+            "--churn" => out.churn = grab!("--churn"),
+            "--churn-batch" => out.churn_batch = grab!("--churn-batch").max(1),
             other => {
                 eprintln!(
-                    "unknown flag {other:?}\nusage: loadgen [--addr HOST:PORT] [--mode closed|open] [--clients N] [--batch N] [--requests N] [--rate F] [--radius F] [--k N] [--sweep-clients A,B,C] [--sweep-requests N] [--sweep-batch N] [--n N] [--dim N] [--seed N] [--queries N] [--warmup N] [--connect-timeout-secs N] [--json PATH]"
+                    "unknown flag {other:?}\nusage: loadgen [--addr HOST:PORT] [--mode closed|open] [--clients N] [--batch N] [--requests N] [--rate F] [--radius F] [--k N] [--sweep-clients A,B,C] [--sweep-requests N] [--sweep-batch N] [--n N] [--dim N] [--seed N] [--queries N] [--warmup N] [--connect-timeout-secs N] [--json PATH] [--churn N [--churn-batch N]]"
                 );
                 std::process::exit(2);
             }
@@ -269,6 +297,191 @@ fn run_phase(args: &Args, pool: &[Vec<f32>], k: usize) -> PhaseResult {
     }
 }
 
+/// xorshift64* — a deterministic op stream with no external crates;
+/// the `--seed` makes a churn run exactly reproducible.
+struct Churn(u64);
+
+impl Churn {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Mutation workload against a `serve --live` process, then the
+/// byte-identity check: rebuild the surviving corpus in process and
+/// compare every pooled query's rNNR ids and top-k `(id, distance)`
+/// pairs (bit for bit) against the server's answers.
+fn run_churn(args: &Args, pool: &[Vec<f32>], data: &DenseDataset, info: &ServerInfo) {
+    let deadline = Duration::from_secs(args.connect_timeout_secs);
+    let mut client = Client::connect_retry(args.addr.as_str(), deadline)
+        .unwrap_or_else(|e| panic!("cannot connect to {}: {e}", args.addr));
+
+    // Local mirror of the server's live set: the original corpus under
+    // ids 0..n, extended/shrunk in lockstep with every acked frame.
+    let mut live: Vec<(PointId, Vec<f32>)> =
+        (0..args.n).map(|i| (i as PointId, data.row(i).to_vec())).collect();
+    let mut next_id = args.n as PointId;
+    let mut rng = Churn(args.seed | 1);
+    let (mut inserts, mut deletes) = (0usize, 0usize);
+    let mut mut_lat: Vec<u64> = Vec::with_capacity(args.churn);
+
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let interleaved = std::thread::scope(|scope| {
+        // Query pressure on a second connection, concurrent with the
+        // mutations (answers are discarded; each one is linearized
+        // against the index write lock at some point of the churn).
+        let bg = scope.spawn(|| {
+            let mut qc = Client::connect_retry(args.addr.as_str(), deadline)
+                .unwrap_or_else(|e| panic!("cannot connect to {}: {e}", args.addr));
+            let mut issued = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let q = std::slice::from_ref(&pool[issued % pool.len()]);
+                qc.query_batch(q, args.radius).unwrap_or_else(|e| panic!("churn query: {e}"));
+                issued += 1;
+            }
+            issued
+        });
+        for _ in 0..args.churn {
+            let b = args.churn_batch;
+            let t = Instant::now();
+            // Insert-biased only when the live set runs low, so the
+            // delete arm can always pick `b` distinct live ids.
+            if rng.below(2) == 0 || live.len() <= b {
+                let ids: Vec<PointId> = (0..b as PointId).map(|j| next_id + j).collect();
+                let points: Vec<Vec<f32>> =
+                    (0..b).map(|_| data.row(rng.below(args.n)).to_vec()).collect();
+                let acked = client
+                    .insert_batch(&ids, &points)
+                    .unwrap_or_else(|e| panic!("churn insert: {e}"));
+                assert_eq!(acked as usize, b, "server acked a partial insert batch");
+                next_id += b as PointId;
+                live.extend(ids.into_iter().zip(points));
+                inserts += b;
+            } else {
+                let ids: Vec<PointId> =
+                    (0..b).map(|_| live.swap_remove(rng.below(live.len())).0).collect();
+                let acked =
+                    client.delete_batch(&ids).unwrap_or_else(|e| panic!("churn delete: {e}"));
+                assert_eq!(acked as usize, b, "server acked a partial delete batch");
+                deletes += b;
+            }
+            mut_lat.push(t.elapsed().as_micros() as u64);
+        }
+        stop.store(true, Ordering::Relaxed);
+        bg.join().expect("churn query thread panicked")
+    });
+    let churn_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "churn: {} mutation frame(s) ({inserts} inserts, {deletes} deletes) with \
+         {interleaved} interleaved query frame(s) in {churn_ms:.1} ms",
+        args.churn,
+    );
+
+    // Rebuild the survivors from scratch with the serving parameters —
+    // the living index's contract is byte-identity with exactly this.
+    let preset = MixturePreset {
+        n: args.n,
+        dim: args.dim,
+        seed: args.seed,
+        shards: (info.shards as usize).max(1),
+        levels: (info.topk_levels as usize).max(1),
+        radius: args.radius,
+    };
+    let ids: Vec<PointId> = live.iter().map(|(id, _)| *id).collect();
+    let dataset = DenseDataset::from_rows(args.dim, live.iter().map(|(_, v)| v.as_slice()));
+    let t1 = Instant::now();
+    let oracle = SegmentedIndex::build_bulk(
+        dataset.clone(),
+        &ids,
+        preset.assignment(),
+        preset.rnnr_builder(),
+    );
+
+    let served =
+        client.query_batch(pool, args.radius).unwrap_or_else(|e| panic!("post-churn rnnr: {e}"));
+    let mut engine = SegmentedQueryEngine::new();
+    for (qi, (got, q)) in served.iter().zip(pool).enumerate() {
+        let want = engine.query_with_strategy(&oracle, q, args.radius, Strategy::Hybrid).ids;
+        assert_eq!(*got, want, "churn verify: rNNR divergence from the rebuild at query {qi}");
+    }
+
+    let mut topk_checked = 0usize;
+    if args.k > 0 && info.topk_levels > 0 {
+        let oracle = SegmentedTopKIndex::build_bulk(
+            dataset,
+            &ids,
+            preset.assignment(),
+            preset.schedule(),
+            |_, r| preset.level_builder(r),
+        );
+        let served = client
+            .query_topk_batch(pool, args.k)
+            .unwrap_or_else(|e| panic!("post-churn topk: {e}"));
+        let mut engine = SegmentedTopKEngine::new();
+        for (qi, (got, q)) in served.iter().zip(pool).enumerate() {
+            let want: Vec<(PointId, f64)> = engine
+                .query_topk(&oracle, q, args.k)
+                .neighbors
+                .iter()
+                .map(|n| (n.id, n.dist))
+                .collect();
+            let bitwise = got.len() == want.len()
+                && got
+                    .iter()
+                    .zip(&want)
+                    .all(|((gi, gd), (wi, wd))| gi == wi && gd.to_bits() == wd.to_bits());
+            assert!(
+                bitwise,
+                "churn verify: top-k divergence from the rebuild at query {qi}:\n  \
+                 server {got:?}\n  rebuild {want:?}"
+            );
+        }
+        topk_checked = pool.len();
+    }
+    let verify_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "churn verify: OK — {} rNNR and {topk_checked} top-k queries byte-identical to a \
+         fresh rebuild on {} survivors ({verify_ms:.1} ms)",
+        pool.len(),
+        ids.len(),
+    );
+
+    if let Some(path) = &args.json {
+        mut_lat.sort_unstable();
+        let json = format!(
+            "{{\n  \"bench\": \"churn\",\n  \"command\": \"cargo run --release -p hlsh-server --bin loadgen -- --churn\",\n  \"params\": {{ \"churn\": {}, \"churn_batch\": {}, \"n\": {}, \"dim\": {}, \"seed\": {}, \"radius\": {}, \"k\": {} }},\n  \"server\": {{ \"points\": {}, \"dim\": {}, \"shards\": {}, \"topk_levels\": {} }},\n  \"ops\": {{ \"inserts\": {inserts}, \"deletes\": {deletes}, \"interleaved_queries\": {interleaved} }},\n  \"survivors\": {},\n  \"churn_ms\": {churn_ms:.1},\n  \"verify_ms\": {verify_ms:.1},\n  \"mutation_p50_us\": {},\n  \"mutation_p99_us\": {},\n  \"mutation_max_us\": {},\n  \"rnnr_queries_checked\": {},\n  \"topk_queries_checked\": {topk_checked},\n  \"verified\": true\n}}\n",
+            args.churn,
+            args.churn_batch,
+            args.n,
+            args.dim,
+            args.seed,
+            args.radius,
+            args.k,
+            info.points,
+            info.dim,
+            info.shards,
+            info.topk_levels,
+            ids.len(),
+            percentile(&mut_lat, 50.0),
+            percentile(&mut_lat, 99.0),
+            mut_lat.last().copied().unwrap_or(0),
+            pool.len(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("\nwrote {path}");
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -277,7 +490,6 @@ fn main() {
     let (data, _) = benchmark_mixture(args.dim, args.n, args.radius, args.seed);
     let stride = args.n / args.queries;
     let pool: Vec<Vec<f32>> = (0..args.queries).map(|i| data.row(i * stride).to_vec()).collect();
-    drop(data);
 
     let mut probe =
         Client::connect_retry(args.addr.as_str(), Duration::from_secs(args.connect_timeout_secs))
@@ -293,6 +505,12 @@ fn main() {
         "server at {}: {} points, dim {}, {} shard(s), {} top-k level(s)",
         args.addr, info.points, info.dim, info.shards, info.topk_levels
     );
+
+    if args.churn > 0 {
+        run_churn(&args, &pool, &data, &info);
+        return;
+    }
+    drop(data);
 
     let mut results = vec![run_phase(&args, &pool, 0)];
     if args.k > 0 && info.topk_levels > 0 {

@@ -12,7 +12,8 @@
 //!     [--deadline-ms N] [--threads N] \
 //!     [--max-frame-mb N] [--shard-deadline-ms N] \
 //!     [--connect-timeout-secs N] \
-//!     [--snapshot-save PATH] [--snapshot-load PATH [--load-mode MODE]]
+//!     [--snapshot-save PATH] [--snapshot-load PATH [--load-mode MODE]] \
+//!     [--live]
 //! ```
 //!
 //! # Admission window
@@ -50,12 +51,23 @@
 //! `--load-mode read|mmap|mmap-verify|auto` picks how sections are
 //! materialised (default `read`); `auto` lets the storage-aware load
 //! planner choose from the file's layout and the medium's cached or
-//! probed profile, and the resolved plan is logged. The older `--mmap`
-//! flag is kept as a deprecated alias for `--load-mode mmap`. The
-//! manifest is checked against the CLI parameters *before* any section
-//! is read, so a stale or mismatched file fails fast with a
-//! parameter-by-parameter message instead of silently serving the
-//! wrong index.
+//! probed profile, and the resolved plan is logged. The manifest is
+//! checked against the CLI parameters *before* any section is read, so
+//! a stale or mismatched file fails fast with a parameter-by-parameter
+//! message instead of silently serving the wrong index.
+//!
+//! # Living index
+//!
+//! `--live` (standalone only) builds the same corpus into LSM-style
+//! [`SegmentedIndex`](hlsh_core::SegmentedIndex) /
+//! [`SegmentedTopKIndex`](hlsh_core::SegmentedTopKIndex) structures
+//! and serves them through
+//! [`LiveLshService`]: the server then
+//! accepts `Insert`/`Delete` frames, and every query remains
+//! byte-identical to an index rebuilt from scratch on the surviving
+//! points. Segmented indexes have no snapshot format, so `--live`
+//! rejects the snapshot flags; shard and coordinator roles refuse
+//! mutation with a typed error regardless.
 //!
 //! # Distributed roles
 //!
@@ -75,8 +87,8 @@ use hlsh_core::{load_snapshot, read_manifest, save_snapshot, LoadMode, MixturePr
 use hlsh_datagen::benchmark_mixture;
 use hlsh_families::PStableL2;
 use hlsh_server::{
-    AdmissionWindow, Coordinator, CoordinatorConfig, QueryService, ServerConfig, ShardNodeService,
-    ShardedLshService,
+    AdmissionWindow, Coordinator, CoordinatorConfig, LiveLshService, QueryService, ServerConfig,
+    ShardNodeService, ShardedLshService,
 };
 use hlsh_vec::L2;
 
@@ -111,10 +123,11 @@ struct Args {
     snapshot_save: Option<String>,
     snapshot_load: Option<String>,
     load_mode: Option<LoadMode>,
-    mmap: bool,
+    live: bool,
 }
 
-const USAGE: &str = "usage: serve [--role standalone|shard|coordinator] [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N|ADDR,ADDR,...] [--shard-id N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--max-window-us N] [--max-conns N] [--idle-timeout-ms N] [--deadline-ms N] [--threads N] [--max-frame-mb N] [--shard-deadline-ms N] [--connect-timeout-secs N] [--snapshot-save PATH] [--snapshot-load PATH [--load-mode read|mmap|mmap-verify|auto]]
+const USAGE: &str = "usage: serve [--role standalone|shard|coordinator] [--addr HOST] [--port N] [--n N] [--dim N] [--seed N] [--shards N|ADDR,ADDR,...] [--shard-id N] [--levels N] [--no-topk] [--radius F] [--batch-window-us N] [--max-window-us N] [--max-conns N] [--idle-timeout-ms N] [--deadline-ms N] [--threads N] [--max-frame-mb N] [--shard-deadline-ms N] [--connect-timeout-secs N] [--snapshot-save PATH] [--snapshot-load PATH [--load-mode read|mmap|mmap-verify|auto]] [--live]
+  --live (standalone only) serves an LSM-segmented living index that accepts Insert/Delete frames; queries stay byte-identical to a rebuild on the surviving points. Incompatible with the snapshot flags.
   admission window: adaptive by default (linger tracks the arrival rate, capped by --max-window-us, default 1000).
   --batch-window-us N pins a fixed window instead (0 = drain immediately) — existing scripts passing it behave exactly as before; drop the flag to opt into adaptation. Nothing is deprecated.
   governance: --max-conns (default 1024) rejects excess connections with a Busy frame; --idle-timeout-ms (default 60000, 0 = off) evicts stalled connections; --deadline-ms (default 0 = off) expires queued requests with a Deadline frame without closing their connection.";
@@ -140,7 +153,7 @@ fn parse_args() -> Args {
         snapshot_save: None,
         snapshot_load: None,
         load_mode: None,
-        mmap: false,
+        live: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -193,7 +206,7 @@ fn parse_args() -> Args {
                 out.load_mode =
                     Some(value.parse().unwrap_or_else(|e| panic!("--load-mode {value:?}: {e}")))
             }
-            "--mmap" => out.mmap = true,
+            "--live" => out.live = true,
             other => {
                 eprintln!("unknown flag {other:?}\n{USAGE}");
                 std::process::exit(2);
@@ -204,13 +217,21 @@ fn parse_args() -> Args {
         eprintln!("--snapshot-save and --snapshot-load are mutually exclusive");
         std::process::exit(2);
     }
-    if (out.mmap || out.load_mode.is_some()) && out.snapshot_load.is_none() {
-        eprintln!("--mmap/--load-mode only make sense with --snapshot-load");
+    if out.load_mode.is_some() && out.snapshot_load.is_none() {
+        eprintln!("--load-mode only makes sense with --snapshot-load");
         std::process::exit(2);
     }
-    if out.mmap && out.load_mode.is_some() {
-        eprintln!("--mmap is a deprecated alias for --load-mode mmap; pass only one of them");
-        std::process::exit(2);
+    if out.live {
+        if out.role != Role::Standalone {
+            eprintln!("--live only applies to --role standalone (shard nodes and coordinators refuse mutation)");
+            std::process::exit(2);
+        }
+        if out.snapshot_save.is_some() || out.snapshot_load.is_some() {
+            eprintln!(
+                "--live is incompatible with snapshots (segmented indexes have no snapshot format)"
+            );
+            std::process::exit(2);
+        }
     }
     match out.role {
         Role::Standalone | Role::Shard => {
@@ -265,6 +286,9 @@ fn main() {
     if args.role == Role::Coordinator {
         run_coordinator(&args);
     }
+    if args.live {
+        run_live(&args);
+    }
     let preset = args.preset;
 
     let (rnnr, topk) = if let Some(path) = &args.snapshot_load {
@@ -274,12 +298,7 @@ fn main() {
         if let Err(mismatches) = preset.check_manifest(&manifest, args.topk) {
             fatal(&format!("snapshot {path} disagrees with CLI parameters: {mismatches}"));
         }
-        let mode = args.load_mode.unwrap_or(if args.mmap {
-            eprintln!("note: --mmap is deprecated; use --load-mode mmap");
-            LoadMode::Mmap
-        } else {
-            LoadMode::Read
-        });
+        let mode = args.load_mode.unwrap_or(LoadMode::Read);
         let t0 = Instant::now();
         let loaded = load_snapshot::<PStableL2, L2>(path.as_ref(), mode)
             .unwrap_or_else(|e| fatal(&format!("cannot load snapshot {path}: {e}")));
@@ -355,6 +374,43 @@ fn main() {
     std::io::stdout().flush().ok();
 
     // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Builds the mixture corpus into LSM-segmented (living) indexes and
+/// serves them — the only deployment that accepts `Insert`/`Delete`
+/// frames.
+fn run_live(args: &Args) -> ! {
+    let preset = args.preset;
+    eprintln!(
+        "building living mixture corpus n={} dim={} seed={} (shards={}, topk={})…",
+        preset.n, preset.dim, preset.seed, preset.shards, args.topk
+    );
+    let (data, _) = benchmark_mixture(preset.dim, preset.n, preset.radius, preset.seed);
+    let rnnr = preset.build_live_rnnr(data);
+    let topk = args.topk.then(|| {
+        let (data, _) = benchmark_mixture(preset.dim, preset.n, preset.radius, preset.seed);
+        preset.build_live_topk(data)
+    });
+    let topk_levels = if topk.is_some() { preset.levels } else { 0 };
+    let service = Arc::new(LiveLshService::new(rnnr, topk));
+    let server = hlsh_server::spawn(service, (args.addr.as_str(), args.port), server_config(args))
+        .unwrap_or_else(|e| panic!("cannot bind {}:{}: {e}", args.addr, args.port));
+
+    use std::io::Write as _;
+    println!(
+        "hlsh-server listening on {} (n={}, dim={}, shards={}, topk_levels={}, batch_window={}, role=live)",
+        server.local_addr(),
+        preset.n,
+        preset.dim,
+        preset.shards,
+        topk_levels,
+        window_tag(args),
+    );
+    std::io::stdout().flush().ok();
+
     loop {
         std::thread::park();
     }

@@ -178,4 +178,37 @@ impl Client {
             other => Err(ClientError::Protocol(format!("expected topk response, got {other:?}"))),
         }
     }
+
+    /// Inserts `ids[i]` ↦ `points[i]` into a living index,
+    /// all-or-nothing: on [`ErrorCode::DimMismatch`] /
+    /// [`ErrorCode::DuplicateId`] (surfaced as
+    /// [`ClientError::Server`]) nothing was applied and the connection
+    /// stays usable. Returns the number inserted.
+    ///
+    /// # Panics
+    /// Panics if `ids` and `points` differ in length.
+    pub fn insert_batch(
+        &mut self,
+        ids: &[PointId],
+        points: &[Vec<f32>],
+    ) -> Result<u32, ClientError> {
+        assert_eq!(ids.len(), points.len(), "one id per inserted point");
+        let dim = points.first().map_or(0, Vec::len);
+        let req = Request::Insert { ids: ids.to_vec(), points: QueryBlock::pack(points, dim) };
+        match self.roundtrip(&req)? {
+            Response::Inserted(count) => Ok(count),
+            other => Err(ClientError::Protocol(format!("expected insert ack, got {other:?}"))),
+        }
+    }
+
+    /// Deletes these ids from a living index, all-or-nothing: on
+    /// [`ErrorCode::UnknownId`] nothing was applied and the connection
+    /// stays usable. Returns the number deleted.
+    pub fn delete_batch(&mut self, ids: &[PointId]) -> Result<u32, ClientError> {
+        let req = Request::Delete { ids: ids.to_vec() };
+        match self.roundtrip(&req)? {
+            Response::Deleted(count) => Ok(count),
+            other => Err(ClientError::Protocol(format!("expected delete ack, got {other:?}"))),
+        }
+    }
 }

@@ -109,4 +109,4 @@ pub use protocol::{
 pub use server::{
     spawn, AdmissionWindow, QueryService, ServerConfig, ServerHandle, ServerStats, ServiceError,
 };
-pub use service::{ShardNodeService, ShardedLshService};
+pub use service::{LiveLshService, ShardNodeService, ShardedLshService};

@@ -51,12 +51,20 @@ pub mod kind {
     pub const TOPK: u8 = 0x02;
     /// Server/index metadata request (empty body).
     pub const INFO: u8 = 0x03;
+    /// Batch point-insertion request (living-index mutation).
+    pub const INSERT: u8 = 0x04;
+    /// Batch point-deletion request (living-index mutation).
+    pub const DELETE: u8 = 0x05;
     /// rNNR batch response.
     pub const RNNR_RESP: u8 = 0x81;
     /// Top-k batch response.
     pub const TOPK_RESP: u8 = 0x82;
     /// Metadata response.
     pub const INFO_RESP: u8 = 0x83;
+    /// Insertion acknowledgement.
+    pub const INSERT_RESP: u8 = 0x84;
+    /// Deletion acknowledgement.
+    pub const DELETE_RESP: u8 = 0x85;
     /// Error response.
     pub const ERROR: u8 = 0x7F;
 
@@ -118,6 +126,12 @@ pub enum ErrorCode {
     /// verdict: the connection stays open and later requests on it are
     /// served normally.
     Deadline = 11,
+    /// A [`Request::Delete`] named an id that is not live in the index
+    /// (never inserted, or already deleted). Nothing was applied.
+    UnknownId = 12,
+    /// A [`Request::Insert`] named an id that is already live in the
+    /// index (or repeated an id within the batch). Nothing was applied.
+    DuplicateId = 13,
 }
 
 impl ErrorCode {
@@ -135,6 +149,8 @@ impl ErrorCode {
             9 => Self::Unavailable,
             10 => Self::Busy,
             11 => Self::Deadline,
+            12 => Self::UnknownId,
+            13 => Self::DuplicateId,
             _ => return None,
         })
     }
@@ -284,6 +300,26 @@ pub enum Request {
     },
     /// [`kind::INFO`] — index metadata. Empty body.
     Info,
+    /// [`kind::INSERT`] — add points under caller-chosen global ids.
+    /// Body: `dim u32, count u32, count × u32 ids, count·dim × f32`
+    /// (row `i` of the block carries `ids[i]`'s vector). The batch is
+    /// all-or-nothing: the server validates every row first and
+    /// answers [`ErrorCode::DimMismatch`] / [`ErrorCode::DuplicateId`]
+    /// without applying anything on failure.
+    Insert {
+        /// One global id per inserted row.
+        ids: Vec<u32>,
+        /// The point vectors, `ids.len() × dim` row-major.
+        points: QueryBlock,
+    },
+    /// [`kind::DELETE`] — remove the points with these global ids.
+    /// Body: `count u32, count × u32 ids`. All-or-nothing like
+    /// [`Request::Insert`]: any id not live (or repeated in the batch)
+    /// answers [`ErrorCode::UnknownId`] with nothing applied.
+    Delete {
+        /// The global ids to delete.
+        ids: Vec<u32>,
+    },
 }
 
 /// Index metadata answered to [`Request::Info`].
@@ -314,6 +350,13 @@ pub enum Response {
     /// [`kind::INFO_RESP`] — body: `points u64, dim u32, shards u32,
     /// topk_levels u32`.
     Info(ServerInfo),
+    /// [`kind::INSERT_RESP`] — body: `count u32`, the number of points
+    /// just inserted (always the full batch; partial application never
+    /// happens).
+    Inserted(u32),
+    /// [`kind::DELETE_RESP`] — body: `count u32`, the number of points
+    /// just deleted (always the full batch).
+    Deleted(u32),
     /// [`kind::ERROR`] — body: `code u16, msg_len u16, msg_len × u8`
     /// (UTF-8 diagnostic, never required for correct operation).
     Error {
@@ -762,6 +805,10 @@ fn encode_block(e: &mut Enc, b: &QueryBlock) {
 
 impl Request {
     /// Encodes the request as one complete frame.
+    ///
+    /// # Panics
+    /// Panics if a [`Request::Insert`]'s id count differs from its
+    /// block's row count (a programming error, not a wire condition).
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc(Vec::new());
         let kind = match self {
@@ -776,6 +823,23 @@ impl Request {
                 kind::TOPK
             }
             Request::Info => kind::INFO,
+            Request::Insert { ids, points } => {
+                assert_eq!(ids.len(), points.count(), "one id per inserted row");
+                e.u32(points.dim);
+                e.u32(ids.len() as u32);
+                for &id in ids {
+                    e.u32(id);
+                }
+                e.f32s(&points.data);
+                kind::INSERT
+            }
+            Request::Delete { ids } => {
+                e.u32(ids.len() as u32);
+                for &id in ids {
+                    e.u32(id);
+                }
+                kind::DELETE
+            }
         };
         frame(kind, &e.0)
     }
@@ -817,6 +881,14 @@ impl Response {
                 e.u32(info.shards);
                 e.u32(info.topk_levels);
                 kind::INFO_RESP
+            }
+            Response::Inserted(count) => {
+                e.u32(*count);
+                kind::INSERT_RESP
+            }
+            Response::Deleted(count) => {
+                e.u32(*count);
+                kind::DELETE_RESP
             }
             Response::Error { code, message } => {
                 let msg = message.as_bytes();
@@ -906,10 +978,37 @@ pub fn decode_request(kind: u8, body: &[u8]) -> Result<Request, WireError> {
             Request::TopK { k, queries: decode_block(&mut d)? }
         }
         kind::INFO => Request::Info,
+        kind::INSERT => {
+            let dim = d.u32("insert dim")?;
+            let count = d.u32("insert count")?;
+            if dim == 0 && count > 0 {
+                return Err(WireError::Malformed("zero-dim insert with nonzero count"));
+            }
+            let ids = decode_ids(&mut d, count, "insert ids")?;
+            let bytes = (dim as usize)
+                .checked_mul(count as usize)
+                .and_then(|floats| floats.checked_mul(4))
+                .ok_or(WireError::Malformed("insert block size"))?;
+            let raw = d.take(bytes, "insert points")?;
+            let data =
+                raw.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect();
+            Request::Insert { ids, points: QueryBlock { dim, data } }
+        }
+        kind::DELETE => {
+            let count = d.u32("delete count")?;
+            Request::Delete { ids: decode_ids(&mut d, count, "delete ids")? }
+        }
         other => return Err(WireError::UnknownKind(other)),
     };
     d.finish("trailing bytes after request body")?;
     Ok(req)
+}
+
+/// Reads `count` little-endian u32 ids with overflow-checked sizing.
+fn decode_ids(d: &mut Dec<'_>, count: u32, what: &'static str) -> Result<Vec<u32>, WireError> {
+    let bytes = (count as usize).checked_mul(4).ok_or(WireError::Malformed(what))?;
+    let raw = d.take(bytes, what)?;
+    Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
 }
 
 /// Decodes a response frame body; `kind` is the header's kind byte.
@@ -951,6 +1050,8 @@ pub fn decode_response(kind: u8, body: &[u8]) -> Result<Response, WireError> {
             shards: d.u32("info shards")?,
             topk_levels: d.u32("info levels")?,
         }),
+        kind::INSERT_RESP => Response::Inserted(d.u32("insert ack count")?),
+        kind::DELETE_RESP => Response::Deleted(d.u32("delete ack count")?),
         kind::ERROR => {
             let raw = d.u16("error code")?;
             let code = ErrorCode::from_u16(raw).ok_or(WireError::Malformed("error code"))?;
@@ -1028,6 +1129,10 @@ mod tests {
             Request::Rnnr { radius: 1.5, queries: QueryBlock::pack(&qs, 2) },
             Request::TopK { k: 10, queries: QueryBlock::pack(&qs, 2) },
             Request::Info,
+            Request::Insert { ids: vec![40, 7], points: QueryBlock::pack(&qs, 2) },
+            Request::Insert { ids: vec![], points: QueryBlock::pack(&[], 2) },
+            Request::Delete { ids: vec![3, 1, 4] },
+            Request::Delete { ids: vec![] },
         ] {
             let bytes = req.encode();
             let (kind, body) = strip(&bytes);
@@ -1041,7 +1146,11 @@ mod tests {
             Response::Rnnr(vec![vec![3, 1, 4], vec![], vec![9]]),
             Response::TopK(vec![vec![(7, 0.125), (2, f64::INFINITY)], vec![]]),
             Response::Info(ServerInfo { points: 20_000, dim: 24, shards: 4, topk_levels: 4 }),
+            Response::Inserted(12),
+            Response::Deleted(0),
             Response::Error { code: ErrorCode::DimMismatch, message: "want 24, got 7".into() },
+            Response::Error { code: ErrorCode::UnknownId, message: "id 99 not live".into() },
+            Response::Error { code: ErrorCode::DuplicateId, message: "id 7 already live".into() },
         ] {
             let bytes = resp.encode();
             let (kind, body) = strip(&bytes);
@@ -1358,5 +1467,61 @@ mod tests {
         zero_dim.extend_from_slice(&0u32.to_le_bytes());
         zero_dim.extend_from_slice(&5u32.to_le_bytes());
         assert!(matches!(decode_request(kind::RNNR, &zero_dim), Err(WireError::Malformed(_))));
+    }
+
+    #[test]
+    fn mutation_bodies_reject_garbage() {
+        // Truncation at every byte offset of an insert body is
+        // Malformed, never a panic or a partial decode.
+        let full = Request::Insert {
+            ids: vec![40, 7],
+            points: QueryBlock::pack(&[vec![1.0f32, 2.0], vec![3.0, 4.0]], 2),
+        }
+        .encode();
+        let body = &full[12..];
+        for cut in 0..body.len() {
+            match decode_request(kind::INSERT, &body[..cut]) {
+                Err(WireError::Malformed(_)) => {}
+                other => panic!("cut={cut}: {other:?}"),
+            }
+        }
+        // ... and trailing bytes are rejected, not ignored.
+        let mut padded = body.to_vec();
+        padded.push(0);
+        assert!(matches!(decode_request(kind::INSERT, &padded), Err(WireError::Malformed(_))));
+
+        let full = Request::Delete { ids: vec![3, 1, 4] }.encode();
+        let body = &full[12..];
+        for cut in 0..body.len() {
+            match decode_request(kind::DELETE, &body[..cut]) {
+                Err(WireError::Malformed(_)) => {}
+                other => panic!("cut={cut}: {other:?}"),
+            }
+        }
+        let mut padded = body.to_vec();
+        padded.push(0);
+        assert!(matches!(decode_request(kind::DELETE, &padded), Err(WireError::Malformed(_))));
+
+        // Overflowing id / point block sizes must not allocate.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&u32::MAX.to_le_bytes()); // delete count
+        assert!(matches!(decode_request(kind::DELETE, &evil), Err(WireError::Malformed(_))));
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&u32::MAX.to_le_bytes()); // insert dim
+        evil.extend_from_slice(&u32::MAX.to_le_bytes()); // insert count
+        assert!(matches!(decode_request(kind::INSERT, &evil), Err(WireError::Malformed(_))));
+
+        // Zero-dim inserts with rows would break the one-id-per-row
+        // pairing downstream; reject at decode like query blocks do.
+        let mut zero_dim = Vec::new();
+        zero_dim.extend_from_slice(&0u32.to_le_bytes());
+        zero_dim.extend_from_slice(&2u32.to_le_bytes());
+        zero_dim.extend_from_slice(&[0u8; 8]); // the two ids
+        assert!(matches!(decode_request(kind::INSERT, &zero_dim), Err(WireError::Malformed(_))));
+
+        // The mutation error codes survive the wire.
+        for code in [ErrorCode::UnknownId, ErrorCode::DuplicateId] {
+            assert_eq!(ErrorCode::from_u16(code as u16), Some(code));
+        }
     }
 }

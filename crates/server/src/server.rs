@@ -574,8 +574,9 @@ impl EventLoop {
 
     /// Routes one decoded frame. Metadata and validation errors are
     /// answered inline; query traffic is admitted to the batcher;
-    /// shard-extension traffic runs on a detached worker thread so a
-    /// coordinator's multi-second fan-out never stalls the loop.
+    /// shard-extension traffic and index mutations run on detached
+    /// worker threads so a coordinator's multi-second fan-out (or a
+    /// write-locked flush/merge) never stalls the loop.
     fn dispatch(&mut self, token: u64, kind: u8, body: Vec<u8>) {
         if protocol::kind::is_shard_request(kind) {
             let Some(state) = self.conns.get_mut(&token) else { return };
@@ -633,6 +634,38 @@ impl EventLoop {
                     );
                 }
                 (JobKind::TopK { k }, queries)
+            }
+            // Mutations bypass the admission batcher: they take the
+            // index's write lock, so holding them on the loop thread
+            // would stall connection I/O for the whole flush/merge.
+            // Like shard fan-outs, they run detached and complete
+            // through the response slot reserved here — so pipelined
+            // responses still come back in request order.
+            Ok(Request::Insert { ids, points }) => {
+                let Some(state) = self.conns.get_mut(&token) else { return };
+                let seq = state.conn.slots.alloc();
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || {
+                    let frame = match shared.service.insert_batch(&ids, &points) {
+                        Ok(count) => Response::Inserted(count).encode(),
+                        Err(e) => Response::Error { code: e.code, message: e.message }.encode(),
+                    };
+                    shared.complete(vec![Completion { conn: token, seq, frame }]);
+                });
+                return;
+            }
+            Ok(Request::Delete { ids }) => {
+                let Some(state) = self.conns.get_mut(&token) else { return };
+                let seq = state.conn.slots.alloc();
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || {
+                    let frame = match shared.service.delete_batch(&ids) {
+                        Ok(count) => Response::Deleted(count).encode(),
+                        Err(e) => Response::Error { code: e.code, message: e.message }.encode(),
+                    };
+                    shared.complete(vec![Completion { conn: token, seq, frame }]);
+                });
+                return;
             }
         };
         if queries.count() == 0 {

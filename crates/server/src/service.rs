@@ -2,7 +2,7 @@
 //! wire to the in-process batch engines.
 //!
 //! The trait (and [`ServiceError`], its failure type) is what the
-//! event-loop server in [`crate::server`] executes against; two
+//! event-loop server in [`crate::server`] executes against; three
 //! deployments implement it here:
 //!
 //! * [`ShardedLshService`] — the standalone server: answers client
@@ -12,8 +12,17 @@
 //!   frames (`0x10..=0x1F`) a
 //!   [`Coordinator`](crate::coordinator::Coordinator) uses to fan one
 //!   logical query across machines.
+//! * [`LiveLshService`] — the living index: LSM-segmented indexes
+//!   behind a reader-writer lock, accepting `Insert`/`Delete` frames
+//!   while queries stay byte-identical to a rebuild on the surviving
+//!   points.
 
-use hlsh_core::{FrozenStore, ShardedIndex, ShardedTopKIndex, Strategy};
+use std::sync::RwLock;
+
+use hlsh_core::{
+    FrozenStore, SegmentedIndex, SegmentedQueryEngine, SegmentedTopKEngine, SegmentedTopKIndex,
+    ShardedIndex, ShardedTopKIndex, Strategy,
+};
 use hlsh_families::LshFamily;
 use hlsh_vec::{Distance, PointId, PointSet};
 
@@ -57,6 +66,28 @@ impl ServiceError {
     /// level out of range).
     pub fn malformed(message: impl Into<String>) -> Self {
         Self { code: ErrorCode::Malformed, message: message.into() }
+    }
+
+    /// A vector's dimensionality doesn't match the index's.
+    pub fn dim_mismatch(expected: u32, got: u32) -> Self {
+        Self {
+            code: ErrorCode::DimMismatch,
+            message: format!("index dimension is {expected}, request carries {got}"),
+        }
+    }
+
+    /// A delete named an id that is not live.
+    pub fn unknown_id(id: PointId) -> Self {
+        Self { code: ErrorCode::UnknownId, message: format!("id {id} is not live in the index") }
+    }
+
+    /// An insert named an id that is already live (or repeated one
+    /// within the batch).
+    pub fn duplicate_id(id: PointId) -> Self {
+        Self {
+            code: ErrorCode::DuplicateId,
+            message: format!("id {id} is already live in the index"),
+        }
     }
 }
 
@@ -119,6 +150,26 @@ pub trait QueryService: Send + Sync + 'static {
     ) -> Result<ShardResponse, ServiceError> {
         let _ = (request, threads);
         Err(ServiceError::unsupported("this server is not a shard node"))
+    }
+
+    /// Inserts `ids[i]` ↦ row `i` of `points`, all-or-nothing: on any
+    /// [`ErrorCode::DimMismatch`] / [`ErrorCode::DuplicateId`] nothing
+    /// is applied. Returns the number inserted (the full batch). The
+    /// default refuses: deployments serving a frozen corpus are not
+    /// mutable — only a living index ([`LiveLshService`]) accepts
+    /// mutations.
+    fn insert_batch(&self, ids: &[PointId], points: &QueryBlock) -> Result<u32, ServiceError> {
+        let _ = (ids, points);
+        Err(ServiceError::unsupported("this server's index is frozen; mutation needs --live"))
+    }
+
+    /// Deletes the points with these ids, all-or-nothing: on any
+    /// [`ErrorCode::UnknownId`] (not live, or repeated in the batch)
+    /// nothing is applied. Returns the number deleted. Default refuses
+    /// like [`insert_batch`](QueryService::insert_batch).
+    fn delete_batch(&self, ids: &[PointId]) -> Result<u32, ServiceError> {
+        let _ = ids;
+        Err(ServiceError::unsupported("this server's index is frozen; mutation needs --live"))
     }
 }
 
@@ -432,5 +483,199 @@ where
                 Ok(ShardResponse::Pairs(t.shard_fallback_scan_batch(shard, &rows, threads)))
             }
         }
+    }
+
+    // A shard node must never mutate its slice of the corpus out from
+    // under the coordinator — every node would need the same mutation
+    // in the same order to keep the global merge byte-identical, and
+    // this protocol has no such replication. Reject with a typed error
+    // naming the right place to mutate.
+    fn insert_batch(&self, ids: &[PointId], points: &QueryBlock) -> Result<u32, ServiceError> {
+        let _ = (ids, points);
+        Err(ServiceError::unsupported(
+            "shard nodes refuse mutation (it would desync the coordinator); \
+             mutate a standalone --live server instead",
+        ))
+    }
+
+    fn delete_batch(&self, ids: &[PointId]) -> Result<u32, ServiceError> {
+        let _ = ids;
+        Err(ServiceError::unsupported(
+            "shard nodes refuse mutation (it would desync the coordinator); \
+             mutate a standalone --live server instead",
+        ))
+    }
+}
+
+/// The living-index deployment: LSM-segmented indexes behind a
+/// reader-writer lock, so the server keeps answering queries while the
+/// corpus churns under [`Request::Insert`](crate::protocol::Request::Insert)
+/// and [`Request::Delete`](crate::protocol::Request::Delete) frames.
+///
+/// Mutations take the write lock and apply to the rNNR index and the
+/// top-k ladder (when present) in lockstep, so both always cover the
+/// same live id set. Queries take the read lock and run the segmented
+/// engines, whose answers are byte-identical to an index rebuilt from
+/// scratch on the surviving points — the contract
+/// `tests/mutable_props.rs` pins and the CI churn smoke checks over
+/// this very service.
+pub struct LiveLshService<F, D>
+where
+    F: LshFamily<[f32]>,
+    D: Distance<[f32]>,
+{
+    rnnr: RwLock<SegmentedIndex<F, D>>,
+    topk: Option<RwLock<SegmentedTopKIndex<F, D>>>,
+    dim: u32,
+}
+
+impl<F, D> LiveLshService<F, D>
+where
+    F: LshFamily<[f32]>,
+    D: Distance<[f32]>,
+{
+    /// Wraps segmented indexes for serving. Both must be built over
+    /// the same corpus (same live ids) and the same dimensionality.
+    pub fn new(rnnr: SegmentedIndex<F, D>, topk: Option<SegmentedTopKIndex<F, D>>) -> Self {
+        let dim = rnnr.dim() as u32;
+        if let Some(t) = &topk {
+            assert_eq!(t.dim(), rnnr.dim(), "rNNR and top-k ladders must share dimensionality");
+            assert_eq!(t.len(), rnnr.len(), "rNNR and top-k indexes must cover the same data");
+        }
+        Self { rnnr: RwLock::new(rnnr), topk: topk.map(RwLock::new), dim }
+    }
+
+    /// The vector dimensionality requests are validated against.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Runs `f` over the live rNNR index under the read lock — how the
+    /// churn smoke compares served state against a rebuild oracle.
+    pub fn with_rnnr<R>(&self, f: impl FnOnce(&SegmentedIndex<F, D>) -> R) -> R {
+        f(&self.rnnr.read().expect("rnnr lock poisoned"))
+    }
+}
+
+/// Maps a core [`hlsh_core::MutationError`] onto the wire's error
+/// vocabulary.
+fn mutation_error(e: hlsh_core::MutationError) -> ServiceError {
+    match e {
+        hlsh_core::MutationError::DuplicateId { id } => ServiceError::duplicate_id(id),
+        hlsh_core::MutationError::UnknownId { id } => ServiceError::unknown_id(id),
+        hlsh_core::MutationError::DimMismatch { expected, got } => {
+            ServiceError::dim_mismatch(expected as u32, got as u32)
+        }
+    }
+}
+
+impl<F, D> QueryService for LiveLshService<F, D>
+where
+    F: LshFamily<[f32]> + Clone + Send + Sync + 'static,
+    F::GFn: Send + Sync,
+    D: Distance<[f32]> + Clone + Send + Sync + 'static,
+{
+    fn info(&self) -> ServerInfo {
+        let rnnr = self.rnnr.read().expect("rnnr lock poisoned");
+        ServerInfo {
+            points: rnnr.len() as u64,
+            dim: self.dim,
+            shards: rnnr.assignment().shards() as u32,
+            topk_levels: self
+                .topk
+                .as_ref()
+                .map_or(0, |t| t.read().expect("topk lock poisoned").schedule().levels() as u32),
+        }
+    }
+
+    fn rnnr_batch(
+        &self,
+        queries: &[Vec<f32>],
+        radius: f64,
+        threads: Option<usize>,
+    ) -> Result<Vec<Vec<PointId>>, ServiceError> {
+        // Sequential on purpose: one engine's scratch is reused across
+        // the batch, and the reference box is single-core anyway. The
+        // per-query answers are byte-identical either way.
+        let _ = threads;
+        let rnnr = self.rnnr.read().map_err(|_| ServiceError::internal("rnnr lock poisoned"))?;
+        let mut engine = SegmentedQueryEngine::new();
+        Ok(queries
+            .iter()
+            .map(|q| engine.query_with_strategy(&rnnr, q, radius, Strategy::Hybrid).ids)
+            .collect())
+    }
+
+    fn topk_batch(
+        &self,
+        queries: &[Vec<f32>],
+        k: usize,
+        threads: Option<usize>,
+    ) -> Result<Vec<Vec<(PointId, f64)>>, ServiceError> {
+        let _ = threads;
+        let topk = self
+            .topk
+            .as_ref()
+            .ok_or_else(|| ServiceError::unsupported("this server has no top-k ladder"))?;
+        let topk = topk.read().map_err(|_| ServiceError::internal("topk lock poisoned"))?;
+        let mut engine = SegmentedTopKEngine::new();
+        Ok(queries
+            .iter()
+            .map(|q| {
+                engine.query_topk(&topk, q, k).neighbors.iter().map(|n| (n.id, n.dist)).collect()
+            })
+            .collect())
+    }
+
+    fn insert_batch(&self, ids: &[PointId], points: &QueryBlock) -> Result<u32, ServiceError> {
+        if points.dim != self.dim && !ids.is_empty() {
+            return Err(ServiceError::dim_mismatch(self.dim, points.dim));
+        }
+        // Lock order is always rNNR then ladder (mirrored by
+        // delete_batch), and validation completes against the rNNR
+        // index before either structure is touched — the batch either
+        // fully applies to both or to neither.
+        let mut rnnr =
+            self.rnnr.write().map_err(|_| ServiceError::internal("rnnr lock poisoned"))?;
+        let mut batch = std::collections::HashSet::with_capacity(ids.len());
+        for &id in ids {
+            if !batch.insert(id) || rnnr.contains(id) {
+                return Err(ServiceError::duplicate_id(id));
+            }
+        }
+        let rows = points.rows();
+        for (&id, row) in ids.iter().zip(&rows) {
+            rnnr.insert(id, row).map_err(mutation_error)?;
+        }
+        if let Some(topk) = &self.topk {
+            let mut topk =
+                topk.write().map_err(|_| ServiceError::internal("topk lock poisoned"))?;
+            for (&id, row) in ids.iter().zip(&rows) {
+                topk.insert(id, row).map_err(mutation_error)?;
+            }
+        }
+        Ok(ids.len() as u32)
+    }
+
+    fn delete_batch(&self, ids: &[PointId]) -> Result<u32, ServiceError> {
+        let mut rnnr =
+            self.rnnr.write().map_err(|_| ServiceError::internal("rnnr lock poisoned"))?;
+        let mut batch = std::collections::HashSet::with_capacity(ids.len());
+        for &id in ids {
+            if !batch.insert(id) || !rnnr.contains(id) {
+                return Err(ServiceError::unknown_id(id));
+            }
+        }
+        for &id in ids {
+            rnnr.delete(id).map_err(mutation_error)?;
+        }
+        if let Some(topk) = &self.topk {
+            let mut topk =
+                topk.write().map_err(|_| ServiceError::internal("topk lock poisoned"))?;
+            for &id in ids {
+                topk.delete(id).map_err(mutation_error)?;
+            }
+        }
+        Ok(ids.len() as u32)
     }
 }

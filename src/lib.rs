@@ -64,7 +64,8 @@ pub use hlsh_vec as vec;
 pub use hlsh_core::{
     load_snapshot, read_layout, read_manifest, save_snapshot, BucketStore, BuildMode, CostModel,
     FrozenStore, HybridLshIndex, IndexBuilder, LoadMode, LoadPlan, LoadedSnapshot, MapStore,
-    Neighbor, QueryEngine, QueryOutput, RadiusSchedule, ShardAssignment, ShardedIndex,
+    MutationError, Neighbor, QueryEngine, QueryOutput, RadiusSchedule, SegmentedIndex,
+    SegmentedQueryEngine, SegmentedTopKEngine, SegmentedTopKIndex, ShardAssignment, ShardedIndex,
     ShardedTopKIndex, SnapshotError, SnapshotLayout, SnapshotManifest, StorageProfile, Strategy,
     TopKEngine, TopKIndex, TopKOutput, VerifyMode,
 };
@@ -74,10 +75,11 @@ pub mod prelude {
     pub use hlsh_core::{
         load_snapshot, read_layout, read_manifest, save_snapshot, BucketStore, BuildMode,
         CostModel, FrozenStore, HybridLshIndex, IndexBuilder, LoadMode, LoadedSnapshot, MapStore,
-        Neighbor, QueryEngine, QueryOutput, QueryReport, RadiusSchedule, ShardAssignment,
-        ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex, SnapshotError,
-        SnapshotManifest, StorageProfile, Strategy, TopKEngine, TopKIndex, TopKOutput, TopKReport,
-        VerifyMode,
+        MutationError, Neighbor, QueryEngine, QueryOutput, QueryReport, RadiusSchedule,
+        SegmentedIndex, SegmentedQueryEngine, SegmentedTopKEngine, SegmentedTopKIndex,
+        ShardAssignment, ShardedIndex, ShardedQueryEngine, ShardedTopKEngine, ShardedTopKIndex,
+        SnapshotError, SnapshotManifest, StorageProfile, Strategy, TopKEngine, TopKIndex,
+        TopKOutput, TopKReport, VerifyMode,
     };
     pub use hlsh_families::{
         k_paper, k_safe, BitSampling, LshFamily, MinHash, PStableL1, PStableL2, PaperParams,
@@ -85,7 +87,7 @@ pub mod prelude {
     };
     pub use hlsh_hll::{HllConfig, HyperLogLog};
     pub use hlsh_vec::{
-        BinaryDataset, BinaryVec, Cosine, DenseDataset, Distance, Hamming, Jaccard, PointSet,
-        SubsetPointSet, UnitCosine, L1, L2,
+        BinaryDataset, BinaryVec, Cosine, DenseDataset, Distance, Hamming, Jaccard, PointId,
+        PointSet, SubsetPointSet, UnitCosine, L1, L2,
     };
 }

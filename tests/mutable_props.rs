@@ -1,0 +1,228 @@
+//! Living-index equivalence: an arbitrary interleaving of insert /
+//! delete / flush / merge / query operations on a [`SegmentedIndex`]
+//! (and its [`SegmentedTopKIndex`] twin) must answer **byte-identically**
+//! to an index rebuilt from scratch on the surviving points — same
+//! rNNR id sets, same executed arm, same S1 collision counts, same S2
+//! estimate bits, same top-k `(distance, id)` rankings — across shard
+//! counts {1, 2, 4}, kernel and scalar verification, and both LSM
+//! extremes (flush-after-every-op with aggressive merging, and
+//! never-flush so everything stays in the memtables).
+
+use hybrid_lsh::prelude::*;
+use proptest::prelude::*;
+
+// Both globs export a `Strategy`; the index's enum is the one we mean.
+use hybrid_lsh::Strategy;
+
+const DIM: usize = 8;
+const RADIUS: f64 = 1.3;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// `(flush_threshold, max_segments)`: the first flushes after every
+/// mutation and keeps at most two segments (so merges fire
+/// constantly); the second never flushes, leaving every point in the
+/// memtables.
+const LSM_LIMITS: [(usize, usize); 2] = [(1, 2), (usize::MAX, usize::MAX)];
+
+fn pool(seed: u64) -> DenseDataset {
+    let (data, _) = hybrid_lsh::datagen::benchmark_mixture(DIM, 512, RADIUS, seed);
+    data
+}
+
+fn rnnr_builder(seed: u64) -> IndexBuilder<PStableL2, L2> {
+    IndexBuilder::new(PStableL2::new(DIM, 2.0 * RADIUS), L2)
+        .tables(6)
+        .hash_len(4)
+        .seed(seed)
+        .cost_model(CostModel::from_ratio(4.0))
+}
+
+fn level_builder(seed: u64, r: f64) -> IndexBuilder<PStableL2, L2> {
+    IndexBuilder::new(PStableL2::new(DIM, 2.0 * r), L2)
+        .tables(6)
+        .hash_len(4)
+        .seed(seed)
+        .cost_model(CostModel::from_ratio(4.0))
+}
+
+/// The mutated index must answer exactly like `build_bulk` over its
+/// surviving `(id, point)` set, for every strategy × verify mode.
+fn assert_rnnr_matches_rebuild(
+    index: &SegmentedIndex<PStableL2, L2>,
+    live: &[(PointId, Vec<f32>)],
+    seed: u64,
+    queries: &[Vec<f32>],
+    context: &str,
+) {
+    let ids: Vec<PointId> = live.iter().map(|(id, _)| *id).collect();
+    let data = DenseDataset::from_rows(DIM, live.iter().map(|(_, p)| p.as_slice()));
+    let oracle = SegmentedIndex::build_bulk(data, &ids, index.assignment(), rnnr_builder(seed));
+    assert_eq!(index.len(), oracle.len(), "{context}: live count");
+    for (qi, q) in queries.iter().enumerate() {
+        for strategy in Strategy::ALL {
+            for verify in [VerifyMode::Kernel, VerifyMode::Scalar] {
+                let mut engine = SegmentedQueryEngine::with_verify_mode(verify);
+                let got = engine.query_with_strategy(index, q, RADIUS, strategy);
+                let mut oracle_engine = SegmentedQueryEngine::with_verify_mode(verify);
+                let want = oracle_engine.query_with_strategy(&oracle, q, RADIUS, strategy);
+                let tag = format!("{context} q={qi} {strategy} {verify:?}");
+                assert_eq!(got.ids, want.ids, "{tag}: ids");
+                assert_eq!(got.report.executed, want.report.executed, "{tag}: arm");
+                assert_eq!(got.report.collisions, want.report.collisions, "{tag}: S1");
+                assert_eq!(
+                    got.report.cand_size_estimate.to_bits(),
+                    want.report.cand_size_estimate.to_bits(),
+                    "{tag}: S2"
+                );
+                assert_eq!(
+                    got.report.cand_size_actual, want.report.cand_size_actual,
+                    "{tag}: distinct candidates"
+                );
+            }
+        }
+    }
+}
+
+/// Same contract for the ladder: byte-identical `TopKOutput` (the
+/// `PartialEq` impl covers neighbor distance bits and the walk report
+/// minus wall time) under both verify modes.
+fn assert_topk_matches_rebuild(
+    index: &SegmentedTopKIndex<PStableL2, L2>,
+    live: &[(PointId, Vec<f32>)],
+    seed: u64,
+    schedule: RadiusSchedule,
+    queries: &[Vec<f32>],
+    k: usize,
+    context: &str,
+) {
+    let ids: Vec<PointId> = live.iter().map(|(id, _)| *id).collect();
+    let data = DenseDataset::from_rows(DIM, live.iter().map(|(_, p)| p.as_slice()));
+    let oracle =
+        SegmentedTopKIndex::build_bulk(data, &ids, index.assignment(), schedule, |_, r| {
+            level_builder(seed, r)
+        });
+    for (qi, q) in queries.iter().enumerate() {
+        for verify in [VerifyMode::Kernel, VerifyMode::Scalar] {
+            let mut engine = SegmentedTopKEngine::with_verify_mode(verify);
+            let got = engine.query_topk(index, q, k);
+            let mut oracle_engine = SegmentedTopKEngine::with_verify_mode(verify);
+            let want = oracle_engine.query_topk(&oracle, q, k);
+            assert_eq!(got, want, "{context} q={qi} k={k} {verify:?}: top-k output");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole gate: seed a corpus, apply a random op tape
+    /// (inserts of fresh points, reinserts of previously deleted ids,
+    /// deletes, whole-index and single-shard flushes and merges,
+    /// mid-tape query checkpoints), and demand rebuild-equivalence at
+    /// every checkpoint and at the end — for the rNNR index and the
+    /// top-k ladder in lockstep.
+    #[test]
+    fn interleaved_mutations_match_rebuild(
+        seed in 0u64..200,
+        shard_idx in 0usize..3,
+        limit_idx in 0usize..2,
+        ops in proptest::collection::vec((0u8..16, 0usize..4096), 1..32),
+    ) {
+        let shards = SHARD_COUNTS[shard_idx];
+        let (flush_threshold, max_segments) = LSM_LIMITS[limit_idx];
+        let assignment = ShardAssignment::new(seed ^ 0x3C, shards);
+        let points = pool(seed);
+        let schedule = RadiusSchedule::doubling(0.9, 3);
+
+        let mut index = SegmentedIndex::with_limits(
+            DIM, assignment, rnnr_builder(seed), flush_threshold, max_segments,
+        );
+        let mut topk = SegmentedTopKIndex::with_limits(
+            DIM, assignment, schedule, |_, r| level_builder(seed, r),
+            flush_threshold, max_segments,
+        );
+
+        // The mirror the rebuild oracle is computed from, plus the
+        // graveyard reinserts draw on.
+        let mut live: Vec<(PointId, Vec<f32>)> = Vec::new();
+        let mut dead: Vec<(PointId, Vec<f32>)> = Vec::new();
+        let mut next_id: PointId = 0;
+        let insert = |index: &mut SegmentedIndex<PStableL2, L2>,
+                          topk: &mut SegmentedTopKIndex<PStableL2, L2>,
+                          live: &mut Vec<(PointId, Vec<f32>)>,
+                          id: PointId,
+                          p: Vec<f32>| {
+            index.insert(id, &p).expect("fresh insert");
+            topk.insert(id, &p).expect("fresh insert (topk)");
+            live.push((id, p));
+        };
+
+        // Seed corpus so early checkpoints already exercise both arms.
+        for i in 0..96usize {
+            let p = points.row(i).to_vec();
+            insert(&mut index, &mut topk, &mut live, next_id, p);
+            next_id += 1;
+        }
+
+        let queries: Vec<Vec<f32>> =
+            (0..points.len()).step_by(97).map(|i| points.row(i).to_vec()).collect();
+        let mut checkpoint = 0usize;
+        for &(op, sel) in &ops {
+            match op {
+                // Half the tape inserts fresh points: the corpus grows.
+                0..=7 => {
+                    let p = points.row(sel % points.len()).to_vec();
+                    insert(&mut index, &mut topk, &mut live, next_id, p);
+                    next_id += 1;
+                }
+                // Reinsert of a previously deleted id (tombstone must
+                // not shadow the new incarnation).
+                8 => {
+                    if !dead.is_empty() {
+                        let (id, p) = dead.swap_remove(sel % dead.len());
+                        insert(&mut index, &mut topk, &mut live, id, p);
+                    }
+                }
+                9..=11 => {
+                    if live.len() > 1 {
+                        let (id, p) = live.swap_remove(sel % live.len());
+                        index.delete(id).expect("delete of a live id");
+                        topk.delete(id).expect("delete of a live id (topk)");
+                        dead.push((id, p));
+                    }
+                }
+                12 => {
+                    index.flush();
+                    topk.flush();
+                }
+                13 => {
+                    let si = sel % shards;
+                    index.flush_shard(si);
+                    topk.flush_shard(si);
+                }
+                14 => {
+                    index.compact();
+                    topk.compact();
+                }
+                // Mid-tape checkpoint — including queries issued while
+                // only some shards have been flushed or merged.
+                15 => {
+                    checkpoint += 1;
+                    let ctx = format!(
+                        "checkpoint {checkpoint} shards={shards} limits={flush_threshold}/{max_segments}"
+                    );
+                    assert_rnnr_matches_rebuild(&index, &live, seed, &queries[..2], &ctx);
+                    assert_topk_matches_rebuild(
+                        &topk, &live, seed, schedule, &queries[..2], 5, &ctx,
+                    );
+                }
+                _ => unreachable!("op range is 0..16"),
+            }
+        }
+
+        let ctx = format!(
+            "final shards={shards} limits={flush_threshold}/{max_segments} ops={}", ops.len()
+        );
+        assert_rnnr_matches_rebuild(&index, &live, seed, &queries, &ctx);
+        assert_topk_matches_rebuild(&topk, &live, seed, schedule, &queries, 7, &ctx);
+    }
+}

@@ -16,8 +16,8 @@ use std::time::Duration;
 
 use hybrid_lsh::prelude::*;
 use hybrid_lsh::server::{
-    spawn, Client, ClientError, ErrorCode, QueryService, ServerConfig, ServerHandle,
-    ShardedLshService,
+    spawn, Client, ClientError, ErrorCode, LiveLshService, QueryService, ServerConfig,
+    ServerHandle, ShardNodeService, ShardedLshService,
 };
 
 const DIM: usize = 16;
@@ -274,4 +274,225 @@ fn frame_level_garbage_gets_typed_errors() {
     assert_eq!(reply.len(), first_len, "connection must close after a too-short frame");
 
     fx.server.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Living index over the wire: Insert/Delete frames against a
+// `LiveLshService`, the post-churn byte-identity contract, and the
+// mutation failure surface.
+// ---------------------------------------------------------------------
+
+const LIVE_N: usize = 1_200;
+
+fn live_builder(radius: f64) -> IndexBuilder<PStableL2, L2> {
+    IndexBuilder::new(PStableL2::new(DIM, 2.0 * radius), L2)
+        .tables(10)
+        .hash_len(5)
+        .seed(11)
+        .cost_model(CostModel::from_ratio(6.0))
+}
+
+/// A segmented (mutable) fixture: rNNR index + top-k ladder served by
+/// a [`LiveLshService`], plus the corpus for insert vectors and
+/// rebuild oracles.
+struct LiveFixture {
+    data: DenseDataset,
+    queries: Vec<Vec<f32>>,
+    server: ServerHandle,
+}
+
+fn live_fixture() -> LiveFixture {
+    let (data, _) = hybrid_lsh::datagen::benchmark_mixture(DIM, LIVE_N, RADIUS, 11);
+    let queries: Vec<Vec<f32>> = (0..16).map(|i| data.row(i * 75).to_vec()).collect();
+    let assignment = ShardAssignment::new(11, 2);
+    let ids: Vec<PointId> = (0..LIVE_N as PointId).collect();
+    let rnnr = SegmentedIndex::build_bulk(data.clone(), &ids, assignment, live_builder(RADIUS));
+    let topk = SegmentedTopKIndex::build_bulk(
+        data.clone(),
+        &ids,
+        assignment,
+        RadiusSchedule::doubling(RADIUS, 3),
+        |_, r| live_builder(r),
+    );
+    let service = Arc::new(LiveLshService::new(rnnr, Some(topk)));
+    let server = spawn(
+        Arc::clone(&service) as Arc<dyn QueryService>,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind loopback");
+    LiveFixture { data, queries, server }
+}
+
+#[test]
+fn live_mutations_keep_answers_byte_identical_to_rebuild() {
+    let mut fx = live_fixture();
+    let mut client = connect(&fx.server);
+    assert_eq!(client.info().unwrap().points, LIVE_N as u64);
+
+    // Delete a spread of original ids, insert fresh points (corpus
+    // rows under new ids), and mirror both locally.
+    let deleted: Vec<PointId> = (0..LIVE_N as PointId).step_by(9).collect();
+    assert_eq!(client.delete_batch(&deleted).unwrap(), deleted.len() as u32);
+    let fresh_ids: Vec<PointId> = (0..40).map(|i| LIVE_N as PointId + i).collect();
+    let fresh_points: Vec<Vec<f32>> = (0..40).map(|i| fx.data.row(i * 7 + 3).to_vec()).collect();
+    assert_eq!(client.insert_batch(&fresh_ids, &fresh_points).unwrap(), 40);
+    assert_eq!(
+        client.info().unwrap().points,
+        (LIVE_N - deleted.len() + 40) as u64,
+        "info must reflect the mutated live count"
+    );
+
+    // The survivors, as a rebuild-from-scratch oracle.
+    let dead: std::collections::HashSet<PointId> = deleted.iter().copied().collect();
+    let mut survivors: Vec<(PointId, Vec<f32>)> = (0..LIVE_N as PointId)
+        .filter(|id| !dead.contains(id))
+        .map(|id| (id, fx.data.row(id as usize).to_vec()))
+        .collect();
+    survivors.extend(fresh_ids.iter().copied().zip(fresh_points.iter().cloned()));
+    let ids: Vec<PointId> = survivors.iter().map(|(id, _)| *id).collect();
+    let surviving = DenseDataset::from_rows(DIM, survivors.iter().map(|(_, p)| p.as_slice()));
+    let assignment = ShardAssignment::new(11, 2);
+    let oracle =
+        SegmentedIndex::build_bulk(surviving.clone(), &ids, assignment, live_builder(RADIUS));
+    let oracle_topk = SegmentedTopKIndex::build_bulk(
+        surviving,
+        &ids,
+        assignment,
+        RadiusSchedule::doubling(RADIUS, 3),
+        |_, r| live_builder(r),
+    );
+
+    // Post-churn answers over the wire: byte-identical to the rebuild.
+    let served = client.query_batch(&fx.queries, RADIUS).unwrap();
+    let mut engine = SegmentedQueryEngine::new();
+    let mut nonempty = 0;
+    for (qi, (got, q)) in served.iter().zip(&fx.queries).enumerate() {
+        let want = engine.query(&oracle, q, RADIUS).ids;
+        assert_eq!(got, &want, "post-churn rNNR query {qi} diverged from the rebuild");
+        nonempty += usize::from(!want.is_empty());
+    }
+    assert!(nonempty > 0, "fixture must produce non-trivial post-churn output");
+
+    let k = 6;
+    let served = client.query_topk_batch(&fx.queries, k).unwrap();
+    let mut engine = SegmentedTopKEngine::new();
+    for (qi, (got, q)) in served.iter().zip(&fx.queries).enumerate() {
+        let want = engine.query_topk(&oracle_topk, q, k).neighbors;
+        assert_eq!(got.len(), want.len(), "post-churn top-k query {qi} neighbor count");
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.0, b.id, "post-churn top-k query {qi} id");
+            assert_eq!(a.1.to_bits(), b.dist.to_bits(), "post-churn top-k query {qi} bits");
+        }
+    }
+    fx.server.shutdown();
+}
+
+#[test]
+fn mutation_error_frames_are_recoverable_and_all_or_nothing() {
+    let mut fx = live_fixture();
+    let mut client = connect(&fx.server);
+    let fresh = LIVE_N as PointId + 1_000;
+    let point = fx.data.row(0).to_vec();
+
+    // Wrong dimensionality → typed error, nothing applied.
+    match client.insert_batch(&[fresh], &[vec![0.0f32; DIM + 1]]) {
+        Err(ClientError::Server { code: ErrorCode::DimMismatch, message }) => {
+            assert!(message.contains("16"), "diagnostic should name the index dim: {message}")
+        }
+        other => panic!("expected DimMismatch, got {other:?}"),
+    }
+
+    // Inserting a live id → DuplicateId; the batch's fresh id must NOT
+    // have been applied (all-or-nothing), so inserting it afterwards
+    // succeeds.
+    match client.insert_batch(&[fresh, 0], &[point.clone(), point.clone()]) {
+        Err(ClientError::Server { code: ErrorCode::DuplicateId, message }) => {
+            assert!(message.contains('0'), "diagnostic should name the id: {message}")
+        }
+        other => panic!("expected DuplicateId, got {other:?}"),
+    }
+    assert_eq!(client.info().unwrap().points, LIVE_N as u64, "failed batch must not apply");
+    assert_eq!(client.insert_batch(&[fresh], std::slice::from_ref(&point)).unwrap(), 1);
+
+    // An id repeated within one batch is also DuplicateId.
+    let (a, b) = (fresh + 1, fresh + 1);
+    match client.insert_batch(&[a, b], &[point.clone(), point.clone()]) {
+        Err(ClientError::Server { code: ErrorCode::DuplicateId, .. }) => {}
+        other => panic!("expected DuplicateId for a repeated id, got {other:?}"),
+    }
+
+    // Deleting a never-inserted id → UnknownId; pairing it with a live
+    // id must leave the live id alive (all-or-nothing again).
+    match client.delete_batch(&[3, fresh + 77]) {
+        Err(ClientError::Server { code: ErrorCode::UnknownId, message }) => {
+            assert!(message.contains(&(fresh + 77).to_string()), "{message}")
+        }
+        other => panic!("expected UnknownId, got {other:?}"),
+    }
+    // A duplicate delete within one batch fails the same way: the
+    // second occurrence is no longer live.
+    match client.delete_batch(&[3, 3]) {
+        Err(ClientError::Server { code: ErrorCode::UnknownId, .. }) => {}
+        other => panic!("expected UnknownId for a duplicate delete, got {other:?}"),
+    }
+    // Delete-then-reinsert on one connection: both succeed.
+    assert_eq!(client.delete_batch(&[3]).unwrap(), 1);
+    assert_eq!(client.insert_batch(&[3], &[fx.data.row(3).to_vec()]).unwrap(), 1);
+
+    // Truncated mutation bodies over the raw socket → Malformed.
+    let mut empty_insert = hybrid_lsh::server::Request::Info.encode();
+    empty_insert[9] = 0x04; // INSERT with no body
+    assert_eq!(first_error_code(&raw_exchange(&fx.server, &empty_insert)), ErrorCode::Malformed);
+    let mut empty_delete = hybrid_lsh::server::Request::Info.encode();
+    empty_delete[9] = 0x05; // DELETE with no body
+    assert_eq!(first_error_code(&raw_exchange(&fx.server, &empty_delete)), ErrorCode::Malformed);
+
+    // The connection survived every recoverable error above and the
+    // index reflects exactly the acked mutations (+1 for `fresh`).
+    assert_eq!(client.info().unwrap().points, LIVE_N as u64 + 1);
+    fx.server.shutdown();
+}
+
+#[test]
+fn frozen_and_shard_deployments_refuse_mutation_with_typed_errors() {
+    // A frozen standalone server: mutation is Unsupported, and the
+    // connection keeps serving queries afterwards.
+    let mut fx = fixture(ServerConfig::default());
+    let mut client = connect(&fx.server);
+    match client.insert_batch(&[9_999], &[vec![0.0f32; DIM]]) {
+        Err(ClientError::Server { code: ErrorCode::Unsupported, message }) => {
+            assert!(message.contains("--live"), "should point at the living mode: {message}")
+        }
+        other => panic!("expected Unsupported from a frozen server, got {other:?}"),
+    }
+    match client.delete_batch(&[0]) {
+        Err(ClientError::Server { code: ErrorCode::Unsupported, .. }) => {}
+        other => panic!("expected Unsupported from a frozen server, got {other:?}"),
+    }
+    assert_eq!(client.info().unwrap().points, 3_000);
+    fx.server.shutdown();
+
+    // A shard node refuses too — mutating one shard behind a
+    // coordinator's back would desync the fleet.
+    let (data, _) = hybrid_lsh::datagen::benchmark_mixture(DIM, 600, RADIUS, 11);
+    let assignment = ShardAssignment::new(11, 2);
+    let rnnr = ShardedIndex::build_frozen(data, assignment, live_builder(RADIUS));
+    let shard_node = Arc::new(ShardNodeService::new(ShardedLshService::new(rnnr, None, DIM), 0));
+    let mut server =
+        spawn(shard_node as Arc<dyn QueryService>, "127.0.0.1:0", ServerConfig::default())
+            .expect("bind loopback");
+    let mut client = Client::connect_retry(server.local_addr(), Duration::from_secs(10)).unwrap();
+    match client.insert_batch(&[9_999], &[vec![0.0f32; DIM]]) {
+        Err(ClientError::Server { code: ErrorCode::Unsupported, message }) => {
+            assert!(message.contains("shard"), "should explain the refusal: {message}")
+        }
+        other => panic!("expected Unsupported from a shard node, got {other:?}"),
+    }
+    match client.delete_batch(&[0]) {
+        Err(ClientError::Server { code: ErrorCode::Unsupported, .. }) => {}
+        other => panic!("expected Unsupported from a shard node, got {other:?}"),
+    }
+    assert_eq!(client.info().unwrap().points, 600);
+    server.shutdown();
 }
